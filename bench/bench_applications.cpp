@@ -1,0 +1,85 @@
+// Building-block applications bench (§6: MIS "as a fundamental building
+// block"): cost and quality of iterated-MIS colouring and line-graph
+// matching across network sizes, all powered by the local-feedback
+// beeping algorithm.
+//
+//   ./bench_applications [--trials=20] [--p=0.1]
+#include <iostream>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mis/applications.hpp"
+#include "support/options.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace beepmis;
+
+  support::Options options;
+  options.add("trials", "20", "trials per size");
+  options.add("p", "0.1", "edge probability");
+  options.add("seed", "20130802", "base seed");
+  if (!options.parse(argc, argv)) {
+    std::cerr << options.error() << '\n' << options.usage("bench_applications");
+    return 1;
+  }
+  if (options.help_requested()) {
+    std::cout << options.usage("bench_applications");
+    return 0;
+  }
+
+  const auto trials = static_cast<std::size_t>(options.get_int("trials"));
+  const double p = options.get_double("p");
+  const std::uint64_t base_seed = options.get_u64("seed");
+
+  std::cout << "=== MIS building blocks on G(n, " << p << "), " << trials
+            << " trials/point ===\n\n";
+  support::Table table({"n", "colours (MIS)", "colours (greedy)", "maxdeg+1",
+                        "colour steps", "matching size", "m/2 cap", "matching steps"});
+
+  for (const std::size_t n : {50u, 100u, 200u, 400u}) {
+    support::RunningStats colors, greedy_colors, degree_bound, color_rounds;
+    support::RunningStats match_size, edge_half, match_rounds;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const std::uint64_t seed = support::mix_seed(base_seed, n * 1000 + t);
+      auto rng = support::Xoshiro256StarStar(seed);
+      const graph::Graph g = graph::gnp(static_cast<graph::NodeId>(n), p, rng);
+
+      const mis::ColoringResult coloring = mis::distributed_coloring(g, seed);
+      if (!graph::is_proper_coloring(g, coloring.coloring)) {
+        std::cerr << "improper colouring at n=" << n << "\n";
+        return 1;
+      }
+      colors.push(static_cast<double>(coloring.coloring.colors_used));
+      greedy_colors.push(static_cast<double>(graph::greedy_coloring(g).colors_used));
+      degree_bound.push(static_cast<double>(g.max_degree() + 1));
+      color_rounds.push(static_cast<double>(coloring.total_rounds));
+
+      const mis::MatchingResult matching = mis::maximal_matching(g, seed + 1);
+      if (!graph::is_maximal_matching(g, matching.matching)) {
+        std::cerr << "non-maximal matching at n=" << n << "\n";
+        return 1;
+      }
+      match_size.push(static_cast<double>(matching.matching.size()));
+      edge_half.push(static_cast<double>(g.edge_count()) / 2.0);
+      match_rounds.push(static_cast<double>(matching.rounds));
+    }
+    table.new_row()
+        .cell(n)
+        .cell(colors.mean(), 1)
+        .cell(greedy_colors.mean(), 1)
+        .cell(degree_bound.mean(), 1)
+        .cell(color_rounds.mean(), 1)
+        .cell(match_size.mean(), 1)
+        .cell(edge_half.mean(), 1)
+        .cell(match_rounds.mean(), 1);
+  }
+  table.print(std::cout);
+  std::cout << "\ncsv:\n";
+  table.write_csv(std::cout);
+  std::cout << "\nnotes: 'm/2 cap' is the trivial upper bound on any matching;\n"
+               "colour steps = total beeping time steps summed over MIS phases.\n"
+               "Every run is verified proper/maximal before being counted.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Density extension: Figure 3 fixes p = 1/2; this bench sweeps the edge
+// probability at fixed n to show the constants of Theorems 2 and 6 are
+// density-insensitive — rounds stay O(log n) and beeps O(1) from
+// near-empty graphs to near-cliques.
+//
+//   ./bench_density [--n=500] [--trials=50] [--threads=0]
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "graph/generators.hpp"
+#include "mis/local_feedback.hpp"
+#include "mis/theory.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace beepmis;
+
+  support::Options options;
+  options.add("n", "500", "graph size");
+  options.add("trials", "50", "trials per density");
+  options.add("threads", "0", "worker threads (0 = all cores)");
+  options.add("seed", "20130801", "base seed");
+  if (!options.parse(argc, argv)) {
+    std::cerr << options.error() << '\n' << options.usage("bench_density");
+    return 1;
+  }
+  if (options.help_requested()) {
+    std::cout << options.usage("bench_density");
+    return 0;
+  }
+
+  const auto n = static_cast<std::size_t>(options.get_int("n"));
+  harness::TrialConfig config;
+  config.trials = static_cast<std::size_t>(options.get_int("trials"));
+  config.threads = static_cast<unsigned>(options.get_int("threads"));
+
+  std::cout << "=== density sweep: local feedback on G(" << n << ", p), "
+            << config.trials << " trials/point ===\n\n";
+  support::Table table(
+      {"p", "mean degree", "rounds mean", "sd", "beeps/node", "MIS size", "valid"});
+  for (const double p : {0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 0.8, 0.95}) {
+    config.base_seed =
+        support::mix_seed(options.get_u64("seed"), static_cast<std::uint64_t>(p * 10000));
+    const harness::GraphFactory graphs = [n, p](support::Xoshiro256StarStar& rng) {
+      return graph::gnp(static_cast<graph::NodeId>(n), p, rng);
+    };
+    const harness::TrialStats stats = harness::run_beep_trials(
+        graphs, [] { return std::make_unique<mis::LocalFeedbackMis>(); }, config);
+    table.new_row()
+        .cell(p, 3)
+        .cell(p * static_cast<double>(n - 1), 1)
+        .cell(stats.rounds.mean())
+        .cell(stats.rounds.stddev())
+        .cell(stats.beeps_per_node.mean())
+        .cell(stats.mis_size.mean(), 1)
+        .cell(std::to_string(stats.valid) + "/" + std::to_string(stats.trials));
+  }
+  table.print(std::cout);
+  std::cout << "\ncsv:\n";
+  table.write_csv(std::cout);
+  std::cout << "\nreference: 2.5 log2 n = " << mis::figure3_local_reference(n)
+            << "; expectation: rounds within a small factor of it at every density,\n"
+               "beeps/node ~1 throughout (Theorems 2 and 6 hold for all graphs).\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Self-healing maintenance bench (extension): after the MIS converges,
+// fail-stop a fraction of all nodes (including MIS members) and measure
+// whether coverage is restored.  Compares the plain protocol (which cannot
+// recover) against the silence-triggered healing rule.
+//
+//   ./bench_healing [--n=200] [--trials=50] [--threads=0]
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "graph/generators.hpp"
+#include "mis/self_healing.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace beepmis;
+
+harness::TrialStats run_case(std::size_t n, double crash_fraction, bool healing,
+                             const harness::TrialConfig& base) {
+  harness::TrialConfig config = base;
+  config.sim.mis_keepalive = true;
+  config.sim.run_until_round = 150;
+  config.sim.max_rounds = 800;
+  config.sim.crash_round.assign(n, std::numeric_limits<std::uint32_t>::max());
+  for (std::size_t v = 0; v < n; ++v) {
+    const double u = static_cast<double>(support::mix_seed(17, v) % 1000000u) / 1e6;
+    if (u < crash_fraction) {
+      config.sim.crash_round[v] =
+          static_cast<std::uint32_t>(30 + support::mix_seed(19, v) % 20);
+    }
+  }
+  const harness::GraphFactory graphs = [n](support::Xoshiro256StarStar& rng) {
+    return graph::gnp(static_cast<graph::NodeId>(n), 0.5, rng);
+  };
+  const harness::BeepProtocolFactory protocols = [healing]() -> std::unique_ptr<sim::BeepProtocol> {
+    if (healing) return std::make_unique<mis::SelfHealingLocalFeedbackMis>();
+    return std::make_unique<mis::LocalFeedbackMis>();
+  };
+  return harness::run_beep_trials(graphs, protocols, config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Options options;
+  options.add("n", "200", "graph size");
+  options.add("trials", "50", "trials per case");
+  options.add("threads", "0", "worker threads (0 = all cores)");
+  options.add("seed", "20130803", "base seed");
+  if (!options.parse(argc, argv)) {
+    std::cerr << options.error() << '\n' << options.usage("bench_healing");
+    return 1;
+  }
+  if (options.help_requested()) {
+    std::cout << options.usage("bench_healing");
+    return 0;
+  }
+
+  const auto n = static_cast<std::size_t>(options.get_int("n"));
+  harness::TrialConfig base;
+  base.trials = static_cast<std::size_t>(options.get_int("trials"));
+  base.threads = static_cast<unsigned>(options.get_int("threads"));
+  base.base_seed = options.get_u64("seed");
+
+  std::cout << "=== self-healing after fail-stop crashes (rounds 30-50) on G(" << n
+            << ", 1/2), " << base.trials << " trials/case ===\n\n";
+  support::Table table({"crash fraction", "healing", "valid", "uncovered/trial",
+                        "indep viol/trial"});
+  for (const double fraction : {0.05, 0.15, 0.30}) {
+    for (const bool healing : {false, true}) {
+      const harness::TrialStats stats = run_case(n, fraction, healing, base);
+      const auto trials = static_cast<double>(stats.trials);
+      table.new_row()
+          .cell(fraction, 2)
+          .cell(healing ? "yes" : "no")
+          .cell(std::to_string(stats.valid) + "/" + std::to_string(stats.trials))
+          .cell(static_cast<double>(stats.uncovered_nodes) / trials, 3)
+          .cell(static_cast<double>(stats.independence_violations) / trials, 3);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\ncsv:\n";
+  table.write_csv(std::cout);
+  std::cout << "\nexpectation: without healing, crashes of MIS members strand their\n"
+               "dominated neighbours (uncovered > 0); with the silence rule every\n"
+               "surviving neighbourhood re-converges to a valid MIS.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E8: micro-benchmarks of the substrate itself (google-benchmark): graph
+// generation, simulator round throughput, full MIS runs and verification.
+// These are the ablation data for the engineering choices in DESIGN.md
+// (CSR adjacency, episode-counted beeps, two-exchange rounds).
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "mis/mis.hpp"
+
+namespace {
+
+using namespace beepmis;
+
+void BM_GnpGeneration(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto rng = support::Xoshiro256StarStar(seed++);
+    benchmark::DoNotOptimize(graph::gnp(n, 0.5, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_GnpGeneration)->Arg(100)->Arg(1000);
+
+void BM_GnpSparseGeneration(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto rng = support::Xoshiro256StarStar(seed++);
+    benchmark::DoNotOptimize(graph::gnp(n, 4.0 / static_cast<double>(n), rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_GnpSparseGeneration)->Arg(1000)->Arg(100000);
+
+void BM_LocalFeedbackRun(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  auto graph_rng = support::Xoshiro256StarStar(7);
+  const graph::Graph g = graph::gnp(n, 0.5, graph_rng);
+  std::uint64_t seed = 1;
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    const sim::RunResult result = mis::run_local_feedback(g, seed++);
+    rounds += result.rounds;
+    benchmark::DoNotOptimize(result.total_beeps);
+  }
+  state.counters["rounds/run"] =
+      static_cast<double>(rounds) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_LocalFeedbackRun)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_GlobalSweepRun(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  auto graph_rng = support::Xoshiro256StarStar(7);
+  const graph::Graph g = graph::gnp(n, 0.5, graph_rng);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mis::run_global_sweep(g, seed++).rounds);
+  }
+}
+BENCHMARK(BM_GlobalSweepRun)->Arg(100)->Arg(500);
+
+void BM_LubyRun(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  auto graph_rng = support::Xoshiro256StarStar(7);
+  const graph::Graph g = graph::gnp(n, 0.5, graph_rng);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mis::run_luby(g, seed++).rounds);
+  }
+}
+BENCHMARK(BM_LubyRun)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_LocalFeedbackSparse(benchmark::State& state) {
+  // Sparse large graphs: the regime where per-round cost ~ active degree
+  // sum matters (ad hoc network scale).
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  auto graph_rng = support::Xoshiro256StarStar(9);
+  const graph::Graph g = graph::gnp(n, 8.0 / static_cast<double>(n), graph_rng);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mis::run_local_feedback(g, seed++).rounds);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_LocalFeedbackSparse)->Arg(10000)->Arg(100000);
+
+void BM_Verifier(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  auto graph_rng = support::Xoshiro256StarStar(11);
+  const graph::Graph g = graph::gnp(n, 0.5, graph_rng);
+  const sim::RunResult result = mis::run_local_feedback(g, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mis::verify_mis_run(g, result).valid());
+  }
+}
+BENCHMARK(BM_Verifier)->Arg(1000);
+
+void BM_GreedyMis(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  auto graph_rng = support::Xoshiro256StarStar(13);
+  const graph::Graph g = graph::gnp(n, 0.5, graph_rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::greedy_mis(g).size());
+  }
+}
+BENCHMARK(BM_GreedyMis)->Arg(1000);
+
+}  // namespace

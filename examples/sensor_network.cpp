@@ -1,0 +1,127 @@
+// Sensor-network clustering: the paper's conclusion motivates beeping MIS
+// for ad hoc sensor networks — nodes with no ids, no global knowledge and
+// one-bit radios.  This example deploys sensors uniformly in the unit
+// square, connects nodes within radio range, elects cluster heads with the
+// local-feedback MIS, and draws the result as an ASCII map.
+//
+//   ./sensor_network [--sensors=120] [--radius=0.18] [--seed=7] [--compare]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mis/mis.hpp"
+#include "mis/self_healing.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace beepmis;
+
+/// Draws sensors on a character grid: '#' = cluster head, 'o' = member.
+std::string ascii_map(const graph::GeometricGraph& field,
+                      const std::vector<graph::NodeId>& heads, std::size_t size) {
+  std::vector<std::string> canvas(size, std::string(2 * size, ' '));
+  std::vector<bool> is_head(field.graph.node_count(), false);
+  for (const graph::NodeId v : heads) is_head[v] = true;
+  for (graph::NodeId v = 0; v < field.graph.node_count(); ++v) {
+    const auto row = static_cast<std::size_t>(field.y[v] * static_cast<double>(size - 1));
+    const auto col =
+        static_cast<std::size_t>(field.x[v] * static_cast<double>(2 * size - 1));
+    canvas[row][col] = is_head[v] ? '#' : 'o';
+  }
+  std::string out;
+  for (const auto& line : canvas) {
+    out += '|';
+    out += line;
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Options options;
+  options.add("sensors", "120", "number of sensors");
+  options.add("radius", "0.18", "radio range (unit square)");
+  options.add("seed", "7", "random seed");
+  options.add("compare", "false", "also run Luby's algorithm and compare cost");
+  options.add("churn", "false",
+              "crash 20% of sensors mid-run and re-elect heads via self-healing");
+  if (!options.parse(argc, argv)) {
+    std::cerr << options.error() << '\n' << options.usage("sensor_network");
+    return 1;
+  }
+  if (options.help_requested()) {
+    std::cout << options.usage("sensor_network");
+    return 0;
+  }
+
+  const auto sensors = static_cast<graph::NodeId>(options.get_int("sensors"));
+  const double radius = options.get_double("radius");
+  const std::uint64_t seed = options.get_u64("seed");
+
+  auto rng = support::Xoshiro256StarStar(seed);
+  const graph::GeometricGraph field = graph::random_geometric(sensors, radius, rng);
+  const graph::Graph& g = field.graph;
+  std::cout << "deployed " << sensors << " sensors, radio range " << radius << ": "
+            << g.describe() << "\n";
+  const graph::Components comps = graph::connected_components(g);
+  std::cout << "network has " << comps.count << " connected component(s)\n\n";
+
+  const sim::RunResult result = mis::run_local_feedback(g, seed);
+  const mis::VerificationReport report = mis::verify_mis_run(g, result);
+  const auto heads = result.mis();
+
+  std::cout << "cluster-head election (local-feedback beeping MIS):\n"
+            << "  time steps: " << result.rounds << "\n"
+            << "  beeps per node: " << result.mean_beeps_per_node()
+            << " (1-bit radio messages)\n"
+            << "  cluster heads: " << heads.size() << "\n"
+            << "  every sensor is a head or hears a head: "
+            << (report.valid() ? "yes" : "NO") << "\n\n";
+
+  std::cout << ascii_map(field, heads, 24) << "\n  '#' = cluster head, 'o' = member\n\n";
+
+  if (options.get_bool("churn")) {
+    // Battery failures: 20% of sensors (head or not) die at rounds 20-30;
+    // the self-healing variant re-elects heads in orphaned clusters.
+    sim::SimConfig churn_config;
+    churn_config.mis_keepalive = true;
+    churn_config.run_until_round = 100;
+    churn_config.crash_round.assign(g.node_count(), 0xffffffffu);
+    for (graph::NodeId v = 0; v < g.node_count(); v += 5) {
+      churn_config.crash_round[v] = 20 + v % 11;
+    }
+    mis::SelfHealingLocalFeedbackMis healing_protocol;
+    sim::BeepSimulator churn_simulator(g, churn_config);
+    const sim::RunResult after =
+        churn_simulator.run(healing_protocol, support::Xoshiro256StarStar(seed));
+    const mis::VerificationReport after_report = mis::verify_mis_run(g, after);
+
+    std::cout << "after battery failures (20% of sensors died, self-healing on):\n"
+              << "  re-elections (reactivated sensors): " << healing_protocol.reactivations()
+              << "\n  surviving sensors covered: " << (after_report.valid() ? "yes" : "NO")
+              << " (" << after_report.summary() << ")\n\n"
+              << ascii_map(field, after.mis(), 24)
+              << "\n  '#' = cluster head after churn ('o' includes dead sensors)\n\n";
+  }
+
+  if (options.get_bool("compare")) {
+    const sim::RunResult luby = mis::run_luby(g, seed);
+    support::Table table({"algorithm", "rounds", "communication"});
+    table.new_row()
+        .cell("local-feedback beeps")
+        .cell(result.rounds)
+        .cell(std::to_string(result.total_beeps) + " one-bit beeps");
+    table.new_row()
+        .cell("luby (LOCAL model)")
+        .cell(luby.rounds)
+        .cell(std::to_string(luby.message_bits) + " message bits");
+    table.print(std::cout);
+    std::cout << "\nLuby needs numeric messages; the beeping algorithm reaches the same\n"
+                 "round complexity with single-bit signals (paper Theorems 2 and 6).\n";
+  }
+  return report.valid() ? 0 : 1;
+}

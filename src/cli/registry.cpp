@@ -1,0 +1,107 @@
+#include "cli/registry.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "mis/exact_feedback.hpp"
+#include "mis/mis.hpp"
+#include "mis/pure_beep.hpp"
+
+namespace beepmis::cli {
+
+graph::Graph make_graph(const GraphSpec& spec) {
+  auto rng = support::Xoshiro256StarStar(spec.seed);
+  if (spec.family == "gnp") return graph::gnp(spec.n, spec.p, rng);
+  if (spec.family == "complete") return graph::complete(spec.n);
+  if (spec.family == "empty") return graph::empty_graph(spec.n);
+  if (spec.family == "ring") return graph::ring(spec.n);
+  if (spec.family == "path") return graph::path(spec.n);
+  if (spec.family == "star") return graph::star(spec.n);
+  if (spec.family == "grid") return graph::grid2d(spec.rows, spec.cols);
+  if (spec.family == "hex") return graph::hex_grid(spec.rows, spec.cols);
+  if (spec.family == "tree") return graph::random_tree(spec.n, rng);
+  if (spec.family == "hypercube") {
+    const auto d = static_cast<unsigned>(
+        std::round(std::log2(std::max<double>(2.0, static_cast<double>(spec.n)))));
+    return graph::hypercube(d);
+  }
+  if (spec.family == "geometric") return graph::random_geometric(spec.n, spec.p, rng).graph;
+  if (spec.family == "ba") return graph::barabasi_albert(spec.n, spec.k, rng);
+  if (spec.family == "clique-family") return graph::clique_family(spec.k, spec.k);
+  if (spec.family == "caterpillar") return graph::caterpillar(spec.rows, spec.cols);
+  if (spec.family == "bipartite") {
+    return graph::random_bipartite(spec.n / 2, spec.n - spec.n / 2, spec.p, rng);
+  }
+  throw std::invalid_argument("unknown graph family: " + spec.family);
+}
+
+std::vector<std::string> graph_families() {
+  return {"ba",        "bipartite", "caterpillar", "clique-family", "complete",
+          "empty",     "geometric", "gnp",         "grid",          "hex",
+          "hypercube", "path",      "ring",        "star",          "tree"};
+}
+
+std::string graph_help() {
+  return "graph families:\n"
+         "  gnp            G(n, p)                      (--n, --p, --graph-seed)\n"
+         "  geometric      random geometric, radius p   (--n, --p, --graph-seed)\n"
+         "  tree           uniform random tree          (--n, --graph-seed)\n"
+         "  ba             Barabasi-Albert, k edges     (--n, --k, --graph-seed)\n"
+         "  bipartite      random bipartite, prob p     (--n, --p, --graph-seed)\n"
+         "  complete/empty/ring/path/star               (--n)\n"
+         "  grid/hex       lattice                      (--rows, --cols)\n"
+         "  caterpillar    spine rows, cols legs each   (--rows, --cols)\n"
+         "  hypercube      dimension round(log2 n)      (--n)\n"
+         "  clique-family  Theorem 1 family, param k    (--k)\n";
+}
+
+sim::RunResult run_algorithm(const AlgorithmSpec& spec, const graph::Graph& g) {
+  if (spec.name == "local-feedback") {
+    mis::LocalFeedbackConfig config;
+    config.factor_low = config.factor_high = spec.factor;
+    config.initial_p_low = config.initial_p_high = spec.initial_p;
+    return mis::run_local_feedback(g, spec.seed, config, spec.sim);
+  }
+  if (spec.name == "local-feedback-exact") {
+    mis::ExactLocalFeedbackMis protocol;
+    sim::BeepSimulator simulator(g, spec.sim);
+    return simulator.run(protocol, support::Xoshiro256StarStar(spec.seed));
+  }
+  if (spec.name == "pure-beep") {
+    mis::PureBeepLocalFeedbackMis protocol(/*subslots=*/8, spec.factor);
+    sim::BeepSimulator simulator(g, spec.sim);
+    return simulator.run(protocol, support::Xoshiro256StarStar(spec.seed));
+  }
+  if (spec.name == "global-sweep") return mis::run_global_sweep(g, spec.seed, spec.sim);
+  if (spec.name == "global-increasing") {
+    return mis::run_global_increasing(g, spec.seed, spec.sim);
+  }
+  if (spec.name == "luby") return mis::run_luby(g, spec.seed, spec.local_sim);
+  if (spec.name == "luby-degree") return mis::run_luby_degree(g, spec.seed, spec.local_sim);
+  if (spec.name == "metivier") return mis::run_metivier(g, spec.seed, 0, spec.local_sim);
+  if (spec.name == "greedy-id") return mis::run_greedy_id(g, spec.local_sim);
+  throw std::invalid_argument("unknown algorithm: " + spec.name);
+}
+
+std::vector<std::string> algorithm_names() {
+  return {"global-increasing",    "global-sweep", "greedy-id", "local-feedback",
+          "local-feedback-exact", "luby",         "luby-degree", "metivier",
+          "pure-beep"};
+}
+
+std::string algorithm_help() {
+  return "algorithms:\n"
+         "  local-feedback     the paper's algorithm (beeping; --factor, --initial-p)\n"
+         "  local-feedback-exact  Definition 1 with integer exponents (beeping)\n"
+         "  pure-beep          local feedback without sender collision detection\n"
+         "  global-sweep       Afek et al. DISC'11 sweeping schedule (beeping)\n"
+         "  global-increasing  Science'11-style increasing schedule (beeping)\n"
+         "  luby               Luby's algorithm (LOCAL model, 64-bit messages)\n"
+         "  luby-degree        Luby's original 1/(2d) marking variant (LOCAL model)\n"
+         "  metivier           Metivier et al. bitwise MIS (LOCAL model, 1-bit)\n"
+         "  greedy-id          deterministic id-minimum (LOCAL model, 1-bit)\n";
+}
+
+}  // namespace beepmis::cli

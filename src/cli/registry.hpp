@@ -1,0 +1,54 @@
+// Name-based registries mapping CLI strings to graph generators and MIS
+// algorithms.  Kept as a library (rather than inline in the tool's main)
+// so the mapping logic is unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/beep.hpp"
+#include "sim/local.hpp"
+
+namespace beepmis::cli {
+
+/// Parameters shared by all generators; each generator reads the subset it
+/// needs (documented in graph_help()).
+struct GraphSpec {
+  std::string family = "gnp";
+  graph::NodeId n = 100;
+  double p = 0.5;          ///< edge probability / geometric radius
+  graph::NodeId rows = 10; ///< grid-style families
+  graph::NodeId cols = 10;
+  graph::NodeId k = 3;     ///< clique-family parameter / BA attach edges
+  std::uint64_t seed = 1;
+};
+
+/// Builds the requested graph.  Throws std::invalid_argument for an
+/// unknown family name.
+[[nodiscard]] graph::Graph make_graph(const GraphSpec& spec);
+
+/// Registered family names, alphabetical.
+[[nodiscard]] std::vector<std::string> graph_families();
+/// One-line description per family.
+[[nodiscard]] std::string graph_help();
+
+struct AlgorithmSpec {
+  std::string name = "local-feedback";
+  std::uint64_t seed = 1;
+  sim::SimConfig sim;
+  sim::LocalSimConfig local_sim;
+  /// Local-feedback knobs (ignored by other algorithms).
+  double factor = 2.0;
+  double initial_p = 0.5;
+};
+
+/// Runs the named algorithm on `g`.  Throws std::invalid_argument for an
+/// unknown algorithm name.
+[[nodiscard]] sim::RunResult run_algorithm(const AlgorithmSpec& spec, const graph::Graph& g);
+
+[[nodiscard]] std::vector<std::string> algorithm_names();
+[[nodiscard]] std::string algorithm_help();
+
+}  // namespace beepmis::cli

@@ -1,0 +1,146 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mis/verifier.hpp"
+
+namespace beepmis::harness {
+
+void TrialStats::merge(const TrialStats& other) {
+  rounds.merge(other.rounds);
+  beeps_per_node.merge(other.beeps_per_node);
+  max_beeps_any_node.merge(other.max_beeps_any_node);
+  mis_size.merge(other.mis_size);
+  message_bits.merge(other.message_bits);
+  trials += other.trials;
+  terminated += other.terminated;
+  valid += other.valid;
+  independence_violations += other.independence_violations;
+  uncovered_nodes += other.uncovered_nodes;
+}
+
+namespace {
+
+/// Raw metrics of one trial; collected into trial-indexed slots so the
+/// final aggregation order (and hence floating-point result) is identical
+/// for every thread count.
+struct TrialRecord {
+  double rounds = 0;
+  double beeps_per_node = 0;
+  double max_beeps = 0;
+  double mis_size = 0;
+  double message_bits = 0;
+  bool terminated = false;
+  bool valid = false;
+  std::size_t independence_violations = 0;
+  std::size_t uncovered_nodes = 0;
+};
+
+/// Shared trial-loop machinery: `run_one(graph, run_rng)` executes the
+/// simulator and returns the RunResult.
+template <typename RunOne>
+TrialStats run_trials_impl(const GraphFactory& graphs, const TrialConfig& config,
+                           RunOne&& run_one) {
+  unsigned threads = config.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(config.trials, 1)));
+
+  const support::SeedSequence root(config.base_seed);
+
+  // When the graph is shared, build it once up front from trial 0's seed.
+  graph::Graph shared;
+  if (config.shared_graph) {
+    auto rng = root.child(0).child(0).generator();
+    shared = graphs(rng);
+  }
+
+  std::vector<TrialRecord> records(config.trials);
+  std::atomic<std::size_t> next_trial{0};
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t trial = next_trial.fetch_add(1);
+      if (trial >= config.trials) break;
+
+      const support::SeedSequence trial_seed = root.child(trial);
+      graph::Graph own;
+      const graph::Graph* g = &shared;
+      if (!config.shared_graph) {
+        auto graph_rng = trial_seed.child(0).generator();
+        own = graphs(graph_rng);
+        g = &own;
+      }
+
+      const sim::RunResult result = run_one(*g, trial_seed.child(1).generator());
+
+      TrialRecord& rec = records[trial];
+      rec.rounds = static_cast<double>(result.rounds);
+      rec.beeps_per_node = result.mean_beeps_per_node();
+      std::uint32_t max_beeps = 0;
+      for (const std::uint32_t b : result.beep_counts) max_beeps = std::max(max_beeps, b);
+      rec.max_beeps = static_cast<double>(max_beeps);
+      rec.message_bits = static_cast<double>(result.message_bits);
+      rec.terminated = result.terminated;
+
+      const mis::VerificationReport report = mis::verify_mis_run(*g, result);
+      rec.mis_size = static_cast<double>(report.mis_size);
+      rec.valid = report.valid();
+      rec.independence_violations = report.independence_violations;
+      rec.uncovered_nodes = report.uncovered_nodes;
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  TrialStats total;
+  for (const TrialRecord& rec : records) {
+    total.rounds.push(rec.rounds);
+    total.beeps_per_node.push(rec.beeps_per_node);
+    total.max_beeps_any_node.push(rec.max_beeps);
+    total.mis_size.push(rec.mis_size);
+    total.message_bits.push(rec.message_bits);
+    ++total.trials;
+    if (rec.terminated) ++total.terminated;
+    if (rec.valid) ++total.valid;
+    total.independence_violations += rec.independence_violations;
+    total.uncovered_nodes += rec.uncovered_nodes;
+  }
+  return total;
+}
+
+}  // namespace
+
+TrialStats run_beep_trials(const GraphFactory& graphs, const BeepProtocolFactory& protocols,
+                           const TrialConfig& config) {
+  return run_trials_impl(graphs, config,
+                         [&](const graph::Graph& g, support::Xoshiro256StarStar rng) {
+                           auto protocol = protocols();
+                           sim::BeepSimulator simulator(g, config.sim);
+                           return simulator.run(*protocol, rng);
+                         });
+}
+
+TrialStats run_local_trials(const GraphFactory& graphs, const LocalProtocolFactory& protocols,
+                            const TrialConfig& config) {
+  return run_trials_impl(graphs, config,
+                         [&](const graph::Graph& g, support::Xoshiro256StarStar rng) {
+                           auto protocol = protocols();
+                           sim::LocalSimulator simulator(g, config.local_sim);
+                           return simulator.run(*protocol, rng);
+                         });
+}
+
+}  // namespace beepmis::harness

@@ -1,0 +1,261 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace beepmis::graph {
+
+namespace {
+
+/// Skip-based G(n,p) edge enumeration (Batagelj & Brandes 2005): walks the
+/// implicit list of all C(n,2) edges, jumping Geometric(p) positions at a
+/// time, so the cost is proportional to the number of generated edges.
+void add_gnp_edges_sparse(GraphBuilder& builder, NodeId n, double p,
+                          support::Xoshiro256StarStar& rng) {
+  const double log_1p = std::log(1.0 - p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  const auto nn = static_cast<std::int64_t>(n);
+  while (v < nn) {
+    const double r = 1.0 - rng.uniform01();  // (0, 1]
+    const auto skip = static_cast<std::int64_t>(std::floor(std::log(r) / log_1p));
+    w += 1 + skip;
+    while (w >= v && v < nn) {
+      w -= v;
+      ++v;
+    }
+    if (v < nn) {
+      builder.add_edge(static_cast<NodeId>(w), static_cast<NodeId>(v));
+    }
+  }
+}
+
+}  // namespace
+
+Graph gnp(NodeId n, double p, support::Xoshiro256StarStar& rng) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("gnp: p must be in [0, 1]");
+  GraphBuilder builder(n);
+  if (n < 2 || p == 0.0) return builder.build();
+  if (p == 1.0) return complete(n);
+  if (p <= 0.25) {
+    add_gnp_edges_sparse(builder, n, p, rng);
+  } else {
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (rng.bernoulli(p)) builder.add_edge(u, v);
+      }
+    }
+  }
+  return builder.build();
+}
+
+Graph complete(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph empty_graph(NodeId n) { return GraphBuilder(n).build(); }
+
+Graph clique_family(NodeId max_clique, NodeId copies) {
+  // Total nodes: copies * (1 + 2 + ... + max_clique).
+  const std::uint64_t per_copy_set =
+      static_cast<std::uint64_t>(max_clique) * (static_cast<std::uint64_t>(max_clique) + 1) / 2;
+  const std::uint64_t total = per_copy_set * copies;
+  if (total > 0xffffffffULL) throw std::invalid_argument("clique_family: too many nodes");
+
+  GraphBuilder builder(static_cast<NodeId>(total));
+  NodeId next = 0;
+  for (NodeId d = 1; d <= max_clique; ++d) {
+    for (NodeId c = 0; c < copies; ++c) {
+      const NodeId base = next;
+      for (NodeId i = 0; i < d; ++i) {
+        for (NodeId j = i + 1; j < d; ++j) builder.add_edge(base + i, base + j);
+      }
+      next += d;
+    }
+  }
+  return builder.build();
+}
+
+Graph clique_family_for_n(NodeId n) {
+  const auto k = static_cast<NodeId>(std::cbrt(static_cast<double>(n)));
+  return clique_family(std::max<NodeId>(k, 1), std::max<NodeId>(k, 1));
+}
+
+Graph grid2d(NodeId rows, NodeId cols) {
+  const std::uint64_t total = static_cast<std::uint64_t>(rows) * cols;
+  if (total > 0xffffffffULL) throw std::invalid_argument("grid2d: too many nodes");
+  GraphBuilder builder(static_cast<NodeId>(total));
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return builder.build();
+}
+
+Graph hex_grid(NodeId rows, NodeId cols) {
+  const std::uint64_t total = static_cast<std::uint64_t>(rows) * cols;
+  if (total > 0xffffffffULL) throw std::invalid_argument("hex_grid: too many nodes");
+  GraphBuilder builder(static_cast<NodeId>(total));
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.add_edge(id(r, c), id(r + 1, c));
+      // One diagonal per cell turns the square grid into a triangular
+      // lattice, whose dual is the hexagonal cell packing.
+      if (r + 1 < rows && c + 1 < cols) builder.add_edge(id(r, c + 1), id(r + 1, c));
+    }
+  }
+  return builder.build();
+}
+
+Graph ring(NodeId n) {
+  if (n < 3) throw std::invalid_argument("ring: need n >= 3");
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v < n; ++v) builder.add_edge(v, (v + 1) % n);
+  return builder.build();
+}
+
+Graph path(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1);
+  return builder.build();
+}
+
+Graph star(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId v = 1; v < n; ++v) builder.add_edge(0, v);
+  return builder.build();
+}
+
+Graph random_tree(NodeId n, support::Xoshiro256StarStar& rng) {
+  GraphBuilder builder(n);
+  if (n <= 1) return builder.build();
+  if (n == 2) return builder.add_edge(0, 1).build();
+
+  // Decode a uniformly random Prüfer sequence of length n-2.
+  std::vector<NodeId> prufer(n - 2);
+  for (auto& x : prufer) x = static_cast<NodeId>(rng.below(n));
+
+  std::vector<NodeId> degree(n, 1);
+  for (NodeId x : prufer) ++degree[x];
+
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> leaves;
+  for (NodeId v = 0; v < n; ++v) {
+    if (degree[v] == 1) leaves.push(v);
+  }
+  for (NodeId x : prufer) {
+    const NodeId leaf = leaves.top();
+    leaves.pop();
+    builder.add_edge(leaf, x);
+    if (--degree[x] == 1) leaves.push(x);
+  }
+  const NodeId u = leaves.top();
+  leaves.pop();
+  builder.add_edge(u, leaves.top());
+  return builder.build();
+}
+
+Graph hypercube(unsigned dimension) {
+  if (dimension > 20) throw std::invalid_argument("hypercube: dimension too large");
+  const NodeId n = static_cast<NodeId>(1) << dimension;
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (unsigned b = 0; b < dimension; ++b) {
+      const NodeId w = v ^ (static_cast<NodeId>(1) << b);
+      if (v < w) builder.add_edge(v, w);
+    }
+  }
+  return builder.build();
+}
+
+GeometricGraph random_geometric(NodeId n, double radius,
+                                support::Xoshiro256StarStar& rng) {
+  GeometricGraph out;
+  out.x.resize(n);
+  out.y.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    out.x[v] = rng.uniform01();
+    out.y[v] = rng.uniform01();
+  }
+  GraphBuilder builder(n);
+  const double r2 = radius * radius;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double dx = out.x[u] - out.x[v];
+      const double dy = out.y[u] - out.y[v];
+      if (dx * dx + dy * dy <= r2) builder.add_edge(u, v);
+    }
+  }
+  out.graph = builder.build();
+  return out;
+}
+
+Graph barabasi_albert(NodeId n, NodeId attach_edges, support::Xoshiro256StarStar& rng) {
+  if (attach_edges == 0) throw std::invalid_argument("barabasi_albert: attach_edges >= 1");
+  const NodeId seed_nodes = attach_edges + 1;
+  if (n < seed_nodes) throw std::invalid_argument("barabasi_albert: n too small");
+
+  GraphBuilder builder(n);
+  // Endpoint multiset: sampling a uniform element is degree-proportional.
+  std::vector<NodeId> endpoints;
+  for (NodeId u = 0; u < seed_nodes; ++u) {
+    for (NodeId v = u + 1; v < seed_nodes; ++v) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (NodeId v = seed_nodes; v < n; ++v) {
+    std::vector<NodeId> chosen;
+    while (chosen.size() < attach_edges) {
+      const NodeId target = endpoints[rng.below(endpoints.size())];
+      bool duplicate = false;
+      for (NodeId c : chosen) duplicate = duplicate || (c == target);
+      if (!duplicate) chosen.push_back(target);
+    }
+    for (NodeId target : chosen) {
+      builder.add_edge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return builder.build();
+}
+
+Graph random_bipartite(NodeId left, NodeId right, double p,
+                       support::Xoshiro256StarStar& rng) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("random_bipartite: bad p");
+  GraphBuilder builder(left + right);
+  for (NodeId u = 0; u < left; ++u) {
+    for (NodeId v = 0; v < right; ++v) {
+      if (rng.bernoulli(p)) builder.add_edge(u, left + v);
+    }
+  }
+  return builder.build();
+}
+
+Graph caterpillar(NodeId spine, NodeId legs_per_node) {
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(spine) * (1 + static_cast<std::uint64_t>(legs_per_node));
+  if (total > 0xffffffffULL) throw std::invalid_argument("caterpillar: too many nodes");
+  GraphBuilder builder(static_cast<NodeId>(total));
+  for (NodeId s = 0; s + 1 < spine; ++s) builder.add_edge(s, s + 1);
+  NodeId next = spine;
+  for (NodeId s = 0; s < spine; ++s) {
+    for (NodeId l = 0; l < legs_per_node; ++l) builder.add_edge(s, next++);
+  }
+  return builder.build();
+}
+
+}  // namespace beepmis::graph

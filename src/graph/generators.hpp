@@ -1,0 +1,84 @@
+// Graph generators for every workload in the paper's evaluation plus the
+// example applications:
+//   * G(n, p)            — Figures 3 and 5 use G(n, 1/2)
+//   * clique family      — Theorem 1's lower-bound instance
+//   * grid / hex lattice — §5 grid beeps claim; fly-epithelium example
+//   * geometric          — sensor-network example (§6 motivation)
+//   * plus standard families (ring, path, star, trees, hypercube, BA, ...)
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace beepmis::graph {
+
+/// Erdős–Rényi G(n, p): each of the C(n,2) edges present independently with
+/// probability p.  Uses a geometric skip for sparse p, direct sampling
+/// otherwise; O(n + m) expected time for small p.
+[[nodiscard]] Graph gnp(NodeId n, double p, support::Xoshiro256StarStar& rng);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete(NodeId n);
+
+/// Empty graph on n nodes (no edges).
+[[nodiscard]] Graph empty_graph(NodeId n);
+
+/// Theorem 1's lower-bound family: `copies` disjoint copies of K_d for each
+/// d = 1..max_clique.  The paper uses copies = max_clique = n^{1/3}.
+[[nodiscard]] Graph clique_family(NodeId max_clique, NodeId copies);
+
+/// Convenience: the Theorem 1 graph parameterised by target size n
+/// (max_clique = copies = floor(n^{1/3})).
+[[nodiscard]] Graph clique_family_for_n(NodeId n);
+
+/// Rectangular grid graph rows x cols (4-neighbour).
+[[nodiscard]] Graph grid2d(NodeId rows, NodeId cols);
+
+/// Hexagonal (triangular-lattice) grid: like grid2d plus one diagonal per
+/// cell, giving each interior node 6 neighbours.  Models the fly's
+/// epithelial cell packing.
+[[nodiscard]] Graph hex_grid(NodeId rows, NodeId cols);
+
+/// Cycle C_n (requires n >= 3).
+[[nodiscard]] Graph ring(NodeId n);
+
+/// Path P_n.
+[[nodiscard]] Graph path(NodeId n);
+
+/// Star K_{1,n-1}: node 0 is the hub.
+[[nodiscard]] Graph star(NodeId n);
+
+/// Uniform random labelled tree (random Prüfer sequence), n >= 1.
+[[nodiscard]] Graph random_tree(NodeId n, support::Xoshiro256StarStar& rng);
+
+/// Hypercube Q_d on 2^d nodes (d <= 20).
+[[nodiscard]] Graph hypercube(unsigned dimension);
+
+/// Random geometric graph: n points uniform in the unit square; edge when
+/// distance <= radius.  Returned positions are useful for visualisation.
+struct GeometricGraph {
+  Graph graph;
+  std::vector<double> x;  ///< x[i], y[i] = position of node i
+  std::vector<double> y;
+};
+[[nodiscard]] GeometricGraph random_geometric(NodeId n, double radius,
+                                              support::Xoshiro256StarStar& rng);
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `attach_edges + 1` nodes, then each new node attaches to `attach_edges`
+/// distinct existing nodes chosen proportionally to degree.
+[[nodiscard]] Graph barabasi_albert(NodeId n, NodeId attach_edges,
+                                    support::Xoshiro256StarStar& rng);
+
+/// Random bipartite graph on `left` + `right` nodes, each cross edge
+/// present with probability p.
+[[nodiscard]] Graph random_bipartite(NodeId left, NodeId right, double p,
+                                     support::Xoshiro256StarStar& rng);
+
+/// Caterpillar: a path of `spine` nodes with `legs_per_node` pendant leaves
+/// on each spine node.  High-degree low-diameter tree used in tests.
+[[nodiscard]] Graph caterpillar(NodeId spine, NodeId legs_per_node);
+
+}  // namespace beepmis::graph

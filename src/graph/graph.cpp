@@ -1,0 +1,124 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace beepmis::graph {
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (NodeId v = 0; v < node_count(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+double Graph::mean_degree() const noexcept {
+  if (node_count() == 0) return 0.0;
+  return static_cast<double>(adjacency_.size()) / static_cast<double>(node_count());
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
+  if (u >= node_count() || v >= node_count()) return false;
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edge_count());
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) out.push_back({u, v});
+    }
+  }
+  return out;
+}
+
+std::string Graph::describe() const {
+  std::ostringstream ss;
+  ss << "Graph(n=" << node_count() << ", m=" << edge_count() << ")";
+  return ss.str();
+}
+
+GraphBuilder& GraphBuilder::add_edge(NodeId u, NodeId v) {
+  if (u == v) throw std::invalid_argument("GraphBuilder: self-loops are not allowed");
+  if (u >= node_count_ || v >= node_count_) {
+    throw std::invalid_argument("GraphBuilder: endpoint out of range");
+  }
+  edges_.push_back(canonical({u, v}));
+  return *this;
+}
+
+Graph GraphBuilder::build() const {
+  std::vector<Edge> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(node_count_) + 1, 0);
+  for (const Edge& e : sorted) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adjacency_.resize(sorted.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : sorted) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+  // Adjacency lists are already sorted because edges were processed in
+  // canonical sorted order for the lower endpoint, but the higher endpoint's
+  // list may interleave; sort each list to guarantee the invariant.
+  for (NodeId v = 0; v < node_count_; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+Graph disjoint_union(const Graph& a, const Graph& b) {
+  const NodeId na = a.node_count();
+  GraphBuilder builder(na + b.node_count());
+  for (const Edge& e : a.edges()) builder.add_edge(e.u, e.v);
+  for (const Edge& e : b.edges()) builder.add_edge(e.u + na, e.v + na);
+  return builder.build();
+}
+
+InducedSubgraph induced_subgraph(const Graph& g, std::span<const NodeId> keep) {
+  std::vector<NodeId> ids(keep.begin(), keep.end());
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (NodeId v : ids) {
+    if (v >= g.node_count()) {
+      throw std::invalid_argument("induced_subgraph: node id out of range");
+    }
+  }
+
+  std::vector<NodeId> remap(g.node_count(), static_cast<NodeId>(-1));
+  for (std::size_t i = 0; i < ids.size(); ++i) remap[ids[i]] = static_cast<NodeId>(i);
+
+  GraphBuilder builder(static_cast<NodeId>(ids.size()));
+  for (NodeId v : ids) {
+    for (NodeId w : g.neighbors(v)) {
+      if (v < w && remap[w] != static_cast<NodeId>(-1)) {
+        builder.add_edge(remap[v], remap[w]);
+      }
+    }
+  }
+  return {builder.build(), std::move(ids)};
+}
+
+Graph complement(const Graph& g) {
+  const NodeId n = g.node_count();
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (!g.has_edge(u, v)) builder.add_edge(u, v);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace beepmis::graph

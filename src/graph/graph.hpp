@@ -1,0 +1,113 @@
+// Immutable simple undirected graph in compressed sparse row (CSR) form.
+//
+// All simulators and algorithms in this library operate on this one graph
+// type.  Construction goes through GraphBuilder, which deduplicates edges,
+// rejects self-loops and sorts adjacency lists, so a constructed Graph
+// always satisfies the simple-graph invariants.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace beepmis::graph {
+
+using NodeId = std::uint32_t;
+
+/// Undirected edge; canonical form has u < v.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+  friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Returns the canonical (min, max) orientation of an edge.
+[[nodiscard]] constexpr Edge canonical(Edge e) noexcept {
+  return e.u <= e.v ? e : Edge{e.v, e.u};
+}
+
+class GraphBuilder;
+
+/// Immutable simple undirected graph.  Neighbour lists are sorted, so
+/// adjacency tests are O(log deg) and neighbour iteration is cache-friendly.
+class Graph {
+ public:
+  Graph() = default;
+
+  [[nodiscard]] NodeId node_count() const noexcept {
+    return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return adjacency_.size() / 2; }
+
+  /// Sorted neighbours of `v`.  Precondition: v < node_count().
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  [[nodiscard]] std::size_t max_degree() const noexcept;
+  [[nodiscard]] double mean_degree() const noexcept;
+
+  /// O(log deg) adjacency test.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  /// All edges in canonical (u < v) order, sorted.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Human-readable one-line description ("Graph(n=20, m=95)").
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::size_t> offsets_;  ///< size n+1; offsets_[v]..offsets_[v+1] in adjacency_
+  std::vector<NodeId> adjacency_;     ///< concatenated sorted neighbour lists
+};
+
+/// Mutable edge accumulator that produces an immutable Graph.
+///
+/// Self-loops are rejected (throw); duplicate edges are merged silently so
+/// generators can add edges without bookkeeping.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId node_count) : node_count_(node_count) {}
+
+  /// Adds undirected edge {u, v}.  Throws std::invalid_argument on a
+  /// self-loop or out-of-range endpoint.
+  GraphBuilder& add_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] NodeId node_count() const noexcept { return node_count_; }
+  [[nodiscard]] std::size_t pending_edges() const noexcept { return edges_.size(); }
+
+  /// Finalises into a Graph.  The builder may be reused afterwards (its
+  /// pending edges are preserved).
+  [[nodiscard]] Graph build() const;
+
+ private:
+  NodeId node_count_;
+  std::vector<Edge> edges_;
+};
+
+/// Disjoint union: relabels `b`'s nodes to follow `a`'s.
+[[nodiscard]] Graph disjoint_union(const Graph& a, const Graph& b);
+
+/// Induced subgraph on `keep` (ids into `g`); returns the subgraph and the
+/// mapping new-id -> old-id.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> original_ids;
+};
+[[nodiscard]] InducedSubgraph induced_subgraph(const Graph& g, std::span<const NodeId> keep);
+
+/// Complement graph (useful for tests: MIS(G) == max clique side-checks on
+/// tiny instances).  Quadratic; intended for small graphs only.
+[[nodiscard]] Graph complement(const Graph& g);
+
+}  // namespace beepmis::graph

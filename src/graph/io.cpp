@@ -1,0 +1,94 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace beepmis::graph {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "n " << g.node_count() << '\n';
+  for (const Edge& e : g.edges()) out << e.u << ' ' << e.v << '\n';
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  bool have_header = false;
+  NodeId n = 0;
+  std::vector<Edge> edges;
+
+  while (std::getline(in, line)) {
+    // Strip comments and whitespace-only lines.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;
+
+    if (!have_header) {
+      if (first != "n") throw std::runtime_error("read_edge_list: expected 'n <count>' header");
+      long count = 0;
+      if (!(ls >> count) || count < 0) {
+        throw std::runtime_error("read_edge_list: bad node count");
+      }
+      n = static_cast<NodeId>(count);
+      have_header = true;
+      continue;
+    }
+
+    long u = 0, v = 0;
+    std::istringstream es(line);
+    if (!(es >> u >> v)) throw std::runtime_error("read_edge_list: bad edge line: " + line);
+    if (u < 0 || v < 0) throw std::runtime_error("read_edge_list: negative endpoint");
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
+  }
+  if (!have_header) throw std::runtime_error("read_edge_list: missing header");
+
+  GraphBuilder builder(n);
+  for (const Edge& e : edges) builder.add_edge(e.u, e.v);
+  return builder.build();
+}
+
+std::string to_edge_list_string(const Graph& g) {
+  std::ostringstream ss;
+  write_edge_list(ss, g);
+  return ss.str();
+}
+
+Graph from_edge_list_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_edge_list(ss);
+}
+
+void write_dot(std::ostream& out, const Graph& g, std::span<const NodeId> highlight) {
+  std::vector<bool> is_highlighted(g.node_count(), false);
+  for (NodeId v : highlight) {
+    if (v < g.node_count()) is_highlighted[v] = true;
+  }
+  out << "graph G {\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out << "  " << v;
+    if (is_highlighted[v]) out << " [style=filled, fillcolor=lightblue]";
+    out << ";\n";
+  }
+  for (const Edge& e : g.edges()) out << "  " << e.u << " -- " << e.v << ";\n";
+  out << "}\n";
+}
+
+std::string adjacency_matrix_string(const Graph& g) {
+  std::ostringstream ss;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      ss << (g.has_edge(u, v) ? '1' : '0');
+      if (v + 1 < g.node_count()) ss << ' ';
+    }
+    ss << '\n';
+  }
+  return ss.str();
+}
+
+}  // namespace beepmis::graph

@@ -1,0 +1,34 @@
+// Graph serialisation: whitespace edge lists (with `#` comments), Graphviz
+// DOT export (optionally highlighting an MIS), and dense adjacency-matrix
+// text for small-graph debugging.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace beepmis::graph {
+
+/// Writes "n <count>" followed by one "u v" line per edge.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Reads the format produced by write_edge_list.  Lines starting with '#'
+/// and blank lines are ignored.  Throws std::runtime_error on malformed
+/// input (missing header, bad endpoints, self-loops).
+[[nodiscard]] Graph read_edge_list(std::istream& in);
+
+/// Round-trip helpers on strings.
+[[nodiscard]] std::string to_edge_list_string(const Graph& g);
+[[nodiscard]] Graph from_edge_list_string(const std::string& text);
+
+/// Graphviz DOT export; nodes in `highlight` are drawn filled (used to
+/// visualise a selected MIS).
+void write_dot(std::ostream& out, const Graph& g,
+               std::span<const NodeId> highlight = {});
+
+/// Dense 0/1 adjacency matrix, one row per line.  Only sensible for small n.
+[[nodiscard]] std::string adjacency_matrix_string(const Graph& g);
+
+}  // namespace beepmis::graph

@@ -1,0 +1,57 @@
+#include "graph/line_graph.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace beepmis::graph {
+
+LineGraph line_graph(const Graph& g) {
+  LineGraph out;
+  out.edges = g.edges();
+
+  // Index of each canonical edge for endpoint-bucket joins.
+  const auto m = static_cast<NodeId>(out.edges.size());
+  GraphBuilder builder(m);
+
+  // Bucket edge ids by endpoint; edges in a common bucket are adjacent.
+  std::vector<std::vector<NodeId>> incident(g.node_count());
+  for (NodeId i = 0; i < m; ++i) {
+    incident[out.edges[i].u].push_back(i);
+    incident[out.edges[i].v].push_back(i);
+  }
+  for (const auto& bucket : incident) {
+    for (std::size_t a = 0; a < bucket.size(); ++a) {
+      for (std::size_t b = a + 1; b < bucket.size(); ++b) {
+        builder.add_edge(bucket[a], bucket[b]);
+      }
+    }
+  }
+  out.graph = builder.build();
+  return out;
+}
+
+bool is_matching(const Graph& g, std::span<const Edge> matching) {
+  std::vector<bool> used(g.node_count(), false);
+  for (const Edge& e : matching) {
+    if (!g.has_edge(e.u, e.v)) return false;
+    if (used[e.u] || used[e.v]) return false;
+    used[e.u] = true;
+    used[e.v] = true;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const Graph& g, std::span<const Edge> matching) {
+  if (!is_matching(g, matching)) return false;
+  std::vector<bool> used(g.node_count(), false);
+  for (const Edge& e : matching) {
+    used[e.u] = true;
+    used[e.v] = true;
+  }
+  for (const Edge& e : g.edges()) {
+    if (!used[e.u] && !used[e.v]) return false;  // e could still be added
+  }
+  return true;
+}
+
+}  // namespace beepmis::graph

@@ -1,0 +1,30 @@
+// Line graph construction: L(G) has one node per edge of G, with two nodes
+// adjacent iff the edges share an endpoint.  A maximal independent set of
+// L(G) is exactly a maximal matching of G — the classic reduction used by
+// apps::maximal_matching.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace beepmis::graph {
+
+struct LineGraph {
+  Graph graph;              ///< L(G)
+  std::vector<Edge> edges;  ///< edges[i] is the G-edge represented by node i
+};
+
+/// Builds L(G).  Node i of the result corresponds to `edges[i]` (the
+/// canonical, sorted edge list of `g`).  Cost O(sum_v deg(v)^2).
+[[nodiscard]] LineGraph line_graph(const Graph& g);
+
+/// True iff `matching` is a matching in `g` (edges exist and are pairwise
+/// disjoint).
+[[nodiscard]] bool is_matching(const Graph& g, std::span<const Edge> matching);
+
+/// True iff `matching` is a *maximal* matching: a matching such that every
+/// edge of `g` shares an endpoint with some matched edge.
+[[nodiscard]] bool is_maximal_matching(const Graph& g, std::span<const Edge> matching);
+
+}  // namespace beepmis::graph

@@ -1,0 +1,179 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "support/stats.hpp"
+
+namespace beepmis::graph {
+
+bool is_independent_set(const Graph& g, std::span<const NodeId> set) {
+  std::vector<bool> member(g.node_count(), false);
+  for (NodeId v : set) {
+    if (v >= g.node_count()) return false;
+    member[v] = true;
+  }
+  for (NodeId v : set) {
+    for (NodeId w : g.neighbors(v)) {
+      if (member[w]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& g, std::span<const NodeId> set) {
+  if (!is_independent_set(g, set)) return false;
+  std::vector<bool> covered(g.node_count(), false);
+  for (NodeId v : set) {
+    covered[v] = true;
+    for (NodeId w : g.neighbors(v)) covered[w] = true;
+  }
+  return std::all_of(covered.begin(), covered.end(), [](bool c) { return c; });
+}
+
+std::vector<NodeId> greedy_mis(const Graph& g) {
+  std::vector<NodeId> order(g.node_count());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  return greedy_mis(g, order);
+}
+
+std::vector<NodeId> greedy_mis(const Graph& g, std::span<const NodeId> order) {
+  std::vector<bool> blocked(g.node_count(), false);
+  std::vector<NodeId> mis;
+  for (NodeId v : order) {
+    if (v >= g.node_count()) throw std::invalid_argument("greedy_mis: bad order");
+    if (blocked[v]) continue;
+    mis.push_back(v);
+    blocked[v] = true;
+    for (NodeId w : g.neighbors(v)) blocked[w] = true;
+  }
+  std::sort(mis.begin(), mis.end());
+  return mis;
+}
+
+std::vector<NodeId> random_greedy_mis(const Graph& g, support::Xoshiro256StarStar& rng) {
+  std::vector<NodeId> order(g.node_count());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  // Fisher-Yates shuffle driven by our deterministic generator.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    std::swap(order[i - 1], order[j]);
+  }
+  return greedy_mis(g, order);
+}
+
+Components connected_components(const Graph& g) {
+  Components out;
+  out.component_of.assign(g.node_count(), static_cast<NodeId>(-1));
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (out.component_of[start] != static_cast<NodeId>(-1)) continue;
+    const NodeId comp = out.count++;
+    stack.push_back(start);
+    out.component_of[start] = comp;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (NodeId w : g.neighbors(v)) {
+        if (out.component_of[w] == static_cast<NodeId>(-1)) {
+          out.component_of[w] = comp;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats out;
+  if (g.node_count() == 0) return out;
+  support::RunningStats rs;
+  out.min = g.degree(0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::size_t d = g.degree(v);
+    out.min = std::min(out.min, d);
+    out.max = std::max(out.max, d);
+    rs.push(static_cast<double>(d));
+  }
+  out.mean = rs.mean();
+  out.stddev = rs.stddev();
+  return out;
+}
+
+Coloring greedy_coloring(const Graph& g) {
+  Coloring out;
+  out.color_of.assign(g.node_count(), static_cast<NodeId>(-1));
+  std::vector<bool> in_use;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    in_use.assign(g.degree(v) + 1, false);
+    for (NodeId w : g.neighbors(v)) {
+      const NodeId c = out.color_of[w];
+      if (c != static_cast<NodeId>(-1) && c < in_use.size()) in_use[c] = true;
+    }
+    NodeId color = 0;
+    while (in_use[color]) ++color;
+    out.color_of[v] = color;
+    out.colors_used = std::max(out.colors_used, color + 1);
+  }
+  return out;
+}
+
+bool is_proper_coloring(const Graph& g, const Coloring& coloring) {
+  if (coloring.color_of.size() != g.node_count()) return false;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (coloring.color_of[v] >= coloring.colors_used) return false;
+    for (NodeId w : g.neighbors(v)) {
+      if (coloring.color_of[v] == coloring.color_of[w]) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Branch and bound over (remaining candidates as vector): pick a pivot
+/// node; either exclude it (and keep its neighbours) or include it (and
+/// drop its closed neighbourhood).
+std::size_t max_is_recurse(const Graph& g, std::vector<NodeId>& candidates,
+                           std::size_t current, std::size_t& best) {
+  if (candidates.empty()) {
+    best = std::max(best, current);
+    return best;
+  }
+  if (current + candidates.size() <= best) return best;  // bound
+
+  const NodeId pivot = candidates.back();
+  candidates.pop_back();
+
+  // Branch 1: include pivot.
+  std::vector<NodeId> reduced;
+  reduced.reserve(candidates.size());
+  for (NodeId c : candidates) {
+    if (c != pivot && !g.has_edge(pivot, c)) reduced.push_back(c);
+  }
+  max_is_recurse(g, reduced, current + 1, best);
+
+  // Branch 2: exclude pivot.
+  max_is_recurse(g, candidates, current, best);
+
+  candidates.push_back(pivot);
+  return best;
+}
+
+}  // namespace
+
+std::size_t maximum_independent_set_size(const Graph& g) {
+  if (g.node_count() > 48) {
+    throw std::invalid_argument(
+        "maximum_independent_set_size: exact solver limited to 48 nodes");
+  }
+  std::vector<NodeId> candidates(g.node_count());
+  std::iota(candidates.begin(), candidates.end(), NodeId{0});
+  std::size_t best = 0;
+  max_is_recurse(g, candidates, 0, best);
+  return best;
+}
+
+}  // namespace beepmis::graph

@@ -1,0 +1,66 @@
+// Structural queries and centralised reference algorithms: the MIS
+// correctness oracle used by every test, the trivial sequential MIS the
+// paper's introduction describes, and assorted graph statistics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace beepmis::graph {
+
+/// True iff no two nodes of `set` are adjacent in `g`.
+[[nodiscard]] bool is_independent_set(const Graph& g, std::span<const NodeId> set);
+
+/// True iff `set` is independent and no node outside it could be added
+/// (i.e. every non-member has a neighbour in the set).
+[[nodiscard]] bool is_maximal_independent_set(const Graph& g, std::span<const NodeId> set);
+
+/// The centralised sequential MIS from the paper's introduction: scan nodes
+/// in the given order (ascending id by default), adding each node that does
+/// not violate independence.  Returns the MIS in ascending id order.
+[[nodiscard]] std::vector<NodeId> greedy_mis(const Graph& g);
+[[nodiscard]] std::vector<NodeId> greedy_mis(const Graph& g, std::span<const NodeId> order);
+
+/// Greedy MIS in a uniformly random scan order.
+[[nodiscard]] std::vector<NodeId> random_greedy_mis(const Graph& g,
+                                                    support::Xoshiro256StarStar& rng);
+
+/// Connected components; returns component index per node (0-based, in
+/// order of first discovery) and the number of components.
+struct Components {
+  std::vector<NodeId> component_of;
+  NodeId count = 0;
+};
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// Degree distribution statistics.
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+/// Greedy sequential colouring (first-fit in id order); returns colour per
+/// node and the number of colours used.  Reference for the MIS-based
+/// distributed colouring example.
+struct Coloring {
+  std::vector<NodeId> color_of;
+  NodeId colors_used = 0;
+};
+[[nodiscard]] Coloring greedy_coloring(const Graph& g);
+
+/// True iff adjacent nodes always have different colours and every node has
+/// a colour < colors_used.
+[[nodiscard]] bool is_proper_coloring(const Graph& g, const Coloring& coloring);
+
+/// Exact maximum independent set size by branch and bound; exponential —
+/// only for graphs with <= ~40 nodes (tests comparing MIS quality).
+[[nodiscard]] std::size_t maximum_independent_set_size(const Graph& g);
+
+}  // namespace beepmis::graph

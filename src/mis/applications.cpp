@@ -1,0 +1,62 @@
+#include "mis/applications.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "mis/mis.hpp"
+#include "mis/verifier.hpp"
+
+namespace beepmis::mis {
+
+ColoringResult distributed_coloring(const graph::Graph& g, std::uint64_t seed,
+                                    const LocalFeedbackConfig& config) {
+  ColoringResult out;
+  out.coloring.color_of.assign(g.node_count(), static_cast<graph::NodeId>(-1));
+
+  std::vector<graph::NodeId> remaining(g.node_count());
+  std::iota(remaining.begin(), remaining.end(), graph::NodeId{0});
+  std::vector<bool> colored(g.node_count(), false);
+
+  graph::NodeId next_color = 0;
+  while (!remaining.empty()) {
+    const graph::InducedSubgraph residual = graph::induced_subgraph(g, remaining);
+    const sim::RunResult result =
+        run_local_feedback(residual.graph, support::mix_seed(seed, next_color), config);
+    if (!is_valid_mis_run(residual.graph, result)) {
+      throw std::runtime_error("distributed_coloring: phase failed verification");
+    }
+    out.total_rounds += result.rounds;
+    out.total_beeps += result.total_beeps;
+    ++out.phases;
+
+    for (const graph::NodeId local : result.mis()) {
+      const graph::NodeId original = residual.original_ids[local];
+      out.coloring.color_of[original] = next_color;
+      colored[original] = true;
+    }
+    std::erase_if(remaining, [&](graph::NodeId v) { return colored[v]; });
+    ++next_color;
+  }
+  out.coloring.colors_used = next_color;
+  return out;
+}
+
+MatchingResult maximal_matching(const graph::Graph& g, std::uint64_t seed,
+                                const LocalFeedbackConfig& config) {
+  MatchingResult out;
+  const graph::LineGraph lg = graph::line_graph(g);
+  if (lg.graph.node_count() == 0) return out;
+
+  const sim::RunResult result = run_local_feedback(lg.graph, seed, config);
+  if (!is_valid_mis_run(lg.graph, result)) {
+    throw std::runtime_error("maximal_matching: MIS on the line graph failed");
+  }
+  out.rounds = result.rounds;
+  out.total_beeps = result.total_beeps;
+  for (const graph::NodeId edge_node : result.mis()) {
+    out.matching.push_back(lg.edges[edge_node]);
+  }
+  return out;
+}
+
+}  // namespace beepmis::mis

@@ -1,0 +1,46 @@
+// MIS as a building block (paper §6: "a fundamental building block in
+// algorithms for many other problems"): distributed graph colouring by
+// iterated MIS and maximal matching via MIS on the line graph.  Both run
+// entirely on the paper's local-feedback beeping algorithm, so the whole
+// computation uses one-bit messages.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/line_graph.hpp"
+#include "graph/properties.hpp"
+#include "mis/local_feedback.hpp"
+
+namespace beepmis::mis {
+
+struct ColoringResult {
+  graph::Coloring coloring;
+  std::size_t phases = 0;            ///< number of MIS invocations (= colours)
+  std::size_t total_rounds = 0;      ///< beeping time steps across phases
+  std::uint64_t total_beeps = 0;
+};
+
+/// Colours `g` by repeatedly selecting a local-feedback MIS among the
+/// still-uncoloured nodes and assigning it the next colour.  Uses at most
+/// O(Δ log n) rounds in expectation; the colour count is bounded by the
+/// number of phases (often well below Δ + 1).  Throws std::runtime_error
+/// if a phase fails verification (cannot happen on reliable channels).
+[[nodiscard]] ColoringResult distributed_coloring(
+    const graph::Graph& g, std::uint64_t seed,
+    const LocalFeedbackConfig& config = LocalFeedbackConfig::paper());
+
+struct MatchingResult {
+  std::vector<graph::Edge> matching;
+  std::size_t rounds = 0;        ///< beeping time steps on the line graph
+  std::uint64_t total_beeps = 0;
+};
+
+/// Computes a maximal matching of `g` as a local-feedback MIS of the line
+/// graph L(g) (per-edge agents — e.g. the two endpoints of each link
+/// cooperating).  Throws std::runtime_error on verification failure.
+[[nodiscard]] MatchingResult maximal_matching(
+    const graph::Graph& g, std::uint64_t seed,
+    const LocalFeedbackConfig& config = LocalFeedbackConfig::paper());
+
+}  // namespace beepmis::mis

@@ -1,0 +1,53 @@
+#include "mis/dynamics.hpp"
+
+#include <algorithm>
+
+namespace beepmis::mis {
+
+sim::BeepSimulator::RoundObserver DynamicsRecorder::observer() {
+  return [this](const sim::BeepContext& ctx) {
+    RoundDynamics row;
+    row.round = ctx.round();
+
+    const graph::Graph& g = ctx.graph();
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      ++row.active;
+      const double weight = protocol_->probability_of(v);
+      row.total_weight += weight;
+      row.max_weight = std::max(row.max_weight, weight);
+
+      double neighborhood = 0;
+      for (const graph::NodeId w : g.neighbors(v)) {
+        if (ctx.status(w) == sim::NodeStatus::kActive) {
+          neighborhood += protocol_->probability_of(w);
+        }
+      }
+      row.max_neighborhood_weight = std::max(row.max_neighborhood_weight, neighborhood);
+      if (neighborhood <= lambda_) {
+        ++row.light;
+      } else {
+        ++row.heavy;
+      }
+    }
+
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      if (ctx.status(v) == sim::NodeStatus::kInMis) ++row.in_mis;
+    }
+    rows_.push_back(row);
+  };
+}
+
+DynamicsRun run_local_feedback_with_dynamics(const graph::Graph& g, std::uint64_t seed,
+                                             const LocalFeedbackConfig& config,
+                                             double lambda) {
+  DynamicsRun out;
+  LocalFeedbackMis protocol(config);
+  DynamicsRecorder recorder(protocol, lambda);
+  sim::BeepSimulator simulator(g);
+  simulator.set_round_observer(recorder.observer());
+  out.result = simulator.run(protocol, support::Xoshiro256StarStar(seed));
+  out.dynamics = recorder.rows();
+  return out;
+}
+
+}  // namespace beepmis::mis

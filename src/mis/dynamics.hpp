@@ -1,0 +1,61 @@
+// Instrumentation replaying Theorem 2's potential argument on real runs.
+//
+// The proof tracks, for each vertex v, the weight µ_t(v) = P[v beeps] and
+// the neighbourhood weight µ_t(Γ(v)), splitting neighbours into λ-light
+// (µ_t(Γ(x)) <= λ) and λ-heavy.  This recorder samples those aggregate
+// quantities after every round of a LocalFeedbackMis run, so benches and
+// tests can check the proof's qualitative claims: total weight collapses
+// geometrically, heavy vertices lose weight, and most rounds are "quiet"
+// for most nodes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mis/local_feedback.hpp"
+#include "sim/beep.hpp"
+
+namespace beepmis::mis {
+
+struct RoundDynamics {
+  std::size_t round = 0;
+  std::size_t active = 0;             ///< active nodes at end of round
+  double total_weight = 0;            ///< µ_t(V) over active nodes
+  double max_weight = 0;              ///< max µ_t(v)
+  double max_neighborhood_weight = 0; ///< max over active v of µ_t(Γ(v))
+  std::size_t light = 0;              ///< active v with µ_t(Γ(v)) <= λ
+  std::size_t heavy = 0;              ///< active v with µ_t(Γ(v)) > λ
+  std::size_t in_mis = 0;             ///< cumulative MIS size
+};
+
+/// Samples RoundDynamics after every round.  Install with
+/// `simulator.set_round_observer(recorder.observer())`; the recorder must
+/// outlive the run and observe the same protocol instance the simulator
+/// executes.
+class DynamicsRecorder {
+ public:
+  /// λ defaults to the proof's choice λ = 7.
+  explicit DynamicsRecorder(const LocalFeedbackMis& protocol, double lambda = 7.0)
+      : protocol_(&protocol), lambda_(lambda) {}
+
+  [[nodiscard]] sim::BeepSimulator::RoundObserver observer();
+
+  [[nodiscard]] const std::vector<RoundDynamics>& rows() const noexcept { return rows_; }
+  void clear() noexcept { rows_.clear(); }
+
+ private:
+  const LocalFeedbackMis* protocol_;
+  double lambda_;
+  std::vector<RoundDynamics> rows_;
+};
+
+/// Convenience: run local feedback on `g` with dynamics recording.
+struct DynamicsRun {
+  sim::RunResult result;
+  std::vector<RoundDynamics> dynamics;
+};
+[[nodiscard]] DynamicsRun run_local_feedback_with_dynamics(
+    const graph::Graph& g, std::uint64_t seed,
+    const LocalFeedbackConfig& config = LocalFeedbackConfig::paper(), double lambda = 7.0);
+
+}  // namespace beepmis::mis

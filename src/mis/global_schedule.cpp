@@ -1,0 +1,27 @@
+#include "mis/global_schedule.hpp"
+
+#include <stdexcept>
+
+namespace beepmis::mis {
+
+GlobalScheduleMis::GlobalScheduleMis(std::unique_ptr<Schedule> schedule)
+    : schedule_(std::move(schedule)) {
+  if (!schedule_) throw std::invalid_argument("GlobalScheduleMis: null schedule");
+}
+
+void GlobalScheduleMis::on_reset(const graph::Graph& /*g*/,
+                                 support::Xoshiro256StarStar& /*rng*/) {}
+
+double GlobalScheduleMis::beep_probability(graph::NodeId /*v*/, std::size_t round) const {
+  return schedule_->probability(round);
+}
+
+GlobalScheduleMis make_global_sweep_mis() {
+  return GlobalScheduleMis(std::make_unique<SweepSchedule>());
+}
+
+GlobalScheduleMis make_global_increasing_mis(std::size_t max_degree, std::size_t n) {
+  return GlobalScheduleMis(std::make_unique<IncreasingSchedule>(max_degree, n));
+}
+
+}  // namespace beepmis::mis

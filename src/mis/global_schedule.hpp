@@ -1,0 +1,36 @@
+// Beeping MIS with globally scheduled probabilities (Afek et al.'s
+// approach): all nodes beep with the same preset probability p_t at step t.
+// Theorem 1 shows this class of algorithms is Ω(log² n) on the clique
+// family no matter which schedule is chosen.
+#pragma once
+
+#include <memory>
+
+#include "mis/schedule.hpp"
+#include "mis/skeleton.hpp"
+
+namespace beepmis::mis {
+
+class GlobalScheduleMis final : public BeepingMisSkeleton {
+ public:
+  /// Takes ownership of the schedule.  The protocol's reported name is the
+  /// schedule's name, so results are labelled by schedule.
+  explicit GlobalScheduleMis(std::unique_ptr<Schedule> schedule);
+
+  [[nodiscard]] std::string_view name() const override { return schedule_->name(); }
+  [[nodiscard]] const Schedule& schedule() const noexcept { return *schedule_; }
+
+ protected:
+  void on_reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) override;
+  [[nodiscard]] double beep_probability(graph::NodeId v, std::size_t round) const override;
+
+ private:
+  std::unique_ptr<Schedule> schedule_;
+};
+
+/// Convenience factories.
+[[nodiscard]] GlobalScheduleMis make_global_sweep_mis();
+[[nodiscard]] GlobalScheduleMis make_global_increasing_mis(std::size_t max_degree,
+                                                           std::size_t n);
+
+}  // namespace beepmis::mis

@@ -1,0 +1,51 @@
+#include "mis/greedy_id.hpp"
+
+namespace beepmis::mis {
+
+void GreedyIdMis::reset(const graph::Graph& g, support::Xoshiro256StarStar& /*rng*/) {
+  candidate_.assign(g.node_count(), 0);
+}
+
+void GreedyIdMis::emit(sim::LocalContext& ctx) {
+  if (ctx.exchange() == 0) {
+    // Presence bit: "I am still active".
+    for (const graph::NodeId v : ctx.active_nodes()) ctx.publish(v, 1, /*bits=*/1);
+  } else {
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      if (candidate_[v] && ctx.is_active(v)) ctx.publish(v, 1, /*bits=*/1);
+    }
+  }
+}
+
+void GreedyIdMis::react(sim::LocalContext& ctx) {
+  if (ctx.exchange() == 0) {
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      bool is_local_min = true;
+      for (const graph::NodeId w : ctx.graph().neighbors(v)) {
+        // Ids are static knowledge in the LOCAL model; the presence bit
+        // tells v which neighbours are still competing.
+        if (w < v && ctx.value_of(w).has_value()) {
+          is_local_min = false;
+          break;
+        }
+      }
+      candidate_[v] = static_cast<std::uint8_t>(is_local_min);
+    }
+  } else {
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      if (!ctx.is_active(v)) continue;
+      if (candidate_[v]) {
+        ctx.join_mis(v);
+        continue;
+      }
+      for (const graph::NodeId w : ctx.graph().neighbors(v)) {
+        if (ctx.value_of(w).has_value()) {
+          ctx.deactivate(v);
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace beepmis::mis

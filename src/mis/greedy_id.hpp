@@ -1,0 +1,29 @@
+// Deterministic ID-greedy MIS: a node joins when its id is a local minimum
+// among still-active neighbours.  This is the distributed version of the
+// paper's "trivial centralised scan" and the classic example of why
+// randomisation matters: worst-case Θ(n) rounds (an increasing-id path
+// serialises completely), against O(log n) for Luby / local feedback.
+// Used as a pedagogical baseline in the comparison benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/local.hpp"
+
+namespace beepmis::mis {
+
+class GreedyIdMis final : public sim::LocalProtocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "greedy-id"; }
+  [[nodiscard]] unsigned exchanges_per_round() const override { return 2; }
+
+  void reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) override;
+  void emit(sim::LocalContext& ctx) override;
+  void react(sim::LocalContext& ctx) override;
+
+ private:
+  std::vector<std::uint8_t> candidate_;
+};
+
+}  // namespace beepmis::mis

@@ -1,0 +1,58 @@
+#include "mis/luby.hpp"
+
+namespace beepmis::mis {
+
+void LubyMis::reset(const graph::Graph& g, support::Xoshiro256StarStar& /*rng*/) {
+  candidate_.assign(g.node_count(), 0);
+}
+
+void LubyMis::emit(sim::LocalContext& ctx) {
+  if (ctx.exchange() == 0) {
+    // Broadcast a fresh random priority.
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      ctx.publish(v, ctx.rng()(), /*bits=*/64);
+    }
+  } else {
+    // Joiners announce with a single bit.
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      if (candidate_[v] && ctx.is_active(v)) ctx.publish(v, 1, /*bits=*/1);
+    }
+  }
+}
+
+void LubyMis::react(sim::LocalContext& ctx) {
+  if (ctx.exchange() == 0) {
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      const auto mine = ctx.value_of(v);
+      bool is_local_min = mine.has_value();
+      if (is_local_min) {
+        for (const graph::NodeId w : ctx.graph().neighbors(v)) {
+          const auto theirs = ctx.value_of(w);
+          if (!theirs) continue;
+          // Lexicographic (priority, id) comparison breaks ties.
+          if (*theirs < *mine || (*theirs == *mine && w < v)) {
+            is_local_min = false;
+            break;
+          }
+        }
+      }
+      candidate_[v] = static_cast<std::uint8_t>(is_local_min);
+    }
+  } else {
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      if (!ctx.is_active(v)) continue;
+      if (candidate_[v]) {
+        ctx.join_mis(v);
+        continue;
+      }
+      for (const graph::NodeId w : ctx.graph().neighbors(v)) {
+        if (ctx.value_of(w).has_value()) {
+          ctx.deactivate(v);
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace beepmis::mis

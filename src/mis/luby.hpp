@@ -1,0 +1,33 @@
+// Luby's randomized MIS algorithm (Luby '85 / Alon-Babai-Itai '86), the
+// classic O(log n) baseline the paper compares against.  Runs in the
+// LOCAL-model substrate: it genuinely needs to exchange numeric values with
+// neighbours, which the beeping model cannot do — that contrast is the
+// point of the paper.
+//
+// Random-priority variant: each round every active node draws a random
+// 64-bit priority and broadcasts it; a node whose priority is a strict
+// local minimum (ties broken by node id) joins the MIS and announces the
+// fact; neighbours of joiners become dominated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/local.hpp"
+
+namespace beepmis::mis {
+
+class LubyMis final : public sim::LocalProtocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "luby"; }
+  [[nodiscard]] unsigned exchanges_per_round() const override { return 2; }
+
+  void reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) override;
+  void emit(sim::LocalContext& ctx) override;
+  void react(sim::LocalContext& ctx) override;
+
+ private:
+  std::vector<std::uint8_t> candidate_;
+};
+
+}  // namespace beepmis::mis

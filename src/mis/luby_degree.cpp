@@ -1,0 +1,86 @@
+#include "mis/luby_degree.hpp"
+
+namespace beepmis::mis {
+
+void LubyDegreeMis::reset(const graph::Graph& g, support::Xoshiro256StarStar& /*rng*/) {
+  active_degree_.assign(g.node_count(), 0);
+  marked_.assign(g.node_count(), 0);
+  winner_.assign(g.node_count(), 0);
+}
+
+void LubyDegreeMis::emit(sim::LocalContext& ctx) {
+  switch (ctx.exchange()) {
+    case 0:
+      // Presence bit: lets every node count its active degree.
+      for (const graph::NodeId v : ctx.active_nodes()) ctx.publish(v, 1, /*bits=*/1);
+      break;
+    case 1:
+      // Mark with probability 1/(2 d(v)); isolated nodes mark with
+      // certainty (they join unconditionally).  Marked nodes broadcast
+      // their active degree for the conflict rule.
+      for (const graph::NodeId v : ctx.active_nodes()) {
+        const std::uint32_t d = active_degree_[v];
+        const double p = d == 0 ? 1.0 : 1.0 / (2.0 * static_cast<double>(d));
+        marked_[v] = static_cast<std::uint8_t>(ctx.rng().bernoulli(p));
+        if (marked_[v]) ctx.publish(v, d, /*bits=*/32);
+      }
+      break;
+    default:
+      // Join announcement.
+      for (const graph::NodeId v : ctx.active_nodes()) {
+        if (winner_[v] && ctx.is_active(v)) ctx.publish(v, 1, /*bits=*/1);
+      }
+      break;
+  }
+}
+
+void LubyDegreeMis::react(sim::LocalContext& ctx) {
+  switch (ctx.exchange()) {
+    case 0:
+      for (const graph::NodeId v : ctx.active_nodes()) {
+        std::uint32_t d = 0;
+        for (const graph::NodeId w : ctx.graph().neighbors(v)) {
+          if (ctx.value_of(w).has_value()) ++d;
+        }
+        active_degree_[v] = d;
+      }
+      break;
+    case 1:
+      // Conflict resolution: a marked node survives unless a marked
+      // neighbour has strictly larger degree, or equal degree and larger
+      // id (Luby's tie-break).
+      for (const graph::NodeId v : ctx.active_nodes()) {
+        bool survives = marked_[v] != 0;
+        if (survives) {
+          const std::uint64_t mine = active_degree_[v];
+          for (const graph::NodeId w : ctx.graph().neighbors(v)) {
+            const auto theirs = ctx.value_of(w);
+            if (!theirs) continue;  // w unmarked
+            if (*theirs > mine || (*theirs == mine && w > v)) {
+              survives = false;
+              break;
+            }
+          }
+        }
+        winner_[v] = static_cast<std::uint8_t>(survives);
+      }
+      break;
+    default:
+      for (const graph::NodeId v : ctx.active_nodes()) {
+        if (!ctx.is_active(v)) continue;
+        if (winner_[v]) {
+          ctx.join_mis(v);
+          continue;
+        }
+        for (const graph::NodeId w : ctx.graph().neighbors(v)) {
+          if (ctx.value_of(w).has_value()) {
+            ctx.deactivate(v);
+            break;
+          }
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace beepmis::mis

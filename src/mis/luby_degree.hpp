@@ -1,0 +1,36 @@
+// Luby's original degree-based MIS (Luby '85, variant B): each round an
+// active node *marks* itself with probability 1/(2·d(v)) (joining outright
+// when isolated); a marked node unmarks if a marked neighbour has larger
+// degree (ties broken by id); surviving marks join, neighbours deactivate.
+// Expected O(log n) rounds; needs active-degree knowledge and numeric
+// degree messages — the contrast with the beeping algorithm is even
+// sharper than for the random-priority variant, since here the messages
+// carry structural information.
+//
+// Three exchanges per round: presence bit (to learn active degree), mark +
+// degree broadcast, and the join announcement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/local.hpp"
+
+namespace beepmis::mis {
+
+class LubyDegreeMis final : public sim::LocalProtocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "luby-degree"; }
+  [[nodiscard]] unsigned exchanges_per_round() const override { return 3; }
+
+  void reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) override;
+  void emit(sim::LocalContext& ctx) override;
+  void react(sim::LocalContext& ctx) override;
+
+ private:
+  std::vector<std::uint32_t> active_degree_;
+  std::vector<std::uint8_t> marked_;
+  std::vector<std::uint8_t> winner_;
+};
+
+}  // namespace beepmis::mis

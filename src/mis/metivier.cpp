@@ -1,0 +1,90 @@
+#include "mis/metivier.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace beepmis::mis {
+
+void MetivierMis::reset(const graph::Graph& g, support::Xoshiro256StarStar& /*rng*/) {
+  if (configured_bits_ > 0) {
+    bits_ = configured_bits_;
+  } else {
+    const double n = std::max<double>(2.0, static_cast<double>(g.node_count()));
+    bits_ = static_cast<unsigned>(std::ceil(std::log2(n))) + 3;
+  }
+  competing_.assign(g.node_count(), 0);
+  last_bit_.assign(g.node_count(), 0);
+  tied_.assign(g.node_count(), {});
+}
+
+void MetivierMis::emit(sim::LocalContext& ctx) {
+  const unsigned e = ctx.exchange();
+  if (e == 0) {
+    // Phase start: every active node enters the competition against all of
+    // its active neighbours.
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      competing_[v] = 1;
+      tied_[v].clear();
+      for (const graph::NodeId w : ctx.graph().neighbors(v)) {
+        if (ctx.is_active(w)) tied_[v].push_back(w);
+      }
+    }
+  }
+  if (e < bits_) {
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      if (!competing_[v]) continue;
+      // A competitor with no remaining ties has already won every
+      // comparison; it stops revealing bits (they carry no information).
+      if (tied_[v].empty()) continue;
+      const auto bit = static_cast<std::uint8_t>(ctx.rng()() & 1u);
+      last_bit_[v] = bit;
+      ctx.publish(v, bit, /*bits=*/1);
+    }
+  } else {
+    // Announcement exchange: unbeaten nodes with no remaining ties join.
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      if (ctx.is_active(v) && competing_[v] && tied_[v].empty()) {
+        ctx.publish(v, 1, /*bits=*/1);
+      }
+    }
+  }
+}
+
+void MetivierMis::react(sim::LocalContext& ctx) {
+  const unsigned e = ctx.exchange();
+  if (e < bits_) {
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      if (!competing_[v] || tied_[v].empty()) continue;
+      const bool v_published = ctx.value_of(v).has_value();
+      bool beaten = false;
+      std::erase_if(tied_[v], [&](graph::NodeId w) {
+        const auto theirs = ctx.value_of(w);
+        if (!theirs) return true;  // w stopped sending: no longer a threat
+        if (!v_published) return false;  // defensive; v always publishes here
+        if (*theirs < last_bit_[v]) {
+          beaten = true;  // w revealed 0 while v revealed 1
+          return false;
+        }
+        if (*theirs > last_bit_[v]) return true;  // v beat w
+        return false;                             // still tied
+      });
+      if (beaten) competing_[v] = 0;  // stop sending: the bit saving
+    }
+  } else {
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      if (!ctx.is_active(v)) continue;
+      if (competing_[v] && tied_[v].empty()) {
+        ctx.join_mis(v);
+        continue;
+      }
+      for (const graph::NodeId w : ctx.graph().neighbors(v)) {
+        if (ctx.value_of(w).has_value()) {
+          ctx.deactivate(v);
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace beepmis::mis

@@ -1,0 +1,47 @@
+// Métivier, Robson, Saheb-Djahromi & Zemmari's optimal bit-complexity
+// randomized MIS (Distributed Computing 2011) — reference [18] of the
+// paper, the strongest classical baseline on message size.
+//
+// Lazy bitwise Luby: each phase, still-active nodes compete by revealing
+// uniformly random bits one exchange at a time (1-bit messages).  A node
+// that sees a strictly smaller bit from a competitor *stops sending* (the
+// source of the bit-complexity saving); a node whose competitor reveals a
+// larger bit drops that competitor.  After `bits_per_phase` reveals, a
+// node that was never beaten and has no remaining ties joins the MIS and
+// announces it with one final bit; hearers of the announcement become
+// dominated.  Ties (probability 2^-bits_per_phase per pair) simply defer
+// both nodes to the next phase, so independence is never violated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/local.hpp"
+
+namespace beepmis::mis {
+
+class MetivierMis final : public sim::LocalProtocol {
+ public:
+  /// bits_per_phase = 0 (default) auto-sizes to ceil(log2 n) + 3 at reset,
+  /// making per-phase ties unlikely on the whole graph.
+  explicit MetivierMis(unsigned bits_per_phase = 0) : configured_bits_(bits_per_phase) {}
+
+  [[nodiscard]] std::string_view name() const override { return "metivier"; }
+  /// bits_per_phase bit exchanges plus the announcement exchange.
+  [[nodiscard]] unsigned exchanges_per_round() const override { return bits_ + 1; }
+
+  void reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) override;
+  void emit(sim::LocalContext& ctx) override;
+  void react(sim::LocalContext& ctx) override;
+
+  [[nodiscard]] unsigned bits_per_phase() const noexcept { return bits_; }
+
+ private:
+  unsigned configured_bits_;
+  unsigned bits_ = 1;
+  std::vector<std::uint8_t> competing_;     ///< still sending bits this phase
+  std::vector<std::uint8_t> last_bit_;      ///< bit sent in the current exchange
+  std::vector<std::vector<graph::NodeId>> tied_;  ///< competitors with equal prefix
+};
+
+}  // namespace beepmis::mis

@@ -1,0 +1,64 @@
+#include "mis/mis.hpp"
+
+namespace beepmis::mis {
+
+sim::RunResult run_local_feedback(const graph::Graph& g, std::uint64_t seed,
+                                  const LocalFeedbackConfig& config,
+                                  const sim::SimConfig& sim_config) {
+  LocalFeedbackMis protocol(config);
+  sim::BeepSimulator simulator(g, sim_config);
+  return simulator.run(protocol, support::Xoshiro256StarStar(seed));
+}
+
+sim::RunResult run_global_sweep(const graph::Graph& g, std::uint64_t seed,
+                                const sim::SimConfig& sim_config) {
+  GlobalScheduleMis protocol = make_global_sweep_mis();
+  sim::BeepSimulator simulator(g, sim_config);
+  return simulator.run(protocol, support::Xoshiro256StarStar(seed));
+}
+
+sim::RunResult run_global_increasing(const graph::Graph& g, std::uint64_t seed,
+                                     const sim::SimConfig& sim_config) {
+  GlobalScheduleMis protocol = make_global_increasing_mis(g.max_degree(), g.node_count());
+  sim::BeepSimulator simulator(g, sim_config);
+  return simulator.run(protocol, support::Xoshiro256StarStar(seed));
+}
+
+sim::RunResult run_fixed_schedule(const graph::Graph& g, std::uint64_t seed,
+                                  std::vector<double> schedule,
+                                  const sim::SimConfig& sim_config) {
+  GlobalScheduleMis protocol(std::make_unique<FixedSchedule>(std::move(schedule)));
+  sim::BeepSimulator simulator(g, sim_config);
+  return simulator.run(protocol, support::Xoshiro256StarStar(seed));
+}
+
+sim::RunResult run_luby(const graph::Graph& g, std::uint64_t seed,
+                        const sim::LocalSimConfig& sim_config) {
+  LubyMis protocol;
+  sim::LocalSimulator simulator(g, sim_config);
+  return simulator.run(protocol, support::Xoshiro256StarStar(seed));
+}
+
+sim::RunResult run_luby_degree(const graph::Graph& g, std::uint64_t seed,
+                               const sim::LocalSimConfig& sim_config) {
+  LubyDegreeMis protocol;
+  sim::LocalSimulator simulator(g, sim_config);
+  return simulator.run(protocol, support::Xoshiro256StarStar(seed));
+}
+
+sim::RunResult run_metivier(const graph::Graph& g, std::uint64_t seed,
+                            unsigned bits_per_phase,
+                            const sim::LocalSimConfig& sim_config) {
+  MetivierMis protocol(bits_per_phase);
+  sim::LocalSimulator simulator(g, sim_config);
+  return simulator.run(protocol, support::Xoshiro256StarStar(seed));
+}
+
+sim::RunResult run_greedy_id(const graph::Graph& g, const sim::LocalSimConfig& sim_config) {
+  GreedyIdMis protocol;
+  sim::LocalSimulator simulator(g, sim_config);
+  // Deterministic protocol; the seed only feeds the (unused) run RNG.
+  return simulator.run(protocol, support::Xoshiro256StarStar(0));
+}
+
+}  // namespace beepmis::mis

@@ -1,0 +1,73 @@
+// Umbrella header and one-call convenience API for the beepmis library.
+//
+// Quickstart:
+//
+//   #include "mis/mis.hpp"
+//
+//   auto rng = beepmis::support::Xoshiro256StarStar(42);
+//   auto g = beepmis::graph::gnp(200, 0.5, rng);
+//   auto result = beepmis::mis::run_local_feedback(g, /*seed=*/1);
+//   assert(beepmis::mis::is_valid_mis_run(g, result));
+//   // result.rounds, result.mis(), result.mean_beeps_per_node() ...
+#pragma once
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+#include "mis/global_schedule.hpp"
+#include "mis/greedy_id.hpp"
+#include "mis/local_feedback.hpp"
+#include "mis/luby.hpp"
+#include "mis/luby_degree.hpp"
+#include "mis/metivier.hpp"
+#include "mis/schedule.hpp"
+#include "mis/skeleton.hpp"
+#include "mis/theory.hpp"
+#include "mis/verifier.hpp"
+#include "sim/beep.hpp"
+#include "sim/local.hpp"
+
+namespace beepmis::mis {
+
+/// Runs the paper's local-feedback algorithm (Definition 1) on `g` with the
+/// given seed; deterministic in (g, seed, config).
+[[nodiscard]] sim::RunResult run_local_feedback(
+    const graph::Graph& g, std::uint64_t seed,
+    const LocalFeedbackConfig& config = LocalFeedbackConfig::paper(),
+    const sim::SimConfig& sim_config = {});
+
+/// Runs the DISC'11 global sweeping-probability algorithm.
+[[nodiscard]] sim::RunResult run_global_sweep(const graph::Graph& g, std::uint64_t seed,
+                                              const sim::SimConfig& sim_config = {});
+
+/// Runs the Science'11-style increasing global schedule (needs max degree
+/// and n, which it reads from the graph).
+[[nodiscard]] sim::RunResult run_global_increasing(const graph::Graph& g, std::uint64_t seed,
+                                                   const sim::SimConfig& sim_config = {});
+
+/// Runs a beeping MIS with an arbitrary preset probability sequence.
+[[nodiscard]] sim::RunResult run_fixed_schedule(const graph::Graph& g, std::uint64_t seed,
+                                                std::vector<double> schedule,
+                                                const sim::SimConfig& sim_config = {});
+
+/// Runs Luby's algorithm in the LOCAL model.
+[[nodiscard]] sim::RunResult run_luby(const graph::Graph& g, std::uint64_t seed,
+                                      const sim::LocalSimConfig& sim_config = {});
+
+/// Runs Luby's original degree-based variant (LOCAL model; marks with
+/// probability 1/(2 d(v)), degree messages).
+[[nodiscard]] sim::RunResult run_luby_degree(const graph::Graph& g, std::uint64_t seed,
+                                             const sim::LocalSimConfig& sim_config = {});
+
+/// Runs the Métivier et al. optimal bit-complexity MIS (LOCAL model,
+/// 1-bit messages); bits_per_phase = 0 auto-sizes to ceil(log2 n) + 3.
+[[nodiscard]] sim::RunResult run_metivier(const graph::Graph& g, std::uint64_t seed,
+                                          unsigned bits_per_phase = 0,
+                                          const sim::LocalSimConfig& sim_config = {});
+
+/// Runs the deterministic ID-greedy MIS (LOCAL model baseline; worst-case
+/// Θ(n) rounds).
+[[nodiscard]] sim::RunResult run_greedy_id(const graph::Graph& g,
+                                           const sim::LocalSimConfig& sim_config = {});
+
+}  // namespace beepmis::mis

@@ -1,0 +1,74 @@
+#include "mis/pure_beep.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace beepmis::mis {
+
+PureBeepLocalFeedbackMis::PureBeepLocalFeedbackMis(unsigned subslots, double factor,
+                                                   double max_p)
+    : subslots_(subslots), factor_(factor), max_p_(max_p) {
+  if (subslots_ == 0) throw std::invalid_argument("PureBeep: need at least one subslot");
+  if (!(factor_ > 1.0)) throw std::invalid_argument("PureBeep: factor must exceed 1");
+  if (!(max_p_ > 0.0) || max_p_ > 1.0) throw std::invalid_argument("PureBeep: bad max_p");
+}
+
+void PureBeepLocalFeedbackMis::reset(const graph::Graph& g,
+                                     support::Xoshiro256StarStar& /*rng*/) {
+  p_.assign(g.node_count(), std::min(0.5, max_p_));
+  signalling_.assign(g.node_count(), 0);
+  detected_.assign(g.node_count(), 0);
+}
+
+void PureBeepLocalFeedbackMis::emit(sim::BeepContext& ctx) {
+  const unsigned e = ctx.exchange();
+  if (e == 0) {
+    // Time-step start: decide who signals, clear detection state.
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      signalling_[v] = static_cast<std::uint8_t>(ctx.rng().bernoulli(p_[v]));
+      detected_[v] = 0;
+    }
+  }
+  if (e < subslots_) {
+    // Randomised slot: each signaller beeps with probability 1/2.
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      if (signalling_[v] && ctx.rng().bernoulli(0.5)) ctx.beep(v);
+    }
+  } else {
+    // Announcement: signallers that never detected a rival join.
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      if (signalling_[v] && !detected_[v] && ctx.is_active(v)) ctx.beep(v);
+    }
+  }
+}
+
+void PureBeepLocalFeedbackMis::react(sim::BeepContext& ctx) {
+  const unsigned e = ctx.exchange();
+  if (e < subslots_) {
+    // A node hears only in slots where it did not beep itself.
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      if (ctx.heard(v) && !ctx.beeped(v)) detected_[v] = 1;
+    }
+    if (e + 1 == subslots_) {
+      // Feedback uses the same rule as Table 1, driven by detection.
+      for (const graph::NodeId v : ctx.active_nodes()) {
+        if (detected_[v]) {
+          p_[v] /= factor_;
+        } else {
+          p_[v] = std::min(max_p_, p_[v] * factor_);
+        }
+      }
+    }
+  } else {
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      if (!ctx.is_active(v)) continue;
+      if (signalling_[v] && !detected_[v]) {
+        ctx.join_mis(v);
+      } else if (ctx.heard(v)) {
+        ctx.deactivate(v);
+      }
+    }
+  }
+}
+
+}  // namespace beepmis::mis

@@ -1,0 +1,62 @@
+#include "mis/schedule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace beepmis::mis {
+
+std::size_t SweepSchedule::steps_through_phase(std::size_t k) noexcept {
+  return k * (k + 3) / 2;
+}
+
+SweepSchedule::Position SweepSchedule::position(std::size_t step) noexcept {
+  // Find the smallest k with steps_through_phase(k) > step.  Phase lengths
+  // grow linearly, so a direct solve of k(k+3)/2 > step with correction
+  // avoids iteration for huge steps.
+  auto k = static_cast<std::size_t>(
+      std::floor((-3.0 + std::sqrt(9.0 + 8.0 * static_cast<double>(step))) / 2.0));
+  while (steps_through_phase(k) <= step) ++k;
+  while (k > 1 && steps_through_phase(k - 1) > step) --k;
+  return {k, step - steps_through_phase(k - 1)};
+}
+
+double SweepSchedule::probability(std::size_t step) const {
+  const Position pos = position(step);
+  return std::ldexp(1.0, -static_cast<int>(pos.index));  // 2^{-index}
+}
+
+IncreasingSchedule::IncreasingSchedule(std::size_t max_degree, std::size_t n,
+                                       std::size_t steps_per_phase)
+    : max_degree_(max_degree), steps_per_phase_(steps_per_phase) {
+  if (steps_per_phase_ == 0) {
+    // Default phase length Θ(log n), matching the O(log D · log n) analysis.
+    const double ln = std::log2(static_cast<double>(std::max<std::size_t>(n, 2)));
+    steps_per_phase_ = static_cast<std::size_t>(std::ceil(4.0 * ln));
+  }
+}
+
+double IncreasingSchedule::probability(std::size_t step) const {
+  const std::size_t phase = step / steps_per_phase_;
+  const double base = 1.0 / static_cast<double>(max_degree_ + 1);
+  const double p = std::ldexp(base, static_cast<int>(std::min<std::size_t>(phase, 63)));
+  return std::min(0.5, p);
+}
+
+FixedSchedule::FixedSchedule(std::vector<double> values, bool cycle, std::string name)
+    : values_(std::move(values)), cycle_(cycle), name_(std::move(name)) {
+  if (values_.empty()) throw std::invalid_argument("FixedSchedule: empty sequence");
+  for (const double p : values_) {
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument("FixedSchedule: p outside [0, 1]");
+  }
+}
+
+double FixedSchedule::probability(std::size_t step) const {
+  if (step < values_.size()) return values_[step];
+  return cycle_ ? values_[step % values_.size()] : values_.back();
+}
+
+ConstantSchedule::ConstantSchedule(double p) : p_(p) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("ConstantSchedule: p outside [0, 1]");
+}
+
+}  // namespace beepmis::mis

@@ -1,0 +1,93 @@
+// Global beep-probability schedules: the preset sequences p_1, p_2, ...
+// that Theorem 1 proves are Ω(log² n) on the clique family.
+//
+// Three concrete schedules are provided:
+//  * SweepSchedule      — the DISC'11 pattern the paper benchmarks in
+//    Figure 3: phases k = 1, 2, 3, ..., phase k lasting k+1 steps with
+//    p = 1, 1/2, ..., 2^{-k}.
+//  * IncreasingSchedule — a reconstruction of the Science'11 scheme that
+//    computes probabilities from n and the max degree D: log D phases of
+//    `steps_per_phase` steps with p = min(1/2, 2^j / (D+1)).
+//  * FixedSchedule      — an arbitrary user sequence (used by the Theorem 1
+//    stress tests to try *any* schedule against the clique family).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace beepmis::mis {
+
+/// A preset global probability sequence.  probability(step) must be in
+/// [0, 1] for all steps (step is 0-based).
+class Schedule {
+ public:
+  virtual ~Schedule() = default;
+  [[nodiscard]] virtual double probability(std::size_t step) const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// DISC'11 sweeping schedule.  Probabilities over successive steps:
+/// 1, 1/2 | 1, 1/2, 1/4 | 1, 1/2, 1/4, 1/8 | ...  (phase k has k+1 steps).
+class SweepSchedule final : public Schedule {
+ public:
+  [[nodiscard]] double probability(std::size_t step) const override;
+  [[nodiscard]] std::string_view name() const override { return "global-sweep"; }
+
+  /// Decomposes a 0-based step index into (phase >= 1, index within phase).
+  struct Position {
+    std::size_t phase = 1;
+    std::size_t index = 0;
+  };
+  [[nodiscard]] static Position position(std::size_t step) noexcept;
+  /// Total steps in phases 1..k: sum (j+1) = k(k+3)/2.
+  [[nodiscard]] static std::size_t steps_through_phase(std::size_t k) noexcept;
+};
+
+/// Approximation of the Science'11 globally increasing schedule (see
+/// DESIGN.md §4): needs global knowledge of n and max degree D.  Phase
+/// j = 0..ceil(log2(D+1)) holds p = min(1/2, 2^j/(D+1)) for
+/// `steps_per_phase` steps; afterwards p stays at 1/2.
+class IncreasingSchedule final : public Schedule {
+ public:
+  IncreasingSchedule(std::size_t max_degree, std::size_t n, std::size_t steps_per_phase = 0);
+
+  [[nodiscard]] double probability(std::size_t step) const override;
+  [[nodiscard]] std::string_view name() const override { return "global-increasing"; }
+  [[nodiscard]] std::size_t steps_per_phase() const noexcept { return steps_per_phase_; }
+
+ private:
+  std::size_t max_degree_;
+  std::size_t steps_per_phase_;
+};
+
+/// Arbitrary preset sequence; after the last element the schedule repeats
+/// its final value (or cycles, if `cycle` is set).
+class FixedSchedule final : public Schedule {
+ public:
+  explicit FixedSchedule(std::vector<double> values, bool cycle = false,
+                         std::string name = "fixed");
+
+  [[nodiscard]] double probability(std::size_t step) const override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ private:
+  std::vector<double> values_;
+  bool cycle_;
+  std::string name_;
+};
+
+/// Constant probability p at every step.
+class ConstantSchedule final : public Schedule {
+ public:
+  explicit ConstantSchedule(double p);
+  [[nodiscard]] double probability(std::size_t) const override { return p_; }
+  [[nodiscard]] std::string_view name() const override { return "constant"; }
+
+ private:
+  double p_;
+};
+
+}  // namespace beepmis::mis

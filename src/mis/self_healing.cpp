@@ -1,0 +1,39 @@
+#include "mis/self_healing.hpp"
+
+#include <stdexcept>
+
+namespace beepmis::mis {
+
+SelfHealingLocalFeedbackMis::SelfHealingLocalFeedbackMis(SelfHealingConfig config)
+    : LocalFeedbackMis(config.base), config_(config) {
+  if (config_.silence_threshold == 0) {
+    throw std::invalid_argument("SelfHealing: silence_threshold must be >= 1");
+  }
+}
+
+void SelfHealingLocalFeedbackMis::on_reset(const graph::Graph& g,
+                                           support::Xoshiro256StarStar& rng) {
+  LocalFeedbackMis::on_reset(g, rng);
+  silence_.assign(g.node_count(), 0);
+  reactivations_ = 0;
+}
+
+void SelfHealingLocalFeedbackMis::on_round_complete(sim::BeepContext& ctx) {
+  // heard() reflects the announcement exchange, which includes the MIS
+  // keep-alive beeps — a dominated node with a live dominator always
+  // hears, so its silence counter stays at zero.
+  const graph::NodeId n = ctx.graph().node_count();
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (ctx.status(v) != sim::NodeStatus::kDominated) continue;
+    if (ctx.heard(v)) {
+      silence_[v] = 0;
+    } else if (++silence_[v] >= config_.silence_threshold) {
+      silence_[v] = 0;
+      set_probability(v, config_.base.initial_p_low);
+      ctx.reactivate(v);
+      ++reactivations_;
+    }
+  }
+}
+
+}  // namespace beepmis::mis

@@ -1,0 +1,53 @@
+#include "mis/skeleton.hpp"
+
+namespace beepmis::mis {
+
+void BeepingMisSkeleton::reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) {
+  winner_.assign(g.node_count(), 0);
+  on_reset(g, rng);
+}
+
+void BeepingMisSkeleton::on_feedback(graph::NodeId /*v*/, bool /*heard_beep*/,
+                                     std::size_t /*round*/) {}
+
+void BeepingMisSkeleton::on_round_complete(sim::BeepContext& /*ctx*/) {}
+
+void BeepingMisSkeleton::emit(sim::BeepContext& ctx) {
+  if (ctx.exchange() == 0) {
+    // Intent exchange: beep with the policy's probability.
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      winner_[v] = 0;
+      if (ctx.rng().bernoulli(beep_probability(v, ctx.round()))) ctx.beep(v);
+    }
+  } else {
+    // Announcement exchange: only first-exchange winners keep signalling.
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      if (winner_[v] && ctx.is_active(v)) ctx.beep(v);
+    }
+  }
+}
+
+void BeepingMisSkeleton::react(sim::BeepContext& ctx) {
+  if (ctx.exchange() == 0) {
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      const bool heard = ctx.heard(v);
+      // A beeper that heard nothing won the intent exchange and will join
+      // next exchange; anyone who heard a beep stops signalling (Table 1,
+      // lines 5-6).
+      winner_[v] = static_cast<std::uint8_t>(ctx.beeped(v) && !heard);
+      on_feedback(v, heard, ctx.round());
+    }
+  } else {
+    for (const graph::NodeId v : ctx.active_nodes()) {
+      if (!ctx.is_active(v)) continue;
+      if (winner_[v]) {
+        ctx.join_mis(v);  // Table 1, lines 11-13
+      } else if (ctx.heard(v)) {
+        ctx.deactivate(v);  // Table 1, lines 14-15
+      }
+    }
+    on_round_complete(ctx);
+  }
+}
+
+}  // namespace beepmis::mis

@@ -1,0 +1,52 @@
+// Shared two-exchange skeleton for all beeping MIS protocols.
+//
+// Both the paper's local-feedback algorithm and Afek et al.'s globally
+// scheduled variants follow the same per-time-step structure (Table 1):
+//
+//   FIRST EXCHANGE  (intent): each active node beeps with its current
+//     probability.  A node that beeps and hears nothing is a *winner*; a
+//     node that hears a beep stops signalling.  Probability feedback (if
+//     any) is applied based on whether a beep was heard.
+//   SECOND EXCHANGE (announce): winners beep again and join the MIS;
+//     nodes hearing an announcement become dominated.
+//
+// Concrete protocols supply only the probability policy via the two
+// protected hooks.  With a reliable channel, two adjacent winners are
+// impossible (each would have heard the other in the first exchange), so
+// every terminating run yields a valid MIS; under injected beep loss the
+// skeleton's behaviour degrades exactly as the real protocol would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/beep.hpp"
+
+namespace beepmis::mis {
+
+class BeepingMisSkeleton : public sim::BeepProtocol {
+ public:
+  [[nodiscard]] unsigned exchanges_per_round() const final { return 2; }
+  void reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) final;
+  void emit(sim::BeepContext& ctx) final;
+  void react(sim::BeepContext& ctx) final;
+
+ protected:
+  /// Initialise per-node policy state.
+  virtual void on_reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) = 0;
+  /// Beep probability of active node `v` at time step `round`.
+  [[nodiscard]] virtual double beep_probability(graph::NodeId v, std::size_t round) const = 0;
+  /// Feedback after the first exchange: `heard_beep` is whether `v` heard at
+  /// least one neighbour signalling.  Default: no adaptation (global
+  /// schedules adapt via `round` alone).
+  virtual void on_feedback(graph::NodeId v, bool heard_beep, std::size_t round);
+  /// Called at the very end of each time step (after the announcement
+  /// exchange's transitions), still in the react phase — maintenance
+  /// protocols use it to inspect inactive nodes and reactivate them.
+  virtual void on_round_complete(sim::BeepContext& ctx);
+
+ private:
+  std::vector<std::uint8_t> winner_;
+};
+
+}  // namespace beepmis::mis

@@ -1,0 +1,50 @@
+#include "mis/theory.hpp"
+
+#include <cmath>
+
+namespace beepmis::mis {
+
+double single_beeper_probability(std::size_t d, double p) noexcept {
+  if (d == 0) return 0.0;
+  return static_cast<double>(d) * p *
+         std::pow(1.0 - p, static_cast<double>(d) - 1.0);
+}
+
+double single_beeper_upper_bound(std::size_t d, double p) noexcept {
+  if (d == 0) return 0.0;
+  return static_cast<double>(d) * p *
+         std::exp(-(static_cast<double>(d) - 1.0) * p);
+}
+
+double theorem1_potential(std::size_t d, std::span<const double> probs) noexcept {
+  double total = 0.0;
+  const auto dd = static_cast<double>(d);
+  for (const double p : probs) {
+    total += 6.0 * dd * p * std::exp(-dd * p);
+  }
+  return total;
+}
+
+std::size_t hardest_clique_size(std::span<const double> probs, std::size_t d_max) noexcept {
+  std::size_t best_d = 3;
+  double best = theorem1_potential(3, probs);
+  for (std::size_t d = 4; d <= d_max; ++d) {
+    const double value = theorem1_potential(d, probs);
+    if (value < best) {
+      best = value;
+      best_d = d;
+    }
+  }
+  return best_d;
+}
+
+double log2_n(std::size_t n) noexcept { return std::log2(static_cast<double>(n)); }
+
+double figure3_global_reference(std::size_t n) noexcept {
+  const double l = log2_n(n);
+  return l * l;
+}
+
+double figure3_local_reference(std::size_t n) noexcept { return 2.5 * log2_n(n); }
+
+}  // namespace beepmis::mis

@@ -1,0 +1,38 @@
+// Closed-form quantities from the paper's analysis, used by the property
+// tests and the Theorem 1 bench to check measurements against theory.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace beepmis::mis {
+
+/// Probability that exactly one vertex of K_d beeps when every vertex beeps
+/// independently with probability p:  d * p * (1-p)^{d-1}   (paper eq. (1)).
+[[nodiscard]] double single_beeper_probability(std::size_t d, double p) noexcept;
+
+/// Upper bound d*p*exp(-(d-1)p) on the above (paper eq. (1) RHS).
+[[nodiscard]] double single_beeper_upper_bound(std::size_t d, double p) noexcept;
+
+/// Theorem 1's potential  sum_i 6 * d * p_i * exp(-d * p_i)  for a clique
+/// size d and schedule prefix `probs`.  The proof shows that while this is
+/// below (log n)/4 the copies of K_d all survive w.h.p.
+[[nodiscard]] double theorem1_potential(std::size_t d, std::span<const double> probs) noexcept;
+
+/// Smallest clique size d in [3, d_max] minimising the potential — the
+/// "hard" clique size for a given schedule prefix.
+[[nodiscard]] std::size_t hardest_clique_size(std::span<const double> probs,
+                                              std::size_t d_max) noexcept;
+
+/// log2(n) and the paper's two reference curves for Figure 3.
+[[nodiscard]] double log2_n(std::size_t n) noexcept;
+/// Upper dashed line of Figure 3: (log2 n)^2.
+[[nodiscard]] double figure3_global_reference(std::size_t n) noexcept;
+/// Lower dotted line of Figure 3: 2.5 * log2 n.
+[[nodiscard]] double figure3_local_reference(std::size_t n) noexcept;
+
+/// Theorem 6's bound on the expected beeps per node for local feedback:
+/// 1 + 1 + 2*3 = 8 (the analysis' constant; measured values are ~1.1).
+[[nodiscard]] constexpr double theorem6_beep_bound() noexcept { return 8.0; }
+
+}  // namespace beepmis::mis

@@ -1,0 +1,63 @@
+#include "mis/verifier.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace beepmis::mis {
+
+VerificationReport verify_mis_run(const graph::Graph& g, const sim::RunResult& result) {
+  if (result.status.size() != g.node_count()) {
+    throw std::invalid_argument("verify_mis_run: result does not match graph size");
+  }
+
+  VerificationReport report;
+  report.terminated = result.terminated;
+
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    switch (result.status[v]) {
+      case sim::NodeStatus::kActive:
+        ++report.still_active;
+        break;
+      case sim::NodeStatus::kInMis: {
+        ++report.mis_size;
+        for (const graph::NodeId w : g.neighbors(v)) {
+          if (v < w && result.status[w] == sim::NodeStatus::kInMis) {
+            ++report.independence_violations;
+          }
+        }
+        break;
+      }
+      case sim::NodeStatus::kDominated: {
+        bool has_mis_neighbor = false;
+        for (const graph::NodeId w : g.neighbors(v)) {
+          if (result.status[w] == sim::NodeStatus::kInMis) {
+            has_mis_neighbor = true;
+            break;
+          }
+        }
+        if (!has_mis_neighbor) ++report.uncovered_nodes;
+        break;
+      }
+      case sim::NodeStatus::kCrashed:
+        ++report.crashed;
+        break;
+    }
+  }
+  return report;
+}
+
+bool is_valid_mis_run(const graph::Graph& g, const sim::RunResult& result) {
+  return verify_mis_run(g, result).valid();
+}
+
+std::string VerificationReport::summary() const {
+  std::ostringstream ss;
+  ss << (valid() ? "VALID" : "INVALID") << " mis_size=" << mis_size
+     << " terminated=" << (terminated ? "yes" : "no")
+     << " independence_violations=" << independence_violations
+     << " uncovered=" << uncovered_nodes << " still_active=" << still_active
+     << " crashed=" << crashed;
+  return ss.str();
+}
+
+}  // namespace beepmis::mis

@@ -1,0 +1,238 @@
+#include "sim/beep.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace beepmis::sim {
+
+void BeepContext::beep(graph::NodeId v) {
+  if (phase_ != Phase::kEmit) {
+    throw std::logic_error("BeepContext::beep called outside the emit phase");
+  }
+  if (v >= status_->size() || (*status_)[v] != NodeStatus::kActive) {
+    throw std::logic_error("BeepContext::beep on an inactive or invalid node");
+  }
+  if (!(*beeped_)[v]) {
+    (*beeped_)[v] = 1;
+    // A signal continuing from the previous exchange is one episode (see
+    // beep() documentation in the header).
+    if (!(*prev_beeped_)[v]) {
+      ++simulator_->beep_counts_[v];
+      ++simulator_->total_beeps_;
+      if (simulator_->trace_enabled_) {
+        simulator_->trace_.record({static_cast<std::uint32_t>(round_),
+                                   static_cast<std::uint8_t>(exchange_), EventKind::kBeep,
+                                   v});
+      }
+    }
+  }
+}
+
+void BeepContext::join_mis(graph::NodeId v) {
+  if (phase_ != Phase::kReact) {
+    throw std::logic_error("BeepContext::join_mis called outside the react phase");
+  }
+  if (v >= status_->size() || (*status_)[v] != NodeStatus::kActive) {
+    throw std::logic_error("BeepContext::join_mis on an inactive or invalid node");
+  }
+  (*status_)[v] = NodeStatus::kInMis;
+  simulator_->mis_nodes_.push_back(v);
+  if (simulator_->trace_enabled_) {
+    simulator_->trace_.record({static_cast<std::uint32_t>(round_),
+                               static_cast<std::uint8_t>(exchange_), EventKind::kJoinMis, v});
+  }
+}
+
+void BeepContext::deactivate(graph::NodeId v) {
+  if (phase_ != Phase::kReact) {
+    throw std::logic_error("BeepContext::deactivate called outside the react phase");
+  }
+  if (v >= status_->size() || (*status_)[v] != NodeStatus::kActive) {
+    throw std::logic_error("BeepContext::deactivate on an inactive or invalid node");
+  }
+  (*status_)[v] = NodeStatus::kDominated;
+  if (simulator_->trace_enabled_) {
+    simulator_->trace_.record({static_cast<std::uint32_t>(round_),
+                               static_cast<std::uint8_t>(exchange_), EventKind::kDeactivate,
+                               v});
+  }
+}
+
+void BeepContext::reactivate(graph::NodeId v) {
+  if (phase_ != Phase::kReact) {
+    throw std::logic_error("BeepContext::reactivate called outside the react phase");
+  }
+  if (v >= status_->size() || (*status_)[v] != NodeStatus::kDominated) {
+    throw std::logic_error("BeepContext::reactivate on a non-dominated node");
+  }
+  (*status_)[v] = NodeStatus::kActive;
+  simulator_->reactivated_.push_back(v);
+  if (simulator_->trace_enabled_) {
+    simulator_->trace_.record({static_cast<std::uint32_t>(round_),
+                               static_cast<std::uint8_t>(exchange_), EventKind::kReactivate,
+                               v});
+  }
+}
+
+BeepSimulator::BeepSimulator(const graph::Graph& g, SimConfig config)
+    : graph_(g), config_(std::move(config)) {
+  if (config_.beep_loss_probability < 0.0 || config_.beep_loss_probability >= 1.0) {
+    throw std::invalid_argument("SimConfig: beep_loss_probability must be in [0, 1)");
+  }
+  if (!config_.wake_round.empty() && config_.wake_round.size() != g.node_count()) {
+    throw std::invalid_argument("SimConfig: wake_round size must match the graph");
+  }
+  if (!config_.crash_round.empty() && config_.crash_round.size() != g.node_count()) {
+    throw std::invalid_argument("SimConfig: crash_round size must match the graph");
+  }
+}
+
+void BeepSimulator::deliver_beeps(support::Xoshiro256StarStar& rng) {
+  std::fill(heard_.begin(), heard_.end(), std::uint8_t{0});
+  const bool lossy = config_.beep_loss_probability > 0.0;
+  const double keep = 1.0 - config_.beep_loss_probability;
+  for (const graph::NodeId v : active_) {
+    if (!beeped_[v]) continue;
+    for (const graph::NodeId w : graph_.neighbors(v)) {
+      if (heard_[w]) continue;  // already hearing a beep; extra losses moot
+      if (!lossy || rng.bernoulli(keep)) heard_[w] = 1;
+    }
+  }
+  if (config_.mis_keepalive) {
+    // Members of the independent set beep forever (DISC'11 wake-up rule);
+    // a crashed member falls silent.
+    for (const graph::NodeId v : mis_nodes_) {
+      if (status_[v] != NodeStatus::kInMis) continue;
+      for (const graph::NodeId w : graph_.neighbors(v)) {
+        if (heard_[w]) continue;
+        if (!lossy || rng.bernoulli(keep)) heard_[w] = 1;
+      }
+    }
+  }
+}
+
+void BeepSimulator::compact_active() {
+  std::erase_if(active_,
+                [this](graph::NodeId v) { return status_[v] != NodeStatus::kActive; });
+}
+
+void BeepSimulator::apply_wakeups_and_crashes() {
+  bool active_dirty = false;
+  while (next_wakeup_ < pending_wakeups_.size() &&
+         pending_wakeups_[next_wakeup_].first <= round_) {
+    const graph::NodeId v = pending_wakeups_[next_wakeup_].second;
+    ++next_wakeup_;
+    if (status_[v] != NodeStatus::kActive) continue;  // crashed while asleep
+    active_.push_back(v);
+    active_dirty = true;
+    if (trace_enabled_) {
+      trace_.record({static_cast<std::uint32_t>(round_), 0, EventKind::kWake, v});
+    }
+  }
+  if (active_dirty) std::sort(active_.begin(), active_.end());
+
+  if (!config_.crash_round.empty()) {
+    // Fail-stop hits any node that has not already crashed — including MIS
+    // members (whose keep-alive then falls silent) and dominated nodes.
+    bool crashed_any = false;
+    for (graph::NodeId v = 0; v < graph_.node_count(); ++v) {
+      if (config_.crash_round[v] == round_ && status_[v] != NodeStatus::kCrashed) {
+        crashed_any = crashed_any || status_[v] == NodeStatus::kActive;
+        status_[v] = NodeStatus::kCrashed;
+        if (trace_enabled_) {
+          trace_.record({static_cast<std::uint32_t>(round_), 0, EventKind::kCrash, v});
+        }
+      }
+    }
+    if (crashed_any) compact_active();
+  }
+}
+
+RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar rng) {
+  const graph::NodeId n = graph_.node_count();
+  status_.assign(n, NodeStatus::kActive);
+  beeped_.assign(n, 0);
+  prev_beeped_.assign(n, 0);
+  heard_.assign(n, 0);
+  beep_counts_.assign(n, 0);
+  mis_nodes_.clear();
+  reactivated_.clear();
+  total_beeps_ = 0;
+  round_ = 0;
+  trace_.clear();
+  trace_enabled_ = config_.record_trace;
+
+  active_.clear();
+  pending_wakeups_.clear();
+  next_wakeup_ = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (config_.wake_round.empty() || config_.wake_round[v] == 0) {
+      active_.push_back(v);
+    } else {
+      pending_wakeups_.emplace_back(config_.wake_round[v], v);
+    }
+  }
+  std::sort(pending_wakeups_.begin(), pending_wakeups_.end());
+
+  protocol.reset(graph_, rng);
+  // Read after reset: protocols may size their exchange count to the graph.
+  const unsigned exchanges = protocol.exchanges_per_round();
+  if (exchanges == 0) throw std::logic_error("protocol declares zero exchanges per round");
+
+  BeepContext ctx;
+  ctx.graph_ = &graph_;
+  ctx.active_ = &active_;
+  ctx.status_ = &status_;
+  ctx.beeped_ = &beeped_;
+  ctx.prev_beeped_ = &prev_beeped_;
+  ctx.heard_ = &heard_;
+  ctx.rng_ = &rng;
+  ctx.simulator_ = this;
+
+  while ((!active_.empty() || next_wakeup_ < pending_wakeups_.size() ||
+          round_ < config_.run_until_round) &&
+         round_ < config_.max_rounds) {
+    apply_wakeups_and_crashes();
+
+    for (exchange_ = 0; exchange_ < exchanges; ++exchange_) {
+      if (exchange_ == 0) {
+        std::fill(prev_beeped_.begin(), prev_beeped_.end(), std::uint8_t{0});
+      } else {
+        prev_beeped_ = beeped_;
+      }
+      std::fill(beeped_.begin(), beeped_.end(), std::uint8_t{0});
+      ctx.round_ = round_;
+      ctx.exchange_ = exchange_;
+
+      ctx.phase_ = BeepContext::Phase::kEmit;
+      protocol.emit(ctx);
+
+      deliver_beeps(rng);
+
+      ctx.phase_ = BeepContext::Phase::kReact;
+      protocol.react(ctx);
+    }
+    compact_active();
+    if (!reactivated_.empty()) {
+      active_.insert(active_.end(), reactivated_.begin(), reactivated_.end());
+      std::sort(active_.begin(), active_.end());
+      reactivated_.clear();
+    }
+    if (observer_) {
+      ctx.phase_ = BeepContext::Phase::kObserve;
+      observer_(ctx);
+    }
+    ++round_;
+  }
+
+  RunResult result;
+  result.terminated = active_.empty() && next_wakeup_ >= pending_wakeups_.size();
+  result.rounds = round_;
+  result.status = status_;
+  result.beep_counts = beep_counts_;
+  result.total_beeps = total_beeps_;
+  return result;
+}
+
+}  // namespace beepmis::sim

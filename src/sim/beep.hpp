@@ -1,0 +1,189 @@
+// Synchronous beeping-model simulator.
+//
+// The beeping model (Afek et al., DISC'11) is the weakest standard
+// communication model: in each exchange a node either beeps or listens, and
+// a listener learns only the single bit "at least one neighbour beeped".
+// One paper "time step" may involve a constant number of exchanges (the MIS
+// protocols use two: an intent beep and a join announcement), so the
+// simulator runs `Protocol::exchanges_per_round()` exchanges per round.
+//
+// Design invariants:
+//  * The simulator owns node status; protocols request transitions through
+//    the context (join_mis / deactivate) and are never allowed to beep or
+//    transition on behalf of inactive nodes.
+//  * The simulator never auto-deactivates neighbours of a joiner: in the
+//    real protocol that knowledge travels via the second-exchange beep, so
+//    fault injection (lost beeps) exercises true protocol behaviour.
+//  * A run is a pure function of (graph, protocol, rng seed); nodes are
+//    visited in ascending id order everywhere.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/result.hpp"
+#include "sim/trace.hpp"
+#include "support/rng.hpp"
+
+namespace beepmis::sim {
+
+struct SimConfig {
+  /// Hard cap on rounds; a run that hits it returns terminated = false.
+  std::size_t max_rounds = 1u << 20;
+  /// Fault injection: each (beeper -> listener) delivery is dropped
+  /// independently with this probability.  0 = reliable channel.
+  double beep_loss_probability = 0.0;
+  /// Record a full event trace (beeps, joins, deactivations).
+  bool record_trace = false;
+  /// Per-node wake-up rounds (asynchronous start, as studied by Afek et
+  /// al. DISC'11).  Empty = everyone starts at round 0.  A node does not
+  /// beep, hear, or transition before its wake round.
+  std::vector<std::uint32_t> wake_round;
+  /// Per-node fail-stop rounds; UINT32_MAX (the default) = never.  A node
+  /// still active at the start of its crash round becomes kCrashed and
+  /// falls silent forever.
+  std::vector<std::uint32_t> crash_round;
+  /// DISC'11-style keep-alive: nodes that joined the MIS keep beeping in
+  /// every exchange forever, so late wakers (and nodes that lost a join
+  /// announcement) still learn they are dominated.  Does not affect
+  /// termination (MIS nodes are already inactive) nor beep_counts.
+  bool mis_keepalive = false;
+  /// Keep simulating (even with no active nodes) until at least this round
+  /// — required by maintenance/self-healing experiments where scheduled
+  /// crashes and reactivations happen after the initial MIS converges.
+  std::size_t run_until_round = 0;
+};
+
+class BeepSimulator;
+
+/// Per-exchange view handed to protocols.  All mutating calls validate
+/// their preconditions and throw std::logic_error on protocol bugs.
+class BeepContext {
+ public:
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
+  [[nodiscard]] unsigned exchange() const noexcept { return exchange_; }
+
+  /// Active node ids, ascending.  The list is compacted only at round
+  /// boundaries: a node deactivated in an earlier exchange of the current
+  /// round still appears here, so protocols iterating it in later exchanges
+  /// must check is_active(v) first.
+  [[nodiscard]] const std::vector<graph::NodeId>& active_nodes() const noexcept {
+    return *active_;
+  }
+
+  [[nodiscard]] bool is_active(graph::NodeId v) const { return status_->at(v) == NodeStatus::kActive; }
+  [[nodiscard]] NodeStatus status(graph::NodeId v) const { return status_->at(v); }
+
+  /// Whether v beeped in the current exchange (valid during react).
+  [[nodiscard]] bool beeped(graph::NodeId v) const { return beeped_->at(v); }
+  /// Whether v heard at least one beep in the current exchange (valid
+  /// during react; accounts for injected beep loss).
+  [[nodiscard]] bool heard(graph::NodeId v) const { return heard_->at(v); }
+
+  /// Emit-phase only: make active node v beep this exchange.  A node that
+  /// was already beeping in the previous exchange of the same round is
+  /// treated as *continuing* one signal (Table 1's "keep signalling"), so
+  /// beep_counts record signal episodes, matching the paper's Figure 5
+  /// beep accounting.
+  void beep(graph::NodeId v);
+  /// React-phase only: active node v joins the MIS (becomes inactive).
+  void join_mis(graph::NodeId v);
+  /// React-phase only: active node v becomes dominated (inactive).
+  void deactivate(graph::NodeId v);
+  /// React-phase only: *dominated* node v resumes competing (self-healing
+  /// protocols; takes effect from the next round).
+  void reactivate(graph::NodeId v);
+
+  /// Deterministic per-run randomness shared by the protocol.
+  [[nodiscard]] support::Xoshiro256StarStar& rng() noexcept { return *rng_; }
+
+ private:
+  friend class BeepSimulator;
+  enum class Phase { kEmit, kReact, kObserve };
+
+  const graph::Graph* graph_ = nullptr;
+  const std::vector<graph::NodeId>* active_ = nullptr;
+  std::vector<NodeStatus>* status_ = nullptr;
+  std::vector<std::uint8_t>* beeped_ = nullptr;
+  const std::vector<std::uint8_t>* prev_beeped_ = nullptr;
+  const std::vector<std::uint8_t>* heard_ = nullptr;
+  support::Xoshiro256StarStar* rng_ = nullptr;
+  BeepSimulator* simulator_ = nullptr;
+  std::size_t round_ = 0;
+  unsigned exchange_ = 0;
+  Phase phase_ = Phase::kEmit;
+};
+
+/// Interface implemented by beeping protocols (see src/mis/).
+class BeepProtocol {
+ public:
+  virtual ~BeepProtocol() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Number of exchanges per paper time step (>= 1).
+  [[nodiscard]] virtual unsigned exchanges_per_round() const = 0;
+  /// Called once before a run; sizes per-node state for `g`.
+  virtual void reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) = 0;
+  /// Decide which active nodes beep in this exchange (call ctx.beep(v)).
+  virtual void emit(BeepContext& ctx) = 0;
+  /// Observe heard/beeped flags; request joins/deactivations.
+  virtual void react(BeepContext& ctx) = 0;
+};
+
+/// The simulator.  One instance may execute many runs on the same graph.
+class BeepSimulator {
+ public:
+  explicit BeepSimulator(const graph::Graph& g, SimConfig config = {});
+  /// The simulator stores a reference; a temporary graph would dangle.
+  explicit BeepSimulator(graph::Graph&&, SimConfig = {}) = delete;
+
+  /// Executes `protocol` to termination (or the round cap) using `rng`.
+  [[nodiscard]] RunResult run(BeepProtocol& protocol, support::Xoshiro256StarStar rng);
+
+  /// Event trace of the most recent run (empty unless config.record_trace).
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+  /// Observer invoked after every round with the end-of-round context
+  /// (status and heard/beeped flags of the final exchange).  Used by the
+  /// dynamics instrumentation; pass nullptr to clear.
+  using RoundObserver = std::function<void(const BeepContext&)>;
+  void set_round_observer(RoundObserver observer) { observer_ = std::move(observer); }
+
+ private:
+  friend class BeepContext;
+
+  void deliver_beeps(support::Xoshiro256StarStar& rng);
+  void compact_active();
+  void apply_wakeups_and_crashes();
+
+  const graph::Graph& graph_;
+  SimConfig config_;
+  Trace trace_;
+  RoundObserver observer_;
+
+  // Per-run scratch state (sized once per run).
+  std::vector<NodeStatus> status_;
+  std::vector<graph::NodeId> active_;
+  std::vector<std::uint8_t> beeped_;
+  std::vector<std::uint8_t> prev_beeped_;
+  std::vector<std::uint8_t> heard_;
+  std::vector<std::uint32_t> beep_counts_;
+  std::vector<graph::NodeId> mis_nodes_;     ///< joiners, for keep-alive beeps
+  std::vector<graph::NodeId> reactivated_;   ///< pending re-entries to active_
+  /// Sleeping nodes (kActive but not yet awake), sorted by wake round.
+  std::vector<std::pair<std::uint32_t, graph::NodeId>> pending_wakeups_;
+  std::size_t next_wakeup_ = 0;
+  std::uint64_t total_beeps_ = 0;
+  std::size_t round_ = 0;
+  unsigned exchange_ = 0;
+  bool trace_enabled_ = false;
+};
+
+}  // namespace beepmis::sim

@@ -1,0 +1,162 @@
+#include "sim/replay.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace beepmis::sim {
+
+namespace {
+
+constexpr std::size_t kNoRound = std::numeric_limits<std::size_t>::max();
+
+struct NodeHistory {
+  std::size_t fate_round = kNoRound;  ///< round of join/deactivate/crash
+  EventKind fate = EventKind::kBeep;  ///< kBeep = no fate recorded
+  std::size_t beeps = 0;
+  std::size_t last_beep_round = kNoRound;
+  bool beeped_in_fate_round_intent = false;
+};
+
+}  // namespace
+
+std::string ReplayReport::summary() const {
+  std::ostringstream ss;
+  ss << (consistent() ? "CONSISTENT" : "INCONSISTENT") << " (" << issues_found
+     << " issue(s))";
+  for (const std::string& issue : issues) ss << "\n  - " << issue;
+  return ss.str();
+}
+
+ReplayReport replay_mis_trace(const graph::Graph& g, const Trace& trace,
+                              const RunResult& result,
+                              std::size_t max_reported_issues) {
+  ReplayReport report;
+  auto add_issue = [&](const std::string& text) {
+    ++report.issues_found;
+    if (report.issues.size() < max_reported_issues) report.issues.push_back(text);
+  };
+
+  std::vector<NodeHistory> history(g.node_count());
+
+  for (const Event& e : trace.events()) {
+    if (e.node >= g.node_count()) {
+      add_issue("event for out-of-range node " + std::to_string(e.node));
+      continue;
+    }
+    NodeHistory& h = history[e.node];
+    switch (e.kind) {
+      case EventKind::kBeep:
+        if (h.fate_round != kNoRound && e.round > h.fate_round) {
+          add_issue("node " + std::to_string(e.node) + " beeped at round " +
+                    std::to_string(e.round) + " after becoming inactive");
+        }
+        ++h.beeps;
+        h.last_beep_round = e.round;
+        if (e.exchange == 0) {
+          // Remember whether the *latest* intent beep is in some round;
+          // checked against the fate round below.
+          h.beeped_in_fate_round_intent = true;  // provisional; validated later
+        }
+        break;
+      case EventKind::kJoinMis:
+      case EventKind::kDeactivate:
+        if (h.fate_round != kNoRound) {
+          add_issue("node " + std::to_string(e.node) + " has two fates");
+        }
+        h.fate_round = e.round;
+        h.fate = e.kind;
+        break;
+      case EventKind::kCrash:
+        // Injected faults may strike decided nodes; the crash supersedes
+        // any earlier fate without complaint.
+        h.fate_round = e.round;
+        h.fate = e.kind;
+        break;
+      case EventKind::kReactivate:
+        if (h.fate != EventKind::kDeactivate) {
+          add_issue("node " + std::to_string(e.node) +
+                    " reactivated without being dominated");
+        }
+        h.fate_round = kNoRound;  // back in the competition; fate cleared
+        h.fate = EventKind::kBeep;
+        break;
+      case EventKind::kWake:
+        break;  // wake events carry no constraints checked here
+    }
+  }
+
+  // Re-scan beeps to check joiners beeped the intent exchange of their
+  // joining round (the provisional flag above is not round-aware).
+  std::vector<std::uint8_t> joined_beeped(g.node_count(), 0);
+  for (const Event& e : trace.events()) {
+    if (e.kind != EventKind::kBeep || e.exchange != 0) continue;
+    const NodeHistory& h = history[e.node];
+    if (h.fate == EventKind::kJoinMis && h.fate_round == e.round) {
+      joined_beeped[e.node] = 1;
+    }
+  }
+
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    const NodeHistory& h = history[v];
+
+    // (1) final status matches last fate event.
+    const NodeStatus expected = [&] {
+      if (h.fate_round == kNoRound) return NodeStatus::kActive;
+      switch (h.fate) {
+        case EventKind::kJoinMis:
+          return NodeStatus::kInMis;
+        case EventKind::kDeactivate:
+          return NodeStatus::kDominated;
+        case EventKind::kCrash:
+          return NodeStatus::kCrashed;
+        default:
+          return NodeStatus::kActive;
+      }
+    }();
+    if (v < result.status.size() && result.status[v] != expected) {
+      add_issue("node " + std::to_string(v) + " trace fate disagrees with final status");
+    }
+
+    // (2) joiners beeped in their joining round's intent exchange.
+    if (h.fate == EventKind::kJoinMis && !joined_beeped[v]) {
+      add_issue("node " + std::to_string(v) + " joined without an intent beep");
+    }
+
+    // (3) deactivations explained by a neighbour join no later than them.
+    if (h.fate == EventKind::kDeactivate) {
+      bool explained = false;
+      for (const graph::NodeId w : g.neighbors(v)) {
+        const NodeHistory& hw = history[w];
+        if (hw.fate == EventKind::kJoinMis && hw.fate_round <= h.fate_round) {
+          explained = true;
+          break;
+        }
+      }
+      if (!explained) {
+        add_issue("node " + std::to_string(v) +
+                  " deactivated without a previously-joined neighbour");
+      }
+    }
+
+    // (4) adjacent same-round joins (impossible on a reliable channel).
+    if (h.fate == EventKind::kJoinMis) {
+      for (const graph::NodeId w : g.neighbors(v)) {
+        if (w > v && history[w].fate == EventKind::kJoinMis &&
+            history[w].fate_round == h.fate_round) {
+          add_issue("adjacent nodes " + std::to_string(v) + " and " + std::to_string(w) +
+                    " joined in the same round");
+        }
+      }
+    }
+
+    // (5) beep counts agree with the result's counters.
+    if (v < result.beep_counts.size() && h.beeps != result.beep_counts[v]) {
+      add_issue("node " + std::to_string(v) + " trace beeps " + std::to_string(h.beeps) +
+                " != counter " + std::to_string(result.beep_counts[v]));
+    }
+  }
+
+  return report;
+}
+
+}  // namespace beepmis::sim

@@ -1,0 +1,46 @@
+// Trace-replay validation: independently re-checks a recorded event trace
+// of a two-exchange beeping MIS run against the protocol rules and the
+// final RunResult.  This is a second, event-level oracle alongside
+// mis::verify_mis_run's state-level checks — the pair catches simulator
+// and protocol bugs that each alone would miss.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/result.hpp"
+#include "sim/trace.hpp"
+
+namespace beepmis::sim {
+
+struct ReplayReport {
+  /// Human-readable descriptions of every inconsistency found (capped).
+  std::vector<std::string> issues;
+  std::size_t issues_found = 0;
+
+  [[nodiscard]] bool consistent() const noexcept { return issues_found == 0; }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Checks, for a trace recorded from a BeepingMisSkeleton-style protocol on
+/// a *reliable* channel (no beep loss).  Traces with crash injection can
+/// report spurious issues (a deactivation "explained" by a joiner that
+/// later crashed); use the state-level verifier for fault experiments.
+/// Checked properties:
+///   1. every node's final status matches its last fate event (join /
+///      deactivate / crash, or active if none);
+///   2. every joiner beeped (intent exchange) in its joining round;
+///   3. every deactivation is explained by a neighbour that joined in the
+///      same or an earlier round;
+///   4. adjacent nodes never join in the same round via both announcing
+///      (which would imply both beeped unheard — impossible without loss);
+///   5. per-node beep counts in the trace equal RunResult::beep_counts;
+///   6. no events occur for a node after it became inactive.
+/// `max_reported_issues` bounds the string list; issues_found keeps the
+/// true total.
+[[nodiscard]] ReplayReport replay_mis_trace(const graph::Graph& g, const Trace& trace,
+                                            const RunResult& result,
+                                            std::size_t max_reported_issues = 20);
+
+}  // namespace beepmis::sim

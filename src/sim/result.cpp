@@ -1,0 +1,36 @@
+#include "sim/result.hpp"
+
+namespace beepmis::sim {
+
+std::vector<graph::NodeId> RunResult::mis() const {
+  std::vector<graph::NodeId> out;
+  for (std::size_t v = 0; v < status.size(); ++v) {
+    if (status[v] == NodeStatus::kInMis) out.push_back(static_cast<graph::NodeId>(v));
+  }
+  return out;
+}
+
+std::size_t RunResult::active_count() const {
+  std::size_t count = 0;
+  for (const NodeStatus s : status) {
+    if (s == NodeStatus::kActive) ++count;
+  }
+  return count;
+}
+
+std::size_t RunResult::crashed_count() const {
+  std::size_t count = 0;
+  for (const NodeStatus s : status) {
+    if (s == NodeStatus::kCrashed) ++count;
+  }
+  return count;
+}
+
+double RunResult::mean_beeps_per_node() const {
+  if (beep_counts.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::uint32_t b : beep_counts) total += static_cast<double>(b);
+  return total / static_cast<double>(beep_counts.size());
+}
+
+}  // namespace beepmis::sim

@@ -1,0 +1,46 @@
+// Common result type for simulator runs: node fates plus the resource
+// metrics the paper reports (rounds = "time steps", beeps per node,
+// message bits for the LOCAL-model baseline).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace beepmis::sim {
+
+/// Fate of a node during a distributed MIS execution.
+enum class NodeStatus : std::uint8_t {
+  kActive,     ///< still undecided (possibly not yet awake)
+  kInMis,      ///< joined the independent set (inactive)
+  kDominated,  ///< has a neighbour in the set (inactive)
+  kCrashed,    ///< fail-stopped before deciding (fault injection only)
+};
+
+struct RunResult {
+  /// True when every node became inactive before the round cap.
+  bool terminated = false;
+  /// Number of rounds executed, in the paper's "time step" unit (one round
+  /// may comprise several beep exchanges).
+  std::size_t rounds = 0;
+  std::vector<NodeStatus> status;
+  /// Beeps emitted per node across the whole run (beeping model only).
+  std::vector<std::uint32_t> beep_counts;
+  /// Total beeps across all nodes and exchanges.
+  std::uint64_t total_beeps = 0;
+  /// Total message bits sent (LOCAL-model runs; 0 for the beeping model,
+  /// where `total_beeps` is the natural measure).
+  std::uint64_t message_bits = 0;
+
+  /// Nodes with status kInMis, ascending.
+  [[nodiscard]] std::vector<graph::NodeId> mis() const;
+  /// Number of still-active nodes (0 iff terminated normally).
+  [[nodiscard]] std::size_t active_count() const;
+  /// Number of fail-stopped nodes.
+  [[nodiscard]] std::size_t crashed_count() const;
+  /// Mean beeps per node (over all nodes, including non-beepers).
+  [[nodiscard]] double mean_beeps_per_node() const;
+};
+
+}  // namespace beepmis::sim

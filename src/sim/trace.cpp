@@ -1,0 +1,60 @@
+#include "sim/trace.hpp"
+
+#include <limits>
+#include <ostream>
+
+namespace beepmis::sim {
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kBeep:
+      return "beep";
+    case EventKind::kJoinMis:
+      return "join";
+    case EventKind::kDeactivate:
+      return "deactivate";
+    case EventKind::kWake:
+      return "wake";
+    case EventKind::kCrash:
+      return "crash";
+    case EventKind::kReactivate:
+      return "reactivate";
+  }
+  return "unknown";
+}
+
+std::vector<Event> Trace::of_kind(EventKind kind) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t Trace::beeps_of(graph::NodeId node) const {
+  std::size_t count = 0;
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kBeep && e.node == node) ++count;
+  }
+  return count;
+}
+
+std::size_t Trace::inactive_round(graph::NodeId node) const {
+  for (const Event& e : events_) {
+    if (e.node == node &&
+        (e.kind == EventKind::kJoinMis || e.kind == EventKind::kDeactivate)) {
+      return e.round;
+    }
+  }
+  return std::numeric_limits<std::size_t>::max();
+}
+
+void Trace::write_csv(std::ostream& out) const {
+  out << "round,exchange,kind,node\n";
+  for (const Event& e : events_) {
+    out << e.round << ',' << static_cast<int>(e.exchange) << ',' << to_string(e.kind)
+        << ',' << e.node << '\n';
+  }
+}
+
+}  // namespace beepmis::sim

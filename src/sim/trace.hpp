@@ -1,0 +1,57 @@
+// Event traces: an optional per-run record of every beep, join and
+// deactivation, for debugging, visualisation and the trace-replay tests.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace beepmis::sim {
+
+enum class EventKind : std::uint8_t {
+  kBeep,        ///< node emitted a beep in some exchange
+  kJoinMis,     ///< node joined the independent set
+  kDeactivate,  ///< node became dominated
+  kWake,        ///< node woke up (asynchronous-start runs)
+  kCrash,       ///< node fail-stopped (fault injection)
+  kReactivate,  ///< dominated node resumed competing (self-healing runs)
+};
+
+struct Event {
+  std::uint32_t round = 0;
+  std::uint8_t exchange = 0;
+  EventKind kind = EventKind::kBeep;
+  graph::NodeId node = 0;
+
+  friend constexpr bool operator==(const Event&, const Event&) = default;
+};
+
+/// Append-only event log.  Recording is enabled per run via SimConfig; when
+/// disabled the simulator skips all logging work.
+class Trace {
+ public:
+  void clear() noexcept { events_.clear(); }
+  void record(Event e) { events_.push_back(e); }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Events of one kind, in order.
+  [[nodiscard]] std::vector<Event> of_kind(EventKind kind) const;
+  /// Number of beeps recorded for `node`.
+  [[nodiscard]] std::size_t beeps_of(graph::NodeId node) const;
+  /// The round at which `node` became inactive, or SIZE_MAX if it never did.
+  [[nodiscard]] std::size_t inactive_round(graph::NodeId node) const;
+
+  /// CSV with header round,exchange,kind,node.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+}  // namespace beepmis::sim

@@ -1,0 +1,103 @@
+#include "support/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace beepmis::support {
+
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  [[nodiscard]] bool valid() const { return lo <= hi; }
+  [[nodiscard]] double span() const { return hi - lo; }
+};
+
+double maybe_log(double v, bool log_x) { return log_x ? std::log2(v) : v; }
+
+}  // namespace
+
+std::string render_plot(const std::vector<Series>& series, const PlotOptions& options) {
+  Range xr, yr;
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xv = maybe_log(s.x[i], options.log_x);
+      if (!std::isfinite(xv) || !std::isfinite(s.y[i])) continue;
+      xr.include(xv);
+      yr.include(s.y[i]);
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  if (!xr.valid() || !yr.valid()) {
+    out << "(no data)\n";
+    return out.str();
+  }
+  // Avoid zero-span axes.
+  if (xr.span() == 0) {
+    xr.lo -= 1;
+    xr.hi += 1;
+  }
+  if (yr.span() == 0) {
+    yr.lo -= 1;
+    yr.hi += 1;
+  }
+
+  const std::size_t w = std::max<std::size_t>(options.width, 10);
+  const std::size_t h = std::max<std::size_t>(options.height, 5);
+  std::vector<std::string> canvas(h, std::string(w, ' '));
+
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xv = maybe_log(s.x[i], options.log_x);
+      if (!std::isfinite(xv) || !std::isfinite(s.y[i])) continue;
+      const double fx = (xv - xr.lo) / xr.span();
+      const double fy = (s.y[i] - yr.lo) / yr.span();
+      auto col = static_cast<std::size_t>(std::lround(fx * static_cast<double>(w - 1)));
+      auto row_from_bottom =
+          static_cast<std::size_t>(std::lround(fy * static_cast<double>(h - 1)));
+      const std::size_t row = h - 1 - row_from_bottom;
+      char& cell = canvas[row][col];
+      // Overlapping markers from different series render as '+'.
+      cell = (cell == ' ' || cell == s.marker) ? s.marker : '+';
+    }
+  }
+
+  std::ostringstream y_hi_ss, y_lo_ss;
+  y_hi_ss << std::setprecision(4) << yr.hi;
+  y_lo_ss << std::setprecision(4) << yr.lo;
+  const std::size_t margin = std::max(y_hi_ss.str().size(), y_lo_ss.str().size());
+
+  for (std::size_t r = 0; r < h; ++r) {
+    std::string label(margin, ' ');
+    if (r == 0) label = y_hi_ss.str();
+    if (r == h - 1) label = y_lo_ss.str();
+    out << std::setw(static_cast<int>(margin)) << label << " |" << canvas[r] << '\n';
+  }
+  out << std::string(margin + 1, ' ') << '+' << std::string(w, '-') << '\n';
+
+  std::ostringstream x_axis;
+  x_axis << std::setprecision(4) << (options.log_x ? "log2 " : "") << options.x_label << ": "
+         << xr.lo << " .. " << xr.hi;
+  out << std::string(margin + 2, ' ') << x_axis.str() << "   (y: " << options.y_label << ")\n";
+
+  for (const auto& s : series) {
+    if (s.x.empty()) continue;
+    out << "   " << s.marker << " = " << s.label << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace beepmis::support

@@ -1,0 +1,32 @@
+// Terminal scatter plots so bench binaries can render the paper's figures
+// directly into their stdout (Figure 3 / Figure 5 analogues).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace beepmis::support {
+
+/// One plotted series: (x, y) points drawn with `marker`.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+  char marker = '*';
+};
+
+struct PlotOptions {
+  std::size_t width = 72;   ///< plot area width in characters
+  std::size_t height = 20;  ///< plot area height in characters
+  bool log_x = false;       ///< plot against log2(x)
+  std::string title;
+  std::string x_label = "x";
+  std::string y_label = "y";
+};
+
+/// Renders series into a framed ASCII scatter plot with axis ranges and a
+/// legend.  Series may have different lengths; empty series are skipped.
+[[nodiscard]] std::string render_plot(const std::vector<Series>& series,
+                                      const PlotOptions& options);
+
+}  // namespace beepmis::support

@@ -1,0 +1,117 @@
+#include "support/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace beepmis::support {
+
+std::string csv_escape(std::string_view cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(cell);
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string_view>& cells) {
+  bool first = true;
+  for (auto cell : cells) {
+    if (!first) out_ << ',';
+    out_ << csv_escape(cell);
+    first = false;
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  std::vector<std::string_view> views(cells.begin(), cells.end());
+  row(views);
+}
+
+void CsvWriter::numeric_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream ss;
+    ss.precision(precision);
+    ss << v;
+    formatted.push_back(ss.str());
+  }
+  row(formatted);
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> current_row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;  // a row with content, even empty cells, counts
+
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto end_cell = [&] {
+    current_row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(current_row));
+    current_row.clear();
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        cell_started = true;
+        ++i;
+        break;
+      case ',':
+        end_cell();
+        cell_started = true;  // next cell exists even if empty
+        ++i;
+        break;
+      case '\r':
+        ++i;  // tolerate CRLF; the '\n' branch ends the row
+        break;
+      case '\n':
+        end_row();
+        ++i;
+        break;
+      default:
+        cell.push_back(c);
+        cell_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("parse_csv: unterminated quoted cell");
+  if (cell_started || !cell.empty() || !current_row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace beepmis::support

@@ -1,0 +1,48 @@
+// Minimal CSV reading/writing (RFC-4180 quoting) for experiment output.
+// Every bench binary emits its table as CSV alongside the human-readable
+// rendering so results can be re-plotted without re-running.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace beepmis::support {
+
+/// Streaming CSV writer.  Cells are quoted only when required.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row; any cell containing a comma, quote or newline is quoted.
+  void row(std::initializer_list<std::string_view> cells) {
+    row(std::vector<std::string_view>(cells));
+  }
+  void row(const std::vector<std::string_view>& cells);
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: format numeric cells with `precision` significant digits.
+  void numeric_row(const std::vector<double>& cells, int precision = 10);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a single cell per RFC 4180 if needed.
+[[nodiscard]] std::string csv_escape(std::string_view cell);
+
+/// Parses CSV text into rows of cells.  Handles quoted cells with embedded
+/// commas, quotes ("" escape) and newlines; tolerates both \n and \r\n.
+/// Throws std::runtime_error on an unterminated quoted cell.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+}  // namespace beepmis::support

@@ -1,0 +1,91 @@
+#include "support/fit.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace beepmis::support {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) noexcept {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return fit;
+
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;
+
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  double ss_res = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double resid = y[i] - (fit.slope * x[i] + fit.intercept);
+    ss_res += resid * resid;
+  }
+  fit.residual_rms = std::sqrt(ss_res / static_cast<double>(n));
+  fit.r_squared = syy == 0.0 ? 1.0 : 1.0 - ss_res / syy;
+  return fit;
+}
+
+namespace {
+
+std::vector<double> transform_log2(std::span<const double> x, bool squared) {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (double v : x) {
+    const double l = std::log2(v);
+    out.push_back(squared ? l * l : l);
+  }
+  return out;
+}
+
+}  // namespace
+
+LinearFit fit_vs_log2(std::span<const double> x, std::span<const double> y) noexcept {
+  const auto tx = transform_log2(x, /*squared=*/false);
+  return fit_linear(tx, y);
+}
+
+LinearFit fit_vs_log2_squared(std::span<const double> x, std::span<const double> y) noexcept {
+  const auto tx = transform_log2(x, /*squared=*/true);
+  return fit_linear(tx, y);
+}
+
+GrowthComparison compare_growth(std::span<const double> n_values,
+                                std::span<const double> y) noexcept {
+  GrowthComparison cmp;
+  cmp.vs_log = fit_vs_log2(n_values, y);
+  cmp.vs_log_squared = fit_vs_log2_squared(n_values, y);
+  cmp.prefers_log_squared = cmp.vs_log_squared.residual_rms < cmp.vs_log.residual_rms;
+  return cmp;
+}
+
+std::string describe_fit(const LinearFit& fit, const std::string& basis) {
+  std::ostringstream out;
+  out.precision(4);
+  out << "y = " << fit.slope << "*" << basis;
+  if (fit.intercept >= 0) {
+    out << " + " << fit.intercept;
+  } else {
+    out << " - " << -fit.intercept;
+  }
+  out << "  (R^2=" << fit.r_squared << ", rms=" << fit.residual_rms << ")";
+  return out.str();
+}
+
+}  // namespace beepmis::support

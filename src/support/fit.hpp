@@ -1,0 +1,46 @@
+// Least-squares curve fitting used to check the *shape* of measured round
+// counts against the paper's predicted growth rates (Θ(log n) for local
+// feedback, Θ(log² n) for global schedules).
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace beepmis::support {
+
+/// Result of an ordinary least-squares fit y ≈ slope * f(x) + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1] (1 = perfect fit).
+  double r_squared = 0.0;
+  /// Root-mean-square residual in the units of y.
+  double residual_rms = 0.0;
+};
+
+/// OLS fit of y against x.  Requires x.size() == y.size() >= 2 and x not all
+/// equal; otherwise returns a degenerate fit with r_squared = 0.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// Fit y against log2(x).  All x must be positive.
+[[nodiscard]] LinearFit fit_vs_log2(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// Fit y against (log2 x)^2.  All x must be positive.
+[[nodiscard]] LinearFit fit_vs_log2_squared(std::span<const double> x,
+                                            std::span<const double> y) noexcept;
+
+/// Which growth model explains the data better, by residual RMS.
+struct GrowthComparison {
+  LinearFit vs_log;
+  LinearFit vs_log_squared;
+  /// True when the log² model has strictly smaller residual RMS.
+  bool prefers_log_squared = false;
+};
+
+[[nodiscard]] GrowthComparison compare_growth(std::span<const double> n_values,
+                                              std::span<const double> y) noexcept;
+
+/// Human-readable one-line description, e.g. "y = 2.47*log2(n) + 1.3 (R²=0.996)".
+[[nodiscard]] std::string describe_fit(const LinearFit& fit, const std::string& basis);
+
+}  // namespace beepmis::support

@@ -1,0 +1,96 @@
+#include "support/options.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace beepmis::support {
+
+Options& Options::add(std::string name, std::string default_value, std::string help) {
+  if (!flags_.contains(name)) order_.push_back(name);
+  flags_[std::move(name)] = Flag{std::move(default_value), std::move(help), std::nullopt};
+  return *this;
+}
+
+bool Options::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = body.find('='); eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_value = true;
+    }
+    if (auto it = flags_.find(body); it != flags_.end()) {
+      if (!has_value) {
+        // Boolean-style flag or space-separated value.
+        if (i + 1 < argc && flags_.contains(body) &&
+            (it->second.default_value == "true" || it->second.default_value == "false")) {
+          value = "true";
+        } else if (i + 1 < argc) {
+          value = argv[++i];
+        } else {
+          value = "true";
+        }
+      }
+      it->second.value = value;
+      continue;
+    }
+    // --no-name for booleans.
+    if (body.rfind("no-", 0) == 0) {
+      if (auto it2 = flags_.find(body.substr(3)); it2 != flags_.end()) {
+        it2->second.value = "false";
+        continue;
+      }
+    }
+    error_ = "unknown flag: --" + body;
+    return false;
+  }
+  return true;
+}
+
+const Options::Flag& Options::flag_or_throw(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::invalid_argument("unregistered flag: " + name);
+  return it->second;
+}
+
+std::string Options::get(const std::string& name) const {
+  const Flag& f = flag_or_throw(name);
+  return f.value.value_or(f.default_value);
+}
+
+long Options::get_int(const std::string& name) const { return std::stol(get(name)); }
+
+std::uint64_t Options::get_u64(const std::string& name) const {
+  return std::stoull(get(name));
+}
+
+double Options::get_double(const std::string& name) const { return std::stod(get(name)); }
+
+bool Options::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string Options::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    out << "  --" << name << " (default: " << f.default_value << ")\n      " << f.help
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace beepmis::support

@@ -1,0 +1,54 @@
+// Small command-line flag parser shared by the examples and bench binaries.
+// Supports --name=value, --name value, and boolean --name / --no-name.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace beepmis::support {
+
+class Options {
+ public:
+  /// Registers a flag with its default value and help text.  Registration
+  /// order is preserved in the usage message.
+  Options& add(std::string name, std::string default_value, std::string help);
+
+  /// Parses argv.  Returns false (and fills error()) on an unknown flag or
+  /// malformed input.  `--help` sets help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] long get_int(const std::string& name) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] bool help_requested() const noexcept { return help_requested_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+
+  [[nodiscard]] const Flag& flag_or_throw(const std::string& name) const;
+
+  std::vector<std::string> order_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace beepmis::support

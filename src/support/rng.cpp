@@ -1,0 +1,50 @@
+#include "support/rng.hpp"
+
+namespace beepmis::support {
+
+void Xoshiro256StarStar::jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+      0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+
+  std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+      }
+      (void)(*this)();
+    }
+  }
+  state_ = acc;
+}
+
+Xoshiro256StarStar Xoshiro256StarStar::split(std::uint64_t stream) const noexcept {
+  // Hash the full current state together with the stream index so that
+  // splits from distinct parents (or the same parent at different times)
+  // are independent.
+  std::uint64_t h = mix_seed(state_[0], state_[1]);
+  h = mix_seed(h, state_[2]);
+  h = mix_seed(h, state_[3]);
+  h = mix_seed(h, stream);
+  return Xoshiro256StarStar(h);
+}
+
+std::uint64_t Xoshiro256StarStar::below(std::uint64_t bound) noexcept {
+  // Lemire (2019): multiply-shift with rejection to remove modulo bias.
+  __extension__ using uint128 = unsigned __int128;
+  std::uint64_t x = (*this)();
+  uint128 m = static_cast<uint128>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<uint128>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace beepmis::support

@@ -1,0 +1,84 @@
+// Descriptive statistics used throughout the experiment harness: running
+// moments (Welford), five-number summaries, quantiles and histograms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace beepmis::support {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm), mergeable
+/// so per-thread accumulators can be combined after a parallel sweep.
+class RunningStats {
+ public:
+  void push(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 when fewer than two samples.
+  [[nodiscard]] double stderr_mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample, including order statistics.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarises `values` (copies internally for sorting); empty input yields a
+/// zero summary.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Linear-interpolated quantile of a *sorted* sample, q in [0, 1].
+/// Precondition: `sorted` is nonempty and ascending.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q) noexcept;
+
+[[nodiscard]] double mean_of(std::span<const double> values) noexcept;
+[[nodiscard]] double stddev_of(std::span<const double> values) noexcept;
+
+/// Fixed-width histogram over [lo, hi); samples outside the range clamp to
+/// the first/last bin so no mass is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void push(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t bin) const noexcept;
+  /// Multi-line ASCII rendering ("[lo, hi) ####### count").
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace beepmis::support

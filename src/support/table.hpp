@@ -1,0 +1,48 @@
+// Fixed-width table rendering for bench output: each bench binary prints
+// the same rows/series the paper's figures report, in a stable format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace beepmis::support {
+
+/// Accumulates rows of cells and renders them column-aligned.  Numeric
+/// convenience overloads format with a fixed number of decimals.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begins a new row; subsequent cell() calls append to it.
+  Table& new_row();
+  Table& cell(std::string value);
+  Table& cell(std::string_view value) { return cell(std::string(value)); }
+  Table& cell(const char* value) { return cell(std::string(value)); }
+  Table& cell(double value, int decimals = 2);
+  Table& cell(std::size_t value);
+  Table& cell(long value);
+  Table& cell(int value) { return cell(static_cast<long>(value)); }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept { return headers_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const noexcept {
+    return rows_;
+  }
+
+  /// Renders with a header rule; columns sized to max content width.
+  void print(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes the same content as CSV.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `decimals` places (std::fixed).
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+}  // namespace beepmis::support

@@ -1,0 +1,101 @@
+#include "mis/applications.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace beepmis::mis {
+namespace {
+
+TEST(DistributedColoring, ProperOnRandomGraphs) {
+  auto rng = support::Xoshiro256StarStar(201);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const graph::Graph g = graph::gnp(60, 0.2, rng);
+    const ColoringResult result = distributed_coloring(g, seed);
+    EXPECT_TRUE(graph::is_proper_coloring(g, result.coloring)) << "seed " << seed;
+    EXPECT_EQ(result.phases, result.coloring.colors_used);
+    EXPECT_GT(result.total_rounds, 0u);
+  }
+}
+
+TEST(DistributedColoring, StructuredFamilies) {
+  for (const graph::Graph& g : {graph::ring(20), graph::grid2d(6, 6),
+                                graph::complete(10), graph::star(15)}) {
+    const ColoringResult result = distributed_coloring(g, 3);
+    EXPECT_TRUE(graph::is_proper_coloring(g, result.coloring));
+  }
+}
+
+TEST(DistributedColoring, CliqueNeedsExactlyNColors) {
+  const ColoringResult result = distributed_coloring(graph::complete(12), 1);
+  EXPECT_EQ(result.coloring.colors_used, 12u);
+}
+
+TEST(DistributedColoring, BipartiteStaysNearTwo) {
+  // Iterated MIS colours bipartite-ish graphs with few colours (not
+  // necessarily 2, but far below Δ).
+  auto rng = support::Xoshiro256StarStar(203);
+  const graph::Graph g = graph::random_bipartite(30, 30, 0.3, rng);
+  const ColoringResult result = distributed_coloring(g, 5);
+  EXPECT_TRUE(graph::is_proper_coloring(g, result.coloring));
+  EXPECT_LE(result.coloring.colors_used, 6u);
+}
+
+TEST(DistributedColoring, EdgelessUsesOneColor) {
+  const ColoringResult result = distributed_coloring(graph::empty_graph(10), 1);
+  EXPECT_EQ(result.coloring.colors_used, 1u);
+}
+
+TEST(DistributedColoring, ColorCountAtMostDegreePlusOneInPractice) {
+  auto rng = support::Xoshiro256StarStar(207);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const graph::Graph g = graph::gnp(50, 0.15, rng);
+    const ColoringResult result = distributed_coloring(g, seed);
+    EXPECT_LE(result.coloring.colors_used, g.max_degree() + 1) << "seed " << seed;
+  }
+}
+
+TEST(MaximalMatching, ValidOnRandomGraphs) {
+  auto rng = support::Xoshiro256StarStar(211);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const graph::Graph g = graph::gnp(50, 0.15, rng);
+    const MatchingResult result = maximal_matching(g, seed);
+    EXPECT_TRUE(graph::is_maximal_matching(g, result.matching)) << "seed " << seed;
+  }
+}
+
+TEST(MaximalMatching, StructuredFamilies) {
+  for (const graph::Graph& g : {graph::ring(21), graph::grid2d(5, 8),
+                                graph::complete(14), graph::star(12)}) {
+    const MatchingResult result = maximal_matching(g, 7);
+    EXPECT_TRUE(graph::is_maximal_matching(g, result.matching));
+  }
+}
+
+TEST(MaximalMatching, StarMatchesExactlyOneEdge) {
+  const MatchingResult result = maximal_matching(graph::star(10), 2);
+  EXPECT_EQ(result.matching.size(), 1u);
+}
+
+TEST(MaximalMatching, PerfectOnEvenPath) {
+  // P_4 has a perfect matching of size 2; any maximal matching has >= 1.
+  const MatchingResult result = maximal_matching(graph::path(4), 3);
+  EXPECT_GE(result.matching.size(), 1u);
+  EXPECT_LE(result.matching.size(), 2u);
+}
+
+TEST(MaximalMatching, EdgelessGraphHasEmptyMatching) {
+  const MatchingResult result = maximal_matching(graph::empty_graph(6), 1);
+  EXPECT_TRUE(result.matching.empty());
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(MaximalMatching, RoundsLogarithmicInEdges) {
+  auto rng = support::Xoshiro256StarStar(213);
+  const graph::Graph g = graph::gnp(120, 0.1, rng);
+  const MatchingResult result = maximal_matching(g, 1);
+  EXPECT_LT(result.rounds, 60u);  // O(log m) with small constants
+}
+
+}  // namespace
+}  // namespace beepmis::mis

@@ -1,0 +1,67 @@
+#include "support/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace beepmis::support {
+namespace {
+
+TEST(AsciiPlot, EmptySeriesSaysNoData) {
+  const std::string out = render_plot({}, PlotOptions{});
+  EXPECT_NE(out.find("no data"), std::string::npos);
+}
+
+TEST(AsciiPlot, RendersMarkersAndLegend) {
+  Series s{"rounds", {1, 2, 3}, {1, 4, 9}, '*'};
+  PlotOptions options;
+  options.title = "demo";
+  const std::string out = render_plot({s}, options);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("rounds"), std::string::npos);
+  EXPECT_NE(out.find("demo"), std::string::npos);
+}
+
+TEST(AsciiPlot, TwoSeriesBothAppear) {
+  Series a{"a", {1, 2}, {1, 1}, 'A'};
+  Series b{"b", {1, 2}, {10, 10}, 'B'};
+  const std::string out = render_plot({a, b}, PlotOptions{});
+  EXPECT_NE(out.find('A'), std::string::npos);
+  EXPECT_NE(out.find('B'), std::string::npos);
+}
+
+TEST(AsciiPlot, OverlapRendersPlus) {
+  Series a{"a", {1, 2}, {1, 2}, 'A'};
+  Series b{"b", {1, 2}, {1, 2}, 'B'};
+  const std::string out = render_plot({a, b}, PlotOptions{});
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, SinglePointDoesNotCrash) {
+  Series s{"p", {5}, {5}, '*'};
+  const std::string out = render_plot({s}, PlotOptions{});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, LogXHandlesWideRange) {
+  Series s{"wide", {2, 1024, 1u << 20}, {1, 2, 3}, '*'};
+  PlotOptions options;
+  options.log_x = true;
+  const std::string out = render_plot({s}, options);
+  EXPECT_NE(out.find("log2"), std::string::npos);
+}
+
+TEST(AsciiPlot, MismatchedLengthsUseCommonPrefix) {
+  Series s{"m", {1, 2, 3}, {1, 2}, '*'};
+  const std::string out = render_plot({s}, PlotOptions{});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, SkipsNonFiniteValues) {
+  Series s{"nan", {1, 2, 3}, {1, std::nan(""), 3}, '*'};
+  const std::string out = render_plot({s}, PlotOptions{});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace beepmis::support

@@ -1,0 +1,239 @@
+#include "sim/beep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace beepmis::sim {
+namespace {
+
+using graph::NodeId;
+
+/// Joins every active node in the first react phase; the graph must be
+/// edgeless for the result to be a valid MIS, but the simulator does not
+/// care — useful for exercising termination mechanics.
+class JoinAllProtocol final : public BeepProtocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "join-all"; }
+  [[nodiscard]] unsigned exchanges_per_round() const override { return 1; }
+  void reset(const graph::Graph&, support::Xoshiro256StarStar&) override {}
+  void emit(BeepContext&) override {}
+  void react(BeepContext& ctx) override {
+    for (const NodeId v : ctx.active_nodes()) ctx.join_mis(v);
+  }
+};
+
+/// Every node beeps every round and nobody ever transitions.
+class BeepForeverProtocol final : public BeepProtocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "beep-forever"; }
+  [[nodiscard]] unsigned exchanges_per_round() const override { return 1; }
+  void reset(const graph::Graph&, support::Xoshiro256StarStar&) override {}
+  void emit(BeepContext& ctx) override {
+    for (const NodeId v : ctx.active_nodes()) ctx.beep(v);
+  }
+  void react(BeepContext&) override {}
+};
+
+/// Node 0 beeps each round; other nodes record whether they heard it; all
+/// nodes join after `rounds_before_join` rounds.
+class HubBeepProtocol final : public BeepProtocol {
+ public:
+  explicit HubBeepProtocol(std::size_t rounds_before_join)
+      : rounds_before_join_(rounds_before_join) {}
+
+  [[nodiscard]] std::string_view name() const override { return "hub-beep"; }
+  [[nodiscard]] unsigned exchanges_per_round() const override { return 1; }
+  void reset(const graph::Graph& g, support::Xoshiro256StarStar&) override {
+    heard_counts.assign(g.node_count(), 0);
+  }
+  void emit(BeepContext& ctx) override { ctx.beep(0); }
+  void react(BeepContext& ctx) override {
+    for (const NodeId v : ctx.active_nodes()) {
+      if (ctx.heard(v)) ++heard_counts[v];
+    }
+    if (ctx.round() + 1 >= rounds_before_join_) {
+      for (const NodeId v : ctx.active_nodes()) ctx.join_mis(v);
+    }
+  }
+
+  std::vector<std::size_t> heard_counts;
+
+ private:
+  std::size_t rounds_before_join_;
+};
+
+/// Misbehaving protocols for precondition checks.
+class JoinDuringEmitProtocol final : public BeepProtocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "bad-join"; }
+  [[nodiscard]] unsigned exchanges_per_round() const override { return 1; }
+  void reset(const graph::Graph&, support::Xoshiro256StarStar&) override {}
+  void emit(BeepContext& ctx) override { ctx.join_mis(0); }
+  void react(BeepContext&) override {}
+};
+
+class BeepDuringReactProtocol final : public BeepProtocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "bad-beep"; }
+  [[nodiscard]] unsigned exchanges_per_round() const override { return 1; }
+  void reset(const graph::Graph&, support::Xoshiro256StarStar&) override {}
+  void emit(BeepContext&) override {}
+  void react(BeepContext& ctx) override { ctx.beep(0); }
+};
+
+class ZeroExchangesProtocol final : public BeepProtocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "zero"; }
+  [[nodiscard]] unsigned exchanges_per_round() const override { return 0; }
+  void reset(const graph::Graph&, support::Xoshiro256StarStar&) override {}
+  void emit(BeepContext&) override {}
+  void react(BeepContext&) override {}
+};
+
+TEST(BeepSimulator, JoinAllTerminatesInOneRound) {
+  const graph::Graph g = graph::empty_graph(5);
+  BeepSimulator simulator(g);
+  JoinAllProtocol protocol;
+  const RunResult result = simulator.run(protocol, support::Xoshiro256StarStar(1));
+  EXPECT_TRUE(result.terminated);
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(result.mis().size(), 5u);
+  EXPECT_EQ(result.active_count(), 0u);
+}
+
+TEST(BeepSimulator, RoundCapStopsNonTerminatingRun) {
+  const graph::Graph g = graph::complete(4);
+  SimConfig config;
+  config.max_rounds = 10;
+  BeepSimulator simulator(g, config);
+  BeepForeverProtocol protocol;
+  const RunResult result = simulator.run(protocol, support::Xoshiro256StarStar(1));
+  EXPECT_FALSE(result.terminated);
+  EXPECT_EQ(result.rounds, 10u);
+  EXPECT_EQ(result.active_count(), 4u);
+  // Every node beeped once per round.
+  for (const auto b : result.beep_counts) EXPECT_EQ(b, 10u);
+  EXPECT_EQ(result.total_beeps, 40u);
+}
+
+TEST(BeepSimulator, HeardFollowsTopology) {
+  // Star: hub 0 beeps, all leaves hear; hub hears nothing (leaves silent).
+  const graph::Graph g = graph::star(4);
+  BeepSimulator simulator(g);
+  HubBeepProtocol protocol(1);
+  (void)simulator.run(protocol, support::Xoshiro256StarStar(1));
+  EXPECT_EQ(protocol.heard_counts[0], 0u);
+  for (NodeId v = 1; v < 4; ++v) EXPECT_EQ(protocol.heard_counts[v], 1u);
+}
+
+TEST(BeepSimulator, HeardDoesNotCrossComponents) {
+  // Two disjoint edges: 0-1 and 2-3; only node 0 beeps.
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const graph::Graph g = b.build();
+  BeepSimulator simulator(g);
+  HubBeepProtocol protocol(1);
+  (void)simulator.run(protocol, support::Xoshiro256StarStar(1));
+  EXPECT_EQ(protocol.heard_counts[1], 1u);
+  EXPECT_EQ(protocol.heard_counts[2], 0u);
+  EXPECT_EQ(protocol.heard_counts[3], 0u);
+}
+
+TEST(BeepSimulator, BeepLossReducesHearing) {
+  const graph::Graph g = graph::path(2);
+  SimConfig config;
+  config.beep_loss_probability = 0.75;
+  BeepSimulator simulator(g, config);
+  const std::size_t rounds = 4000;
+  HubBeepProtocol protocol(rounds);
+  (void)simulator.run(protocol, support::Xoshiro256StarStar(7));
+  const double rate =
+      static_cast<double>(protocol.heard_counts[1]) / static_cast<double>(rounds);
+  EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+TEST(BeepSimulator, LosslessDeliveryIsCertain) {
+  const graph::Graph g = graph::path(2);
+  BeepSimulator simulator(g);
+  HubBeepProtocol protocol(100);
+  (void)simulator.run(protocol, support::Xoshiro256StarStar(7));
+  EXPECT_EQ(protocol.heard_counts[1], 100u);
+}
+
+TEST(BeepSimulator, RejectsBadLossProbability) {
+  const graph::Graph g = graph::path(2);
+  SimConfig config;
+  config.beep_loss_probability = 1.0;
+  EXPECT_THROW(BeepSimulator(g, config), std::invalid_argument);
+  config.beep_loss_probability = -0.1;
+  EXPECT_THROW(BeepSimulator(g, config), std::invalid_argument);
+}
+
+TEST(BeepSimulator, ProtocolPhaseViolationsThrow) {
+  const graph::Graph g = graph::path(2);
+  BeepSimulator simulator(g);
+  JoinDuringEmitProtocol bad_join;
+  EXPECT_THROW((void)simulator.run(bad_join, support::Xoshiro256StarStar(1)),
+               std::logic_error);
+  BeepDuringReactProtocol bad_beep;
+  EXPECT_THROW((void)simulator.run(bad_beep, support::Xoshiro256StarStar(1)),
+               std::logic_error);
+  ZeroExchangesProtocol zero;
+  EXPECT_THROW((void)simulator.run(zero, support::Xoshiro256StarStar(1)),
+               std::logic_error);
+}
+
+TEST(BeepSimulator, TraceRecordsWhenEnabled) {
+  const graph::Graph g = graph::star(3);
+  SimConfig config;
+  config.record_trace = true;
+  BeepSimulator simulator(g, config);
+  HubBeepProtocol protocol(2);
+  (void)simulator.run(protocol, support::Xoshiro256StarStar(1));
+  const Trace& trace = simulator.trace();
+  EXPECT_EQ(trace.beeps_of(0), 2u);
+  EXPECT_EQ(trace.of_kind(EventKind::kJoinMis).size(), 3u);
+}
+
+TEST(BeepSimulator, TraceEmptyWhenDisabled) {
+  const graph::Graph g = graph::star(3);
+  BeepSimulator simulator(g);
+  HubBeepProtocol protocol(2);
+  (void)simulator.run(protocol, support::Xoshiro256StarStar(1));
+  EXPECT_EQ(simulator.trace().size(), 0u);
+}
+
+TEST(BeepSimulator, EmptyGraphTerminatesImmediately) {
+  const graph::Graph g = graph::empty_graph(0);
+  BeepSimulator simulator(g);
+  JoinAllProtocol protocol;
+  const RunResult result = simulator.run(protocol, support::Xoshiro256StarStar(1));
+  EXPECT_TRUE(result.terminated);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(BeepSimulator, ReusableForMultipleRuns) {
+  const graph::Graph g = graph::empty_graph(3);
+  BeepSimulator simulator(g);
+  JoinAllProtocol protocol;
+  const RunResult first = simulator.run(protocol, support::Xoshiro256StarStar(1));
+  const RunResult second = simulator.run(protocol, support::Xoshiro256StarStar(2));
+  EXPECT_EQ(first.rounds, second.rounds);
+  EXPECT_EQ(first.mis(), second.mis());
+}
+
+TEST(RunResult, AccessorsAgree) {
+  RunResult r;
+  r.status = {NodeStatus::kInMis, NodeStatus::kDominated, NodeStatus::kActive,
+              NodeStatus::kInMis};
+  r.beep_counts = {2, 0, 1, 1};
+  EXPECT_EQ(r.mis(), (std::vector<NodeId>{0, 3}));
+  EXPECT_EQ(r.active_count(), 1u);
+  EXPECT_DOUBLE_EQ(r.mean_beeps_per_node(), 1.0);
+}
+
+}  // namespace
+}  // namespace beepmis::sim

@@ -1,0 +1,128 @@
+#include "cli/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mis/verifier.hpp"
+
+namespace beepmis::cli {
+namespace {
+
+TEST(GraphRegistry, EveryListedFamilyBuilds) {
+  for (const std::string& family : graph_families()) {
+    GraphSpec spec;
+    spec.family = family;
+    spec.n = 32;
+    spec.p = family == "geometric" ? 0.3 : 0.2;
+    spec.rows = 5;
+    spec.cols = 6;
+    spec.k = 3;
+    const graph::Graph g = make_graph(spec);
+    EXPECT_GT(g.node_count(), 0u) << family;
+  }
+}
+
+TEST(GraphRegistry, UnknownFamilyThrows) {
+  GraphSpec spec;
+  spec.family = "nonsense";
+  EXPECT_THROW((void)make_graph(spec), std::invalid_argument);
+}
+
+TEST(GraphRegistry, ParametersAreHonoured) {
+  GraphSpec spec;
+  spec.family = "grid";
+  spec.rows = 4;
+  spec.cols = 7;
+  EXPECT_EQ(make_graph(spec).node_count(), 28u);
+
+  spec.family = "clique-family";
+  spec.k = 4;
+  EXPECT_EQ(make_graph(spec).node_count(), 4u * 10u);
+
+  spec.family = "hypercube";
+  spec.n = 16;
+  const graph::Graph q = make_graph(spec);
+  EXPECT_EQ(q.node_count(), 16u);
+  EXPECT_EQ(q.max_degree(), 4u);
+}
+
+TEST(GraphRegistry, SeedControlsRandomFamilies) {
+  GraphSpec a;
+  a.family = "gnp";
+  a.n = 50;
+  a.seed = 1;
+  GraphSpec b = a;
+  b.seed = 2;
+  EXPECT_NE(make_graph(a).edges(), make_graph(b).edges());
+  GraphSpec c = a;
+  EXPECT_EQ(make_graph(a).edges(), make_graph(c).edges());
+}
+
+TEST(GraphRegistry, HelpMentionsEveryFamily) {
+  const std::string help = graph_help();
+  for (const std::string& family : graph_families()) {
+    EXPECT_NE(help.find(family), std::string::npos) << family;
+  }
+}
+
+TEST(AlgorithmRegistry, EveryAlgorithmProducesValidMis) {
+  GraphSpec gspec;
+  gspec.family = "gnp";
+  gspec.n = 40;
+  gspec.p = 0.3;
+  const graph::Graph g = make_graph(gspec);
+  for (const std::string& name : algorithm_names()) {
+    AlgorithmSpec aspec;
+    aspec.name = name;
+    aspec.seed = 7;
+    const sim::RunResult result = run_algorithm(aspec, g);
+    EXPECT_TRUE(mis::is_valid_mis_run(g, result)) << name;
+  }
+}
+
+TEST(AlgorithmRegistry, UnknownAlgorithmThrows) {
+  AlgorithmSpec spec;
+  spec.name = "nonsense";
+  const graph::Graph g = make_graph(GraphSpec{});
+  EXPECT_THROW((void)run_algorithm(spec, g), std::invalid_argument);
+}
+
+TEST(AlgorithmRegistry, LocalFeedbackKnobsApplied) {
+  GraphSpec gspec;
+  gspec.family = "gnp";
+  gspec.n = 40;
+  const graph::Graph g = make_graph(gspec);
+  AlgorithmSpec a;
+  a.name = "local-feedback";
+  a.factor = 1.5;
+  a.initial_p = 0.25;
+  const sim::RunResult result = run_algorithm(a, g);
+  EXPECT_TRUE(mis::is_valid_mis_run(g, result));
+}
+
+TEST(AlgorithmRegistry, SimConfigPropagates) {
+  GraphSpec gspec;
+  gspec.family = "path";
+  gspec.n = 2;
+  const graph::Graph g = make_graph(gspec);
+  AlgorithmSpec a;
+  a.name = "global-sweep";
+  a.sim.max_rounds = 1;  // cannot finish a 2-path reliably in one round
+  std::size_t not_terminated = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    a.seed = seed;
+    if (!run_algorithm(a, g).terminated) ++not_terminated;
+  }
+  EXPECT_GT(not_terminated, 0u);
+}
+
+TEST(AlgorithmRegistry, HelpMentionsEveryAlgorithm) {
+  const std::string help = algorithm_help();
+  for (const std::string& name : algorithm_names()) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace beepmis::cli

@@ -1,0 +1,125 @@
+// Statistical complexity checks tying measurements to the paper's claims:
+//   * Theorem 2/Corollary 5: local feedback is O(log n) rounds.
+//   * Theorem 6: O(1) expected beeps per node for local feedback.
+//   * Theorem 1 (empirical side): the global sweep falls behind on the
+//     clique family while local feedback does not.
+// Thresholds are deliberately loose (3-5x the expected constants) so the
+// tests are robust to seed choice while still catching regressions that
+// break the asymptotics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/runner.hpp"
+#include "graph/generators.hpp"
+#include "mis/local_feedback.hpp"
+#include "mis/mis.hpp"
+#include "mis/theory.hpp"
+
+namespace beepmis {
+namespace {
+
+harness::TrialStats stats_for(const harness::GraphFactory& graphs, std::size_t trials,
+                              std::uint64_t seed) {
+  harness::TrialConfig config;
+  config.trials = trials;
+  config.base_seed = seed;
+  return harness::run_beep_trials(
+      graphs, [] { return std::make_unique<mis::LocalFeedbackMis>(); }, config);
+}
+
+TEST(Complexity, LocalFeedbackRoundsScaleLogarithmically) {
+  // Mean rounds on G(n, 1/2) should stay within a modest multiple of
+  // log2 n (paper: ~2.5 log2 n).
+  for (const std::size_t n : {64u, 256u, 1024u}) {
+    const harness::GraphFactory graphs = [n](support::Xoshiro256StarStar& rng) {
+      return graph::gnp(static_cast<graph::NodeId>(n), 0.5, rng);
+    };
+    const harness::TrialStats stats = stats_for(graphs, 20, 100 + n);
+    const double bound = 6.0 * std::log2(static_cast<double>(n));
+    EXPECT_LT(stats.rounds.mean(), bound) << "n=" << n;
+    EXPECT_EQ(stats.valid, stats.trials);
+  }
+}
+
+TEST(Complexity, LocalFeedbackRoundsGrowSlowerThanSqrtN) {
+  // Doubling n four times (16x) should grow rounds by far less than 4x
+  // (which sqrt growth would give); log growth gives ~1.4x.
+  const auto mean_rounds = [&](std::size_t n) {
+    const harness::GraphFactory graphs = [n](support::Xoshiro256StarStar& rng) {
+      return graph::gnp(static_cast<graph::NodeId>(n), 0.5, rng);
+    };
+    return stats_for(graphs, 20, 555).rounds.mean();
+  };
+  const double small = mean_rounds(64);
+  const double large = mean_rounds(1024);
+  EXPECT_LT(large / small, 2.5);
+}
+
+TEST(Complexity, Theorem6BeepsPerNodeBoundedByConstant) {
+  for (const std::size_t n : {50u, 200u, 800u}) {
+    const harness::GraphFactory graphs = [n](support::Xoshiro256StarStar& rng) {
+      return graph::gnp(static_cast<graph::NodeId>(n), 0.5, rng);
+    };
+    const harness::TrialStats stats = stats_for(graphs, 20, 200 + n);
+    // Theorem 6 proves E[beeps] < 8; measured is ~1.1.  Use the proof's
+    // constant as the hard ceiling.
+    EXPECT_LT(stats.beeps_per_node.mean(), mis::theorem6_beep_bound()) << "n=" << n;
+  }
+}
+
+TEST(Complexity, BeepsPerNodeFlatAcrossN) {
+  const auto mean_beeps = [&](std::size_t n) {
+    const harness::GraphFactory graphs = [n](support::Xoshiro256StarStar& rng) {
+      return graph::gnp(static_cast<graph::NodeId>(n), 0.5, rng);
+    };
+    return stats_for(graphs, 25, 777).beeps_per_node.mean();
+  };
+  const double small = mean_beeps(50);
+  const double large = mean_beeps(800);
+  // Theorem 6: no growth with n (allow 50% noise either way).
+  EXPECT_LT(large, small * 1.5);
+  EXPECT_GT(large, small * 0.5);
+}
+
+TEST(Complexity, GridBeepsNearPaperValue) {
+  // Paper §5: ~1.1 beeps per node on rectangular grids.
+  const harness::GraphFactory graphs = [](support::Xoshiro256StarStar&) {
+    return graph::grid2d(20, 20);
+  };
+  harness::TrialConfig config;
+  config.trials = 30;
+  config.base_seed = 4242;
+  config.shared_graph = true;
+  const harness::TrialStats stats = harness::run_beep_trials(
+      graphs, [] { return std::make_unique<mis::LocalFeedbackMis>(); }, config);
+  EXPECT_NEAR(stats.beeps_per_node.mean(), 1.1, 0.4);
+}
+
+TEST(Complexity, GlobalSweepSlowerThanLocalOnCliqueFamily) {
+  // Theorem 1's separation, measured: on the clique family the sweep needs
+  // substantially more rounds than local feedback.
+  const graph::Graph g = graph::clique_family(12, 12);  // 936 nodes
+  support::RunningStats sweep_rounds, local_rounds;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    sweep_rounds.push(static_cast<double>(mis::run_global_sweep(g, seed).rounds));
+    local_rounds.push(static_cast<double>(mis::run_local_feedback(g, seed).rounds));
+  }
+  EXPECT_GT(sweep_rounds.mean(), 1.8 * local_rounds.mean());
+}
+
+TEST(Complexity, LubyAndLocalFeedbackSameOrder) {
+  auto graph_rng = support::Xoshiro256StarStar(31);
+  const graph::Graph g = graph::gnp(500, 0.5, graph_rng);
+  support::RunningStats luby_rounds, local_rounds;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    luby_rounds.push(static_cast<double>(mis::run_luby(g, seed).rounds));
+    local_rounds.push(static_cast<double>(mis::run_local_feedback(g, seed).rounds));
+  }
+  // Same asymptotic class: within a factor of 8 of each other at n=500.
+  EXPECT_LT(local_rounds.mean(), 8.0 * luby_rounds.mean());
+  EXPECT_LT(luby_rounds.mean(), 8.0 * local_rounds.mean());
+}
+
+}  // namespace
+}  // namespace beepmis

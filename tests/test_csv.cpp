@@ -1,0 +1,96 @@
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace beepmis::support {
+namespace {
+
+TEST(CsvEscape, PlainCellUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesWhenNeeded) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("he said \"hi\""), "\"he said \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row({"a", "b", "c"});
+  writer.row({"1", "2,3", "4"});
+  EXPECT_EQ(out.str(), "a,b,c\n1,\"2,3\",4\n");
+  EXPECT_EQ(writer.rows_written(), 2u);
+}
+
+TEST(CsvWriter, NumericRowFormatsDoubles) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.numeric_row({1.5, 2.0, 0.125});
+  EXPECT_EQ(out.str(), "1.5,2,0.125\n");
+}
+
+TEST(ParseCsv, SimpleRows) {
+  const auto rows = parse_csv("a,b\n1,2\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(ParseCsv, MissingTrailingNewline) {
+  const auto rows = parse_csv("a,b\n1,2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(ParseCsv, QuotedCells) {
+  const auto rows = parse_csv("\"a,b\",\"c\"\"d\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "c\"d"}));
+}
+
+TEST(ParseCsv, QuotedNewline) {
+  const auto rows = parse_csv("\"line1\nline2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+  EXPECT_EQ(rows[0][1], "x");
+}
+
+TEST(ParseCsv, EmptyCells) {
+  const auto rows = parse_csv("a,,c\n,,\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(ParseCsv, CrLfLineEndings) {
+  const auto rows = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParseCsv, EmptyInputYieldsNoRows) {
+  EXPECT_TRUE(parse_csv("").empty());
+}
+
+TEST(ParseCsv, ThrowsOnUnterminatedQuote) {
+  EXPECT_THROW(parse_csv("\"unterminated"), std::runtime_error);
+}
+
+TEST(ParseCsv, RoundTripsWriterOutput) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row({"plain", "with,comma", "with\"quote", "multi\nline"});
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0],
+            (std::vector<std::string>{"plain", "with,comma", "with\"quote", "multi\nline"}));
+}
+
+}  // namespace
+}  // namespace beepmis::support

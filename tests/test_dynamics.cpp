@@ -1,0 +1,117 @@
+// Dynamics instrumentation: empirical checks of the quantities Theorem 2's
+// proof tracks (µ_t weights, light/heavy split).
+#include "mis/dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace beepmis::mis {
+namespace {
+
+TEST(Dynamics, OneRowPerRound) {
+  auto rng = support::Xoshiro256StarStar(1);
+  const graph::Graph g = graph::gnp(50, 0.5, rng);
+  const DynamicsRun run = run_local_feedback_with_dynamics(g, 3);
+  ASSERT_TRUE(run.result.terminated);
+  EXPECT_EQ(run.dynamics.size(), run.result.rounds);
+  for (std::size_t t = 0; t < run.dynamics.size(); ++t) {
+    EXPECT_EQ(run.dynamics[t].round, t);
+  }
+}
+
+TEST(Dynamics, WeightsRespectInvariants) {
+  auto rng = support::Xoshiro256StarStar(2);
+  const graph::Graph g = graph::gnp(60, 0.5, rng);
+  const DynamicsRun run = run_local_feedback_with_dynamics(g, 5);
+  for (const RoundDynamics& row : run.dynamics) {
+    // µ_t(v) <= 1/2 always (Definition 1), so totals are bounded.
+    EXPECT_LE(row.max_weight, 0.5);
+    EXPECT_LE(row.total_weight, 0.5 * static_cast<double>(row.active) + 1e-12);
+    EXPECT_EQ(row.light + row.heavy, row.active);
+    EXPECT_GE(row.max_neighborhood_weight, 0.0);
+  }
+}
+
+TEST(Dynamics, ActiveCountIsNonIncreasingAndEndsAtZero) {
+  auto rng = support::Xoshiro256StarStar(3);
+  const graph::Graph g = graph::gnp(80, 0.5, rng);
+  const DynamicsRun run = run_local_feedback_with_dynamics(g, 7);
+  ASSERT_FALSE(run.dynamics.empty());
+  for (std::size_t t = 1; t < run.dynamics.size(); ++t) {
+    EXPECT_LE(run.dynamics[t].active, run.dynamics[t - 1].active);
+    EXPECT_GE(run.dynamics[t].in_mis, run.dynamics[t - 1].in_mis);
+  }
+  EXPECT_EQ(run.dynamics.back().active, 0u);
+  EXPECT_EQ(run.dynamics.back().in_mis, run.result.mis().size());
+}
+
+TEST(Dynamics, InitialWeightIsHalfPerNode) {
+  // After round 0 every surviving node halved or kept p = 1/2; the
+  // recorded first row reflects post-feedback weights, so just check the
+  // starting bound: total <= n/2.
+  const graph::Graph g = graph::complete(16);
+  const DynamicsRun run = run_local_feedback_with_dynamics(g, 1);
+  ASSERT_FALSE(run.dynamics.empty());
+  EXPECT_LE(run.dynamics.front().total_weight, 8.0 + 1e-12);
+}
+
+TEST(Dynamics, HeavyNodesExistOnlyWithLargeNeighborhoods) {
+  // λ = 7 needs µ_t(Γ(v)) > 7, i.e. > 14 active neighbours at p = 1/2;
+  // a 4-regular grid can never have heavy nodes.
+  const graph::Graph g = graph::grid2d(10, 10);
+  const DynamicsRun run = run_local_feedback_with_dynamics(g, 2);
+  for (const RoundDynamics& row : run.dynamics) {
+    EXPECT_EQ(row.heavy, 0u);
+  }
+}
+
+TEST(Dynamics, CliqueStartsHeavyThenLightens) {
+  // K_64: initially µ(Γ(v)) = 63/2 >> 7 (all heavy); feedback collapses
+  // the weight until the clique is light, then someone wins.
+  const graph::Graph g = graph::complete(64);
+  const DynamicsRun run = run_local_feedback_with_dynamics(g, 11);
+  ASSERT_TRUE(run.result.terminated);
+  ASSERT_GE(run.dynamics.size(), 2u);
+  EXPECT_EQ(run.dynamics.front().heavy, run.dynamics.front().active);
+  // The last round with active nodes must be light-dominated.
+  for (std::size_t t = run.dynamics.size(); t-- > 0;) {
+    if (run.dynamics[t].active > 0) {
+      EXPECT_GT(run.dynamics[t].light, 0u);
+      break;
+    }
+  }
+}
+
+TEST(Dynamics, NeighborhoodWeightEventuallySmall) {
+  // Theorem 2's Claim 4: µ_t(Γ(v)) is small (< 2β is the proof's bar; we
+  // check < λ) for most late rounds.  Verify the final active round has
+  // max neighbourhood weight below λ.
+  auto rng = support::Xoshiro256StarStar(4);
+  const graph::Graph g = graph::gnp(100, 0.5, rng);
+  const DynamicsRun run = run_local_feedback_with_dynamics(g, 13);
+  for (std::size_t t = run.dynamics.size(); t-- > 0;) {
+    if (run.dynamics[t].active > 0) {
+      EXPECT_LT(run.dynamics[t].max_neighborhood_weight, 7.0);
+      break;
+    }
+  }
+}
+
+TEST(Dynamics, RecorderReusableAfterClear) {
+  const graph::Graph g = graph::complete(8);
+  LocalFeedbackMis protocol;
+  DynamicsRecorder recorder(protocol);
+  sim::BeepSimulator simulator(g);
+  simulator.set_round_observer(recorder.observer());
+  (void)simulator.run(protocol, support::Xoshiro256StarStar(1));
+  const std::size_t first = recorder.rows().size();
+  EXPECT_GT(first, 0u);
+  recorder.clear();
+  EXPECT_TRUE(recorder.rows().empty());
+  (void)simulator.run(protocol, support::Xoshiro256StarStar(2));
+  EXPECT_GT(recorder.rows().size(), 0u);
+}
+
+}  // namespace
+}  // namespace beepmis::mis

@@ -1,0 +1,90 @@
+#include "mis/exact_feedback.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mis/mis.hpp"
+#include "mis/verifier.hpp"
+
+namespace beepmis::mis {
+namespace {
+
+sim::RunResult run_exact(const graph::Graph& g, std::uint64_t seed) {
+  ExactLocalFeedbackMis protocol;
+  sim::BeepSimulator simulator(g);
+  return simulator.run(protocol, support::Xoshiro256StarStar(seed));
+}
+
+TEST(ExactFeedback, ValidOnRandomGraphs) {
+  auto graph_rng = support::Xoshiro256StarStar(81);
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const graph::Graph g = graph::gnp(70, 0.5, graph_rng);
+    const sim::RunResult result = run_exact(g, seed);
+    ASSERT_TRUE(result.terminated);
+    EXPECT_TRUE(is_valid_mis_run(g, result)) << verify_mis_run(g, result).summary();
+  }
+}
+
+TEST(ExactFeedback, IdenticalExecutionToFloatingPointImplementation) {
+  // With the paper's config both implementations produce the same dyadic
+  // probabilities, consume randomness identically, and so must replay the
+  // exact same execution from the same seed.
+  auto graph_rng = support::Xoshiro256StarStar(83);
+  for (int i = 0; i < 5; ++i) {
+    const graph::Graph g = graph::gnp(60, 0.4, graph_rng);
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      const sim::RunResult exact = run_exact(g, seed);
+      const sim::RunResult floating = run_local_feedback(g, seed);
+      ASSERT_EQ(exact.rounds, floating.rounds) << "seed " << seed;
+      EXPECT_EQ(exact.mis(), floating.mis());
+      EXPECT_EQ(exact.beep_counts, floating.beep_counts);
+      EXPECT_EQ(exact.status, floating.status);
+    }
+  }
+}
+
+TEST(ExactFeedback, IdenticalOnStructuredFamilies) {
+  const graph::Graph graphs[] = {graph::complete(32), graph::grid2d(8, 8),
+                                 graph::clique_family(5, 5), graph::star(40)};
+  for (const graph::Graph& g : graphs) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const sim::RunResult exact = run_exact(g, seed);
+      const sim::RunResult floating = run_local_feedback(g, seed);
+      EXPECT_EQ(exact.rounds, floating.rounds);
+      EXPECT_EQ(exact.mis(), floating.mis());
+    }
+  }
+}
+
+TEST(ExactFeedback, ExponentNeverBelowOne) {
+  const graph::Graph g = graph::empty_graph(5);
+  ExactLocalFeedbackMis protocol;
+  sim::BeepSimulator simulator(g);
+  (void)simulator.run(protocol, support::Xoshiro256StarStar(1));
+  for (graph::NodeId v = 0; v < 5; ++v) {
+    EXPECT_GE(protocol.exponent_of(v), 1u);
+  }
+}
+
+TEST(ExactFeedback, HugeExponentsDoNotUnderflowToNegative) {
+  // Drive the exponent up artificially by simulating a node that always
+  // hears beeps: on a star where the hub beeps a lot, leaves' exponents
+  // grow; probabilities must stay in [0, 1/2].
+  const graph::Graph g = graph::complete(40);
+  ExactLocalFeedbackMis protocol;
+  sim::SimConfig config;
+  config.max_rounds = 12;
+  sim::BeepSimulator simulator(g, config);
+  (void)simulator.run(protocol, support::Xoshiro256StarStar(2));
+  for (graph::NodeId v = 0; v < 40; ++v) {
+    EXPECT_GE(protocol.exponent_of(v), 1u);
+  }
+}
+
+TEST(ExactFeedback, NameDistinguishesVariant) {
+  ExactLocalFeedbackMis protocol;
+  EXPECT_EQ(protocol.name(), "local-feedback-exact");
+}
+
+}  // namespace
+}  // namespace beepmis::mis

@@ -1,0 +1,83 @@
+// Symmetry/fairness properties: on vertex-transitive graphs every node
+// should be equally likely to join the MIS — the algorithm breaks symmetry
+// by randomness alone, with no hidden id bias.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mis/mis.hpp"
+
+namespace beepmis {
+namespace {
+
+/// Wins per node over `trials` runs of local feedback on `g`.
+std::vector<std::size_t> win_counts(const graph::Graph& g, std::size_t trials) {
+  std::vector<std::size_t> wins(g.node_count(), 0);
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    const sim::RunResult result = mis::run_local_feedback(g, seed);
+    for (const graph::NodeId v : result.mis()) ++wins[v];
+  }
+  return wins;
+}
+
+TEST(Fairness, CliqueWinnerIsUniform) {
+  // K_10: exactly one winner per run; each node should win ~1/10 of runs.
+  const graph::Graph g = graph::complete(10);
+  const std::size_t trials = 4000;
+  const auto wins = win_counts(g, trials);
+  // Binomial(4000, 0.1): mean 400, sd ~19; use 5 sigma.
+  for (graph::NodeId v = 0; v < 10; ++v) {
+    EXPECT_NEAR(static_cast<double>(wins[v]), 400.0, 95.0) << "node " << v;
+  }
+}
+
+TEST(Fairness, RingMembershipIsUniform) {
+  // C_12 is vertex-transitive: P[v in MIS] identical for all v.
+  const graph::Graph g = graph::ring(12);
+  const std::size_t trials = 3000;
+  const auto wins = win_counts(g, trials);
+  double mean = 0;
+  for (const std::size_t w : wins) mean += static_cast<double>(w);
+  mean /= 12.0;
+  for (graph::NodeId v = 0; v < 12; ++v) {
+    EXPECT_NEAR(static_cast<double>(wins[v]), mean, 0.12 * mean) << "node " << v;
+  }
+}
+
+TEST(Fairness, TwoNodeEdgeIsAFairCoin) {
+  const graph::Graph g = graph::path(2);
+  const std::size_t trials = 5000;
+  const auto wins = win_counts(g, trials);
+  EXPECT_EQ(wins[0] + wins[1], trials);  // exactly one winner per run
+  // 5 sigma around 2500 (sd ~35).
+  EXPECT_NEAR(static_cast<double>(wins[0]), 2500.0, 180.0);
+}
+
+TEST(Fairness, LubyCliqueWinnerIsUniform) {
+  const graph::Graph g = graph::complete(8);
+  std::vector<std::size_t> wins(8, 0);
+  const std::size_t trials = 4000;
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    for (const graph::NodeId v : mis::run_luby(g, seed).mis()) ++wins[v];
+  }
+  for (graph::NodeId v = 0; v < 8; ++v) {
+    // Binomial(4000, 1/8): mean 500, sd ~21; 5 sigma.
+    EXPECT_NEAR(static_cast<double>(wins[v]), 500.0, 105.0) << "node " << v;
+  }
+}
+
+TEST(Fairness, HypercubeMembershipIsUniform) {
+  const graph::Graph g = graph::hypercube(4);  // vertex-transitive, n = 16
+  const std::size_t trials = 2000;
+  const auto wins = win_counts(g, trials);
+  double mean = 0;
+  for (const std::size_t w : wins) mean += static_cast<double>(w);
+  mean /= 16.0;
+  for (graph::NodeId v = 0; v < 16; ++v) {
+    EXPECT_NEAR(static_cast<double>(wins[v]), mean, 0.15 * mean) << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace beepmis

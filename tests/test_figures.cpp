@@ -1,0 +1,147 @@
+#include "exp/figures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "exp/report.hpp"
+
+namespace beepmis::harness {
+namespace {
+
+ExperimentConfig fast_config() {
+  ExperimentConfig config;
+  config.trials = 8;  // keep unit tests quick; benches use paper-scale trials
+  config.base_seed = 99;
+  return config;
+}
+
+TEST(Figure3, ProducesRowPerN) {
+  const std::vector<std::size_t> ns{20, 40, 80};
+  const auto rows = figure3_experiment(ns, fast_config());
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].n, ns[i]);
+    EXPECT_GT(rows[i].global_mean, 0.0);
+    EXPECT_GT(rows[i].local_mean, 0.0);
+    EXPECT_GT(rows[i].reference_log2_squared, rows[i].reference_25_log2 / 3);
+  }
+  // Headline shape: global slower than local already at n = 80.
+  EXPECT_GT(rows.back().global_mean, rows.back().local_mean);
+}
+
+TEST(Figure3, TableAndPlotRender) {
+  const std::vector<std::size_t> ns{20, 40};
+  const auto rows = figure3_experiment(ns, fast_config());
+  const support::Table table = figure3_table(rows);
+  EXPECT_EQ(table.rows(), 2u);
+  const std::string plot = figure3_plot(rows);
+  EXPECT_NE(plot.find("Figure 3"), std::string::npos);
+  EXPECT_NE(plot.find('G'), std::string::npos);
+  EXPECT_NE(plot.find('L'), std::string::npos);
+}
+
+TEST(Figure3, FitReportMentionsModels) {
+  const std::vector<std::size_t> ns{20, 40, 80, 160};
+  const auto rows = figure3_experiment(ns, fast_config());
+  const std::string report = figure3_fit_report(rows);
+  EXPECT_NE(report.find("log2(n)"), std::string::npos);
+  EXPECT_NE(report.find("local feedback"), std::string::npos);
+}
+
+TEST(Figure5, BeepsPerNodeColumns) {
+  const std::vector<std::size_t> ns{20, 60};
+  const auto rows = figure5_experiment(ns, fast_config());
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.global_mean, 0.0);
+    EXPECT_GT(row.local_mean, 0.0);
+    // Theorem 6: local feedback beeps/node is a small constant.
+    EXPECT_LT(row.local_mean, 4.0);
+    // §5 remark: the Science'11 increasing schedule also keeps beeps low.
+    EXPECT_GT(row.increasing_mean, 0.0);
+    EXPECT_LT(row.increasing_mean, 4.0);
+  }
+  const support::Table table = figure5_table(rows);
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_NE(figure5_plot(rows).find("Figure 5"), std::string::npos);
+}
+
+TEST(GridBeeps, SmallConstantOnGrids) {
+  const std::vector<std::size_t> sides{6, 10};
+  const auto rows = grid_beeps_experiment(sides, fast_config());
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.local_mean, 0.5);
+    EXPECT_LT(row.local_mean, 3.0);
+  }
+  EXPECT_EQ(grid_beeps_table(rows).rows(), 2u);
+}
+
+TEST(Theorem1Experiment, GlobalSlowerThanLocalOnCliqueFamily) {
+  ExperimentConfig config = fast_config();
+  const std::vector<std::size_t> ks{6, 10};
+  const auto rows = theorem1_experiment(ks, config);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].node_count, 6u * 21u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.global_mean, row.local_mean);
+  }
+  EXPECT_EQ(theorem1_table(rows).rows(), 2u);
+  EXPECT_NE(theorem1_fit_report(rows).find("Theorem 1"), std::string::npos);
+}
+
+TEST(LubyComparison, BothAlgorithmsMeasured) {
+  const std::vector<std::size_t> ns{30, 60};
+  const auto rows = luby_comparison_experiment(ns, fast_config());
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.luby_rounds, 0.0);
+    EXPECT_GT(row.local_rounds, 0.0);
+    EXPECT_GT(row.luby_message_bits, 0.0);
+    EXPECT_GT(row.local_total_beeps, 0.0);
+  }
+  EXPECT_EQ(comparison_table(rows).rows(), 2u);
+}
+
+TEST(Robustness, AllVariantsValid) {
+  const auto rows = robustness_experiment(40, fast_config());
+  EXPECT_GE(rows.size(), 7u);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.valid, row.trials) << row.label;
+    EXPECT_GT(row.rounds_mean, 0.0);
+  }
+  EXPECT_EQ(robustness_table(rows).rows(), rows.size());
+}
+
+TEST(FaultExperiment, LossDegradesValidity) {
+  const std::vector<double> losses{0.0, 0.3};
+  const auto rows = fault_experiment(40, losses, fast_config());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].valid_fraction, 1.0);
+  EXPECT_LE(rows[1].valid_fraction, rows[0].valid_fraction);
+  EXPECT_EQ(fault_table(rows).rows(), 2u);
+}
+
+TEST(FamilyExperiment, CoversFamiliesWithValidStats) {
+  const auto rows = family_experiment(36, fast_config());
+  EXPECT_GE(rows.size(), 8u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.rounds_mean, 0.0) << row.family;
+    EXPECT_GT(row.mis_size_mean, 0.0) << row.family;
+  }
+  EXPECT_EQ(family_table(rows).rows(), rows.size());
+}
+
+TEST(PrintWithCsv, EmitsBothRenderings) {
+  support::Table table({"a"});
+  table.new_row().cell("x");
+  std::ostringstream out;
+  print_with_csv(out, table);
+  EXPECT_NE(out.str().find("csv:"), std::string::npos);
+  EXPECT_NE(out.str().find('x'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace beepmis::harness

@@ -1,0 +1,109 @@
+#include "support/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace beepmis::support {
+namespace {
+
+TEST(FitLinear, PerfectLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3, 5, 7, 9, 11};  // y = 2x + 1
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.residual_rms, 0.0, 1e-12);
+}
+
+TEST(FitLinear, DegenerateInputs) {
+  EXPECT_EQ(fit_linear({}, {}).r_squared, 0.0);
+  const std::vector<double> one{1.0};
+  EXPECT_EQ(fit_linear(one, one).r_squared, 0.0);
+  // All x equal: no slope recoverable.
+  const std::vector<double> x{2, 2, 2};
+  const std::vector<double> y{1, 2, 3};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_EQ(fit.r_squared, 0.0);
+}
+
+TEST(FitLinear, ConstantYIsPerfectFit) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{4, 4, 4};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(FitLinear, NoisyLineRecoversSlope) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 100; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + 2.0 + ((i % 5) - 2.0) * 0.1);  // small deterministic noise
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(FitVsLog2, RecoversLogModel) {
+  std::vector<double> n, y;
+  for (const double v : {16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0}) {
+    n.push_back(v);
+    y.push_back(2.5 * std::log2(v) + 1.0);
+  }
+  const LinearFit fit = fit_vs_log2(n, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+}
+
+TEST(FitVsLog2Squared, RecoversLogSquaredModel) {
+  std::vector<double> n, y;
+  for (const double v : {16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0}) {
+    n.push_back(v);
+    const double l = std::log2(v);
+    y.push_back(1.0 * l * l + 0.5);
+  }
+  const LinearFit fit = fit_vs_log2_squared(n, y);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 0.5, 1e-9);
+}
+
+TEST(CompareGrowth, LogSquaredDataPrefersLogSquared) {
+  std::vector<double> n, y;
+  for (const double v : {16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+    n.push_back(v);
+    const double l = std::log2(v);
+    y.push_back(l * l);
+  }
+  const GrowthComparison cmp = compare_growth(n, y);
+  EXPECT_TRUE(cmp.prefers_log_squared);
+}
+
+TEST(CompareGrowth, LinearLogDataPrefersLog) {
+  std::vector<double> n, y;
+  for (const double v : {16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+    n.push_back(v);
+    y.push_back(2.5 * std::log2(v));
+  }
+  const GrowthComparison cmp = compare_growth(n, y);
+  EXPECT_FALSE(cmp.prefers_log_squared);
+}
+
+TEST(DescribeFit, MentionsBasisAndSlope) {
+  LinearFit fit;
+  fit.slope = 2.5;
+  fit.intercept = -1.0;
+  fit.r_squared = 0.99;
+  const std::string text = describe_fit(fit, "log2(n)");
+  EXPECT_NE(text.find("log2(n)"), std::string::npos);
+  EXPECT_NE(text.find("2.5"), std::string::npos);
+  EXPECT_NE(text.find("- 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace beepmis::support

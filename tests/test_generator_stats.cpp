@@ -1,0 +1,127 @@
+// Statistical properties of the random graph generators — these are the
+// workload generators behind every figure, so their distributions matter.
+// Thresholds use wide (4-5 sigma) bands for robustness to seed choice.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "support/stats.hpp"
+
+namespace beepmis::graph {
+namespace {
+
+TEST(GeneratorStats, GnpDegreeDistributionMatchesBinomial) {
+  auto rng = support::Xoshiro256StarStar(101);
+  const NodeId n = 400;
+  const double p = 0.3;
+  support::RunningStats degrees;
+  const Graph g = gnp(n, p, rng);
+  for (NodeId v = 0; v < n; ++v) degrees.push(static_cast<double>(g.degree(v)));
+  const double expected_mean = p * (n - 1);
+  const double expected_sd = std::sqrt((n - 1) * p * (1 - p));
+  EXPECT_NEAR(degrees.mean(), expected_mean, 4 * expected_sd / std::sqrt(n));
+  EXPECT_NEAR(degrees.stddev(), expected_sd, expected_sd * 0.25);
+}
+
+TEST(GeneratorStats, GnpSparseAndDensePathsAgreeOnEdgeCounts) {
+  // The generator switches implementation at p = 0.25; both sides of the
+  // boundary must produce statistically matching densities.
+  const NodeId n = 300;
+  const double total_pairs = n * (n - 1) / 2.0;
+  for (const double p : {0.24, 0.26}) {
+    support::RunningStats edges;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+      auto rng = support::Xoshiro256StarStar(seed);
+      edges.push(static_cast<double>(gnp(n, p, rng).edge_count()));
+    }
+    const double expected = p * total_pairs;
+    const double sd = std::sqrt(total_pairs * p * (1 - p));
+    EXPECT_NEAR(edges.mean(), expected, 4 * sd / std::sqrt(30.0)) << "p=" << p;
+  }
+}
+
+TEST(GeneratorStats, PruferTreesAreUniformOnFourNodes) {
+  // There are exactly 4^{4-2} = 16 labelled trees on 4 nodes, one per
+  // Prüfer sequence; the decoder must hit each equally often.
+  auto rng = support::Xoshiro256StarStar(103);
+  std::map<std::vector<Edge>, std::size_t> counts;
+  const std::size_t samples = 16000;
+  for (std::size_t i = 0; i < samples; ++i) {
+    ++counts[random_tree(4, rng).edges()];
+  }
+  EXPECT_EQ(counts.size(), 16u);
+  for (const auto& [edges, count] : counts) {
+    // Expected 1000 per tree, sd ~= sqrt(1000 * 15/16) ~= 31; use 5 sigma.
+    EXPECT_NEAR(static_cast<double>(count), 1000.0, 160.0);
+  }
+}
+
+TEST(GeneratorStats, PruferTreesCoverAllThreeShapesOnFiveNodes) {
+  // On 5 nodes the tree shapes are: path (60 labelled), star (5), and
+  // "chair"/spider T(1,1,2) (60).  Frequencies must match 60:5:60 of 125.
+  auto rng = support::Xoshiro256StarStar(107);
+  std::size_t stars = 0, paths = 0, spiders = 0;
+  const std::size_t samples = 12500;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const Graph t = random_tree(5, rng);
+    const DegreeStats d = degree_stats(t);
+    if (d.max == 4) {
+      ++stars;
+    } else if (d.max == 2) {
+      ++paths;
+    } else {
+      ++spiders;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(stars), samples * 5.0 / 125.0, 100.0);
+  EXPECT_NEAR(static_cast<double>(paths), samples * 60.0 / 125.0, 300.0);
+  EXPECT_NEAR(static_cast<double>(spiders), samples * 60.0 / 125.0, 300.0);
+}
+
+TEST(GeneratorStats, BarabasiAlbertProducesHeavyTail) {
+  auto rng = support::Xoshiro256StarStar(109);
+  const Graph g = barabasi_albert(2000, 2, rng);
+  const DegreeStats d = degree_stats(g);
+  // Preferential attachment: the hub degree dwarfs the mean; a G(n,p) with
+  // the same edge count would have max degree within ~3x of the mean.
+  EXPECT_GT(static_cast<double>(d.max), 8.0 * d.mean);
+  EXPECT_GE(d.min, 2u);
+}
+
+TEST(GeneratorStats, GeometricGraphDensityMatchesAreaFormula) {
+  // For points in the unit square, P[edge] ~= pi r^2 minus boundary loss;
+  // with r = 0.2 the exact toroidal value pi r^2 = 0.1257 overestimates by
+  // a modest boundary factor — accept [0.6, 1.0] of it.
+  auto rng = support::Xoshiro256StarStar(113);
+  support::RunningStats density;
+  for (int i = 0; i < 20; ++i) {
+    const GeometricGraph g = random_geometric(200, 0.2, rng);
+    density.push(static_cast<double>(g.graph.edge_count()) / (200.0 * 199.0 / 2.0));
+  }
+  const double pi_r2 = 3.14159265 * 0.04;
+  EXPECT_GT(density.mean(), 0.6 * pi_r2);
+  EXPECT_LT(density.mean(), 1.0 * pi_r2);
+}
+
+TEST(GeneratorStats, RandomBipartiteEdgeCountMatchesExpectation) {
+  auto rng = support::Xoshiro256StarStar(127);
+  support::RunningStats edges;
+  for (int i = 0; i < 30; ++i) {
+    edges.push(static_cast<double>(random_bipartite(40, 60, 0.25, rng).edge_count()));
+  }
+  EXPECT_NEAR(edges.mean(), 0.25 * 40 * 60, 4 * std::sqrt(2400 * 0.25 * 0.75 / 30.0));
+}
+
+TEST(GeneratorStats, GnpIsAnnealedNotQuenched) {
+  // Different seeds must give different graphs (sanity against accidental
+  // seed reuse inside the generator).
+  auto rng1 = support::Xoshiro256StarStar(1);
+  auto rng2 = support::Xoshiro256StarStar(2);
+  EXPECT_NE(gnp(100, 0.5, rng1).edges(), gnp(100, 0.5, rng2).edges());
+}
+
+}  // namespace
+}  // namespace beepmis::graph

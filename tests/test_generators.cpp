@@ -1,0 +1,220 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/properties.hpp"
+
+namespace beepmis::graph {
+namespace {
+
+support::Xoshiro256StarStar rng(std::uint64_t seed = 1) {
+  return support::Xoshiro256StarStar(seed);
+}
+
+TEST(Gnp, ZeroAndOneProbability) {
+  auto r = rng();
+  EXPECT_EQ(gnp(10, 0.0, r).edge_count(), 0u);
+  EXPECT_EQ(gnp(10, 1.0, r).edge_count(), 45u);
+}
+
+TEST(Gnp, RejectsBadProbability) {
+  auto r = rng();
+  EXPECT_THROW(gnp(10, -0.1, r), std::invalid_argument);
+  EXPECT_THROW(gnp(10, 1.1, r), std::invalid_argument);
+}
+
+TEST(Gnp, EdgeCountNearExpectation) {
+  auto r = rng(42);
+  const Graph g = gnp(200, 0.5, r);
+  const double expected = 0.5 * 200 * 199 / 2;
+  // 4-sigma band: sigma = sqrt(m * p * (1-p)) ~ 70.
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, 4 * 70.0);
+}
+
+TEST(Gnp, SparsePathUsesSkipSampling) {
+  auto r = rng(7);
+  const Graph g = gnp(2000, 0.001, r);
+  const double expected = 0.001 * 2000 * 1999 / 2;  // ~2000
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, 300.0);
+}
+
+TEST(Gnp, SparseAndDensePathsBothSimple) {
+  for (const double p : {0.01, 0.24, 0.26, 0.9}) {
+    auto r = rng(static_cast<std::uint64_t>(p * 1000));
+    const Graph g = gnp(100, p, r);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_FALSE(g.has_edge(v, v));
+    }
+  }
+}
+
+TEST(Gnp, TinyGraphs) {
+  auto r = rng();
+  EXPECT_EQ(gnp(0, 0.5, r).node_count(), 0u);
+  EXPECT_EQ(gnp(1, 0.5, r).node_count(), 1u);
+  EXPECT_EQ(gnp(1, 0.5, r).edge_count(), 0u);
+}
+
+TEST(Complete, DegreesAndEdges) {
+  const Graph g = complete(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(EmptyGraph, NoEdges) {
+  const Graph g = empty_graph(4);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(CliqueFamily, StructureMatchesTheorem1) {
+  // k = 3: 3 copies each of K_1, K_2, K_3 -> 3*(1+2+3) = 18 nodes,
+  // 3*(0+1+3) = 12 edges.
+  const Graph g = clique_family(3, 3);
+  EXPECT_EQ(g.node_count(), 18u);
+  EXPECT_EQ(g.edge_count(), 12u);
+  const Components comps = connected_components(g);
+  EXPECT_EQ(comps.count, 9u);
+}
+
+TEST(CliqueFamily, ForNUsesCubeRoot) {
+  const Graph g = clique_family_for_n(1000);  // k = 10
+  EXPECT_EQ(g.node_count(), 10u * 55u);
+  EXPECT_EQ(connected_components(g).count, 100u);
+}
+
+TEST(Grid2d, DegreesAndSize) {
+  const Graph g = grid2d(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3u + 2u * 4u);  // 17
+  EXPECT_EQ(g.degree(0), 2u);                    // corner
+  EXPECT_EQ(g.degree(1), 3u);                    // edge
+  EXPECT_EQ(g.degree(5), 4u);                    // interior
+}
+
+TEST(Grid2d, DegenerateShapes) {
+  EXPECT_EQ(grid2d(1, 5).edge_count(), 4u);
+  EXPECT_EQ(grid2d(5, 1).edge_count(), 4u);
+  EXPECT_EQ(grid2d(1, 1).edge_count(), 0u);
+}
+
+TEST(HexGrid, InteriorDegreeIsSix) {
+  const Graph g = hex_grid(5, 5);
+  // Node (2,2) = 12 is interior: 4 grid neighbours + 2 diagonals.
+  EXPECT_EQ(g.degree(12), 6u);
+  EXPECT_TRUE(g.has_edge(7, 11));  // diagonal (1,2)-(2,1)
+}
+
+TEST(Ring, CycleStructure) {
+  const Graph g = ring(5);
+  EXPECT_EQ(g.edge_count(), 5u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW(ring(2), std::invalid_argument);
+}
+
+TEST(Path, EndpointsHaveDegreeOne) {
+  const Graph g = path(5);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(4), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(path(1).edge_count(), 0u);
+}
+
+TEST(Star, HubAndLeaves) {
+  const Graph g = star(6);
+  EXPECT_EQ(g.degree(0), 5u);
+  for (NodeId v = 1; v < 6; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(RandomTree, IsConnectedAcyclicForManySeeds) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto r = rng(seed);
+    const NodeId n = static_cast<NodeId>(2 + seed * 7 % 60);
+    const Graph g = random_tree(n, r);
+    EXPECT_EQ(g.node_count(), n);
+    EXPECT_EQ(g.edge_count(), static_cast<std::size_t>(n) - 1);
+    EXPECT_EQ(connected_components(g).count, 1u);
+  }
+}
+
+TEST(RandomTree, TinySizes) {
+  auto r = rng();
+  EXPECT_EQ(random_tree(1, r).edge_count(), 0u);
+  EXPECT_EQ(random_tree(2, r).edge_count(), 1u);
+  const Graph g3 = random_tree(3, r);
+  EXPECT_EQ(g3.edge_count(), 2u);
+  EXPECT_EQ(connected_components(g3).count, 1u);
+}
+
+TEST(Hypercube, DimensionThree) {
+  const Graph g = hypercube(3);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 12u);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_THROW(hypercube(25), std::invalid_argument);
+}
+
+TEST(RandomGeometric, RadiusControlsEdges) {
+  auto r1 = rng(3);
+  const GeometricGraph none = random_geometric(50, 0.0, r1);
+  EXPECT_EQ(none.graph.edge_count(), 0u);
+  auto r2 = rng(3);
+  const GeometricGraph all = random_geometric(50, 2.0, r2);
+  EXPECT_EQ(all.graph.edge_count(), 50u * 49u / 2u);
+  EXPECT_EQ(all.x.size(), 50u);
+  EXPECT_EQ(all.y.size(), 50u);
+}
+
+TEST(RandomGeometric, EdgesRespectDistance) {
+  auto r = rng(9);
+  const GeometricGraph g = random_geometric(40, 0.3, r);
+  for (const Edge& e : g.graph.edges()) {
+    const double dx = g.x[e.u] - g.x[e.v];
+    const double dy = g.y[e.u] - g.y[e.v];
+    EXPECT_LE(std::sqrt(dx * dx + dy * dy), 0.3 + 1e-12);
+  }
+}
+
+TEST(BarabasiAlbert, SizeAndMinDegree) {
+  auto r = rng(5);
+  const Graph g = barabasi_albert(100, 3, r);
+  EXPECT_EQ(g.node_count(), 100u);
+  // Seed clique K_4 (6 edges) + 96 nodes x 3 edges.
+  EXPECT_EQ(g.edge_count(), 6u + 96u * 3u);
+  for (NodeId v = 0; v < 100; ++v) EXPECT_GE(g.degree(v), 3u);
+  EXPECT_EQ(connected_components(g).count, 1u);
+}
+
+TEST(BarabasiAlbert, RejectsBadParameters) {
+  auto r = rng();
+  EXPECT_THROW(barabasi_albert(10, 0, r), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(2, 3, r), std::invalid_argument);
+}
+
+TEST(RandomBipartite, NoIntraSideEdges) {
+  auto r = rng(11);
+  const Graph g = random_bipartite(10, 15, 0.5, r);
+  EXPECT_EQ(g.node_count(), 25u);
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = u + 1; v < 10; ++v) EXPECT_FALSE(g.has_edge(u, v));
+  }
+  for (NodeId u = 10; u < 25; ++u) {
+    for (NodeId v = u + 1; v < 25; ++v) EXPECT_FALSE(g.has_edge(u, v));
+  }
+}
+
+TEST(Caterpillar, StructureIsTree) {
+  const Graph g = caterpillar(4, 2);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 11u);
+  EXPECT_EQ(connected_components(g).count, 1u);
+  EXPECT_EQ(g.degree(0), 3u);  // spine end: 1 spine + 2 legs
+  EXPECT_EQ(g.degree(1), 4u);  // spine middle: 2 spine + 2 legs
+}
+
+}  // namespace
+}  // namespace beepmis::graph

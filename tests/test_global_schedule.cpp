@@ -1,0 +1,100 @@
+#include "mis/global_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "mis/mis.hpp"
+#include "mis/verifier.hpp"
+
+namespace beepmis::mis {
+namespace {
+
+TEST(GlobalScheduleMis, RejectsNullSchedule) {
+  EXPECT_THROW(GlobalScheduleMis(nullptr), std::invalid_argument);
+}
+
+TEST(GlobalScheduleMis, NameComesFromSchedule) {
+  EXPECT_EQ(make_global_sweep_mis().name(), "global-sweep");
+  EXPECT_EQ(make_global_increasing_mis(8, 64).name(), "global-increasing");
+}
+
+TEST(GlobalSweep, ValidOnRandomGraphs) {
+  auto graph_rng = support::Xoshiro256StarStar(31);
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const graph::Graph g = graph::gnp(80, 0.5, graph_rng);
+    const sim::RunResult result = run_global_sweep(g, seed);
+    ASSERT_TRUE(result.terminated);
+    EXPECT_TRUE(is_valid_mis_run(g, result)) << verify_mis_run(g, result).summary();
+  }
+}
+
+TEST(GlobalSweep, CompleteGraphSelectsOne) {
+  const graph::Graph g = graph::complete(25);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const sim::RunResult result = run_global_sweep(g, seed);
+    ASSERT_TRUE(result.terminated);
+    EXPECT_EQ(result.mis().size(), 1u);
+  }
+}
+
+TEST(GlobalIncreasing, ValidOnRandomGraphs) {
+  auto graph_rng = support::Xoshiro256StarStar(37);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const graph::Graph g = graph::gnp(60, 0.5, graph_rng);
+    const sim::RunResult result = run_global_increasing(g, seed);
+    ASSERT_TRUE(result.terminated);
+    EXPECT_TRUE(is_valid_mis_run(g, result)) << verify_mis_run(g, result).summary();
+  }
+}
+
+TEST(FixedScheduleRun, ConstantHalfIsValidEventually) {
+  auto graph_rng = support::Xoshiro256StarStar(41);
+  const graph::Graph g = graph::gnp(40, 0.2, graph_rng);
+  const sim::RunResult result = run_fixed_schedule(g, 1, {0.5});
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(is_valid_mis_run(g, result));
+}
+
+TEST(FixedScheduleRun, ZeroProbabilityNeverTerminatesOnNonemptyGraph) {
+  const graph::Graph g = graph::path(2);
+  sim::SimConfig config;
+  config.max_rounds = 50;
+  const sim::RunResult result = run_fixed_schedule(g, 1, {0.0}, config);
+  EXPECT_FALSE(result.terminated);
+  EXPECT_EQ(result.rounds, 50u);
+  EXPECT_EQ(result.total_beeps, 0u);
+}
+
+TEST(FixedScheduleRun, ProbabilityOneOnCliqueAlwaysCollides) {
+  // With p = 1 on K_n (n >= 2), every node beeps and hears beeps forever:
+  // no node can ever join.
+  const graph::Graph g = graph::complete(5);
+  sim::SimConfig config;
+  config.max_rounds = 30;
+  const sim::RunResult result = run_fixed_schedule(g, 1, {1.0}, config);
+  EXPECT_FALSE(result.terminated);
+  EXPECT_EQ(result.mis().size(), 0u);
+}
+
+TEST(FixedScheduleRun, ProbabilityOneOnEdgelessGraphJoinsAllInstantly) {
+  const graph::Graph g = graph::empty_graph(10);
+  const sim::RunResult result = run_fixed_schedule(g, 1, {1.0});
+  EXPECT_TRUE(result.terminated);
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(result.mis().size(), 10u);
+}
+
+TEST(GlobalSweep, DeterministicInSeed) {
+  auto graph_rng = support::Xoshiro256StarStar(43);
+  const graph::Graph g = graph::gnp(50, 0.5, graph_rng);
+  const sim::RunResult a = run_global_sweep(g, 99);
+  const sim::RunResult b = run_global_sweep(g, 99);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.mis(), b.mis());
+}
+
+}  // namespace
+}  // namespace beepmis::mis

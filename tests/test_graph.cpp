@@ -1,0 +1,143 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace beepmis::graph {
+namespace {
+
+TEST(GraphBuilder, EmptyGraph) {
+  const Graph g = GraphBuilder(0).build();
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(GraphBuilder, NodesWithoutEdges) {
+  const Graph g = GraphBuilder(5).build();
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(GraphBuilder, Triangle) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.edge_count(), 3u);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(GraphBuilder, DuplicateEdgesMerged) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(7, 0), std::invalid_argument);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  GraphBuilder b(6);
+  b.add_edge(3, 5).add_edge(3, 1).add_edge(3, 4).add_edge(3, 0);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(3);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Graph, EdgesAreCanonicalAndSorted) {
+  GraphBuilder b(4);
+  b.add_edge(3, 2).add_edge(1, 0).add_edge(2, 0);
+  const auto edges = b.build().edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{0, 2}));
+  EXPECT_EQ(edges[2], (Edge{2, 3}));
+}
+
+TEST(Graph, HasEdgeOutOfRangeIsFalse) {
+  const Graph g = GraphBuilder(2).add_edge(0, 1).build();
+  EXPECT_FALSE(g.has_edge(0, 5));
+  EXPECT_FALSE(g.has_edge(5, 0));
+}
+
+TEST(Graph, DegreeStatsHelpers) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(0, 2).add_edge(0, 3);
+  const Graph g = b.build();
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(g.mean_degree(), 6.0 / 4.0);
+}
+
+TEST(Graph, DescribeMentionsCounts) {
+  const Graph g = GraphBuilder(7).add_edge(0, 1).build();
+  const std::string d = g.describe();
+  EXPECT_NE(d.find("n=7"), std::string::npos);
+  EXPECT_NE(d.find("m=1"), std::string::npos);
+}
+
+TEST(Canonical, OrdersEndpoints) {
+  EXPECT_EQ(canonical({5, 2}), (Edge{2, 5}));
+  EXPECT_EQ(canonical({2, 5}), (Edge{2, 5}));
+}
+
+TEST(DisjointUnion, RelabelsSecondGraph) {
+  const Graph a = GraphBuilder(2).add_edge(0, 1).build();
+  const Graph b = GraphBuilder(3).add_edge(0, 2).build();
+  const Graph u = disjoint_union(a, b);
+  EXPECT_EQ(u.node_count(), 5u);
+  EXPECT_EQ(u.edge_count(), 2u);
+  EXPECT_TRUE(u.has_edge(0, 1));
+  EXPECT_TRUE(u.has_edge(2, 4));
+  EXPECT_FALSE(u.has_edge(1, 2));
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 4);
+  const Graph g = b.build();
+  const std::vector<NodeId> keep{1, 2, 4};
+  const InducedSubgraph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.node_count(), 3u);
+  EXPECT_EQ(sub.graph.edge_count(), 1u);  // only 1-2 survives
+  EXPECT_EQ(sub.original_ids, (std::vector<NodeId>{1, 2, 4}));
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+}
+
+TEST(InducedSubgraph, DeduplicatesAndValidates) {
+  const Graph g = GraphBuilder(3).add_edge(0, 1).build();
+  const std::vector<NodeId> keep{1, 1, 0};
+  const InducedSubgraph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.node_count(), 2u);
+  const std::vector<NodeId> bad{9};
+  EXPECT_THROW(induced_subgraph(g, bad), std::invalid_argument);
+}
+
+TEST(Complement, TriangleBecomesEmpty) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+  const Graph c = complement(b.build());
+  EXPECT_EQ(c.edge_count(), 0u);
+}
+
+TEST(Complement, EmptyBecomesComplete) {
+  const Graph c = complement(GraphBuilder(4).build());
+  EXPECT_EQ(c.edge_count(), 6u);
+}
+
+}  // namespace
+}  // namespace beepmis::graph

@@ -1,0 +1,157 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace beepmis::graph {
+namespace {
+
+Graph paper_figure1_like_graph() {
+  // A small fixed graph with a known structure: a 6-cycle plus a chord.
+  GraphBuilder b(6);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 4).add_edge(4, 5).add_edge(5, 0);
+  b.add_edge(0, 3);
+  return b.build();
+}
+
+TEST(IsIndependentSet, BasicCases) {
+  const Graph g = paper_figure1_like_graph();
+  EXPECT_TRUE(is_independent_set(g, std::vector<NodeId>{}));
+  EXPECT_TRUE(is_independent_set(g, std::vector<NodeId>{1}));
+  EXPECT_TRUE(is_independent_set(g, std::vector<NodeId>{1, 4}));
+  EXPECT_FALSE(is_independent_set(g, std::vector<NodeId>{0, 1}));
+  EXPECT_FALSE(is_independent_set(g, std::vector<NodeId>{0, 3}));  // chord
+}
+
+TEST(IsIndependentSet, OutOfRangeNodeIsInvalid) {
+  const Graph g = paper_figure1_like_graph();
+  EXPECT_FALSE(is_independent_set(g, std::vector<NodeId>{99}));
+}
+
+TEST(IsMaximalIndependentSet, DetectsNonMaximal) {
+  const Graph g = paper_figure1_like_graph();
+  // {1} is independent but 4 could be added.
+  EXPECT_FALSE(is_maximal_independent_set(g, std::vector<NodeId>{1}));
+  EXPECT_TRUE(is_maximal_independent_set(g, std::vector<NodeId>{1, 4}));
+}
+
+TEST(IsMaximalIndependentSet, EmptySetOnlyForEmptyGraph) {
+  EXPECT_TRUE(is_maximal_independent_set(empty_graph(0), std::vector<NodeId>{}));
+  EXPECT_FALSE(is_maximal_independent_set(empty_graph(3), std::vector<NodeId>{}));
+  // The empty edgeless graph's unique MIS is all nodes.
+  EXPECT_TRUE(is_maximal_independent_set(empty_graph(3), std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(GreedyMis, IsAlwaysMaximalIndependent) {
+  auto rng = support::Xoshiro256StarStar(1);
+  for (int i = 0; i < 10; ++i) {
+    const Graph g = gnp(60, 0.2, rng);
+    const auto mis = greedy_mis(g);
+    EXPECT_TRUE(is_maximal_independent_set(g, mis));
+  }
+}
+
+TEST(GreedyMis, ScanOrderDeterminesResult) {
+  const Graph g = path(3);  // 0-1-2
+  EXPECT_EQ(greedy_mis(g), (std::vector<NodeId>{0, 2}));
+  const std::vector<NodeId> order{1, 0, 2};
+  EXPECT_EQ(greedy_mis(g, order), (std::vector<NodeId>{1}));
+}
+
+TEST(GreedyMis, BadOrderThrows) {
+  const Graph g = path(3);
+  const std::vector<NodeId> order{7};
+  EXPECT_THROW(greedy_mis(g, order), std::invalid_argument);
+}
+
+TEST(RandomGreedyMis, ValidForManySeeds) {
+  auto graph_rng = support::Xoshiro256StarStar(2);
+  const Graph g = gnp(80, 0.1, graph_rng);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto rng = support::Xoshiro256StarStar(seed);
+    const auto mis = random_greedy_mis(g, rng);
+    EXPECT_TRUE(is_maximal_independent_set(g, mis));
+  }
+}
+
+TEST(ConnectedComponents, CountsAndLabels) {
+  const Graph g = disjoint_union(ring(3), path(4));
+  const Components comps = connected_components(g);
+  EXPECT_EQ(comps.count, 2u);
+  EXPECT_EQ(comps.component_of[0], comps.component_of[2]);
+  EXPECT_EQ(comps.component_of[3], comps.component_of[6]);
+  EXPECT_NE(comps.component_of[0], comps.component_of[3]);
+}
+
+TEST(ConnectedComponents, SingletonNodes) {
+  const Components comps = connected_components(empty_graph(4));
+  EXPECT_EQ(comps.count, 4u);
+}
+
+TEST(DegreeStats, StarGraph) {
+  const DegreeStats stats = degree_stats(star(5));
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean, 8.0 / 5.0);
+}
+
+TEST(DegreeStats, EmptyGraphIsZero) {
+  const DegreeStats stats = degree_stats(empty_graph(0));
+  EXPECT_EQ(stats.max, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+TEST(GreedyColoring, ProperOnVariousFamilies) {
+  auto rng = support::Xoshiro256StarStar(3);
+  const Graph graphs[] = {ring(7), complete(5), grid2d(4, 4), gnp(50, 0.3, rng)};
+  for (const Graph& g : graphs) {
+    const Coloring coloring = greedy_coloring(g);
+    EXPECT_TRUE(is_proper_coloring(g, coloring));
+    EXPECT_LE(coloring.colors_used, g.max_degree() + 1);
+  }
+}
+
+TEST(GreedyColoring, CompleteGraphNeedsNColors) {
+  const Coloring c = greedy_coloring(complete(6));
+  EXPECT_EQ(c.colors_used, 6u);
+}
+
+TEST(IsProperColoring, RejectsBadColorings) {
+  const Graph g = path(3);
+  Coloring c;
+  c.color_of = {0, 0, 1};  // adjacent same colour
+  c.colors_used = 2;
+  EXPECT_FALSE(is_proper_coloring(g, c));
+  Coloring wrong_size;
+  wrong_size.color_of = {0};
+  wrong_size.colors_used = 1;
+  EXPECT_FALSE(is_proper_coloring(g, wrong_size));
+}
+
+TEST(MaximumIndependentSetSize, KnownValues) {
+  EXPECT_EQ(maximum_independent_set_size(complete(5)), 1u);
+  EXPECT_EQ(maximum_independent_set_size(empty_graph(5)), 5u);
+  EXPECT_EQ(maximum_independent_set_size(ring(6)), 3u);
+  EXPECT_EQ(maximum_independent_set_size(ring(7)), 3u);
+  EXPECT_EQ(maximum_independent_set_size(path(5)), 3u);
+  EXPECT_EQ(maximum_independent_set_size(star(8)), 7u);
+}
+
+TEST(MaximumIndependentSetSize, RefusesLargeGraphs) {
+  EXPECT_THROW((void)maximum_independent_set_size(empty_graph(60)), std::invalid_argument);
+}
+
+TEST(MaximumIndependentSetSize, UpperBoundsGreedy) {
+  auto rng = support::Xoshiro256StarStar(4);
+  for (int i = 0; i < 5; ++i) {
+    const Graph g = gnp(20, 0.3, rng);
+    EXPECT_GE(maximum_independent_set_size(g), greedy_mis(g).size());
+  }
+}
+
+}  // namespace
+}  // namespace beepmis::graph

@@ -1,0 +1,73 @@
+#include "mis/greedy_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "mis/mis.hpp"
+#include "mis/verifier.hpp"
+
+namespace beepmis::mis {
+namespace {
+
+TEST(GreedyId, MatchesSequentialGreedyScan) {
+  // The distributed id-greedy computes exactly the lexicographically-first
+  // MIS — the same set as the centralised ascending-id scan.
+  auto graph_rng = support::Xoshiro256StarStar(71);
+  for (int i = 0; i < 10; ++i) {
+    const graph::Graph g = graph::gnp(60, 0.2, graph_rng);
+    const sim::RunResult result = run_greedy_id(g);
+    ASSERT_TRUE(result.terminated);
+    EXPECT_EQ(result.mis(), graph::greedy_mis(g));
+  }
+}
+
+TEST(GreedyId, ValidOnStructuredFamilies) {
+  const graph::Graph graphs[] = {graph::ring(25), graph::grid2d(6, 7), graph::star(30),
+                                 graph::complete(20)};
+  for (const graph::Graph& g : graphs) {
+    const sim::RunResult result = run_greedy_id(g);
+    ASSERT_TRUE(result.terminated);
+    EXPECT_TRUE(is_valid_mis_run(g, result));
+  }
+}
+
+TEST(GreedyId, IsFullyDeterministic) {
+  auto graph_rng = support::Xoshiro256StarStar(73);
+  const graph::Graph g = graph::gnp(50, 0.3, graph_rng);
+  const sim::RunResult a = run_greedy_id(g);
+  const sim::RunResult b = run_greedy_id(g);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.mis(), b.mis());
+}
+
+TEST(GreedyId, AscendingPathSerialises) {
+  // Worst case: on a path 0-1-2-...-(n-1), joins happen two hops at a
+  // time, so rounds grow linearly — the pedagogical contrast with the
+  // randomized O(log n) algorithms.
+  const graph::Graph g = graph::path(60);
+  const sim::RunResult result = run_greedy_id(g);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_EQ(result.mis().size(), 30u);
+  EXPECT_GE(result.rounds, 28u);
+}
+
+TEST(GreedyId, StarResolvesInOneRound) {
+  // Hub 0 is the global minimum: joins immediately, all leaves deactivate.
+  const graph::Graph g = graph::star(20);
+  const sim::RunResult result = run_greedy_id(g);
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(result.mis(), (std::vector<graph::NodeId>{0}));
+}
+
+TEST(GreedyId, MuchSlowerThanLocalFeedbackOnPaths) {
+  const graph::Graph g = graph::path(400);
+  const sim::RunResult greedy = run_greedy_id(g);
+  const sim::RunResult feedback = run_local_feedback(g, 1);
+  ASSERT_TRUE(greedy.terminated);
+  ASSERT_TRUE(feedback.terminated);
+  EXPECT_GT(greedy.rounds, 5 * feedback.rounds);
+}
+
+}  // namespace
+}  // namespace beepmis::mis

@@ -1,0 +1,168 @@
+// Cross-module integration: trace consistency with results, end-to-end
+// quickstart flow, graph I/O round trips feeding the simulator, and
+// cross-checks between independent implementations (trace vs counters).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/io.hpp"
+#include "mis/mis.hpp"
+#include "sim/trace.hpp"
+
+namespace beepmis {
+namespace {
+
+TEST(Integration, QuickstartFlow) {
+  auto rng = support::Xoshiro256StarStar(42);
+  const graph::Graph g = graph::gnp(200, 0.5, rng);
+  const sim::RunResult result = mis::run_local_feedback(g, 1);
+  ASSERT_TRUE(result.terminated);
+  ASSERT_TRUE(mis::is_valid_mis_run(g, result));
+  EXPECT_GT(result.mis().size(), 0u);
+  EXPECT_LT(result.rounds, 200u);
+}
+
+TEST(Integration, TraceBeepCountsMatchResultCounters) {
+  auto rng = support::Xoshiro256StarStar(7);
+  const graph::Graph g = graph::gnp(50, 0.5, rng);
+
+  mis::LocalFeedbackMis protocol;
+  sim::SimConfig config;
+  config.record_trace = true;
+  sim::BeepSimulator simulator(g, config);
+  const sim::RunResult result = simulator.run(protocol, support::Xoshiro256StarStar(3));
+  ASSERT_TRUE(result.terminated);
+
+  const sim::Trace& trace = simulator.trace();
+  std::uint64_t traced_beeps = 0;
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(trace.beeps_of(v), result.beep_counts[v]) << "node " << v;
+    traced_beeps += trace.beeps_of(v);
+  }
+  EXPECT_EQ(traced_beeps, result.total_beeps);
+}
+
+TEST(Integration, TraceFatesMatchStatuses) {
+  auto rng = support::Xoshiro256StarStar(8);
+  const graph::Graph g = graph::gnp(40, 0.3, rng);
+
+  mis::LocalFeedbackMis protocol;
+  sim::SimConfig config;
+  config.record_trace = true;
+  sim::BeepSimulator simulator(g, config);
+  const sim::RunResult result = simulator.run(protocol, support::Xoshiro256StarStar(4));
+  ASSERT_TRUE(result.terminated);
+
+  const sim::Trace& trace = simulator.trace();
+  const auto joins = trace.of_kind(sim::EventKind::kJoinMis);
+  const auto deactivations = trace.of_kind(sim::EventKind::kDeactivate);
+  EXPECT_EQ(joins.size(), result.mis().size());
+  EXPECT_EQ(joins.size() + deactivations.size(), g.node_count());
+  for (const sim::Event& e : joins) {
+    EXPECT_EQ(result.status[e.node], sim::NodeStatus::kInMis);
+  }
+  for (const sim::Event& e : deactivations) {
+    EXPECT_EQ(result.status[e.node], sim::NodeStatus::kDominated);
+  }
+}
+
+TEST(Integration, JoinAnnouncementPrecedesNeighbourDeactivation) {
+  auto rng = support::Xoshiro256StarStar(9);
+  const graph::Graph g = graph::gnp(30, 0.4, rng);
+
+  mis::LocalFeedbackMis protocol;
+  sim::SimConfig config;
+  config.record_trace = true;
+  sim::BeepSimulator simulator(g, config);
+  const sim::RunResult result = simulator.run(protocol, support::Xoshiro256StarStar(5));
+  ASSERT_TRUE(result.terminated);
+
+  // Every dominated node must deactivate in the same round as (or after)
+  // one of its MIS neighbours joined.
+  const sim::Trace& trace = simulator.trace();
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    if (result.status[v] != sim::NodeStatus::kDominated) continue;
+    const std::size_t v_round = trace.inactive_round(v);
+    bool explained = false;
+    for (const graph::NodeId w : g.neighbors(v)) {
+      if (result.status[w] == sim::NodeStatus::kInMis &&
+          trace.inactive_round(w) <= v_round) {
+        explained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(explained) << "node " << v << " deactivated without a joined neighbour";
+  }
+}
+
+TEST(Integration, GraphRoundTripPreservesAlgorithmBehaviour) {
+  auto rng = support::Xoshiro256StarStar(10);
+  const graph::Graph g = graph::gnp(60, 0.2, rng);
+  const graph::Graph copy = graph::from_edge_list_string(graph::to_edge_list_string(g));
+
+  const sim::RunResult a = mis::run_local_feedback(g, 77);
+  const sim::RunResult b = mis::run_local_feedback(copy, 77);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.mis(), b.mis());
+}
+
+TEST(Integration, DisjointComponentsSolvedIndependently) {
+  // The union of two cliques must select exactly one node in each.
+  const graph::Graph g = graph::disjoint_union(graph::complete(10), graph::complete(10));
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const sim::RunResult result = mis::run_local_feedback(g, seed);
+    ASSERT_TRUE(result.terminated);
+    const auto selected = result.mis();
+    ASSERT_EQ(selected.size(), 2u);
+    EXPECT_LT(selected[0], 10u);
+    EXPECT_GE(selected[1], 10u);
+  }
+}
+
+TEST(Integration, DotExportOfSelectedMis) {
+  auto rng = support::Xoshiro256StarStar(11);
+  const graph::Graph g = graph::gnp(20, 0.3, rng);
+  const sim::RunResult result = mis::run_local_feedback(g, 1);
+  std::ostringstream out;
+  const auto selected = result.mis();
+  graph::write_dot(out, g, selected);
+  // One filled node per MIS member.
+  const std::string dot = out.str();
+  std::size_t fills = 0;
+  for (std::size_t pos = dot.find("fillcolor"); pos != std::string::npos;
+       pos = dot.find("fillcolor", pos + 1)) {
+    ++fills;
+  }
+  EXPECT_EQ(fills, selected.size());
+}
+
+TEST(Integration, AllAlgorithmsAgreeOnForcedInstances) {
+  // On a star, the unique MIS containing the hub is {hub}; all leaf-only
+  // sets must contain every leaf.  Any valid MIS is one of those two.
+  const graph::Graph g = graph::star(12);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    for (const auto& result :
+         {mis::run_local_feedback(g, seed), mis::run_global_sweep(g, seed),
+          mis::run_luby(g, seed)}) {
+      ASSERT_TRUE(result.terminated);
+      const auto selected = result.mis();
+      if (std::find(selected.begin(), selected.end(), 0u) != selected.end()) {
+        EXPECT_EQ(selected.size(), 1u);
+      } else {
+        EXPECT_EQ(selected.size(), 11u);
+      }
+    }
+  }
+}
+
+TEST(Integration, LongPathTerminatesQuickly) {
+  const graph::Graph g = graph::path(3000);
+  const sim::RunResult result = mis::run_local_feedback(g, 5);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(mis::is_valid_mis_run(g, result));
+  EXPECT_LT(result.rounds, 120u);  // O(log n) with small constants
+}
+
+}  // namespace
+}  // namespace beepmis

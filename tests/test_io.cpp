@@ -1,0 +1,77 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace beepmis::graph {
+namespace {
+
+TEST(EdgeList, RoundTripSmallGraph) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 3);
+  const Graph g = b.build();
+  const Graph back = from_edge_list_string(to_edge_list_string(g));
+  EXPECT_EQ(back.node_count(), g.node_count());
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(EdgeList, RoundTripRandomGraph) {
+  auto rng = support::Xoshiro256StarStar(5);
+  const Graph g = gnp(60, 0.15, rng);
+  const Graph back = from_edge_list_string(to_edge_list_string(g));
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(EdgeList, IgnoresCommentsAndBlankLines) {
+  const Graph g = from_edge_list_string("# header comment\nn 3\n\n0 1  # inline\n# z\n1 2\n");
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(EdgeList, IsolatedNodesPreserved) {
+  const Graph g = from_edge_list_string("n 5\n0 1\n");
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.degree(4), 0u);
+}
+
+TEST(EdgeList, MalformedInputsThrow) {
+  EXPECT_THROW(from_edge_list_string(""), std::runtime_error);
+  EXPECT_THROW(from_edge_list_string("0 1\n"), std::runtime_error);       // missing header
+  EXPECT_THROW(from_edge_list_string("n -3\n"), std::runtime_error);      // bad count
+  EXPECT_THROW(from_edge_list_string("n 3\n0\n"), std::runtime_error);    // bad edge
+  EXPECT_THROW(from_edge_list_string("n 3\n0 9\n"), std::invalid_argument);  // range
+  EXPECT_THROW(from_edge_list_string("n 3\n1 1\n"), std::invalid_argument);  // loop
+}
+
+TEST(Dot, ContainsNodesEdgesAndHighlights) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 2);
+  std::ostringstream out;
+  const std::vector<NodeId> highlight{1};
+  write_dot(out, b.build(), highlight);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+TEST(Dot, NoHighlightMeansNoFill) {
+  std::ostringstream out;
+  write_dot(out, path(2));
+  EXPECT_EQ(out.str().find("fillcolor"), std::string::npos);
+}
+
+TEST(AdjacencyMatrix, SymmetricZeroDiagonal) {
+  GraphBuilder b(3);
+  b.add_edge(0, 2);
+  const std::string m = adjacency_matrix_string(b.build());
+  EXPECT_EQ(m, "0 0 1\n0 0 0\n1 0 0\n");
+}
+
+}  // namespace
+}  // namespace beepmis::graph

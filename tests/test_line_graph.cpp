@@ -1,0 +1,85 @@
+#include "graph/line_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace beepmis::graph {
+namespace {
+
+TEST(LineGraph, TriangleIsSelfLine) {
+  // L(K_3) = K_3.
+  const LineGraph lg = line_graph(complete(3));
+  EXPECT_EQ(lg.graph.node_count(), 3u);
+  EXPECT_EQ(lg.graph.edge_count(), 3u);
+}
+
+TEST(LineGraph, PathShortensByOne) {
+  // L(P_n) = P_{n-1}.
+  const LineGraph lg = line_graph(path(6));
+  EXPECT_EQ(lg.graph.node_count(), 5u);
+  EXPECT_EQ(lg.graph.edge_count(), 4u);
+  EXPECT_EQ(lg.graph.degree(0), 1u);
+  EXPECT_EQ(lg.graph.degree(2), 2u);
+}
+
+TEST(LineGraph, StarBecomesClique) {
+  // L(K_{1,k}) = K_k.
+  const LineGraph lg = line_graph(star(6));
+  EXPECT_EQ(lg.graph.node_count(), 5u);
+  EXPECT_EQ(lg.graph.edge_count(), 10u);
+}
+
+TEST(LineGraph, EdgeCountFormula) {
+  // |E(L(G))| = sum_v C(deg v, 2).
+  auto rng = support::Xoshiro256StarStar(1);
+  const Graph g = gnp(40, 0.2, rng);
+  const LineGraph lg = line_graph(g);
+  std::size_t expected = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    expected += g.degree(v) * (g.degree(v) - 1) / 2;
+  }
+  EXPECT_EQ(lg.graph.edge_count(), expected);
+  EXPECT_EQ(lg.graph.node_count(), g.edge_count());
+}
+
+TEST(LineGraph, MappingMatchesAdjacency) {
+  auto rng = support::Xoshiro256StarStar(2);
+  const Graph g = gnp(25, 0.3, rng);
+  const LineGraph lg = line_graph(g);
+  // Nodes i, j adjacent in L(G) iff edges[i] and edges[j] share an endpoint.
+  for (NodeId i = 0; i < lg.graph.node_count(); ++i) {
+    for (NodeId j = i + 1; j < lg.graph.node_count(); ++j) {
+      const Edge& a = lg.edges[i];
+      const Edge& b = lg.edges[j];
+      const bool share =
+          a.u == b.u || a.u == b.v || a.v == b.u || a.v == b.v;
+      EXPECT_EQ(lg.graph.has_edge(i, j), share) << i << "," << j;
+    }
+  }
+}
+
+TEST(LineGraph, EmptyAndEdgelessInputs) {
+  EXPECT_EQ(line_graph(empty_graph(0)).graph.node_count(), 0u);
+  EXPECT_EQ(line_graph(empty_graph(7)).graph.node_count(), 0u);
+}
+
+TEST(IsMatching, Basics) {
+  const Graph g = path(4);  // edges 0-1, 1-2, 2-3
+  EXPECT_TRUE(is_matching(g, std::vector<Edge>{}));
+  EXPECT_TRUE(is_matching(g, std::vector<Edge>{{0, 1}, {2, 3}}));
+  EXPECT_FALSE(is_matching(g, std::vector<Edge>{{0, 1}, {1, 2}}));  // shares node 1
+  EXPECT_FALSE(is_matching(g, std::vector<Edge>{{0, 2}}));          // not an edge
+}
+
+TEST(IsMaximalMatching, Basics) {
+  const Graph g = path(4);
+  EXPECT_TRUE(is_maximal_matching(g, std::vector<Edge>{{0, 1}, {2, 3}}));
+  EXPECT_TRUE(is_maximal_matching(g, std::vector<Edge>{{1, 2}}));
+  EXPECT_FALSE(is_maximal_matching(g, std::vector<Edge>{{0, 1}}));  // 2-3 addable
+  EXPECT_FALSE(is_maximal_matching(g, std::vector<Edge>{}));
+  EXPECT_TRUE(is_maximal_matching(empty_graph(5), std::vector<Edge>{}));
+}
+
+}  // namespace
+}  // namespace beepmis::graph

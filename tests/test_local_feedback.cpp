@@ -1,0 +1,194 @@
+#include "mis/local_feedback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "mis/mis.hpp"
+#include "mis/verifier.hpp"
+
+namespace beepmis::mis {
+namespace {
+
+TEST(LocalFeedbackConfig, PaperDefaults) {
+  const LocalFeedbackConfig c = LocalFeedbackConfig::paper();
+  EXPECT_DOUBLE_EQ(c.initial_p_low, 0.5);
+  EXPECT_DOUBLE_EQ(c.initial_p_high, 0.5);
+  EXPECT_DOUBLE_EQ(c.factor_low, 2.0);
+  EXPECT_DOUBLE_EQ(c.max_p, 0.5);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(LocalFeedbackConfig, ValidationRejectsBadRanges) {
+  LocalFeedbackConfig c;
+  c.initial_p_low = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.initial_p_low = 0.6;
+  c.initial_p_high = 0.4;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.factor_low = 1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.factor_low = 3.0;
+  c.factor_high = 2.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.max_p = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.max_p = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(LocalFeedbackConfig, ConstructorValidates) {
+  LocalFeedbackConfig c;
+  c.factor_low = 0.5;
+  c.factor_high = 0.5;
+  EXPECT_THROW(LocalFeedbackMis{c}, std::invalid_argument);
+}
+
+TEST(LocalFeedbackMis, SingleNodeJoinsQuickly) {
+  const graph::Graph g = graph::empty_graph(1);
+  const sim::RunResult result = run_local_feedback(g, /*seed=*/3);
+  EXPECT_TRUE(result.terminated);
+  EXPECT_EQ(result.mis().size(), 1u);
+  // p = 1/2 each round and no neighbours: expected 2 rounds; allow slack.
+  EXPECT_LE(result.rounds, 64u);
+}
+
+TEST(LocalFeedbackMis, EdgelessGraphSelectsEveryone) {
+  const graph::Graph g = graph::empty_graph(40);
+  const sim::RunResult result = run_local_feedback(g, 3);
+  EXPECT_TRUE(result.terminated);
+  EXPECT_EQ(result.mis().size(), 40u);
+}
+
+TEST(LocalFeedbackMis, CompleteGraphSelectsExactlyOne) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const graph::Graph g = graph::complete(20);
+    const sim::RunResult result = run_local_feedback(g, seed);
+    ASSERT_TRUE(result.terminated);
+    EXPECT_EQ(result.mis().size(), 1u);
+    EXPECT_TRUE(is_valid_mis_run(g, result));
+  }
+}
+
+TEST(LocalFeedbackMis, ValidOnRandomGraphs) {
+  auto graph_rng = support::Xoshiro256StarStar(11);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const graph::Graph g = graph::gnp(100, 0.5, graph_rng);
+    const sim::RunResult result = run_local_feedback(g, seed);
+    ASSERT_TRUE(result.terminated);
+    EXPECT_TRUE(is_valid_mis_run(g, result)) << verify_mis_run(g, result).summary();
+  }
+}
+
+TEST(LocalFeedbackMis, DeterministicInSeed) {
+  auto graph_rng = support::Xoshiro256StarStar(13);
+  const graph::Graph g = graph::gnp(60, 0.5, graph_rng);
+  const sim::RunResult a = run_local_feedback(g, 42);
+  const sim::RunResult b = run_local_feedback(g, 42);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.mis(), b.mis());
+  EXPECT_EQ(a.beep_counts, b.beep_counts);
+  const sim::RunResult c = run_local_feedback(g, 43);
+  // Different seeds almost surely give a different execution.
+  EXPECT_TRUE(a.rounds != c.rounds || a.mis() != c.mis() || a.beep_counts != c.beep_counts);
+}
+
+TEST(LocalFeedbackMis, ProbabilityFeedbackMatchesDefinition1) {
+  // Drive the protocol by hand through the simulator on a path of two
+  // nodes, checking the internal probabilities follow halve/double rules.
+  const graph::Graph g = graph::path(2);
+  LocalFeedbackMis protocol;
+  sim::SimConfig config;
+  config.max_rounds = 1;  // single round, then inspect
+  sim::BeepSimulator simulator(g, config);
+  (void)simulator.run(protocol, support::Xoshiro256StarStar(5));
+  for (graph::NodeId v = 0; v < 2; ++v) {
+    const double p = protocol.probability_of(v);
+    // After one round p is one of {1/4, 1/2} (halved or capped double).
+    EXPECT_TRUE(p == 0.25 || p == 0.5) << p;
+  }
+}
+
+TEST(LocalFeedbackMis, ProbabilityNeverExceedsMax) {
+  const graph::Graph g = graph::complete(8);
+  LocalFeedbackMis protocol;
+  sim::SimConfig config;
+  config.max_rounds = 30;
+  sim::BeepSimulator simulator(g, config);
+  (void)simulator.run(protocol, support::Xoshiro256StarStar(5));
+  for (graph::NodeId v = 0; v < 8; ++v) {
+    EXPECT_LE(protocol.probability_of(v), 0.5);
+    EXPECT_GT(protocol.probability_of(v), 0.0);
+  }
+}
+
+TEST(LocalFeedbackMis, PaperConfigProbabilitiesAreDyadic) {
+  const graph::Graph g = graph::complete(6);
+  LocalFeedbackMis protocol;
+  sim::SimConfig config;
+  config.max_rounds = 10;
+  sim::BeepSimulator simulator(g, config);
+  (void)simulator.run(protocol, support::Xoshiro256StarStar(9));
+  for (graph::NodeId v = 0; v < 6; ++v) {
+    const double p = protocol.probability_of(v);
+    const double exponent = -std::log2(p);
+    EXPECT_DOUBLE_EQ(exponent, std::round(exponent)) << "p=" << p;
+  }
+}
+
+TEST(LocalFeedbackMis, HeterogeneousFactorsAssignedWithinRange) {
+  LocalFeedbackConfig c;
+  c.factor_low = 1.5;
+  c.factor_high = 3.0;
+  const graph::Graph g = graph::complete(50);
+  LocalFeedbackMis protocol(c);
+  sim::SimConfig config;
+  config.max_rounds = 1;
+  sim::BeepSimulator simulator(g, config);
+  (void)simulator.run(protocol, support::Xoshiro256StarStar(5));
+  bool any_not_two = false;
+  for (graph::NodeId v = 0; v < 50; ++v) {
+    EXPECT_GE(protocol.factor_of(v), 1.5);
+    EXPECT_LE(protocol.factor_of(v), 3.0);
+    if (std::abs(protocol.factor_of(v) - 2.0) > 0.01) any_not_two = true;
+  }
+  EXPECT_TRUE(any_not_two);
+}
+
+TEST(LocalFeedbackMis, RobustConfigsStillProduceValidMis) {
+  auto graph_rng = support::Xoshiro256StarStar(21);
+  const graph::Graph g = graph::gnp(80, 0.3, graph_rng);
+
+  LocalFeedbackConfig slow;
+  slow.factor_low = slow.factor_high = 1.25;
+  LocalFeedbackConfig fast;
+  fast.factor_low = fast.factor_high = 4.0;
+  LocalFeedbackConfig low_start;
+  low_start.initial_p_low = low_start.initial_p_high = 1.0 / 32.0;
+  LocalFeedbackConfig mixed;
+  mixed.initial_p_low = 0.05;
+  mixed.initial_p_high = 0.5;
+  mixed.factor_low = 1.5;
+  mixed.factor_high = 3.0;
+
+  for (const auto& config : {slow, fast, low_start, mixed}) {
+    const sim::RunResult result = run_local_feedback(g, 7, config);
+    ASSERT_TRUE(result.terminated);
+    EXPECT_TRUE(is_valid_mis_run(g, result)) << verify_mis_run(g, result).summary();
+  }
+}
+
+TEST(LocalFeedbackMis, NameIsStable) {
+  LocalFeedbackMis protocol;
+  EXPECT_EQ(protocol.name(), "local-feedback");
+}
+
+}  // namespace
+}  // namespace beepmis::mis

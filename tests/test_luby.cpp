@@ -1,0 +1,81 @@
+#include "mis/luby.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mis/mis.hpp"
+#include "mis/verifier.hpp"
+
+namespace beepmis::mis {
+namespace {
+
+TEST(Luby, ValidOnRandomGraphs) {
+  auto graph_rng = support::Xoshiro256StarStar(51);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const graph::Graph g = graph::gnp(100, 0.5, graph_rng);
+    const sim::RunResult result = run_luby(g, seed);
+    ASSERT_TRUE(result.terminated);
+    EXPECT_TRUE(is_valid_mis_run(g, result)) << verify_mis_run(g, result).summary();
+  }
+}
+
+TEST(Luby, CompleteGraphTerminatesInOneRound) {
+  // Exactly one node has the minimum priority, so K_n resolves instantly.
+  const graph::Graph g = graph::complete(30);
+  const sim::RunResult result = run_luby(g, 7);
+  EXPECT_TRUE(result.terminated);
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(result.mis().size(), 1u);
+}
+
+TEST(Luby, EdgelessGraphAllJoinInOneRound) {
+  const graph::Graph g = graph::empty_graph(12);
+  const sim::RunResult result = run_luby(g, 7);
+  EXPECT_TRUE(result.terminated);
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(result.mis().size(), 12u);
+}
+
+TEST(Luby, ValidOnStructuredFamilies) {
+  const graph::Graph graphs[] = {graph::ring(31), graph::grid2d(8, 8), graph::star(40),
+                                 graph::hypercube(6)};
+  for (const graph::Graph& g : graphs) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const sim::RunResult result = run_luby(g, seed);
+      ASSERT_TRUE(result.terminated);
+      EXPECT_TRUE(is_valid_mis_run(g, result));
+    }
+  }
+}
+
+TEST(Luby, MessageBitsGrowWithEdges) {
+  auto graph_rng = support::Xoshiro256StarStar(53);
+  const graph::Graph small = graph::gnp(30, 0.5, graph_rng);
+  const graph::Graph large = graph::gnp(120, 0.5, graph_rng);
+  const sim::RunResult a = run_luby(small, 1);
+  const sim::RunResult b = run_luby(large, 1);
+  EXPECT_GT(a.message_bits, 0u);
+  EXPECT_GT(b.message_bits, a.message_bits);
+}
+
+TEST(Luby, DeterministicInSeed) {
+  auto graph_rng = support::Xoshiro256StarStar(57);
+  const graph::Graph g = graph::gnp(60, 0.5, graph_rng);
+  const sim::RunResult a = run_luby(g, 5);
+  const sim::RunResult b = run_luby(g, 5);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.mis(), b.mis());
+}
+
+TEST(Luby, RoundsGrowSlowlyWithN) {
+  // O(log n): even at n = 2000 a G(n, 0.5) instance resolves in a handful
+  // of rounds.
+  auto graph_rng = support::Xoshiro256StarStar(59);
+  const graph::Graph g = graph::gnp(2000, 0.5, graph_rng);
+  const sim::RunResult result = run_luby(g, 3);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_LE(result.rounds, 40u);
+}
+
+}  // namespace
+}  // namespace beepmis::mis

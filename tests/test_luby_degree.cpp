@@ -1,0 +1,69 @@
+#include "mis/luby_degree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mis/mis.hpp"
+#include "mis/verifier.hpp"
+
+namespace beepmis::mis {
+namespace {
+
+TEST(LubyDegree, ValidOnRandomGraphs) {
+  auto graph_rng = support::Xoshiro256StarStar(161);
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const graph::Graph g = graph::gnp(80, 0.4, graph_rng);
+    const sim::RunResult result = run_luby_degree(g, seed);
+    ASSERT_TRUE(result.terminated);
+    EXPECT_TRUE(is_valid_mis_run(g, result)) << verify_mis_run(g, result).summary();
+  }
+}
+
+TEST(LubyDegree, ValidOnStructuredFamilies) {
+  const graph::Graph graphs[] = {graph::ring(27), graph::grid2d(7, 6), graph::star(25),
+                                 graph::complete(18), graph::clique_family(4, 4),
+                                 graph::hypercube(5)};
+  for (const graph::Graph& g : graphs) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const sim::RunResult result = run_luby_degree(g, seed);
+      ASSERT_TRUE(result.terminated);
+      EXPECT_TRUE(is_valid_mis_run(g, result));
+    }
+  }
+}
+
+TEST(LubyDegree, IsolatedNodesJoinImmediately) {
+  const sim::RunResult result = run_luby_degree(graph::empty_graph(15), 1);
+  EXPECT_TRUE(result.terminated);
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(result.mis().size(), 15u);
+}
+
+TEST(LubyDegree, RoundsLogarithmic) {
+  auto graph_rng = support::Xoshiro256StarStar(163);
+  const graph::Graph g = graph::gnp(1500, 0.5, graph_rng);
+  const sim::RunResult result = run_luby_degree(g, 3);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_LE(result.rounds, 60u);
+}
+
+TEST(LubyDegree, DeterministicInSeed) {
+  auto graph_rng = support::Xoshiro256StarStar(167);
+  const graph::Graph g = graph::gnp(60, 0.3, graph_rng);
+  const sim::RunResult a = run_luby_degree(g, 4);
+  const sim::RunResult b = run_luby_degree(g, 4);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.mis(), b.mis());
+}
+
+TEST(LubyDegree, SendsDegreeMessages) {
+  auto graph_rng = support::Xoshiro256StarStar(169);
+  const graph::Graph g = graph::gnp(80, 0.4, graph_rng);
+  const sim::RunResult result = run_luby_degree(g, 1);
+  // Presence bits alone would be ~m per round; degree broadcasts push the
+  // total well beyond that.
+  EXPECT_GT(result.message_bits, 2 * g.edge_count());
+}
+
+}  // namespace
+}  // namespace beepmis::mis

@@ -1,0 +1,97 @@
+#include "mis/metivier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mis/mis.hpp"
+#include "mis/verifier.hpp"
+
+namespace beepmis::mis {
+namespace {
+
+TEST(Metivier, ValidOnRandomGraphs) {
+  auto graph_rng = support::Xoshiro256StarStar(61);
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const graph::Graph g = graph::gnp(80, 0.5, graph_rng);
+    const sim::RunResult result = run_metivier(g, seed);
+    ASSERT_TRUE(result.terminated);
+    EXPECT_TRUE(is_valid_mis_run(g, result)) << verify_mis_run(g, result).summary();
+  }
+}
+
+TEST(Metivier, ValidOnStructuredFamilies) {
+  const graph::Graph graphs[] = {graph::ring(25), graph::grid2d(6, 7), graph::star(30),
+                                 graph::complete(20), graph::clique_family(4, 4)};
+  for (const graph::Graph& g : graphs) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const sim::RunResult result = run_metivier(g, seed);
+      ASSERT_TRUE(result.terminated);
+      EXPECT_TRUE(is_valid_mis_run(g, result));
+    }
+  }
+}
+
+TEST(Metivier, AutoSizesBitsToGraph) {
+  MetivierMis protocol;
+  auto rng = support::Xoshiro256StarStar(1);
+  const graph::Graph small = graph::complete(4);
+  protocol.reset(small, rng);
+  const unsigned small_bits = protocol.bits_per_phase();
+  const graph::Graph large = graph::empty_graph(4096);
+  protocol.reset(large, rng);
+  EXPECT_GT(protocol.bits_per_phase(), small_bits);
+  EXPECT_EQ(protocol.bits_per_phase(), 12u + 3u);
+}
+
+TEST(Metivier, ExplicitBitsRespected) {
+  MetivierMis protocol(5);
+  auto rng = support::Xoshiro256StarStar(1);
+  protocol.reset(graph::complete(4), rng);
+  EXPECT_EQ(protocol.bits_per_phase(), 5u);
+  EXPECT_EQ(protocol.exchanges_per_round(), 6u);
+}
+
+TEST(Metivier, FewTieBreakBitsStillNeverViolatesIndependence) {
+  // With only 1 bit per phase ties are frequent; tied nodes must simply
+  // defer, never join together.
+  auto graph_rng = support::Xoshiro256StarStar(63);
+  const graph::Graph g = graph::gnp(40, 0.4, graph_rng);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const sim::RunResult result = run_metivier(g, seed, /*bits_per_phase=*/1);
+    ASSERT_TRUE(result.terminated);  // slower, but still terminates
+    EXPECT_TRUE(is_valid_mis_run(g, result)) << verify_mis_run(g, result).summary();
+  }
+}
+
+TEST(Metivier, UsesFarFewerBitsThanLuby) {
+  auto graph_rng = support::Xoshiro256StarStar(65);
+  const graph::Graph g = graph::gnp(300, 0.5, graph_rng);
+  const sim::RunResult metivier = run_metivier(g, 1);
+  const sim::RunResult luby = run_luby(g, 1);
+  ASSERT_TRUE(metivier.terminated);
+  ASSERT_TRUE(luby.terminated);
+  EXPECT_LT(metivier.message_bits, luby.message_bits / 4);
+}
+
+TEST(Metivier, EdgelessAndSingletonGraphs) {
+  const sim::RunResult single = run_metivier(graph::empty_graph(1), 1);
+  EXPECT_TRUE(single.terminated);
+  EXPECT_EQ(single.mis().size(), 1u);
+  const sim::RunResult edgeless = run_metivier(graph::empty_graph(20), 1);
+  EXPECT_TRUE(edgeless.terminated);
+  EXPECT_EQ(edgeless.mis().size(), 20u);
+  EXPECT_EQ(edgeless.rounds, 1u);
+}
+
+TEST(Metivier, DeterministicInSeed) {
+  auto graph_rng = support::Xoshiro256StarStar(67);
+  const graph::Graph g = graph::gnp(50, 0.5, graph_rng);
+  const sim::RunResult a = run_metivier(g, 9);
+  const sim::RunResult b = run_metivier(g, 9);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.mis(), b.mis());
+  EXPECT_EQ(a.message_bits, b.message_bits);
+}
+
+}  // namespace
+}  // namespace beepmis::mis

@@ -1,0 +1,98 @@
+#include "support/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace beepmis::support {
+namespace {
+
+Options make_options() {
+  Options opts;
+  opts.add("n", "100", "number of nodes");
+  opts.add("p", "0.5", "edge probability");
+  opts.add("verbose", "false", "verbose output");
+  opts.add("label", "default", "run label");
+  return opts;
+}
+
+bool parse(Options& opts, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return opts.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Options, DefaultsWhenUnset) {
+  Options opts = make_options();
+  ASSERT_TRUE(parse(opts, {}));
+  EXPECT_EQ(opts.get_int("n"), 100);
+  EXPECT_DOUBLE_EQ(opts.get_double("p"), 0.5);
+  EXPECT_FALSE(opts.get_bool("verbose"));
+  EXPECT_EQ(opts.get("label"), "default");
+}
+
+TEST(Options, EqualsSyntax) {
+  Options opts = make_options();
+  ASSERT_TRUE(parse(opts, {"--n=250", "--p=0.25"}));
+  EXPECT_EQ(opts.get_int("n"), 250);
+  EXPECT_DOUBLE_EQ(opts.get_double("p"), 0.25);
+}
+
+TEST(Options, SpaceSyntax) {
+  Options opts = make_options();
+  ASSERT_TRUE(parse(opts, {"--n", "42"}));
+  EXPECT_EQ(opts.get_int("n"), 42);
+}
+
+TEST(Options, BooleanFlagWithoutValue) {
+  Options opts = make_options();
+  ASSERT_TRUE(parse(opts, {"--verbose"}));
+  EXPECT_TRUE(opts.get_bool("verbose"));
+}
+
+TEST(Options, NoPrefixDisablesBoolean) {
+  Options opts = make_options();
+  ASSERT_TRUE(parse(opts, {"--verbose", "--no-verbose"}));
+  EXPECT_FALSE(opts.get_bool("verbose"));
+}
+
+TEST(Options, UnknownFlagFails) {
+  Options opts = make_options();
+  EXPECT_FALSE(parse(opts, {"--bogus=1"}));
+  EXPECT_NE(opts.error().find("bogus"), std::string::npos);
+}
+
+TEST(Options, HelpRequested) {
+  Options opts = make_options();
+  ASSERT_TRUE(parse(opts, {"--help"}));
+  EXPECT_TRUE(opts.help_requested());
+}
+
+TEST(Options, PositionalArgumentsCollected) {
+  Options opts = make_options();
+  ASSERT_TRUE(parse(opts, {"file1", "--n=5", "file2"}));
+  EXPECT_EQ(opts.positional(), (std::vector<std::string>{"file1", "file2"}));
+}
+
+TEST(Options, UsageListsFlags) {
+  const Options opts = make_options();
+  const std::string usage = opts.usage("prog");
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("edge probability"), std::string::npos);
+}
+
+TEST(Options, GetUnregisteredThrows) {
+  Options opts = make_options();
+  ASSERT_TRUE(parse(opts, {}));
+  EXPECT_THROW(opts.get("missing"), std::invalid_argument);
+}
+
+TEST(Options, U64RoundTrip) {
+  Options opts;
+  opts.add("seed", "18446744073709551615", "max u64");
+  ASSERT_TRUE(parse(opts, {}));
+  EXPECT_EQ(opts.get_u64("seed"), 18446744073709551615ULL);
+}
+
+}  // namespace
+}  // namespace beepmis::support

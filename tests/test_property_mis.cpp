@@ -1,0 +1,174 @@
+// Property suite: every MIS algorithm must produce a valid MIS on every
+// graph family for every seed.  Parameterised over (algorithm, family,
+// seed) so each combination is a separately reported test case.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "mis/exact_feedback.hpp"
+#include "mis/mis.hpp"
+#include "mis/pure_beep.hpp"
+
+namespace beepmis {
+namespace {
+
+struct AlgorithmSpec {
+  std::string name;
+  std::function<sim::RunResult(const graph::Graph&, std::uint64_t)> run;
+};
+
+struct FamilySpec {
+  std::string name;
+  std::function<graph::Graph(std::uint64_t)> make;
+};
+
+std::vector<AlgorithmSpec> algorithms() {
+  return {
+      {"local_feedback",
+       [](const graph::Graph& g, std::uint64_t seed) {
+         return mis::run_local_feedback(g, seed);
+       }},
+      {"global_sweep",
+       [](const graph::Graph& g, std::uint64_t seed) {
+         return mis::run_global_sweep(g, seed);
+       }},
+      {"global_increasing",
+       [](const graph::Graph& g, std::uint64_t seed) {
+         return mis::run_global_increasing(g, seed);
+       }},
+      {"luby",
+       [](const graph::Graph& g, std::uint64_t seed) { return mis::run_luby(g, seed); }},
+      {"metivier",
+       [](const graph::Graph& g, std::uint64_t seed) {
+         return mis::run_metivier(g, seed);
+       }},
+      {"greedy_id",
+       [](const graph::Graph& g, std::uint64_t) { return mis::run_greedy_id(g); }},
+      {"exact_feedback",
+       [](const graph::Graph& g, std::uint64_t seed) {
+         mis::ExactLocalFeedbackMis protocol;
+         sim::BeepSimulator simulator(g);
+         return simulator.run(protocol, support::Xoshiro256StarStar(seed));
+       }},
+      {"luby_degree",
+       [](const graph::Graph& g, std::uint64_t seed) {
+         return mis::run_luby_degree(g, seed);
+       }},
+      {"pure_beep",
+       [](const graph::Graph& g, std::uint64_t seed) {
+         mis::PureBeepLocalFeedbackMis protocol(/*subslots=*/16);
+         sim::BeepSimulator simulator(g);
+         return simulator.run(protocol, support::Xoshiro256StarStar(seed));
+       }},
+  };
+}
+
+std::vector<FamilySpec> families() {
+  return {
+      {"gnp_dense",
+       [](std::uint64_t seed) {
+         auto rng = support::Xoshiro256StarStar(seed);
+         return graph::gnp(70, 0.5, rng);
+       }},
+      {"gnp_sparse",
+       [](std::uint64_t seed) {
+         auto rng = support::Xoshiro256StarStar(seed);
+         return graph::gnp(90, 0.05, rng);
+       }},
+      {"ring", [](std::uint64_t) { return graph::ring(41); }},
+      {"path", [](std::uint64_t) { return graph::path(37); }},
+      {"star", [](std::uint64_t) { return graph::star(33); }},
+      {"grid", [](std::uint64_t) { return graph::grid2d(7, 9); }},
+      {"hex_grid", [](std::uint64_t) { return graph::hex_grid(6, 7); }},
+      {"clique", [](std::uint64_t) { return graph::complete(24); }},
+      {"clique_family", [](std::uint64_t) { return graph::clique_family(5, 5); }},
+      {"hypercube", [](std::uint64_t) { return graph::hypercube(5); }},
+      {"tree",
+       [](std::uint64_t seed) {
+         auto rng = support::Xoshiro256StarStar(seed + 1000);
+         return graph::random_tree(50, rng);
+       }},
+      {"bipartite",
+       [](std::uint64_t seed) {
+         auto rng = support::Xoshiro256StarStar(seed + 2000);
+         return graph::random_bipartite(20, 25, 0.3, rng);
+       }},
+      {"caterpillar", [](std::uint64_t) { return graph::caterpillar(8, 3); }},
+      {"geometric",
+       [](std::uint64_t seed) {
+         auto rng = support::Xoshiro256StarStar(seed + 3000);
+         return graph::random_geometric(60, 0.25, rng).graph;
+       }},
+      {"barabasi_albert",
+       [](std::uint64_t seed) {
+         auto rng = support::Xoshiro256StarStar(seed + 4000);
+         return graph::barabasi_albert(60, 2, rng);
+       }},
+      {"edgeless", [](std::uint64_t) { return graph::empty_graph(25); }},
+      {"single_node", [](std::uint64_t) { return graph::empty_graph(1); }},
+  };
+}
+
+using Combo = std::tuple<std::size_t, std::size_t, std::uint64_t>;
+
+class MisProperty : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(MisProperty, ProducesValidMis) {
+  const auto [algo_index, family_index, seed] = GetParam();
+  const AlgorithmSpec algo = algorithms()[algo_index];
+  const FamilySpec family = families()[family_index];
+
+  const graph::Graph g = family.make(seed);
+  const sim::RunResult result = algo.run(g, seed);
+
+  ASSERT_TRUE(result.terminated)
+      << algo.name << " did not terminate on " << family.name << " seed " << seed;
+  const mis::VerificationReport report = mis::verify_mis_run(g, result);
+  EXPECT_TRUE(report.valid())
+      << algo.name << " on " << family.name << " seed " << seed << ": " << report.summary();
+
+  // Cross-check the verifier against the standalone graph predicates.
+  const auto selected = result.mis();
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, selected))
+      << algo.name << " on " << family.name;
+}
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  const auto [algo_index, family_index, seed] = info.param;
+  return algorithms()[algo_index].name + "_" + families()[family_index].name + "_s" +
+         std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllFamilies, MisProperty,
+    ::testing::Combine(::testing::Range<std::size_t>(0, 9),
+                       ::testing::Range<std::size_t>(0, 17),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)),
+    combo_name);
+
+/// MIS size sanity: the distributed algorithms' MIS sizes sit between the
+/// trivial bounds n/(D+1) <= |MIS| <= exact maximum independent set.
+class MisSizeBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MisSizeBounds, SizeWithinBounds) {
+  const std::uint64_t seed = GetParam();
+  auto rng = support::Xoshiro256StarStar(seed);
+  const graph::Graph g = graph::gnp(24, 0.3, rng);
+  const sim::RunResult result = mis::run_local_feedback(g, seed);
+  ASSERT_TRUE(result.terminated);
+
+  const std::size_t size = result.mis().size();
+  const std::size_t lower =
+      (g.node_count() + g.max_degree()) / (g.max_degree() + 1);  // ceil(n/(D+1))
+  EXPECT_GE(size, lower);
+  EXPECT_LE(size, graph::maximum_independent_set_size(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MisSizeBounds,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace beepmis

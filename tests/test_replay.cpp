@@ -1,0 +1,135 @@
+#include "sim/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mis/mis.hpp"
+
+namespace beepmis::sim {
+namespace {
+
+struct Recorded {
+  RunResult result;
+  Trace trace;
+};
+
+Recorded record_run(const graph::Graph& g, std::uint64_t seed,
+                    SimConfig config = {}) {
+  config.record_trace = true;
+  mis::LocalFeedbackMis protocol;
+  BeepSimulator simulator(g, config);
+  Recorded out;
+  out.result = simulator.run(protocol, support::Xoshiro256StarStar(seed));
+  out.trace = simulator.trace();
+  return out;
+}
+
+TEST(Replay, RealRunsAreConsistent) {
+  auto graph_rng = support::Xoshiro256StarStar(91);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const graph::Graph g = graph::gnp(50, 0.4, graph_rng);
+    const Recorded run = record_run(g, seed);
+    const ReplayReport report = replay_mis_trace(g, run.trace, run.result);
+    EXPECT_TRUE(report.consistent()) << report.summary();
+  }
+}
+
+TEST(Replay, StructuredFamiliesConsistent) {
+  for (const graph::Graph& g : {graph::complete(20), graph::grid2d(6, 6),
+                                graph::star(25), graph::clique_family(4, 4)}) {
+    const Recorded run = record_run(g, 3);
+    EXPECT_TRUE(replay_mis_trace(g, run.trace, run.result).consistent());
+  }
+}
+
+TEST(Replay, DetectsStatusTampering) {
+  const graph::Graph g = graph::path(3);
+  Recorded run = record_run(g, 1);
+  ASSERT_TRUE(run.result.terminated);
+  // Flip one node's fate.
+  run.result.status[0] = run.result.status[0] == NodeStatus::kInMis
+                             ? NodeStatus::kDominated
+                             : NodeStatus::kInMis;
+  const ReplayReport report = replay_mis_trace(g, run.trace, run.result);
+  EXPECT_FALSE(report.consistent());
+}
+
+TEST(Replay, DetectsBeepCountTampering) {
+  const graph::Graph g = graph::path(2);
+  Recorded run = record_run(g, 2);
+  run.result.beep_counts[0] += 5;
+  const ReplayReport report = replay_mis_trace(g, run.trace, run.result);
+  EXPECT_FALSE(report.consistent());
+  EXPECT_NE(report.summary().find("beeps"), std::string::npos);
+}
+
+TEST(Replay, DetectsFabricatedAdjacentJoins) {
+  const graph::Graph g = graph::path(2);
+  Trace trace;
+  trace.record({0, 0, EventKind::kBeep, 0});
+  trace.record({0, 0, EventKind::kBeep, 1});
+  trace.record({0, 1, EventKind::kJoinMis, 0});
+  trace.record({0, 1, EventKind::kJoinMis, 1});
+  RunResult result;
+  result.terminated = true;
+  result.status = {NodeStatus::kInMis, NodeStatus::kInMis};
+  result.beep_counts = {1, 1};
+  const ReplayReport report = replay_mis_trace(g, trace, result);
+  EXPECT_FALSE(report.consistent());
+  EXPECT_NE(report.summary().find("same round"), std::string::npos);
+}
+
+TEST(Replay, DetectsJoinWithoutBeep) {
+  const graph::Graph g = graph::empty_graph(1);
+  Trace trace;
+  trace.record({0, 1, EventKind::kJoinMis, 0});
+  RunResult result;
+  result.terminated = true;
+  result.status = {NodeStatus::kInMis};
+  result.beep_counts = {0};
+  const ReplayReport report = replay_mis_trace(g, trace, result);
+  EXPECT_FALSE(report.consistent());
+  EXPECT_NE(report.summary().find("intent beep"), std::string::npos);
+}
+
+TEST(Replay, DetectsUnexplainedDeactivation) {
+  const graph::Graph g = graph::path(2);
+  Trace trace;
+  trace.record({0, 1, EventKind::kDeactivate, 1});
+  RunResult result;
+  result.terminated = false;
+  result.status = {NodeStatus::kActive, NodeStatus::kDominated};
+  result.beep_counts = {0, 0};
+  const ReplayReport report = replay_mis_trace(g, trace, result);
+  EXPECT_FALSE(report.consistent());
+  EXPECT_NE(report.summary().find("previously-joined"), std::string::npos);
+}
+
+TEST(Replay, CapsReportedIssuesButCountsAll) {
+  const graph::Graph g = graph::empty_graph(30);
+  Trace trace;
+  RunResult result;
+  result.terminated = true;
+  // Claim every node is in the MIS with no trace events at all.
+  result.status.assign(30, NodeStatus::kInMis);
+  result.beep_counts.assign(30, 0);
+  const ReplayReport report = replay_mis_trace(g, trace, result, /*max=*/5);
+  EXPECT_FALSE(report.consistent());
+  EXPECT_EQ(report.issues.size(), 5u);
+  EXPECT_GT(report.issues_found, 5u);
+}
+
+TEST(Replay, WakeupAndKeepaliveRunsConsistent) {
+  const graph::Graph g = graph::grid2d(5, 5);
+  SimConfig config;
+  config.mis_keepalive = true;
+  config.wake_round.resize(25);
+  for (graph::NodeId v = 0; v < 25; ++v) config.wake_round[v] = v % 5;
+  const Recorded run = record_run(g, 7, config);
+  ASSERT_TRUE(run.result.terminated);
+  const ReplayReport report = replay_mis_trace(g, run.trace, run.result);
+  EXPECT_TRUE(report.consistent()) << report.summary();
+}
+
+}  // namespace
+}  // namespace beepmis::sim

@@ -1,0 +1,181 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace beepmis::support {
+namespace {
+
+TEST(Splitmix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(splitmix64_next(s1), splitmix64_next(s2));
+  }
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t s = 42;
+  const std::uint64_t a = splitmix64_next(s);
+  const std::uint64_t b = splitmix64_next(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(MixSeed, IsOrderSensitive) {
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 1));
+}
+
+TEST(MixSeed, DistinctInputsRarelyCollide) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 100; ++a) {
+    for (std::uint64_t b = 0; b < 100; ++b) {
+      seen.insert(mix_seed(a, b));
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u * 100u);
+}
+
+TEST(Xoshiro, SameSeedSameSequence) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Xoshiro, Uniform01InRange) {
+  Xoshiro256StarStar rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, Uniform01MeanIsHalf) {
+  Xoshiro256StarStar rng(99);
+  double sum = 0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / samples, 0.5, 0.01);
+}
+
+TEST(Xoshiro, BernoulliEdgeCases) {
+  Xoshiro256StarStar rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro, BernoulliFrequencyMatchesP) {
+  Xoshiro256StarStar rng(5);
+  const int samples = 200000;
+  int hits = 0;
+  for (int i = 0; i < samples; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / samples, 0.3, 0.01);
+}
+
+TEST(Xoshiro, BelowIsInRange) {
+  Xoshiro256StarStar rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Xoshiro, BelowOneAlwaysZero) {
+  Xoshiro256StarStar rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, BelowCoversAllValues) {
+  Xoshiro256StarStar rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Xoshiro, BelowIsApproximatelyUniform) {
+  Xoshiro256StarStar rng(29);
+  std::array<int, 5> counts{};
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) ++counts[rng.below(5)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / samples, 0.2, 0.01);
+  }
+}
+
+TEST(Xoshiro, UniformIntInclusiveRange) {
+  Xoshiro256StarStar rng(31);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Xoshiro, JumpChangesStateButStaysDeterministic) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  a.jump();
+  b.jump();
+  EXPECT_EQ(a.state(), b.state());
+  Xoshiro256StarStar c(7);
+  EXPECT_NE(a.state(), c.state());
+}
+
+TEST(Xoshiro, SplitStreamsAreIndependentAndDeterministic) {
+  const Xoshiro256StarStar parent(11);
+  Xoshiro256StarStar s1 = parent.split(1);
+  Xoshiro256StarStar s1_again = parent.split(1);
+  Xoshiro256StarStar s2 = parent.split(2);
+  EXPECT_EQ(s1.state(), s1_again.state());
+  EXPECT_NE(s1.state(), s2.state());
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s1() == s2()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256StarStar>);
+  SUCCEED();
+}
+
+TEST(SeedSequence, ChildrenAreDistinctAndStable) {
+  const SeedSequence root(100);
+  EXPECT_EQ(root.child(3).value(), root.child(3).value());
+  EXPECT_NE(root.child(3).value(), root.child(4).value());
+  EXPECT_NE(root.child(3).child(0).value(), root.child(3).child(1).value());
+}
+
+TEST(SeedSequence, SiblingSubtreesDoNotCollide) {
+  const SeedSequence root(100);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    for (std::uint64_t j = 0; j < 50; ++j) {
+      seen.insert(root.child(i).child(j).value());
+    }
+  }
+  EXPECT_EQ(seen.size(), 50u * 50u);
+}
+
+}  // namespace
+}  // namespace beepmis::support

@@ -1,0 +1,115 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "mis/local_feedback.hpp"
+#include "mis/luby.hpp"
+
+namespace beepmis::harness {
+namespace {
+
+GraphFactory small_gnp() {
+  return [](support::Xoshiro256StarStar& rng) { return graph::gnp(40, 0.5, rng); };
+}
+
+BeepProtocolFactory local_feedback() {
+  return [] { return std::make_unique<mis::LocalFeedbackMis>(); };
+}
+
+TEST(Runner, RunsRequestedTrials) {
+  TrialConfig config;
+  config.trials = 10;
+  config.threads = 2;
+  const TrialStats stats = run_beep_trials(small_gnp(), local_feedback(), config);
+  EXPECT_EQ(stats.trials, 10u);
+  EXPECT_EQ(stats.terminated, 10u);
+  EXPECT_EQ(stats.valid, 10u);
+  EXPECT_EQ(stats.rounds.count(), 10u);
+  EXPECT_GT(stats.rounds.mean(), 0.0);
+  EXPECT_GT(stats.mis_size.mean(), 0.0);
+}
+
+TEST(Runner, DeterministicAcrossThreadCounts) {
+  TrialConfig one;
+  one.trials = 12;
+  one.base_seed = 777;
+  one.threads = 1;
+  TrialConfig many = one;
+  many.threads = 8;
+  const TrialStats a = run_beep_trials(small_gnp(), local_feedback(), one);
+  const TrialStats b = run_beep_trials(small_gnp(), local_feedback(), many);
+  EXPECT_DOUBLE_EQ(a.rounds.mean(), b.rounds.mean());
+  EXPECT_DOUBLE_EQ(a.rounds.variance(), b.rounds.variance());
+  EXPECT_DOUBLE_EQ(a.beeps_per_node.mean(), b.beeps_per_node.mean());
+  EXPECT_DOUBLE_EQ(a.mis_size.mean(), b.mis_size.mean());
+}
+
+TEST(Runner, DifferentSeedsGiveDifferentResults) {
+  TrialConfig a_config;
+  a_config.trials = 5;
+  a_config.base_seed = 1;
+  TrialConfig b_config = a_config;
+  b_config.base_seed = 2;
+  const TrialStats a = run_beep_trials(small_gnp(), local_feedback(), a_config);
+  const TrialStats b = run_beep_trials(small_gnp(), local_feedback(), b_config);
+  EXPECT_NE(a.rounds.mean(), b.rounds.mean());
+}
+
+TEST(Runner, SharedGraphReusesOneGraph) {
+  // With shared_graph, MIS sizes on a clique are 1 in every trial.
+  TrialConfig config;
+  config.trials = 8;
+  config.shared_graph = true;
+  const GraphFactory clique = [](support::Xoshiro256StarStar&) {
+    return graph::complete(15);
+  };
+  const TrialStats stats = run_beep_trials(clique, local_feedback(), config);
+  EXPECT_DOUBLE_EQ(stats.mis_size.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.mis_size.stddev(), 0.0);
+}
+
+TEST(Runner, LocalModelTrialsCollectMessageBits) {
+  TrialConfig config;
+  config.trials = 6;
+  const LocalProtocolFactory luby = [] { return std::make_unique<mis::LubyMis>(); };
+  const TrialStats stats = run_local_trials(small_gnp(), luby, config);
+  EXPECT_EQ(stats.trials, 6u);
+  EXPECT_EQ(stats.valid, 6u);
+  EXPECT_GT(stats.message_bits.mean(), 0.0);
+}
+
+TEST(Runner, FaultySimConfigPropagates) {
+  TrialConfig config;
+  config.trials = 5;
+  config.sim.beep_loss_probability = 0.4;
+  config.sim.max_rounds = 300;
+  const TrialStats stats = run_beep_trials(small_gnp(), local_feedback(), config);
+  EXPECT_EQ(stats.trials, 5u);
+  // With heavy loss at least the counters must be self-consistent.
+  EXPECT_LE(stats.valid, stats.trials);
+}
+
+TEST(Runner, SingleTrialWorks) {
+  TrialConfig config;
+  config.trials = 1;
+  const TrialStats stats = run_beep_trials(small_gnp(), local_feedback(), config);
+  EXPECT_EQ(stats.trials, 1u);
+  EXPECT_EQ(stats.rounds.count(), 1u);
+}
+
+TEST(TrialStats, MergeAccumulates) {
+  TrialConfig config;
+  config.trials = 4;
+  TrialStats a = run_beep_trials(small_gnp(), local_feedback(), config);
+  const TrialStats b = run_beep_trials(small_gnp(), local_feedback(), config);
+  const std::size_t before = a.trials;
+  a.merge(b);
+  EXPECT_EQ(a.trials, before + b.trials);
+  EXPECT_EQ(a.rounds.count(), 8u);
+}
+
+}  // namespace
+}  // namespace beepmis::harness

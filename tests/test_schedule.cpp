@@ -1,0 +1,103 @@
+#include "mis/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace beepmis::mis {
+namespace {
+
+TEST(SweepSchedule, MatchesPaperSequence) {
+  // Paper §1: 1, 1/2 | 1, 1/2, 1/4 | 1, 1/2, 1/4, 1/8 | 1, ...
+  const std::vector<double> expected{1,      1.0 / 2, 1,       1.0 / 2, 1.0 / 4,
+                                     1,      1.0 / 2, 1.0 / 4, 1.0 / 8, 1,
+                                     1.0 / 2, 1.0 / 4, 1.0 / 8, 1.0 / 16};
+  SweepSchedule schedule;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(schedule.probability(i), expected[i]) << "step " << i;
+  }
+}
+
+TEST(SweepSchedule, PositionDecomposition) {
+  EXPECT_EQ(SweepSchedule::position(0).phase, 1u);
+  EXPECT_EQ(SweepSchedule::position(0).index, 0u);
+  EXPECT_EQ(SweepSchedule::position(1).index, 1u);
+  EXPECT_EQ(SweepSchedule::position(2).phase, 2u);
+  EXPECT_EQ(SweepSchedule::position(2).index, 0u);
+  EXPECT_EQ(SweepSchedule::position(13).phase, 4u);
+  EXPECT_EQ(SweepSchedule::position(13).index, 4u);
+}
+
+TEST(SweepSchedule, StepsThroughPhase) {
+  EXPECT_EQ(SweepSchedule::steps_through_phase(0), 0u);
+  EXPECT_EQ(SweepSchedule::steps_through_phase(1), 2u);
+  EXPECT_EQ(SweepSchedule::steps_through_phase(2), 5u);
+  EXPECT_EQ(SweepSchedule::steps_through_phase(3), 9u);
+  EXPECT_EQ(SweepSchedule::steps_through_phase(4), 14u);
+}
+
+TEST(SweepSchedule, LargeStepsStayInRange) {
+  SweepSchedule schedule;
+  for (const std::size_t step : {1000u, 12345u, 999999u}) {
+    const double p = schedule.probability(step);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  // Each phase starts at probability 1.
+  for (std::size_t k = 1; k < 50; ++k) {
+    EXPECT_DOUBLE_EQ(schedule.probability(SweepSchedule::steps_through_phase(k)), 1.0);
+  }
+}
+
+TEST(IncreasingSchedule, StartsLowEndsAtHalf) {
+  IncreasingSchedule schedule(/*max_degree=*/64, /*n=*/128);
+  EXPECT_DOUBLE_EQ(schedule.probability(0), 1.0 / 65.0);
+  // Far in the future the probability has saturated at 1/2.
+  EXPECT_DOUBLE_EQ(schedule.probability(100000), 0.5);
+}
+
+TEST(IncreasingSchedule, DoublesBetweenPhases) {
+  IncreasingSchedule schedule(64, 128, /*steps_per_phase=*/10);
+  const double p0 = schedule.probability(0);
+  const double p1 = schedule.probability(10);
+  const double within = schedule.probability(5);
+  EXPECT_DOUBLE_EQ(within, p0);
+  EXPECT_DOUBLE_EQ(p1, 2.0 * p0);
+}
+
+TEST(IncreasingSchedule, DefaultPhaseLengthScalesWithLogN) {
+  IncreasingSchedule small(16, 16);
+  IncreasingSchedule large(16, 1 << 16);
+  EXPECT_LT(small.steps_per_phase(), large.steps_per_phase());
+}
+
+TEST(FixedSchedule, HoldsLastValue) {
+  FixedSchedule schedule({0.5, 0.25, 0.125});
+  EXPECT_DOUBLE_EQ(schedule.probability(0), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.probability(2), 0.125);
+  EXPECT_DOUBLE_EQ(schedule.probability(100), 0.125);
+}
+
+TEST(FixedSchedule, CyclesWhenRequested) {
+  FixedSchedule schedule({0.5, 0.25}, /*cycle=*/true);
+  EXPECT_DOUBLE_EQ(schedule.probability(2), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.probability(3), 0.25);
+}
+
+TEST(FixedSchedule, Validation) {
+  EXPECT_THROW(FixedSchedule({}), std::invalid_argument);
+  EXPECT_THROW(FixedSchedule({0.5, 1.5}), std::invalid_argument);
+  EXPECT_THROW(FixedSchedule({-0.1}), std::invalid_argument);
+}
+
+TEST(ConstantSchedule, AlwaysSameValue) {
+  ConstantSchedule schedule(0.3);
+  EXPECT_DOUBLE_EQ(schedule.probability(0), 0.3);
+  EXPECT_DOUBLE_EQ(schedule.probability(12345), 0.3);
+  EXPECT_THROW(ConstantSchedule(1.0001), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace beepmis::mis

@@ -1,0 +1,151 @@
+// Self-healing MIS maintenance: dominated nodes recover when their
+// dominator fail-stops.
+#include "mis/self_healing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/generators.hpp"
+#include "mis/mis.hpp"
+#include "mis/verifier.hpp"
+
+namespace beepmis::mis {
+namespace {
+
+constexpr std::uint32_t kNever = std::numeric_limits<std::uint32_t>::max();
+
+struct HealingRun {
+  sim::RunResult result;
+  std::size_t reactivations = 0;
+};
+
+HealingRun run_healing(const graph::Graph& g, std::uint64_t seed, sim::SimConfig config,
+                       SelfHealingConfig algo = {}) {
+  config.mis_keepalive = true;
+  SelfHealingLocalFeedbackMis protocol(algo);
+  sim::BeepSimulator simulator(g, config);
+  HealingRun out;
+  out.result = simulator.run(protocol, support::Xoshiro256StarStar(seed));
+  out.reactivations = protocol.reactivations();
+  return out;
+}
+
+TEST(SelfHealing, ConfigValidation) {
+  SelfHealingConfig bad;
+  bad.silence_threshold = 0;
+  EXPECT_THROW(SelfHealingLocalFeedbackMis{bad}, std::invalid_argument);
+}
+
+TEST(SelfHealing, NoCrashesBehavesLikePlainProtocol) {
+  auto graph_rng = support::Xoshiro256StarStar(171);
+  const graph::Graph g = graph::gnp(50, 0.4, graph_rng);
+  sim::SimConfig config;
+  const HealingRun run = run_healing(g, 5, config);
+  ASSERT_TRUE(run.result.terminated);
+  EXPECT_TRUE(is_valid_mis_run(g, run.result));
+  EXPECT_EQ(run.reactivations, 0u);
+}
+
+TEST(SelfHealing, PathRecoversFromDominatorCrash) {
+  // 0-1: one node joins; crash the winner at round 20; the survivor must
+  // notice the silence, reactivate and join.
+  const graph::Graph g = graph::path(2);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    // Find the winner first.
+    sim::SimConfig probe_config;
+    probe_config.mis_keepalive = true;
+    const sim::RunResult probe = run_local_feedback(
+        g, seed, LocalFeedbackConfig::paper(), probe_config);
+    ASSERT_TRUE(probe.terminated);
+    const graph::NodeId winner = probe.mis().at(0);
+    const graph::NodeId other = 1 - winner;
+
+    sim::SimConfig config;
+    config.crash_round.assign(2, kNever);
+    config.crash_round[winner] = 20;
+    config.run_until_round = 60;
+    const HealingRun run = run_healing(g, seed, config);
+    ASSERT_TRUE(run.result.terminated) << "seed " << seed;
+    EXPECT_EQ(run.result.status[winner], sim::NodeStatus::kCrashed);
+    EXPECT_EQ(run.result.status[other], sim::NodeStatus::kInMis) << "seed " << seed;
+    EXPECT_GE(run.reactivations, 1u);
+  }
+}
+
+TEST(SelfHealing, StarRecoversWhenHubDies) {
+  // If the hub won, all leaves are dominated by it; after the hub crashes
+  // every leaf must reactivate and join (they are pairwise non-adjacent).
+  const graph::Graph g = graph::star(8);
+  sim::SimConfig config;
+  config.crash_round.assign(8, kNever);
+  config.crash_round[0] = 25;  // crash the hub whether or not it won
+  config.run_until_round = 80;
+  const HealingRun run = run_healing(g, 3, config);
+  ASSERT_TRUE(run.result.terminated);
+  const VerificationReport report = verify_mis_run(g, run.result);
+  EXPECT_TRUE(report.valid()) << report.summary();
+  // Survivors: all leaves decided; if the hub had won, they all joined.
+  for (graph::NodeId v = 1; v < 8; ++v) {
+    EXPECT_NE(run.result.status[v], sim::NodeStatus::kActive);
+  }
+}
+
+TEST(SelfHealing, RandomGraphSurvivorsFormValidMis) {
+  auto graph_rng = support::Xoshiro256StarStar(173);
+  const graph::Graph g = graph::gnp(60, 0.3, graph_rng);
+  sim::SimConfig config;
+  config.crash_round.assign(g.node_count(), kNever);
+  for (graph::NodeId v = 0; v < g.node_count(); v += 4) {
+    config.crash_round[v] = 15 + v % 7;  // kill a quarter of all nodes mid-run
+  }
+  config.run_until_round = 150;
+  config.max_rounds = 600;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const HealingRun run = run_healing(g, seed, config);
+    ASSERT_TRUE(run.result.terminated) << "seed " << seed;
+    const VerificationReport report = verify_mis_run(g, run.result);
+    // Healing restores full validity: every surviving node is in the MIS
+    // or has a surviving MIS neighbour.
+    EXPECT_TRUE(report.valid()) << "seed " << seed << ": " << report.summary();
+  }
+}
+
+TEST(SelfHealing, WithoutHealingCrashLeavesUncoveredNodes) {
+  // Baseline: the plain protocol cannot recover coverage lost to a
+  // dominator crash — demonstrating what the healing rule adds.
+  const graph::Graph g = graph::star(8);
+  sim::SimConfig config;
+  config.mis_keepalive = true;
+  config.crash_round.assign(8, kNever);
+  config.crash_round[0] = 25;
+  config.run_until_round = 80;
+  std::size_t uncovered = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const sim::RunResult result =
+        run_local_feedback(g, seed, LocalFeedbackConfig::paper(), config);
+    uncovered += verify_mis_run(g, result).uncovered_nodes;
+  }
+  EXPECT_GT(uncovered, 0u);
+}
+
+TEST(SelfHealing, ReactivationPreconditionsEnforced) {
+  // reactivate() on an active node must throw (exercised via a misbehaving
+  // protocol driving the context directly).
+  class BadProtocol final : public sim::BeepProtocol {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "bad"; }
+    [[nodiscard]] unsigned exchanges_per_round() const override { return 1; }
+    void reset(const graph::Graph&, support::Xoshiro256StarStar&) override {}
+    void emit(sim::BeepContext&) override {}
+    void react(sim::BeepContext& ctx) override { ctx.reactivate(0); }
+  };
+  const graph::Graph g = graph::path(2);
+  sim::BeepSimulator simulator(g);
+  BadProtocol protocol;
+  EXPECT_THROW((void)simulator.run(protocol, support::Xoshiro256StarStar(1)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace beepmis::mis

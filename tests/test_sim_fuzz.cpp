@@ -1,0 +1,157 @@
+// Simulator fuzzing: drive both simulators with randomised (but
+// API-legal) protocols and check the engine's own invariants hold for
+// every seed — status consistency, counter consistency, termination
+// bookkeeping.  This hardens the substrate against protocol behaviours no
+// hand-written algorithm exercises.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/beep.hpp"
+#include "sim/local.hpp"
+#include "sim/replay.hpp"
+
+namespace beepmis::sim {
+namespace {
+
+using graph::NodeId;
+
+/// Beeps a random subset each exchange; randomly joins/deactivates a few
+/// active nodes in react.  All calls respect the context preconditions.
+class FuzzBeepProtocol final : public BeepProtocol {
+ public:
+  explicit FuzzBeepProtocol(unsigned exchanges) : exchanges_(exchanges) {}
+
+  [[nodiscard]] std::string_view name() const override { return "fuzz"; }
+  [[nodiscard]] unsigned exchanges_per_round() const override { return exchanges_; }
+  void reset(const graph::Graph&, support::Xoshiro256StarStar&) override {}
+
+  void emit(BeepContext& ctx) override {
+    for (const NodeId v : ctx.active_nodes()) {
+      if (ctx.is_active(v) && ctx.rng().bernoulli(0.3)) ctx.beep(v);
+    }
+  }
+
+  void react(BeepContext& ctx) override {
+    for (const NodeId v : ctx.active_nodes()) {
+      if (!ctx.is_active(v)) continue;
+      const double u = ctx.rng().uniform01();
+      if (u < 0.05) {
+        ctx.join_mis(v);
+      } else if (u < 0.15) {
+        ctx.deactivate(v);
+      }
+    }
+  }
+
+ private:
+  unsigned exchanges_;
+};
+
+class FuzzLocalProtocol final : public LocalProtocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "fuzz-local"; }
+  [[nodiscard]] unsigned exchanges_per_round() const override { return 3; }
+  void reset(const graph::Graph&, support::Xoshiro256StarStar&) override {}
+
+  void emit(LocalContext& ctx) override {
+    for (const NodeId v : ctx.active_nodes()) {
+      if (ctx.is_active(v) && ctx.rng().bernoulli(0.5)) {
+        ctx.publish(v, ctx.rng()(), static_cast<unsigned>(1 + ctx.rng().below(64)));
+      }
+    }
+  }
+
+  void react(LocalContext& ctx) override {
+    for (const NodeId v : ctx.active_nodes()) {
+      if (!ctx.is_active(v)) continue;
+      // Reading any neighbour value must never fault.
+      for (const NodeId w : ctx.graph().neighbors(v)) (void)ctx.value_of(w);
+      const double u = ctx.rng().uniform01();
+      if (u < 0.07) {
+        ctx.join_mis(v);
+      } else if (u < 0.12) {
+        ctx.deactivate(v);
+      }
+    }
+  }
+};
+
+class FuzzSuite : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSuite, BeepSimulatorInvariantsHold) {
+  const std::uint64_t seed = GetParam();
+  auto graph_rng = support::Xoshiro256StarStar(seed);
+  const graph::Graph g =
+      graph::gnp(static_cast<NodeId>(10 + seed % 60), 0.2 + 0.01 * static_cast<double>(seed % 30),
+                 graph_rng);
+
+  SimConfig config;
+  config.max_rounds = 300;
+  config.record_trace = true;
+  if (seed % 3 == 1) config.beep_loss_probability = 0.2;
+  if (seed % 4 == 2) {
+    config.wake_round.resize(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      config.wake_round[v] = static_cast<std::uint32_t>(v % 6);
+    }
+  }
+  if (seed % 5 == 3) config.mis_keepalive = true;
+
+  FuzzBeepProtocol protocol(1 + static_cast<unsigned>(seed % 3));
+  BeepSimulator simulator(g, config);
+  const RunResult result = simulator.run(protocol, support::Xoshiro256StarStar(seed));
+
+  // Engine invariants.
+  ASSERT_EQ(result.status.size(), g.node_count());
+  ASSERT_EQ(result.beep_counts.size(), g.node_count());
+  EXPECT_LE(result.rounds, config.max_rounds);
+  if (result.terminated) {
+    EXPECT_EQ(result.active_count(), 0u);
+  }
+
+  std::uint64_t total = 0;
+  for (const std::uint32_t b : result.beep_counts) total += b;
+  EXPECT_EQ(total, result.total_beeps);
+
+  // Trace beep counters always agree with the result counters, whatever
+  // the protocol did.
+  const Trace& trace = simulator.trace();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(trace.beeps_of(v), result.beep_counts[v]);
+  }
+  // Every fate event corresponds to the final status.
+  for (const Event& e : trace.events()) {
+    if (e.kind == EventKind::kJoinMis) {
+      EXPECT_EQ(result.status[e.node], NodeStatus::kInMis);
+    }
+    if (e.kind == EventKind::kDeactivate) {
+      EXPECT_EQ(result.status[e.node], NodeStatus::kDominated);
+    }
+  }
+}
+
+TEST_P(FuzzSuite, LocalSimulatorInvariantsHold) {
+  const std::uint64_t seed = GetParam();
+  auto graph_rng = support::Xoshiro256StarStar(seed + 500);
+  const graph::Graph g = graph::gnp(static_cast<NodeId>(5 + seed % 50), 0.3, graph_rng);
+
+  LocalSimConfig config;
+  config.max_rounds = 200;
+  FuzzLocalProtocol protocol;
+  LocalSimulator simulator(g, config);
+  const RunResult result = simulator.run(protocol, support::Xoshiro256StarStar(seed));
+
+  ASSERT_EQ(result.status.size(), g.node_count());
+  EXPECT_LE(result.rounds, config.max_rounds);
+  if (result.terminated) {
+    EXPECT_EQ(result.active_count(), 0u);
+  }
+  // Bits only accumulate.
+  EXPECT_GE(result.message_bits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSuite,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace beepmis::sim

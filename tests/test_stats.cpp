@@ -1,0 +1,167 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace beepmis::support {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+  EXPECT_EQ(rs.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.push(5.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats rs;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.push(v);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequentialPush) {
+  RunningStats combined;
+  RunningStats a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double v = static_cast<double>(i * i % 17);
+    combined.push(v);
+    (i % 2 == 0 ? a : b).push(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.push(1.0);
+  a.push(3.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // merging empty changes nothing
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // merging into empty copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, StderrShrinksWithSamples) {
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.push(i % 3);
+  for (int i = 0; i < 1000; ++i) large.push(i % 3);
+  EXPECT_GT(small.stderr_mean(), large.stderr_mean());
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, OrderStatistics) {
+  const std::vector<double> values{9, 1, 8, 2, 7, 3, 6, 4, 5};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.n, 9u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.q25, 3.0);
+  EXPECT_DOUBLE_EQ(s.q75, 7.0);
+}
+
+TEST(QuantileSorted, InterpolatesBetweenPoints) {
+  const std::vector<double> sorted{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.25), 2.5);
+}
+
+TEST(QuantileSorted, SingleElement) {
+  const std::vector<double> sorted{3.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 3.0);
+}
+
+TEST(QuantileSorted, ClampsOutOfRangeQ) {
+  const std::vector<double> sorted{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 2.0), 3.0);
+}
+
+TEST(MeanStddevOf, MatchRunningStats) {
+  const std::vector<double> values{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean_of(values), 3.0);
+  EXPECT_NEAR(stddev_of(values), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.push(0.5);   // bin 0
+  h.push(3.0);   // bin 1
+  h.push(9.99);  // bin 4
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.push(-100.0);
+  h.push(100.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+}
+
+TEST(Histogram, BinBoundsArePartition) {
+  Histogram h(0.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 7.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 10.0);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.push(0.1);
+  h.push(0.1);
+  h.push(0.9);
+  const std::string render = h.render(10);
+  EXPECT_NE(render.find('#'), std::string::npos);
+  EXPECT_NE(render.find('2'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace beepmis::support

@@ -1,0 +1,71 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/csv.hpp"
+
+namespace beepmis::support {
+namespace {
+
+TEST(FormatFixed, RoundsToDecimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-1.005, 1), "-1.0");
+}
+
+TEST(Table, BuildsRowsFluently) {
+  Table t({"n", "mean"});
+  t.new_row().cell(std::size_t{10}).cell(1.25, 2);
+  t.new_row().cell(std::size_t{20}).cell(2.5, 2);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.data()[0][0], "10");
+  EXPECT_EQ(t.data()[0][1], "1.25");
+  EXPECT_EQ(t.data()[1][1], "2.50");
+}
+
+TEST(Table, CellWithoutNewRowStartsFirstRow) {
+  Table t({"a"});
+  t.cell("x");
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.data()[0][0], "x");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.new_row().cell("short").cell(1L);
+  t.new_row().cell("a-much-longer-name").cell(22L);
+  const std::string out = t.to_string();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvMatchesContents) {
+  Table t({"x", "label"});
+  t.new_row().cell(1L).cell("with,comma");
+  std::ostringstream ss;
+  t.write_csv(ss);
+  const auto rows = parse_csv(ss.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"x", "label"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "with,comma"}));
+}
+
+TEST(Table, HandlesShortRowsInPrint) {
+  Table t({"a", "b", "c"});
+  t.new_row().cell("only-one");
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(Table, IntAndSizeCells) {
+  Table t({"i", "s", "l"});
+  t.new_row().cell(-5).cell(std::size_t{7}).cell(123L);
+  EXPECT_EQ(t.data()[0], (std::vector<std::string>{"-5", "7", "123"}));
+}
+
+}  // namespace
+}  // namespace beepmis::support

@@ -1,0 +1,89 @@
+#include "mis/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace beepmis::mis {
+namespace {
+
+TEST(SingleBeeperProbability, KnownValues) {
+  // K_1: always succeeds when it beeps.
+  EXPECT_DOUBLE_EQ(single_beeper_probability(1, 0.5), 0.5);
+  // K_2 with p = 1/2: exactly one of two beeps = 2 * 1/2 * 1/2 = 1/2.
+  EXPECT_DOUBLE_EQ(single_beeper_probability(2, 0.5), 0.5);
+  // Extremes.
+  EXPECT_DOUBLE_EQ(single_beeper_probability(5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(single_beeper_probability(5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(single_beeper_probability(0, 0.5), 0.0);
+}
+
+TEST(SingleBeeperProbability, MaximisedNearOneOverD) {
+  // For K_d the success probability peaks around p ~ 1/d.
+  const std::size_t d = 50;
+  const double at_opt = single_beeper_probability(d, 1.0 / d);
+  EXPECT_GT(at_opt, single_beeper_probability(d, 0.5));
+  EXPECT_GT(at_opt, single_beeper_probability(d, 0.001));
+}
+
+TEST(SingleBeeperUpperBound, BoundsTrueProbability) {
+  for (const std::size_t d : {2u, 3u, 10u, 100u}) {
+    for (const double p : {0.01, 0.1, 0.3, 0.5}) {
+      EXPECT_GE(single_beeper_upper_bound(d, p) + 1e-15,
+                single_beeper_probability(d, p))
+          << "d=" << d << " p=" << p;
+    }
+  }
+}
+
+TEST(SingleBeeperUpperBound, PaperBoundOfThreeOverTwoE) {
+  // Paper: for d > 2, d*p*exp(-(d-1)p) <= 3/(2e).
+  const double limit = 3.0 / (2.0 * std::exp(1.0));
+  for (std::size_t d = 3; d <= 200; ++d) {
+    for (double p = 0.0; p <= 1.0; p += 0.001) {
+      EXPECT_LE(single_beeper_upper_bound(d, p), limit + 1e-12)
+          << "d=" << d << " p=" << p;
+    }
+  }
+}
+
+TEST(Theorem1Potential, AdditiveOverSteps) {
+  const std::vector<double> probs{0.5, 0.25};
+  const std::vector<double> first{0.5};
+  const std::vector<double> second{0.25};
+  EXPECT_NEAR(theorem1_potential(4, probs),
+              theorem1_potential(4, first) + theorem1_potential(4, second), 1e-12);
+}
+
+TEST(Theorem1Potential, SmallForMismatchedProbabilities) {
+  // A schedule tuned for small cliques contributes little to large ones:
+  // with p = 1/2 the potential per step for K_100 is 6*100*0.5*e^{-50}.
+  const std::vector<double> probs(10, 0.5);
+  EXPECT_LT(theorem1_potential(100, probs), 1e-15);
+  // ... while for K_2 it is substantial.
+  EXPECT_GT(theorem1_potential(2, probs), 1.0);
+}
+
+TEST(HardestCliqueSize, FindsUncoveredScale) {
+  // Schedule concentrated on p = 1/2 leaves large cliques uncovered; the
+  // hardest clique should be the largest allowed.
+  const std::vector<double> probs(20, 0.5);
+  EXPECT_EQ(hardest_clique_size(probs, 50), 50u);
+  // Schedule concentrated on p = 1/50: small cliques are now hardest.
+  const std::vector<double> low(20, 1.0 / 50.0);
+  EXPECT_EQ(hardest_clique_size(low, 50), 3u);
+}
+
+TEST(ReferenceCurves, MatchFormulas) {
+  EXPECT_DOUBLE_EQ(log2_n(1024), 10.0);
+  EXPECT_DOUBLE_EQ(figure3_global_reference(1024), 100.0);
+  EXPECT_DOUBLE_EQ(figure3_local_reference(1024), 25.0);
+}
+
+TEST(Theorem6Bound, IsConstant) {
+  EXPECT_DOUBLE_EQ(theorem6_beep_bound(), 8.0);
+}
+
+}  // namespace
+}  // namespace beepmis::mis

@@ -1,0 +1,78 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+namespace beepmis::sim {
+namespace {
+
+TEST(Trace, StartsEmpty) {
+  const Trace trace;
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Trace, RecordsInOrder) {
+  Trace trace;
+  trace.record({0, 0, EventKind::kBeep, 3});
+  trace.record({0, 1, EventKind::kJoinMis, 3});
+  trace.record({1, 0, EventKind::kDeactivate, 4});
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.events()[0].kind, EventKind::kBeep);
+  EXPECT_EQ(trace.events()[2].node, 4u);
+}
+
+TEST(Trace, OfKindFilters) {
+  Trace trace;
+  trace.record({0, 0, EventKind::kBeep, 1});
+  trace.record({0, 0, EventKind::kBeep, 2});
+  trace.record({0, 1, EventKind::kJoinMis, 1});
+  EXPECT_EQ(trace.of_kind(EventKind::kBeep).size(), 2u);
+  EXPECT_EQ(trace.of_kind(EventKind::kJoinMis).size(), 1u);
+  EXPECT_EQ(trace.of_kind(EventKind::kDeactivate).size(), 0u);
+}
+
+TEST(Trace, BeepsOfCountsPerNode) {
+  Trace trace;
+  trace.record({0, 0, EventKind::kBeep, 1});
+  trace.record({1, 0, EventKind::kBeep, 1});
+  trace.record({1, 0, EventKind::kBeep, 2});
+  EXPECT_EQ(trace.beeps_of(1), 2u);
+  EXPECT_EQ(trace.beeps_of(2), 1u);
+  EXPECT_EQ(trace.beeps_of(9), 0u);
+}
+
+TEST(Trace, InactiveRoundFindsFirstFate) {
+  Trace trace;
+  trace.record({3, 1, EventKind::kJoinMis, 5});
+  trace.record({4, 1, EventKind::kDeactivate, 6});
+  EXPECT_EQ(trace.inactive_round(5), 3u);
+  EXPECT_EQ(trace.inactive_round(6), 4u);
+  EXPECT_EQ(trace.inactive_round(7), std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace trace;
+  trace.record({0, 0, EventKind::kBeep, 1});
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Trace, CsvFormat) {
+  Trace trace;
+  trace.record({2, 1, EventKind::kJoinMis, 9});
+  std::ostringstream out;
+  trace.write_csv(out);
+  EXPECT_EQ(out.str(), "round,exchange,kind,node\n2,1,join,9\n");
+}
+
+TEST(EventKindToString, AllKindsNamed) {
+  EXPECT_STREQ(to_string(EventKind::kBeep), "beep");
+  EXPECT_STREQ(to_string(EventKind::kJoinMis), "join");
+  EXPECT_STREQ(to_string(EventKind::kDeactivate), "deactivate");
+}
+
+}  // namespace
+}  // namespace beepmis::sim

@@ -1,0 +1,108 @@
+#include "mis/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace beepmis::mis {
+namespace {
+
+using sim::NodeStatus;
+using sim::RunResult;
+
+RunResult make_result(std::vector<NodeStatus> status, bool terminated = true) {
+  RunResult r;
+  r.status = std::move(status);
+  r.terminated = terminated;
+  r.beep_counts.assign(r.status.size(), 0);
+  return r;
+}
+
+TEST(Verifier, AcceptsValidMisOnPath) {
+  const graph::Graph g = graph::path(3);  // 0-1-2; {0, 2} is the MIS
+  const RunResult r = make_result(
+      {NodeStatus::kInMis, NodeStatus::kDominated, NodeStatus::kInMis});
+  const VerificationReport report = verify_mis_run(g, r);
+  EXPECT_TRUE(report.valid());
+  EXPECT_TRUE(report.independent());
+  EXPECT_TRUE(report.maximal());
+  EXPECT_EQ(report.mis_size, 2u);
+}
+
+TEST(Verifier, DetectsIndependenceViolation) {
+  const graph::Graph g = graph::path(2);
+  const RunResult r = make_result({NodeStatus::kInMis, NodeStatus::kInMis});
+  const VerificationReport report = verify_mis_run(g, r);
+  EXPECT_FALSE(report.valid());
+  EXPECT_EQ(report.independence_violations, 1u);
+  EXPECT_FALSE(report.independent());
+}
+
+TEST(Verifier, CountsEachBadEdgeOnce) {
+  const graph::Graph g = graph::complete(3);
+  const RunResult r =
+      make_result({NodeStatus::kInMis, NodeStatus::kInMis, NodeStatus::kInMis});
+  EXPECT_EQ(verify_mis_run(g, r).independence_violations, 3u);
+}
+
+TEST(Verifier, DetectsUncoveredDominatedNode) {
+  // Node 1 claims to be dominated but has no MIS neighbour.
+  const graph::Graph g = graph::path(3);
+  const RunResult r = make_result(
+      {NodeStatus::kInMis, NodeStatus::kDominated, NodeStatus::kDominated});
+  const VerificationReport report = verify_mis_run(g, r);
+  EXPECT_FALSE(report.valid());
+  EXPECT_EQ(report.uncovered_nodes, 1u);  // node 2 (neighbour 1 is not in MIS)
+}
+
+TEST(Verifier, DetectsStillActiveNodes) {
+  const graph::Graph g = graph::path(2);
+  const RunResult r =
+      make_result({NodeStatus::kInMis, NodeStatus::kActive}, /*terminated=*/false);
+  const VerificationReport report = verify_mis_run(g, r);
+  EXPECT_FALSE(report.valid());
+  EXPECT_EQ(report.still_active, 1u);
+  EXPECT_FALSE(report.terminated);
+}
+
+TEST(Verifier, EmptyGraphIsTriviallyValid) {
+  const graph::Graph g = graph::empty_graph(0);
+  const RunResult r = make_result({});
+  EXPECT_TRUE(verify_mis_run(g, r).valid());
+}
+
+TEST(Verifier, SizeMismatchThrows) {
+  const graph::Graph g = graph::path(3);
+  const RunResult r = make_result({NodeStatus::kInMis});
+  EXPECT_THROW((void)verify_mis_run(g, r), std::invalid_argument);
+}
+
+TEST(Verifier, SummaryMentionsVerdictAndCounts) {
+  const graph::Graph g = graph::path(2);
+  const RunResult good =
+      make_result({NodeStatus::kInMis, NodeStatus::kDominated});
+  EXPECT_NE(verify_mis_run(g, good).summary().find("VALID"), std::string::npos);
+  const RunResult bad = make_result({NodeStatus::kInMis, NodeStatus::kInMis});
+  const std::string s = verify_mis_run(g, bad).summary();
+  EXPECT_NE(s.find("INVALID"), std::string::npos);
+  EXPECT_NE(s.find("independence_violations=1"), std::string::npos);
+}
+
+TEST(Verifier, IsValidShorthandAgrees) {
+  const graph::Graph g = graph::path(2);
+  EXPECT_TRUE(is_valid_mis_run(g, make_result({NodeStatus::kInMis, NodeStatus::kDominated})));
+  EXPECT_FALSE(is_valid_mis_run(g, make_result({NodeStatus::kInMis, NodeStatus::kInMis})));
+}
+
+TEST(Verifier, MaximalityRequiresTermination) {
+  const graph::Graph g = graph::empty_graph(1);
+  RunResult r = make_result({NodeStatus::kInMis}, /*terminated=*/false);
+  const VerificationReport report = verify_mis_run(g, r);
+  EXPECT_FALSE(report.valid());  // not terminated
+  EXPECT_TRUE(report.independent());
+}
+
+}  // namespace
+}  // namespace beepmis::mis

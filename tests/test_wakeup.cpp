@@ -1,0 +1,212 @@
+// Asynchronous start (wake rounds), fail-stop crashes, and the DISC'11
+// keep-alive rule in the beeping simulator.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "mis/mis.hpp"
+#include "sim/trace.hpp"
+
+namespace beepmis {
+namespace {
+
+constexpr std::uint32_t kNever = std::numeric_limits<std::uint32_t>::max();
+
+sim::RunResult run_with(const graph::Graph& g, sim::SimConfig config, std::uint64_t seed) {
+  return mis::run_local_feedback(g, seed, mis::LocalFeedbackConfig::paper(), config);
+}
+
+TEST(Wakeup, ConfigSizeValidation) {
+  const graph::Graph g = graph::path(3);
+  sim::SimConfig config;
+  config.wake_round = {0, 1};  // wrong size
+  EXPECT_THROW(sim::BeepSimulator(g, config), std::invalid_argument);
+  config.wake_round.clear();
+  config.crash_round = {0};
+  EXPECT_THROW(sim::BeepSimulator(g, config), std::invalid_argument);
+}
+
+TEST(Wakeup, AllZeroWakeRoundsMatchesDefault) {
+  auto rng = support::Xoshiro256StarStar(1);
+  const graph::Graph g = graph::gnp(40, 0.5, rng);
+  sim::SimConfig config;
+  config.wake_round.assign(g.node_count(), 0);
+  const sim::RunResult a = run_with(g, config, 5);
+  const sim::RunResult b = mis::run_local_feedback(g, 5);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.mis(), b.mis());
+}
+
+TEST(Wakeup, SleepersDoNotParticipateUntilWakeRound) {
+  // Two nodes, an edge; node 1 sleeps until round 50.  With keepalive the
+  // protocol is correct: node 0 joins alone, node 1 wakes, hears the
+  // keep-alive, and becomes dominated.
+  const graph::Graph g = graph::path(2);
+  sim::SimConfig config;
+  config.wake_round = {0, 50};
+  config.mis_keepalive = true;
+  config.record_trace = true;
+
+  sim::BeepSimulator simulator(g, config);
+  mis::LocalFeedbackMis protocol;
+  const sim::RunResult result = simulator.run(protocol, support::Xoshiro256StarStar(3));
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(mis::is_valid_mis_run(g, result));
+  EXPECT_EQ(result.status[0], sim::NodeStatus::kInMis);
+  EXPECT_EQ(result.status[1], sim::NodeStatus::kDominated);
+  EXPECT_GE(result.rounds, 50u);  // waited for the sleeper
+
+  // Node 1 must not have beeped before round 50.
+  for (const sim::Event& e : simulator.trace().events()) {
+    if (e.node == 1 && e.kind == sim::EventKind::kBeep) {
+      EXPECT_GE(e.round, 50u);
+    }
+    if (e.node == 1 && e.kind == sim::EventKind::kWake) {
+      EXPECT_EQ(e.round, 50u);
+    }
+  }
+}
+
+TEST(Wakeup, WithoutKeepaliveLateWakerMayViolateIndependence) {
+  // Same scenario without keep-alive: the sleeper never learns its
+  // neighbour joined, beeps into silence and joins too.  This documents
+  // why DISC'11 adds the keep-alive rule for asynchronous starts.
+  const graph::Graph g = graph::path(2);
+  sim::SimConfig config;
+  config.wake_round = {0, 50};
+  config.max_rounds = 500;
+  std::size_t violations = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const sim::RunResult result = run_with(g, config, seed);
+    violations += mis::verify_mis_run(g, result).independence_violations;
+  }
+  EXPECT_GT(violations, 0u);
+}
+
+TEST(Wakeup, StaggeredWakeupsWithKeepaliveStayValid) {
+  auto graph_rng = support::Xoshiro256StarStar(7);
+  const graph::Graph g = graph::gnp(60, 0.3, graph_rng);
+  sim::SimConfig config;
+  config.mis_keepalive = true;
+  config.wake_round.resize(g.node_count());
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    config.wake_round[v] = v % 17;  // staggered joins over 17 rounds
+  }
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const sim::RunResult result = run_with(g, config, seed);
+    ASSERT_TRUE(result.terminated);
+    EXPECT_TRUE(mis::is_valid_mis_run(g, result))
+        << mis::verify_mis_run(g, result).summary();
+  }
+}
+
+TEST(Crash, CrashedNodesAreExcludedFromCoverage) {
+  // Node 1 of a path 0-1-2 crashes immediately; the rest must still finish
+  // and the verifier must not count node 1 as uncovered.
+  const graph::Graph g = graph::path(3);
+  sim::SimConfig config;
+  config.crash_round.assign(3, kNever);
+  config.crash_round[1] = 0;
+  const sim::RunResult result = run_with(g, config, 3);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_EQ(result.crashed_count(), 1u);
+  const mis::VerificationReport report = mis::verify_mis_run(g, result);
+  EXPECT_EQ(report.crashed, 1u);
+  EXPECT_TRUE(report.valid()) << report.summary();
+  // 0 and 2 are now isolated: both join.
+  EXPECT_EQ(report.mis_size, 2u);
+}
+
+TEST(Crash, CrashBreaksCoverageOfAlreadyDominatedNeighbors) {
+  // On a star, if the hub joins and then... the hub cannot crash once in
+  // the MIS; crashes only hit active nodes.  Crash the hub at round 0
+  // instead: the leaves solve the residual graph alone (all join).
+  const graph::Graph g = graph::star(5);
+  sim::SimConfig config;
+  config.crash_round.assign(5, kNever);
+  config.crash_round[0] = 0;
+  const sim::RunResult result = run_with(g, config, 1);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_EQ(result.status[0], sim::NodeStatus::kCrashed);
+  EXPECT_EQ(result.mis().size(), 4u);
+}
+
+TEST(Crash, MidRunCrashesKeepRemainderConsistent) {
+  auto graph_rng = support::Xoshiro256StarStar(11);
+  const graph::Graph g = graph::gnp(50, 0.3, graph_rng);
+  sim::SimConfig config;
+  config.mis_keepalive = true;
+  config.crash_round.assign(g.node_count(), kNever);
+  for (graph::NodeId v = 0; v < g.node_count(); v += 7) config.crash_round[v] = v % 5;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const sim::RunResult result = run_with(g, config, seed);
+    ASSERT_TRUE(result.terminated);
+    const mis::VerificationReport report = mis::verify_mis_run(g, result);
+    // Survivors form an independent set; coverage may legitimately fail
+    // only for nodes whose entire neighbourhood crashed around them —
+    // independence must never break.
+    EXPECT_EQ(report.independence_violations, 0u);
+    EXPECT_GT(report.crashed, 0u);
+  }
+}
+
+TEST(Crash, SleeperCanCrashBeforeWaking) {
+  const graph::Graph g = graph::path(2);
+  sim::SimConfig config;
+  config.wake_round = {0, 100};
+  config.crash_round = {kNever, 10};
+  config.mis_keepalive = true;
+  const sim::RunResult result = run_with(g, config, 1);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_EQ(result.status[1], sim::NodeStatus::kCrashed);
+  EXPECT_EQ(result.status[0], sim::NodeStatus::kInMis);
+}
+
+TEST(Keepalive, DoesNotChangeReliableSynchronousResults) {
+  auto graph_rng = support::Xoshiro256StarStar(13);
+  const graph::Graph g = graph::gnp(50, 0.5, graph_rng);
+  sim::SimConfig keepalive;
+  keepalive.mis_keepalive = true;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const sim::RunResult with = run_with(g, keepalive, seed);
+    ASSERT_TRUE(with.terminated);
+    EXPECT_TRUE(mis::is_valid_mis_run(g, with));
+  }
+}
+
+TEST(Keepalive, RepairsLostAnnouncementsUnderLoss) {
+  // Under beep loss, keep-alive dramatically reduces uncovered nodes
+  // (a lost announcement is re-delivered every later round).
+  auto graph_rng = support::Xoshiro256StarStar(17);
+  const graph::Graph g = graph::gnp(60, 0.3, graph_rng);
+  auto uncovered_with = [&](bool keepalive) {
+    sim::SimConfig config;
+    config.beep_loss_probability = 0.2;
+    config.mis_keepalive = keepalive;
+    config.max_rounds = 400;
+    std::size_t uncovered = 0;
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+      const sim::RunResult result = run_with(g, config, seed);
+      const auto report = mis::verify_mis_run(g, result);
+      uncovered += report.uncovered_nodes + report.still_active;
+    }
+    return uncovered;
+  };
+  EXPECT_LE(uncovered_with(true), uncovered_with(false));
+}
+
+TEST(Wakeup, ObserverSeesEveryRound) {
+  auto graph_rng = support::Xoshiro256StarStar(19);
+  const graph::Graph g = graph::gnp(30, 0.5, graph_rng);
+  sim::BeepSimulator simulator(g);
+  std::size_t observed = 0;
+  simulator.set_round_observer([&](const sim::BeepContext&) { ++observed; });
+  mis::LocalFeedbackMis protocol;
+  const sim::RunResult result = simulator.run(protocol, support::Xoshiro256StarStar(1));
+  EXPECT_EQ(observed, result.rounds);
+}
+
+}  // namespace
+}  // namespace beepmis
