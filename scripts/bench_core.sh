@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the frontier-core micro-benchmark and records BENCH_core.json at the
+# repository root, so successive PRs accumulate a perf trajectory for the
+# simulator hot path.
+#
+#   scripts/bench_core.sh [extra bench_frontier args...]
+#
+# Builds the bench target if needed (cmake -B build -S . must have been
+# configured, or this script configures it).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+
+if [[ ! -d "${build_dir}" ]]; then
+  cmake -B "${build_dir}" -S "${repo_root}"
+fi
+cmake --build "${build_dir}" --target bench_frontier -j
+
+"${build_dir}/bench/bench_frontier" --out="${repo_root}/BENCH_core.json" "$@"
+echo "perf record written to ${repo_root}/BENCH_core.json"

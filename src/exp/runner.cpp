@@ -39,11 +39,16 @@ struct TrialRecord {
   std::size_t uncovered_nodes = 0;
 };
 
-/// Shared trial-loop machinery: `run_one(graph, run_rng)` executes the
-/// simulator and returns the RunResult.
-template <typename RunOne>
+/// Shared trial-loop machinery.  `make_runner()` is invoked once per worker
+/// thread and returns a `run_one(graph, run_rng) -> RunResult` callable that
+/// owns that worker's simulator (and protocol) instance; reusing it across
+/// trials amortises all per-node scratch allocations — the simulator's
+/// status/beeped/heard/beep-count buffers are recycled run to run instead of
+/// being reallocated per trial.  Results are unaffected: a run is a pure
+/// function of (graph, protocol, seed).
+template <typename MakeRunner>
 TrialStats run_trials_impl(const GraphFactory& graphs, const TrialConfig& config,
-                           RunOne&& run_one) {
+                           MakeRunner&& make_runner) {
   unsigned threads = config.threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -64,6 +69,7 @@ TrialStats run_trials_impl(const GraphFactory& graphs, const TrialConfig& config
   std::atomic<std::size_t> next_trial{0};
 
   auto worker = [&] {
+    auto run_one = make_runner();
     for (;;) {
       const std::size_t trial = next_trial.fetch_add(1);
       if (trial >= config.trials) break;
@@ -125,22 +131,24 @@ TrialStats run_trials_impl(const GraphFactory& graphs, const TrialConfig& config
 
 TrialStats run_beep_trials(const GraphFactory& graphs, const BeepProtocolFactory& protocols,
                            const TrialConfig& config) {
-  return run_trials_impl(graphs, config,
-                         [&](const graph::Graph& g, support::Xoshiro256StarStar rng) {
-                           auto protocol = protocols();
-                           sim::BeepSimulator simulator(g, config.sim);
-                           return simulator.run(*protocol, rng);
-                         });
+  return run_trials_impl(graphs, config, [&] {
+    // One simulator and one protocol per worker, reused for every trial the
+    // worker claims; the simulator rebinds to each trial's graph.
+    return [simulator = sim::BeepSimulator(config.sim), protocol = protocols()](
+               const graph::Graph& g, support::Xoshiro256StarStar rng) mutable {
+      return simulator.run(g, *protocol, rng);
+    };
+  });
 }
 
 TrialStats run_local_trials(const GraphFactory& graphs, const LocalProtocolFactory& protocols,
                             const TrialConfig& config) {
-  return run_trials_impl(graphs, config,
-                         [&](const graph::Graph& g, support::Xoshiro256StarStar rng) {
-                           auto protocol = protocols();
-                           sim::LocalSimulator simulator(g, config.local_sim);
-                           return simulator.run(*protocol, rng);
-                         });
+  return run_trials_impl(graphs, config, [&] {
+    return [simulator = sim::LocalSimulator(config.local_sim), protocol = protocols()](
+               const graph::Graph& g, support::Xoshiro256StarStar rng) mutable {
+      return simulator.run(g, *protocol, rng);
+    };
+  });
 }
 
 }  // namespace beepmis::harness

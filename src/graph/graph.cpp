@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -54,16 +55,19 @@ Graph GraphBuilder::build() const {
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
 
-  Graph g;
-  g.offsets_.assign(static_cast<std::size_t>(node_count_) + 1, 0);
+  // Compute offsets in 64 bits, then narrow to the 32-bit representation
+  // unless the adjacency array is too large for it.
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(node_count_) + 1, 0);
   for (const Edge& e : sorted) {
-    ++g.offsets_[e.u + 1];
-    ++g.offsets_[e.v + 1];
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
   }
-  for (std::size_t i = 1; i < g.offsets_.size(); ++i) g.offsets_[i] += g.offsets_[i - 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
 
+  Graph g;
+  g.node_count_ = node_count_;
   g.adjacency_.resize(sorted.size() * 2);
-  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
   for (const Edge& e : sorted) {
     g.adjacency_[cursor[e.u]++] = e.v;
     g.adjacency_[cursor[e.v]++] = e.u;
@@ -72,8 +76,13 @@ Graph GraphBuilder::build() const {
   // canonical sorted order for the lower endpoint, but the higher endpoint's
   // list may interleave; sort each list to guarantee the invariant.
   for (NodeId v = 0; v < node_count_; ++v) {
-    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
-              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+  if (g.adjacency_.size() <= std::numeric_limits<std::uint32_t>::max()) {
+    g.offsets_.assign(offsets.begin(), offsets.end());
+  } else {
+    g.wide_offsets_ = std::move(offsets);
   }
   return g;
 }

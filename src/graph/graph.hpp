@@ -34,22 +34,33 @@ class GraphBuilder;
 
 /// Immutable simple undirected graph.  Neighbour lists are sorted, so
 /// adjacency tests are O(log deg) and neighbour iteration is cache-friendly.
+///
+/// CSR offsets are stored as 32-bit values (halving offset-array memory
+/// traffic on large graphs); a graph whose adjacency array exceeds the
+/// 32-bit range — more than ~2.1 billion undirected edges — transparently
+/// falls back to 64-bit offsets.  The fallback branch is perfectly
+/// predicted (one representation per graph), so the common case pays only
+/// the smaller cache footprint.
 class Graph {
  public:
   Graph() = default;
 
-  [[nodiscard]] NodeId node_count() const noexcept {
-    return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
-  }
+  [[nodiscard]] NodeId node_count() const noexcept { return node_count_; }
   [[nodiscard]] std::size_t edge_count() const noexcept { return adjacency_.size() / 2; }
 
   /// Sorted neighbours of `v`.  Precondition: v < node_count().
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
-    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+    if (wide_offsets_.empty()) [[likely]] {
+      return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+    }
+    return {adjacency_.data() + wide_offsets_[v], adjacency_.data() + wide_offsets_[v + 1]};
   }
 
   [[nodiscard]] std::size_t degree(NodeId v) const noexcept {
-    return offsets_[v + 1] - offsets_[v];
+    if (wide_offsets_.empty()) [[likely]] {
+      return offsets_[v + 1] - offsets_[v];
+    }
+    return wide_offsets_[v + 1] - wide_offsets_[v];
   }
 
   [[nodiscard]] std::size_t max_degree() const noexcept;
@@ -67,8 +78,12 @@ class Graph {
  private:
   friend class GraphBuilder;
 
-  std::vector<std::size_t> offsets_;  ///< size n+1; offsets_[v]..offsets_[v+1] in adjacency_
-  std::vector<NodeId> adjacency_;     ///< concatenated sorted neighbour lists
+  NodeId node_count_ = 0;
+  /// Size n+1; offsets_[v]..offsets_[v+1] delimit v's slice of adjacency_.
+  /// Empty iff wide_offsets_ is engaged (adjacency beyond 32-bit range).
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::size_t> wide_offsets_;  ///< 64-bit fallback, usually empty
+  std::vector<NodeId> adjacency_;          ///< concatenated sorted neighbour lists
 };
 
 /// Mutable edge accumulator that produces an immutable Graph.

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sim/flag_buffer.hpp"
+
 namespace beepmis::sim {
 
 void BeepContext::beep(graph::NodeId v) {
@@ -15,6 +17,7 @@ void BeepContext::beep(graph::NodeId v) {
   }
   if (!(*beeped_)[v]) {
     (*beeped_)[v] = 1;
+    simulator_->beepers_.push_back(v);
     // A signal continuing from the previous exchange is one episode (see
     // beep() documentation in the header).
     if (!(*prev_beeped_)[v]) {
@@ -75,46 +78,105 @@ void BeepContext::reactivate(graph::NodeId v) {
   }
 }
 
-BeepSimulator::BeepSimulator(const graph::Graph& g, SimConfig config)
-    : graph_(g), config_(std::move(config)) {
+BeepSimulator::BeepSimulator(SimConfig config) : config_(std::move(config)) {
   if (config_.beep_loss_probability < 0.0 || config_.beep_loss_probability >= 1.0) {
     throw std::invalid_argument("SimConfig: beep_loss_probability must be in [0, 1)");
   }
-  if (!config_.wake_round.empty() && config_.wake_round.size() != g.node_count()) {
+}
+
+BeepSimulator::BeepSimulator(const graph::Graph& g, SimConfig config)
+    : BeepSimulator(std::move(config)) {
+  bind_graph(g);
+}
+
+void BeepSimulator::bind_graph(const graph::Graph& g) {
+  const graph::NodeId n = g.node_count();
+  // The schedules below depend only on (config_, n), never on edge data,
+  // and config_ is immutable after construction — so a rebind to any graph
+  // of the same size (the shared-graph trial loop, or equally-sized
+  // per-trial graphs) skips the O(n log n) rebuild.  graph_ may dangle
+  // between trials, which is why the check uses the cached size.
+  if (graph_ != nullptr && n == bound_node_count_) {
+    graph_ = &g;
+    return;
+  }
+  if (!config_.wake_round.empty() && config_.wake_round.size() != n) {
     throw std::invalid_argument("SimConfig: wake_round size must match the graph");
   }
-  if (!config_.crash_round.empty() && config_.crash_round.size() != g.node_count()) {
+  if (!config_.crash_round.empty() && config_.crash_round.size() != n) {
     throw std::invalid_argument("SimConfig: crash_round size must match the graph");
   }
+  graph_ = &g;
+
+  initial_active_.clear();
+  pending_wakeups_.clear();
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (config_.wake_round.empty() || config_.wake_round[v] == 0) {
+      initial_active_.push_back(v);
+    } else {
+      pending_wakeups_.emplace_back(config_.wake_round[v], v);
+    }
+  }
+  std::sort(pending_wakeups_.begin(), pending_wakeups_.end());
+
+  pending_crashes_.clear();
+  if (!config_.crash_round.empty()) {
+    // Never-crash (UINT32_MAX) entries are kept so behaviour matches the
+    // dense scan exactly even for absurd round counts; the cursor simply
+    // never reaches them in a sane run.
+    for (graph::NodeId v = 0; v < n; ++v) {
+      pending_crashes_.emplace_back(config_.crash_round[v], v);
+    }
+    std::sort(pending_crashes_.begin(), pending_crashes_.end());
+  }
+  bound_node_count_ = n;
 }
 
 void BeepSimulator::deliver_beeps(support::Xoshiro256StarStar& rng) {
-  std::fill(heard_.begin(), heard_.end(), std::uint8_t{0});
+  detail::clear_flags(heard_, heard_dirty_);
+
   const bool lossy = config_.beep_loss_probability > 0.0;
   const double keep = 1.0 - config_.beep_loss_probability;
-  for (const graph::NodeId v : active_) {
-    if (!beeped_[v]) continue;
-    for (const graph::NodeId w : graph_.neighbors(v)) {
+  // Protocols emit over the ascending active list, so the frontier is
+  // normally already sorted; the check keeps the guarantee (and therefore
+  // lossy-mode RNG draw order) for protocols that beep out of order.
+  if (!std::is_sorted(beepers_.begin(), beepers_.end())) {
+    std::sort(beepers_.begin(), beepers_.end());
+  }
+  for (const graph::NodeId v : beepers_) {
+    // A beeper outside the active list (a node reactivated earlier in this
+    // round) does not deliver — identical to the dense scan of active_.
+    if (!in_active_[v]) continue;
+    for (const graph::NodeId w : graph_->neighbors(v)) {
       if (heard_[w]) continue;  // already hearing a beep; extra losses moot
-      if (!lossy || rng.bernoulli(keep)) heard_[w] = 1;
+      if (!lossy || rng.bernoulli(keep)) {
+        heard_[w] = 1;
+        heard_dirty_.push_back(w);
+      }
     }
   }
   if (config_.mis_keepalive) {
-    // Members of the independent set beep forever (DISC'11 wake-up rule);
-    // a crashed member falls silent.
+    // Members of the independent set beep forever (DISC'11 wake-up rule).
+    // mis_nodes_ holds only live members in join order: a crashed member is
+    // compacted out the round it fails, so no status check is needed here.
     for (const graph::NodeId v : mis_nodes_) {
-      if (status_[v] != NodeStatus::kInMis) continue;
-      for (const graph::NodeId w : graph_.neighbors(v)) {
+      for (const graph::NodeId w : graph_->neighbors(v)) {
         if (heard_[w]) continue;
-        if (!lossy || rng.bernoulli(keep)) heard_[w] = 1;
+        if (!lossy || rng.bernoulli(keep)) {
+          heard_[w] = 1;
+          heard_dirty_.push_back(w);
+        }
       }
     }
   }
 }
 
 void BeepSimulator::compact_active() {
-  std::erase_if(active_,
-                [this](graph::NodeId v) { return status_[v] != NodeStatus::kActive; });
+  std::erase_if(active_, [this](graph::NodeId v) {
+    if (status_[v] == NodeStatus::kActive) return false;
+    in_active_[v] = 0;
+    return true;
+  });
 }
 
 void BeepSimulator::apply_wakeups_and_crashes() {
@@ -125,6 +187,7 @@ void BeepSimulator::apply_wakeups_and_crashes() {
     ++next_wakeup_;
     if (status_[v] != NodeStatus::kActive) continue;  // crashed while asleep
     active_.push_back(v);
+    in_active_[v] = 1;
     active_dirty = true;
     if (trace_enabled_) {
       trace_.record({static_cast<std::uint32_t>(round_), 0, EventKind::kWake, v});
@@ -132,30 +195,61 @@ void BeepSimulator::apply_wakeups_and_crashes() {
   }
   if (active_dirty) std::sort(active_.begin(), active_.end());
 
-  if (!config_.crash_round.empty()) {
-    // Fail-stop hits any node that has not already crashed — including MIS
-    // members (whose keep-alive then falls silent) and dominated nodes.
-    bool crashed_any = false;
-    for (graph::NodeId v = 0; v < graph_.node_count(); ++v) {
-      if (config_.crash_round[v] == round_ && status_[v] != NodeStatus::kCrashed) {
-        crashed_any = crashed_any || status_[v] == NodeStatus::kActive;
-        status_[v] = NodeStatus::kCrashed;
-        if (trace_enabled_) {
-          trace_.record({static_cast<std::uint32_t>(round_), 0, EventKind::kCrash, v});
-        }
-      }
+  // Fail-stop hits any node that has not already crashed — including MIS
+  // members (whose keep-alive then falls silent) and dominated nodes.
+  // Events are presorted by (round, node), so per-round work is O(crashes).
+  bool crashed_any = false;
+  bool mis_crashed = false;
+  while (next_crash_ < pending_crashes_.size() &&
+         pending_crashes_[next_crash_].first <= round_) {
+    const graph::NodeId v = pending_crashes_[next_crash_].second;
+    ++next_crash_;
+    if (status_[v] == NodeStatus::kCrashed) continue;
+    crashed_any = crashed_any || status_[v] == NodeStatus::kActive;
+    mis_crashed = mis_crashed || status_[v] == NodeStatus::kInMis;
+    status_[v] = NodeStatus::kCrashed;
+    if (trace_enabled_) {
+      trace_.record({static_cast<std::uint32_t>(round_), 0, EventKind::kCrash, v});
     }
-    if (crashed_any) compact_active();
   }
+  if (mis_crashed) {
+    std::erase_if(mis_nodes_,
+                  [this](graph::NodeId v) { return status_[v] != NodeStatus::kInMis; });
+  }
+  if (crashed_any) compact_active();
+}
+
+RunResult BeepSimulator::run(const graph::Graph& g, BeepProtocol& protocol,
+                             support::Xoshiro256StarStar rng) {
+  // Always rebind: the caller may have rebuilt a different graph at the
+  // same address (the trial runner's per-trial local does exactly that).
+  bind_graph(g);
+  return run(protocol, std::move(rng));
 }
 
 RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar rng) {
-  const graph::NodeId n = graph_.node_count();
+  if (graph_ == nullptr) {
+    throw std::logic_error("BeepSimulator::run: no graph bound");
+  }
+  const graph::NodeId n = graph_->node_count();
   status_.assign(n, NodeStatus::kActive);
-  beeped_.assign(n, 0);
-  prev_beeped_.assign(n, 0);
-  heard_.assign(n, 0);
   beep_counts_.assign(n, 0);
+  if (beeped_.size() != n) {
+    beeped_.assign(n, 0);
+    prev_beeped_.assign(n, 0);
+    heard_.assign(n, 0);
+    in_active_.assign(n, 0);
+    beepers_.clear();
+    prev_beepers_.clear();
+    heard_dirty_.clear();
+  } else {
+    // Same-size rerun: restore the all-zero invariant in O(touched) by
+    // undoing exactly what the previous run left dirty.
+    detail::clear_flags(beeped_, beepers_);
+    detail::clear_flags(prev_beeped_, prev_beepers_);
+    detail::clear_flags(heard_, heard_dirty_);
+    for (const graph::NodeId v : active_) in_active_[v] = 0;
+  }
   mis_nodes_.clear();
   reactivated_.clear();
   total_beeps_ = 0;
@@ -163,25 +257,18 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
   trace_.clear();
   trace_enabled_ = config_.record_trace;
 
-  active_.clear();
-  pending_wakeups_.clear();
+  active_ = initial_active_;
+  for (const graph::NodeId v : active_) in_active_[v] = 1;
   next_wakeup_ = 0;
-  for (graph::NodeId v = 0; v < n; ++v) {
-    if (config_.wake_round.empty() || config_.wake_round[v] == 0) {
-      active_.push_back(v);
-    } else {
-      pending_wakeups_.emplace_back(config_.wake_round[v], v);
-    }
-  }
-  std::sort(pending_wakeups_.begin(), pending_wakeups_.end());
+  next_crash_ = 0;
 
-  protocol.reset(graph_, rng);
+  protocol.reset(*graph_, rng);
   // Read after reset: protocols may size their exchange count to the graph.
   const unsigned exchanges = protocol.exchanges_per_round();
   if (exchanges == 0) throw std::logic_error("protocol declares zero exchanges per round");
 
   BeepContext ctx;
-  ctx.graph_ = &graph_;
+  ctx.graph_ = graph_;
   ctx.active_ = &active_;
   ctx.status_ = &status_;
   ctx.beeped_ = &beeped_;
@@ -197,11 +284,15 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
 
     for (exchange_ = 0; exchange_ < exchanges; ++exchange_) {
       if (exchange_ == 0) {
-        std::fill(prev_beeped_.begin(), prev_beeped_.end(), std::uint8_t{0});
+        // Round start: both flag buffers must read all-zero.
+        detail::clear_flags(prev_beeped_, prev_beepers_);
       } else {
-        prev_beeped_ = beeped_;
+        // The previous exchange's beeps become prev_beeped_ by swapping
+        // buffers instead of copying n bytes.
+        beeped_.swap(prev_beeped_);
+        beepers_.swap(prev_beepers_);
       }
-      std::fill(beeped_.begin(), beeped_.end(), std::uint8_t{0});
+      detail::clear_flags(beeped_, beepers_);
       ctx.round_ = round_;
       ctx.exchange_ = exchange_;
 
@@ -215,7 +306,14 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
     }
     compact_active();
     if (!reactivated_.empty()) {
-      active_.insert(active_.end(), reactivated_.begin(), reactivated_.end());
+      // A node deactivated and reactivated within the same round is still
+      // on the active list (it survived compaction as kActive), so skip it
+      // here — inserting it again would duplicate its emit/react visits.
+      for (const graph::NodeId v : reactivated_) {
+        if (in_active_[v]) continue;
+        active_.push_back(v);
+        in_active_[v] = 1;
+      }
       std::sort(active_.begin(), active_.end());
       reactivated_.clear();
     }
@@ -229,8 +327,8 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
   RunResult result;
   result.terminated = active_.empty() && next_wakeup_ >= pending_wakeups_.size();
   result.rounds = round_;
-  result.status = status_;
-  result.beep_counts = beep_counts_;
+  result.status = std::move(status_);
+  result.beep_counts = std::move(beep_counts_);
   result.total_beeps = total_beeps_;
   return result;
 }

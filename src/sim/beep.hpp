@@ -16,6 +16,17 @@
 //    fault injection (lost beeps) exercises true protocol behaviour.
 //  * A run is a pure function of (graph, protocol, rng seed); nodes are
 //    visited in ascending id order everywhere.
+//
+// Performance contract (see src/sim/README.md for the full design): the
+// core is *frontier-driven* — per-exchange simulator work is
+// O(active + beep deliveries), independent of n.  Beep/heard flags are
+// cleared through dirty-lists, the previous-exchange flags are obtained by
+// double-buffer swap, beeps are delivered by walking an explicit beeper
+// frontier in ascending id order (so lossy-mode RNG draw order is
+// bit-identical to a dense scan of the active list), and crash/wake fault
+// events come from presorted event queues.  All per-node scratch state is
+// reused across runs, and the graph can be rebound between runs so one
+// simulator instance amortises its allocations over many trials.
 #pragma once
 
 #include <cstdint>
@@ -127,7 +138,12 @@ class BeepProtocol {
   [[nodiscard]] virtual std::string_view name() const = 0;
   /// Number of exchanges per paper time step (>= 1).
   [[nodiscard]] virtual unsigned exchanges_per_round() const = 0;
-  /// Called once before a run; sizes per-node state for `g`.
+  /// Called once before each run; must fully (re)initialise every piece of
+  /// per-run state for `g` (assign, not resize).  One protocol instance may
+  /// be reused for many runs on many graphs — the trial harness does
+  /// exactly that — so any state surviving reset() makes results depend on
+  /// run order and breaks the pure-function-of-(graph, protocol config,
+  /// seed) contract.
   virtual void reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) = 0;
   /// Decide which active nodes beep in this exchange (call ctx.beep(v)).
   virtual void emit(BeepContext& ctx) = 0;
@@ -135,15 +151,32 @@ class BeepProtocol {
   virtual void react(BeepContext& ctx) = 0;
 };
 
-/// The simulator.  One instance may execute many runs on the same graph.
+/// The simulator.  One instance may execute many runs, on the same graph or
+/// (via the graph-rebinding run overload) on a different graph per run;
+/// scratch state is reused across runs either way.
 class BeepSimulator {
  public:
   explicit BeepSimulator(const graph::Graph& g, SimConfig config = {});
   /// The simulator stores a reference; a temporary graph would dangle.
   explicit BeepSimulator(graph::Graph&&, SimConfig = {}) = delete;
+  /// Unbound simulator: only usable through the graph-taking run overload.
+  explicit BeepSimulator(SimConfig config = {});
 
-  /// Executes `protocol` to termination (or the round cap) using `rng`.
+  /// Executes `protocol` to termination (or the round cap) using `rng` on
+  /// the graph bound at construction (or the last rebinding run).
   [[nodiscard]] RunResult run(BeepProtocol& protocol, support::Xoshiro256StarStar rng);
+  /// Rebinds the simulator to `g` (revalidating per-node config vectors)
+  /// and runs.  The flag/frontier scratch buffers are reused, so a trial
+  /// loop that calls this with per-trial graphs stops allocating for them
+  /// once the high-water graph size has been seen; only the status and
+  /// beep-count vectors are reallocated per run, because RunResult takes
+  /// them by move.  The caller must keep `g` alive for the duration of the
+  /// call.
+  [[nodiscard]] RunResult run(const graph::Graph& g, BeepProtocol& protocol,
+                              support::Xoshiro256StarStar rng);
+  /// A temporary graph would leave the simulator bound to a destroyed
+  /// object (same trap the deleted rvalue constructor blocks).
+  RunResult run(graph::Graph&&, BeepProtocol&, support::Xoshiro256StarStar) = delete;
 
   /// Event trace of the most recent run (empty unless config.record_trace).
   [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
@@ -159,27 +192,43 @@ class BeepSimulator {
  private:
   friend class BeepContext;
 
+  void bind_graph(const graph::Graph& g);
   void deliver_beeps(support::Xoshiro256StarStar& rng);
   void compact_active();
   void apply_wakeups_and_crashes();
 
-  const graph::Graph& graph_;
+  const graph::Graph* graph_ = nullptr;
   SimConfig config_;
   Trace trace_;
   RoundObserver observer_;
 
-  // Per-run scratch state (sized once per run).
+  // Fault schedules, presorted by (round, node) once per graph binding.
+  /// Sleeping nodes (kActive but not yet awake), sorted by wake round.
+  std::vector<std::pair<std::uint32_t, graph::NodeId>> pending_wakeups_;
+  /// Fail-stop events, sorted by crash round (UINT32_MAX entries included
+  /// for exact parity with a dense scan; they are simply never reached).
+  std::vector<std::pair<std::uint32_t, graph::NodeId>> pending_crashes_;
+  /// Nodes awake at round 0, ascending — the initial active frontier.
+  std::vector<graph::NodeId> initial_active_;
+  /// Size the schedules above were built for (graph_ may dangle between
+  /// rebinding runs, so the size is cached rather than read through it).
+  graph::NodeId bound_node_count_ = 0;
+
+  // Per-run scratch state (reused across runs; dirty-list cleared).
   std::vector<NodeStatus> status_;
   std::vector<graph::NodeId> active_;
+  std::vector<std::uint8_t> in_active_;      ///< membership bitmap of active_
   std::vector<std::uint8_t> beeped_;
   std::vector<std::uint8_t> prev_beeped_;
   std::vector<std::uint8_t> heard_;
+  std::vector<graph::NodeId> beepers_;       ///< frontier: set bits of beeped_
+  std::vector<graph::NodeId> prev_beepers_;  ///< set bits of prev_beeped_
+  std::vector<graph::NodeId> heard_dirty_;   ///< set bits of heard_
   std::vector<std::uint32_t> beep_counts_;
-  std::vector<graph::NodeId> mis_nodes_;     ///< joiners, for keep-alive beeps
+  std::vector<graph::NodeId> mis_nodes_;     ///< live MIS frontier, join order
   std::vector<graph::NodeId> reactivated_;   ///< pending re-entries to active_
-  /// Sleeping nodes (kActive but not yet awake), sorted by wake round.
-  std::vector<std::pair<std::uint32_t, graph::NodeId>> pending_wakeups_;
   std::size_t next_wakeup_ = 0;
+  std::size_t next_crash_ = 0;
   std::uint64_t total_beeps_ = 0;
   std::size_t round_ = 0;
   unsigned exchange_ = 0;

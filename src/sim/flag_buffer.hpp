@@ -1,0 +1,26 @@
+// Internal helper shared by the frontier-driven simulators.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace beepmis::sim::detail {
+
+/// Restores `flags` to all-zero given the list of set positions.  When a
+/// large fraction of the array is dirty a straight memset beats the
+/// scatter-store loop, so dense exchanges don't pay for the sparse-path
+/// machinery; the crossover fraction is conservative.
+inline void clear_flags(std::vector<std::uint8_t>& flags,
+                        std::vector<graph::NodeId>& dirty) {
+  if (dirty.size() >= flags.size() / 8) {
+    std::fill(flags.begin(), flags.end(), std::uint8_t{0});
+  } else {
+    for (const graph::NodeId v : dirty) flags[v] = 0;
+  }
+  dirty.clear();
+}
+
+}  // namespace beepmis::sim::detail

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/flag_buffer.hpp"
+
 namespace beepmis::sim {
 
 void LocalContext::publish(graph::NodeId v, std::uint64_t value, unsigned bits) {
@@ -13,7 +15,10 @@ void LocalContext::publish(graph::NodeId v, std::uint64_t value, unsigned bits) 
     throw std::logic_error("LocalContext::publish on an inactive or invalid node");
   }
   (*values_)[v] = value;
-  (*published_)[v] = 1;
+  if (!(*published_)[v]) {
+    (*published_)[v] = 1;
+    simulator_->publishers_.push_back(v);
+  }
   simulator_->message_bits_ +=
       static_cast<std::uint64_t>(graph_->degree(v)) * bits;
 }
@@ -38,26 +43,44 @@ void LocalContext::deactivate(graph::NodeId v) {
   (*status_)[v] = NodeStatus::kDominated;
 }
 
+LocalSimulator::LocalSimulator(LocalSimConfig config) : config_(config) {}
+
 LocalSimulator::LocalSimulator(const graph::Graph& g, LocalSimConfig config)
-    : graph_(g), config_(config) {}
+    : graph_(&g), config_(config) {}
+
+RunResult LocalSimulator::run(const graph::Graph& g, LocalProtocol& protocol,
+                              support::Xoshiro256StarStar rng) {
+  graph_ = &g;
+  return run(protocol, std::move(rng));
+}
 
 RunResult LocalSimulator::run(LocalProtocol& protocol, support::Xoshiro256StarStar rng) {
-  const graph::NodeId n = graph_.node_count();
+  if (graph_ == nullptr) {
+    throw std::logic_error("LocalSimulator::run: no graph bound");
+  }
+  const graph::NodeId n = graph_->node_count();
   status_.assign(n, NodeStatus::kActive);
-  values_.assign(n, 0);
-  published_.assign(n, 0);
+  // values_ entries are only ever read behind a set published_ flag, so
+  // stale contents are unreachable and need no clearing.
+  values_.resize(n);
+  if (published_.size() != n) {
+    published_.assign(n, 0);
+    publishers_.clear();
+  } else {
+    detail::clear_flags(published_, publishers_);
+  }
   message_bits_ = 0;
 
   active_.resize(n);
   for (graph::NodeId v = 0; v < n; ++v) active_[v] = v;
 
-  protocol.reset(graph_, rng);
+  protocol.reset(*graph_, rng);
   // Read after reset: protocols may size their exchange count to the graph.
   const unsigned exchanges = protocol.exchanges_per_round();
   if (exchanges == 0) throw std::logic_error("protocol declares zero exchanges per round");
 
   LocalContext ctx;
-  ctx.graph_ = &graph_;
+  ctx.graph_ = graph_;
   ctx.active_ = &active_;
   ctx.status_ = &status_;
   ctx.values_ = &values_;
@@ -68,7 +91,7 @@ RunResult LocalSimulator::run(LocalProtocol& protocol, support::Xoshiro256StarSt
   std::size_t round = 0;
   while (!active_.empty() && round < config_.max_rounds) {
     for (unsigned e = 0; e < exchanges; ++e) {
-      std::fill(published_.begin(), published_.end(), std::uint8_t{0});
+      detail::clear_flags(published_, publishers_);
       ctx.round_ = round;
       ctx.exchange_ = e;
 
@@ -86,7 +109,7 @@ RunResult LocalSimulator::run(LocalProtocol& protocol, support::Xoshiro256StarSt
   RunResult result;
   result.terminated = active_.empty();
   result.rounds = round;
-  result.status = status_;
+  result.status = std::move(status_);
   result.beep_counts.assign(n, 0);
   result.message_bits = message_bits_;
   return result;

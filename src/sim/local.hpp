@@ -79,29 +79,44 @@ class LocalProtocol {
 
   [[nodiscard]] virtual std::string_view name() const = 0;
   [[nodiscard]] virtual unsigned exchanges_per_round() const = 0;
+  /// See BeepProtocol::reset — must fully (re)initialise per-run state;
+  /// instances are reused across runs by the trial harness.
   virtual void reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) = 0;
   virtual void emit(LocalContext& ctx) = 0;
   virtual void react(LocalContext& ctx) = 0;
 };
 
+/// One instance may execute many runs; scratch state is reused across runs
+/// and the graph can be rebound per run (see BeepSimulator for the
+/// rationale — the trial runner amortises allocations this way).
 class LocalSimulator {
  public:
   explicit LocalSimulator(const graph::Graph& g, LocalSimConfig config = {});
   /// The simulator stores a reference; a temporary graph would dangle.
   explicit LocalSimulator(graph::Graph&&, LocalSimConfig = {}) = delete;
+  /// Unbound simulator: only usable through the graph-taking run overload.
+  explicit LocalSimulator(LocalSimConfig config = {});
 
   [[nodiscard]] RunResult run(LocalProtocol& protocol, support::Xoshiro256StarStar rng);
+  /// Rebinds to `g` and runs, reusing scratch buffers.  The caller must
+  /// keep `g` alive for the duration of the call.
+  [[nodiscard]] RunResult run(const graph::Graph& g, LocalProtocol& protocol,
+                              support::Xoshiro256StarStar rng);
+  /// A temporary graph would leave the simulator bound to a destroyed
+  /// object (same trap the deleted rvalue constructor blocks).
+  RunResult run(graph::Graph&&, LocalProtocol&, support::Xoshiro256StarStar) = delete;
 
  private:
   friend class LocalContext;
 
-  const graph::Graph& graph_;
+  const graph::Graph* graph_ = nullptr;
   LocalSimConfig config_;
 
   std::vector<NodeStatus> status_;
   std::vector<graph::NodeId> active_;
   std::vector<std::uint64_t> values_;
   std::vector<std::uint8_t> published_;
+  std::vector<graph::NodeId> publishers_;  ///< set bits of published_
   std::uint64_t message_bits_ = 0;
 };
 

@@ -225,6 +225,52 @@ TEST(BeepSimulator, ReusableForMultipleRuns) {
   EXPECT_EQ(first.mis(), second.mis());
 }
 
+TEST(BeepSimulator, UnboundSimulatorRequiresGraphOverload) {
+  BeepSimulator simulator;
+  JoinAllProtocol protocol;
+  EXPECT_THROW((void)simulator.run(protocol, support::Xoshiro256StarStar(1)),
+               std::logic_error);
+  const graph::Graph g = graph::empty_graph(4);
+  const RunResult result = simulator.run(g, protocol, support::Xoshiro256StarStar(1));
+  EXPECT_TRUE(result.terminated);
+  EXPECT_EQ(result.mis().size(), 4u);
+}
+
+TEST(BeepSimulator, RebindingRunMatchesFreshSimulators) {
+  // One simulator rebound across graphs of different sizes must reproduce
+  // exactly what a fresh simulator per graph computes: scratch-state reuse
+  // may not leak anything between runs.
+  auto rng = support::Xoshiro256StarStar(5);
+  const graph::Graph small = graph::gnp(12, 0.3, rng);
+  const graph::Graph large = graph::gnp(40, 0.1, rng);
+  SimConfig capped;
+  capped.max_rounds = 16;
+  BeepSimulator reused(capped);
+  for (const graph::Graph* g : {&large, &small, &large}) {
+    BeepForeverProtocol beep_protocol;
+    BeepSimulator fresh(*g, capped);
+    const RunResult a = fresh.run(beep_protocol, support::Xoshiro256StarStar(9));
+    const RunResult b = reused.run(*g, beep_protocol, support::Xoshiro256StarStar(9));
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.beep_counts, b.beep_counts);
+    EXPECT_EQ(a.total_beeps, b.total_beeps);
+  }
+}
+
+TEST(BeepSimulator, RebindValidatesPerNodeConfigVectors) {
+  SimConfig config;
+  config.wake_round.assign(6, 0);
+  BeepSimulator simulator(config);
+  JoinAllProtocol protocol;
+  const graph::Graph wrong_size = graph::empty_graph(4);
+  EXPECT_THROW((void)simulator.run(wrong_size, protocol, support::Xoshiro256StarStar(1)),
+               std::invalid_argument);
+  const graph::Graph right_size = graph::empty_graph(6);
+  const RunResult result = simulator.run(right_size, protocol, support::Xoshiro256StarStar(1));
+  EXPECT_TRUE(result.terminated);
+}
+
 TEST(RunResult, AccessorsAgree) {
   RunResult r;
   r.status = {NodeStatus::kInMis, NodeStatus::kDominated, NodeStatus::kActive,

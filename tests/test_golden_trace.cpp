@@ -5,10 +5,12 @@
 // golden values (and say so in review).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "graph/generators.hpp"
 #include "mis/mis.hpp"
+#include "mis/self_healing.hpp"
 
 namespace beepmis {
 namespace {
@@ -51,6 +53,206 @@ TEST(GoldenTrace, StableAcrossRepeatedRuns) {
     std::ostringstream ss;
     simulator.trace().write_csv(ss);
     EXPECT_EQ(ss.str(), kGoldenTraceCsv) << "iteration " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frontier-rewrite regression pins: these golden values were captured from
+// the pre-frontier (dense, Θ(n)-per-exchange) simulator and must survive the
+// frontier-driven core unchanged.  The scenario deliberately stacks every
+// feature whose bookkeeping the rewrite touched: staggered wake-ups, fail-stop
+// crashes (including a crashed MIS member, which must fall out of the
+// keep-alive frontier), MIS keep-alive delivery, self-healing reactivations,
+// run_until_round tail rounds with an empty active set, and — in the lossy
+// variant — per-delivery RNG draws whose order is part of the contract.
+
+sim::SimConfig healing_scenario_config(double loss) {
+  sim::SimConfig config;
+  config.record_trace = true;
+  config.mis_keepalive = true;
+  config.beep_loss_probability = loss;
+  config.run_until_round = 24;
+  config.max_rounds = 200;
+  constexpr graph::NodeId n = 16;
+  config.wake_round.assign(n, 0);
+  config.crash_round.assign(n, UINT32_MAX);
+  for (graph::NodeId v = 0; v < n; ++v) config.wake_round[v] = v % 3;
+  config.crash_round[1] = 5;
+  config.crash_round[4] = 8;
+  config.crash_round[11] = 8;
+  return config;
+}
+
+struct HealingScenarioOutcome {
+  sim::RunResult result;
+  std::string trace_csv;
+  std::size_t reactivations = 0;
+};
+
+HealingScenarioOutcome run_healing_scenario(double loss) {
+  auto graph_rng = support::Xoshiro256StarStar(9);
+  const graph::Graph g = graph::gnp(16, 0.25, graph_rng);
+  mis::SelfHealingConfig healing;
+  healing.silence_threshold = 2;
+  mis::SelfHealingLocalFeedbackMis protocol(healing);
+  sim::BeepSimulator simulator(g, healing_scenario_config(loss));
+  HealingScenarioOutcome outcome;
+  outcome.result = simulator.run(protocol, support::Xoshiro256StarStar(2026));
+  std::ostringstream trace_csv;
+  simulator.trace().write_csv(trace_csv);
+  outcome.trace_csv = trace_csv.str();
+  outcome.reactivations = protocol.reactivations();
+  return outcome;
+}
+
+std::vector<sim::NodeStatus> to_status(const std::vector<int>& codes) {
+  std::vector<sim::NodeStatus> status;
+  status.reserve(codes.size());
+  for (const int c : codes) status.push_back(static_cast<sim::NodeStatus>(c));
+  return status;
+}
+
+constexpr const char* kGoldenHealingLosslessTrace =
+    "round,exchange,kind,node\n"
+    "0,0,beep,3\n"
+    "0,1,deactivate,0\n"
+    "0,1,join,3\n"
+    "0,1,deactivate,15\n"
+    "1,0,wake,1\n"
+    "1,0,wake,4\n"
+    "1,0,wake,7\n"
+    "1,0,wake,10\n"
+    "1,0,wake,13\n"
+    "1,0,beep,7\n"
+    "1,0,beep,10\n"
+    "1,1,deactivate,1\n"
+    "1,1,join,7\n"
+    "1,1,deactivate,9\n"
+    "1,1,join,10\n"
+    "1,1,deactivate,13\n"
+    "2,0,wake,2\n"
+    "2,0,wake,5\n"
+    "2,0,wake,8\n"
+    "2,0,wake,11\n"
+    "2,0,wake,14\n"
+    "2,0,beep,2\n"
+    "2,0,beep,5\n"
+    "2,0,beep,6\n"
+    "2,0,beep,11\n"
+    "2,0,beep,12\n"
+    "2,0,beep,14\n"
+    "2,1,deactivate,4\n"
+    "2,1,deactivate,5\n"
+    "2,1,join,12\n"
+    "3,0,beep,6\n"
+    "3,0,beep,11\n"
+    "3,1,deactivate,2\n"
+    "3,1,join,6\n"
+    "3,1,join,11\n"
+    "4,0,beep,8\n"
+    "4,1,join,8\n"
+    "5,0,crash,1\n"
+    "5,0,beep,14\n"
+    "5,1,join,14\n"
+    "8,0,crash,4\n"
+    "8,0,crash,11\n";
+
+TEST(GoldenTrace, HealingKeepaliveCrashWakeupLossless) {
+  const HealingScenarioOutcome outcome = run_healing_scenario(0.0);
+  EXPECT_EQ(outcome.trace_csv, kGoldenHealingLosslessTrace);
+  EXPECT_TRUE(outcome.result.terminated);
+  EXPECT_EQ(outcome.result.rounds, 24u);
+  EXPECT_EQ(outcome.result.total_beeps, 13u);
+  EXPECT_EQ(outcome.reactivations, 0u);
+  EXPECT_EQ(outcome.result.status,
+            to_status({2, 3, 2, 1, 3, 2, 1, 1, 1, 2, 1, 3, 1, 2, 1, 2}));
+  EXPECT_EQ(outcome.result.beep_counts,
+            (std::vector<std::uint32_t>{0, 0, 1, 1, 0, 1, 2, 1, 1, 0, 1, 2, 1, 0, 2, 0}));
+  EXPECT_EQ(outcome.result.mis(), (std::vector<graph::NodeId>{3, 6, 7, 8, 10, 12, 14}));
+}
+
+constexpr const char* kGoldenHealingLossyTrace =
+    "round,exchange,kind,node\n"
+    "0,0,beep,3\n"
+    "0,1,deactivate,0\n"
+    "0,1,join,3\n"
+    "0,1,deactivate,15\n"
+    "1,0,wake,1\n"
+    "1,0,wake,4\n"
+    "1,0,wake,7\n"
+    "1,0,wake,10\n"
+    "1,0,wake,13\n"
+    "1,0,beep,6\n"
+    "1,0,beep,9\n"
+    "1,0,beep,10\n"
+    "1,0,beep,13\n"
+    "1,1,deactivate,13\n"
+    "2,0,wake,2\n"
+    "2,0,wake,5\n"
+    "2,0,wake,8\n"
+    "2,0,wake,11\n"
+    "2,0,wake,14\n"
+    "2,0,beep,1\n"
+    "2,0,beep,2\n"
+    "2,0,beep,4\n"
+    "2,0,beep,6\n"
+    "2,0,beep,7\n"
+    "3,0,beep,2\n"
+    "3,0,beep,5\n"
+    "3,0,beep,10\n"
+    "3,1,join,2\n"
+    "3,1,deactivate,4\n"
+    "3,1,join,5\n"
+    "3,1,deactivate,6\n"
+    "3,1,deactivate,7\n"
+    "3,1,deactivate,8\n"
+    "3,1,deactivate,9\n"
+    "3,1,join,10\n"
+    "3,1,deactivate,11\n"
+    "3,1,deactivate,14\n"
+    "5,0,crash,1\n"
+    "5,0,beep,12\n"
+    "5,1,join,12\n"
+    "5,1,reactivate,0\n"
+    "6,0,beep,0\n"
+    "6,1,deactivate,0\n"
+    "6,1,reactivate,13\n"
+    "7,0,beep,13\n"
+    "7,1,join,13\n"
+    "8,0,crash,4\n"
+    "8,0,crash,11\n"
+    "17,1,reactivate,7\n"
+    "18,0,beep,7\n"
+    "19,1,deactivate,7\n";
+
+TEST(GoldenTrace, HealingKeepaliveCrashWakeupLossy) {
+  const HealingScenarioOutcome outcome = run_healing_scenario(0.15);
+  EXPECT_EQ(outcome.trace_csv, kGoldenHealingLossyTrace);
+  EXPECT_TRUE(outcome.result.terminated);
+  EXPECT_EQ(outcome.result.rounds, 24u);
+  EXPECT_EQ(outcome.result.total_beeps, 17u);
+  EXPECT_EQ(outcome.reactivations, 3u);
+  EXPECT_EQ(outcome.result.status,
+            to_status({2, 3, 1, 1, 3, 1, 2, 2, 2, 2, 1, 3, 1, 1, 2, 2}));
+  EXPECT_EQ(outcome.result.beep_counts,
+            (std::vector<std::uint32_t>{1, 1, 2, 1, 1, 1, 2, 2, 0, 1, 2, 0, 1, 2, 0, 0}));
+  EXPECT_EQ(outcome.result.mis(), (std::vector<graph::NodeId>{2, 3, 5, 10, 12, 13}));
+}
+
+TEST(GoldenTrace, HealingScenarioStableAcrossRepeatedRuns) {
+  // Re-running on the same simulator must be bit-identical: the frontier
+  // core reuses scratch state across runs and may not leak any of it.
+  auto graph_rng = support::Xoshiro256StarStar(9);
+  const graph::Graph g = graph::gnp(16, 0.25, graph_rng);
+  sim::BeepSimulator simulator(g, healing_scenario_config(0.15));
+  for (int i = 0; i < 3; ++i) {
+    mis::SelfHealingConfig healing;
+    healing.silence_threshold = 2;
+    mis::SelfHealingLocalFeedbackMis protocol(healing);
+    (void)simulator.run(protocol, support::Xoshiro256StarStar(2026));
+    std::ostringstream ss;
+    simulator.trace().write_csv(ss);
+    EXPECT_EQ(ss.str(), kGoldenHealingLossyTrace) << "iteration " << i;
   }
 }
 

@@ -58,6 +58,58 @@ TEST(Runner, DifferentSeedsGiveDifferentResults) {
   EXPECT_NE(a.rounds.mean(), b.rounds.mean());
 }
 
+void expect_identical_stats(const TrialStats& a, const TrialStats& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.terminated, b.terminated);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.independence_violations, b.independence_violations);
+  EXPECT_EQ(a.uncovered_nodes, b.uncovered_nodes);
+  const auto expect_identical = [](const support::RunningStats& x,
+                                   const support::RunningStats& y) {
+    EXPECT_EQ(x.count(), y.count());
+    EXPECT_DOUBLE_EQ(x.mean(), y.mean());
+    EXPECT_DOUBLE_EQ(x.variance(), y.variance());
+    EXPECT_DOUBLE_EQ(x.min(), y.min());
+    EXPECT_DOUBLE_EQ(x.max(), y.max());
+  };
+  expect_identical(a.rounds, b.rounds);
+  expect_identical(a.beeps_per_node, b.beeps_per_node);
+  expect_identical(a.max_beeps_any_node, b.max_beeps_any_node);
+  expect_identical(a.mis_size, b.mis_size);
+  expect_identical(a.message_bits, b.message_bits);
+}
+
+TEST(Runner, IdenticalStatsOneVsFourThreads) {
+  // Full TrialStats identity across thread counts, under a config that
+  // exercises every frontier path in the rewritten core (loss, keep-alive)
+  // while each worker reuses one simulator across its trials.
+  TrialConfig one;
+  one.trials = 16;
+  one.base_seed = 0xfeedbeef;
+  one.threads = 1;
+  one.sim.beep_loss_probability = 0.2;
+  one.sim.mis_keepalive = true;
+  one.sim.max_rounds = 500;
+  TrialConfig four = one;
+  four.threads = 4;
+  const TrialStats a = run_beep_trials(small_gnp(), local_feedback(), one);
+  const TrialStats b = run_beep_trials(small_gnp(), local_feedback(), four);
+  expect_identical_stats(a, b);
+}
+
+TEST(Runner, IdenticalLocalStatsOneVsFourThreads) {
+  TrialConfig one;
+  one.trials = 12;
+  one.base_seed = 31337;
+  one.threads = 1;
+  TrialConfig four = one;
+  four.threads = 4;
+  const LocalProtocolFactory luby = [] { return std::make_unique<mis::LubyMis>(); };
+  const TrialStats a = run_local_trials(small_gnp(), luby, one);
+  const TrialStats b = run_local_trials(small_gnp(), luby, four);
+  expect_identical_stats(a, b);
+}
+
 TEST(Runner, SharedGraphReusesOneGraph) {
   // With shared_graph, MIS sizes on a clique are 1 in every trial.
   TrialConfig config;
