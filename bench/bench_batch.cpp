@@ -1,0 +1,210 @@
+// Batched-lanes benchmark: per-trial scalar simulator vs the 64-lane
+// BatchSimulator on shared-graph trial sweeps (the paper's methodology:
+// every reported metric is an average over many independent seeds of the
+// same random graph).
+//
+// Both paths run the identical trial set — same shared graph, same
+// per-trial seed tree as harness::run_beep_trials — and the bench verifies
+// every per-trial RunResult is bit-identical before timing, so the
+// trials/sec ratio compares two executions of the same computation.
+//
+// Workloads:
+//   converge        run each trial to natural termination (~O(log n)
+//                   rounds).  Batching wins on delivery (one CSR pass and
+//                   one 8-byte OR per edge serve all 64 lanes) but every
+//                   lane still draws its own per-node Bernoullis, so the
+//                   speedup is bounded by that irreducible per-lane work.
+//   keepalive-tail  mis_keepalive + run_until_round tail (the maintenance
+//                   regime): the static tail collapses to one cached
+//                   (listener, lane-mask) sweep for all lanes, the
+//                   headline >= 10x.
+//
+//   ./bench_batch [--n=10000] [--avg-degree=8] [--trials=64] [--reps=3]
+//                 [--tail-rounds=500] [--seed=2026] [--git-rev=<rev>]
+//                 [--out=BENCH_batch.json]
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "mis/local_feedback.hpp"
+#include "mis/local_feedback_batch.hpp"
+#include "sim/batch.hpp"
+#include "sim/beep.hpp"
+#include "support/options.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace beepmis;
+
+struct Measurement {
+  std::string workload;
+  std::string impl;
+  std::size_t n = 0;
+  std::size_t trials = 0;
+  double wall_ms = 0.0;
+  double trials_per_sec = 0.0;
+  double speedup_vs_scalar = 1.0;
+};
+
+using benchcommon::best_wall_ms;
+
+/// Per-trial run RNG, matching harness::run_beep_trials' seed tree.
+support::Xoshiro256StarStar trial_rng(const support::SeedSequence& root, std::size_t trial) {
+  return root.child(trial).child(1).generator();
+}
+
+benchcommon::JsonReport make_report(const std::vector<Measurement>& results,
+                                    std::uint64_t seed, double avg_degree,
+                                    const std::string& git_rev) {
+  benchcommon::JsonReport report;
+  report.bench = "bench_batch";
+  report.git_rev = git_rev;
+  report.header = {
+      {"seed", benchcommon::json_number(seed)},
+      {"avg_degree", benchcommon::json_number(avg_degree)},
+      {"lanes", benchcommon::json_number(sim::kMaxBatchLanes)},
+  };
+  for (const Measurement& m : results) {
+    std::ostringstream row;
+    row << "{\"workload\": \"" << m.workload << "\", \"impl\": \"" << m.impl
+        << "\", \"n\": " << m.n << ", \"trials\": " << m.trials
+        << ", \"wall_ms\": " << m.wall_ms << ", \"trials_per_sec\": " << m.trials_per_sec
+        << ", \"speedup_vs_scalar\": " << m.speedup_vs_scalar << "}";
+    report.rows.push_back(row.str());
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Options options;
+  options.add("n", "10000", "nodes in the shared sparse G(n, d/n) instance");
+  options.add("avg-degree", "8", "average degree of the shared graph");
+  options.add("trials", "64", "independent seeds per sweep");
+  options.add("tail-rounds", "500", "run_until_round for the keepalive-tail workload");
+  options.add("reps", "3", "timing repetitions (best-of)");
+  options.add("seed", "2026", "base seed of the trial seed tree");
+  options.add("git-rev", "unknown", "git revision recorded in the JSON header");
+  options.add("out", "BENCH_batch.json", "JSON report path ('-' = stdout only)");
+  if (!options.parse(argc, argv)) {
+    std::cerr << options.error() << '\n' << options.usage("bench_batch");
+    return 1;
+  }
+  if (options.help_requested()) {
+    std::cout << options.usage("bench_batch");
+    return 0;
+  }
+
+  const auto n = static_cast<graph::NodeId>(options.get_int("n"));
+  const double avg_degree = options.get_double("avg-degree");
+  const auto trials = static_cast<std::size_t>(options.get_int("trials"));
+  const auto tail_rounds = static_cast<std::size_t>(options.get_int("tail-rounds"));
+  const int reps = static_cast<int>(options.get_int("reps"));
+  const std::uint64_t seed = options.get_u64("seed");
+  const std::string git_rev = options.get("git-rev");
+
+  const support::SeedSequence root(seed);
+  auto graph_rng = root.child(0).child(0).generator();
+  const graph::Graph g = graph::gnp(n, avg_degree / static_cast<double>(n), graph_rng);
+  std::cout << "graph: " << g.describe() << ", trials: " << trials << "\n\n";
+
+  std::vector<Measurement> results;
+  support::Table table({"workload", "impl", "trials", "wall ms", "trials/sec", "speedup"});
+  const auto record = [&](const std::string& workload, const char* impl, double ms,
+                          double speedup) {
+    Measurement m;
+    m.workload = workload;
+    m.impl = impl;
+    m.n = n;
+    m.trials = trials;
+    m.wall_ms = ms;
+    m.trials_per_sec = static_cast<double>(trials) / (ms / 1000.0);
+    m.speedup_vs_scalar = speedup;
+    results.push_back(m);
+    table.new_row()
+        .cell(workload)
+        .cell(impl)
+        .cell(trials)
+        .cell(ms)
+        .cell(m.trials_per_sec)
+        .cell(speedup);
+  };
+
+  const auto measure_workload = [&](const std::string& workload, const sim::SimConfig& config) {
+    // Scalar sweep: one simulator + protocol reused across trials, exactly
+    // like one harness worker.
+    sim::BeepSimulator scalar_sim(g, config);
+    mis::LocalFeedbackMis scalar_protocol;
+    sim::BatchSimulator batch_sim(config);
+    mis::BatchLocalFeedbackMis batch_protocol;
+
+    // Cross-check every trial before timing: lane t of the batch must be
+    // bit-identical to scalar trial t.
+    {
+      std::vector<support::Xoshiro256StarStar> rngs;
+      for (std::size_t t = 0; t < trials; ++t) {
+        if (rngs.size() == sim::kMaxBatchLanes) rngs.clear();
+        rngs.push_back(trial_rng(root, t));
+        const bool flush = rngs.size() == sim::kMaxBatchLanes || t + 1 == trials;
+        if (!flush) continue;
+        const std::size_t first = t + 1 - rngs.size();
+        const std::vector<sim::RunResult> batch = batch_sim.run(g, batch_protocol, rngs);
+        for (std::size_t lane = 0; lane < batch.size(); ++lane) {
+          const sim::RunResult scalar =
+              scalar_sim.run(scalar_protocol, trial_rng(root, first + lane));
+          if (scalar.rounds != batch[lane].rounds ||
+              scalar.total_beeps != batch[lane].total_beeps ||
+              scalar.terminated != batch[lane].terminated ||
+              scalar.status != batch[lane].status ||
+              scalar.beep_counts != batch[lane].beep_counts) {
+            std::cerr << "FATAL: scalar and batched runs diverged (workload " << workload
+                      << ", trial " << (first + lane) << ")\n";
+            std::exit(1);
+          }
+        }
+      }
+    }
+
+    const double scalar_ms = best_wall_ms(reps, [&] {
+      for (std::size_t t = 0; t < trials; ++t) {
+        (void)scalar_sim.run(scalar_protocol, trial_rng(root, t));
+      }
+    });
+    const double batch_ms = best_wall_ms(reps, [&] {
+      for (std::size_t first = 0; first < trials; first += sim::kMaxBatchLanes) {
+        const std::size_t last = std::min(first + sim::kMaxBatchLanes, trials);
+        std::vector<support::Xoshiro256StarStar> rngs;
+        rngs.reserve(last - first);
+        for (std::size_t t = first; t < last; ++t) rngs.push_back(trial_rng(root, t));
+        (void)batch_sim.run(g, batch_protocol, std::move(rngs));
+      }
+    });
+    record(workload, "scalar", scalar_ms, 1.0);
+    record(workload, "batched", batch_ms, scalar_ms / batch_ms);
+  };
+
+  {
+    sim::SimConfig config;
+    measure_workload("converge", config);
+  }
+  {
+    sim::SimConfig config;
+    config.mis_keepalive = true;
+    config.run_until_round = tail_rounds;
+    measure_workload("keepalive-tail", config);
+  }
+
+  std::cout << table.to_string() << '\n';
+
+  const benchcommon::JsonReport report = make_report(results, seed, avg_degree, git_rev);
+  return report.write_to(options.get("out"), std::cout) ? 0 : 1;
+}

@@ -1,5 +1,6 @@
-// Frontier-core micro-benchmark: dense (pre-rewrite) vs frontier-driven
-// simulator on dense and sparse-tail workloads.
+// Frontier-core micro-benchmark: seed-path (dense, Θ(n)-per-exchange)
+// simulator vs the frontier-driven simulator on dense and sparse-tail
+// workloads.
 //
 // The frontier rewrite makes per-exchange simulator cost O(active + beep
 // deliveries) instead of Θ(n).  The regime where that matters is the long
@@ -8,137 +9,39 @@
 // run_until_round, and the pre-rewrite core paid three n-byte clears plus
 // an n-byte copy per exchange regardless of activity.
 //
-// To measure the difference honestly, this bench embeds a faithful copy of
-// the pre-rewrite hot loop (`denseref` below: full-array fills, full
-// prev-beep copy, dense active-list delivery scan) together with an inlined
-// paper-config local-feedback protocol, and runs both implementations on
-// identical (graph, seed) inputs.  Both are pure functions of (graph,
-// seed) with identical RNG draw order, so the bench also cross-checks that
-// rounds, total beeps and MIS size agree bit-for-bit — a measurement of two
-// different computations would be meaningless.
+// The dense baseline is sim::DenseReferenceSimulator — the seed simulator
+// hot loop preserved verbatim in the library — driving the *real* protocol
+// stack (mis::LocalFeedbackMis through the virtual BeepProtocol interface),
+// so both rows run exactly the same protocol code and differ only in the
+// simulator core.  Both cores are pure functions of (graph, seed) with
+// identical RNG draw order, so the bench cross-checks bit-identical results
+// before timing; a measurement of two different computations would be
+// meaningless.
 //
 //   ./bench_frontier [--n=100000] [--avg-degree=8] [--tail-rounds=1500]
-//                    [--reps=3] [--seed=2026] [--out=BENCH_core.json]
+//                    [--reps=3] [--seed=2026] [--git-rev=<rev>]
+//                    [--out=BENCH_frontier.json]
 //
-// Emits a JSON report (default BENCH_core.json) with wall-ms and
-// exchanges/sec per (workload, implementation, n), plus the speedups, so
-// future PRs have a perf trajectory to compare against.
+// Emits a JSON report with wall-ms and exchanges/sec per (workload,
+// implementation, n) plus speedups, and records the benchmarked git
+// revision (--git-rev, normally injected by scripts/bench_core.sh) and the
+// compiler in the header, so future PRs have a perf trajectory to compare
+// against.
 #include <algorithm>
-#include <chrono>
 #include <cstdint>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "graph/generators.hpp"
 #include "mis/local_feedback.hpp"
 #include "sim/beep.hpp"
+#include "sim/dense_ref.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
-
-namespace denseref {
-
-using namespace beepmis;
-
-// Faithful reproduction of the pre-rewrite simulator hot path with the
-// paper-config local-feedback protocol (p0 = 1/2, factor 2, two exchanges)
-// inlined.  Per-exchange cost is Θ(n) by construction: three full-array
-// clears, one full-array copy, and a full active-list delivery scan.
-struct DenseRunResult {
-  std::size_t rounds = 0;
-  std::uint64_t total_beeps = 0;
-  std::size_t mis_size = 0;
-};
-
-DenseRunResult run_local_feedback_dense(const graph::Graph& g, std::uint64_t seed,
-                                        std::size_t run_until_round,
-                                        std::size_t max_rounds) {
-  auto rng = support::Xoshiro256StarStar(seed);
-  const graph::NodeId n = g.node_count();
-
-  enum class Status : std::uint8_t { kActive, kInMis, kDominated };
-  std::vector<Status> status(n, Status::kActive);
-  std::vector<std::uint8_t> beeped(n, 0), prev_beeped(n, 0), heard(n, 0);
-  std::vector<std::uint8_t> winner(n, 0);
-  std::vector<double> p(n, 0.5);
-  std::vector<graph::NodeId> active(n);
-  for (graph::NodeId v = 0; v < n; ++v) active[v] = v;
-
-  std::uint64_t total_beeps = 0;
-  std::size_t round = 0;
-  while ((!active.empty() || round < run_until_round) && round < max_rounds) {
-    for (unsigned exchange = 0; exchange < 2; ++exchange) {
-      if (exchange == 0) {
-        std::fill(prev_beeped.begin(), prev_beeped.end(), std::uint8_t{0});
-      } else {
-        prev_beeped = beeped;  // the full-array copy the rewrite removed
-      }
-      std::fill(beeped.begin(), beeped.end(), std::uint8_t{0});
-
-      // emit
-      if (exchange == 0) {
-        for (const graph::NodeId v : active) {
-          winner[v] = 0;
-          if (rng.bernoulli(p[v])) {
-            beeped[v] = 1;
-            if (!prev_beeped[v]) ++total_beeps;
-          }
-        }
-      } else {
-        for (const graph::NodeId v : active) {
-          if (winner[v] && status[v] == Status::kActive) {
-            beeped[v] = 1;
-            if (!prev_beeped[v]) ++total_beeps;
-          }
-        }
-      }
-
-      // deliver (reliable channel): dense scan of the active list
-      std::fill(heard.begin(), heard.end(), std::uint8_t{0});
-      for (const graph::NodeId v : active) {
-        if (!beeped[v]) continue;
-        for (const graph::NodeId w : g.neighbors(v)) heard[w] = 1;
-      }
-
-      // react
-      if (exchange == 0) {
-        for (const graph::NodeId v : active) {
-          const bool h = heard[v];
-          winner[v] = static_cast<std::uint8_t>(beeped[v] && !h);
-          if (h) {
-            p[v] /= 2.0;
-          } else {
-            p[v] = std::min(0.5, p[v] * 2.0);
-          }
-        }
-      } else {
-        for (const graph::NodeId v : active) {
-          if (status[v] != Status::kActive) continue;
-          if (winner[v]) {
-            status[v] = Status::kInMis;
-          } else if (heard[v]) {
-            status[v] = Status::kDominated;
-          }
-        }
-      }
-    }
-    std::erase_if(active, [&](graph::NodeId v) { return status[v] != Status::kActive; });
-    ++round;
-  }
-
-  DenseRunResult result;
-  result.rounds = round;
-  result.total_beeps = total_beeps;
-  for (const Status s : status) {
-    if (s == Status::kInMis) ++result.mis_size;
-  }
-  return result;
-}
-
-}  // namespace denseref
 
 namespace {
 
@@ -155,32 +58,30 @@ struct Measurement {
   double speedup_vs_dense = 1.0;
 };
 
-template <typename Run>
-double best_wall_ms(int reps, Run&& run) {
-  double best = std::numeric_limits<double>::infinity();
-  for (int r = 0; r < reps; ++r) {
-    const auto start = std::chrono::steady_clock::now();
-    run();
-    const auto stop = std::chrono::steady_clock::now();
-    best = std::min(best, std::chrono::duration<double, std::milli>(stop - start).count());
-  }
-  return best;
-}
+using benchcommon::best_wall_ms;
 
-void write_json(std::ostream& out, const std::vector<Measurement>& results,
-                std::uint64_t seed, double avg_degree) {
-  out << "{\n  \"bench\": \"bench_frontier\",\n  \"seed\": " << seed
-      << ",\n  \"avg_degree\": " << avg_degree << ",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const Measurement& m = results[i];
-    out << "    {\"workload\": \"" << m.workload << "\", \"impl\": \"" << m.impl
+benchcommon::JsonReport make_report(const std::vector<Measurement>& results,
+                                    std::uint64_t seed, double avg_degree,
+                                    const std::string& git_rev) {
+  benchcommon::JsonReport report;
+  report.bench = "bench_frontier";
+  report.git_rev = git_rev;
+  report.header = {
+      {"seed", benchcommon::json_number(seed)},
+      {"avg_degree", benchcommon::json_number(avg_degree)},
+      {"dense_impl",
+       benchcommon::json_string("DenseReferenceSimulator + real LocalFeedbackMis stack")},
+  };
+  for (const Measurement& m : results) {
+    std::ostringstream row;
+    row << "{\"workload\": \"" << m.workload << "\", \"impl\": \"" << m.impl
         << "\", \"n\": " << m.n << ", \"rounds\": " << m.rounds
         << ", \"exchanges\": " << m.exchanges << ", \"wall_ms\": " << m.wall_ms
         << ", \"exchanges_per_sec\": " << m.exchanges_per_sec
-        << ", \"speedup_vs_dense\": " << m.speedup_vs_dense << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
+        << ", \"speedup_vs_dense\": " << m.speedup_vs_dense << "}";
+    report.rows.push_back(row.str());
   }
-  out << "  ]\n}\n";
+  return report;
 }
 
 }  // namespace
@@ -195,7 +96,8 @@ int main(int argc, char** argv) {
               "(its tail is too cheap to resolve over tail-rounds alone)");
   options.add("reps", "3", "timing repetitions (best-of)");
   options.add("seed", "2026", "graph + run seed");
-  options.add("out", "BENCH_core.json", "JSON report path ('-' = stdout only)");
+  options.add("git-rev", "unknown", "git revision recorded in the JSON header");
+  options.add("out", "BENCH_frontier.json", "JSON report path ('-' = stdout only)");
   if (!options.parse(argc, argv)) {
     std::cerr << options.error() << '\n' << options.usage("bench_frontier");
     return 1;
@@ -212,6 +114,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(options.get_int("frontier-tail-scale"));
   const int reps = static_cast<int>(options.get_int("reps"));
   const std::uint64_t seed = options.get_u64("seed");
+  const std::string git_rev = options.get("git-rev");
   constexpr std::size_t kMaxRounds = 1u << 20;
 
   auto graph_rng = support::Xoshiro256StarStar(seed);
@@ -224,27 +127,30 @@ int main(int argc, char** argv) {
   // — "tail-only" — isolates the low-activity regime where per-exchange
   // cost must not scale with n; it is the headline number.
   struct RunPair {
-    denseref::DenseRunResult checked;
+    sim::RunResult checked;
     double dense_ms = 0.0;
     double frontier_ms = 0.0;
   };
 
   sim::BeepSimulator frontier_sim(g);  // scratch reused across every timed run
   const auto measure = [&](std::size_t run_until) {
-    const denseref::DenseRunResult dense_result =
-        denseref::run_local_feedback_dense(g, seed, run_until, kMaxRounds);
     sim::SimConfig config;
     config.run_until_round = run_until;
     config.max_rounds = kMaxRounds;
+    sim::DenseReferenceSimulator dense_sim(g, config);
+    mis::LocalFeedbackMis dense_protocol;
+    const sim::RunResult dense_result =
+        dense_sim.run_dense(dense_protocol, support::Xoshiro256StarStar(seed));
     frontier_sim = sim::BeepSimulator(g, config);
     mis::LocalFeedbackMis protocol;
     const sim::RunResult frontier_result =
         frontier_sim.run(protocol, support::Xoshiro256StarStar(seed));
-    // Both cores are pure functions of (graph, seed) with the same RNG draw
-    // order; a divergence would make the timing comparison meaningless.
+    // Same protocol stack, same RNG draw order: any divergence would make
+    // the timing comparison meaningless.
     if (frontier_result.rounds != dense_result.rounds ||
         frontier_result.total_beeps != dense_result.total_beeps ||
-        frontier_result.mis().size() != dense_result.mis_size) {
+        frontier_result.status != dense_result.status ||
+        frontier_result.beep_counts != dense_result.beep_counts) {
       std::cerr << "FATAL: dense reference and frontier core diverged (rounds "
                 << dense_result.rounds << " vs " << frontier_result.rounds << ", beeps "
                 << dense_result.total_beeps << " vs " << frontier_result.total_beeps
@@ -254,7 +160,8 @@ int main(int argc, char** argv) {
     RunPair pair;
     pair.checked = dense_result;
     pair.dense_ms = best_wall_ms(reps, [&] {
-      (void)denseref::run_local_feedback_dense(g, seed, run_until, kMaxRounds);
+      mis::LocalFeedbackMis p;
+      (void)dense_sim.run_dense(p, support::Xoshiro256StarStar(seed));
     });
     pair.frontier_ms = best_wall_ms(reps, [&] {
       mis::LocalFeedbackMis p;
@@ -316,10 +223,10 @@ int main(int argc, char** argv) {
         .cell(speedup);
   };
 
-  record("dense", "dense-reference", converge.checked.rounds, converge.dense_ms, 1.0);
+  record("dense", "seed-dense", converge.checked.rounds, converge.dense_ms, 1.0);
   record("dense", "frontier", converge.checked.rounds, converge.frontier_ms,
          converge.dense_ms / converge.frontier_ms);
-  record("sparse-tail", "dense-reference", tail.checked.rounds, tail.dense_ms, 1.0);
+  record("sparse-tail", "seed-dense", tail.checked.rounds, tail.dense_ms, 1.0);
   record("sparse-tail", "frontier", tail.checked.rounds, tail.frontier_ms,
          tail.dense_ms / tail.frontier_ms);
   const double dense_tail_rate =
@@ -331,22 +238,12 @@ int main(int argc, char** argv) {
       (dense_tail_rate > 0.0 && frontier_tail_rate > 0.0)
           ? frontier_tail_rate / dense_tail_rate
           : 1.0;
-  record("sparse-tail-only", "dense-reference", dense_tail_only_rounds, dense_tail_ms, 1.0);
+  record("sparse-tail-only", "seed-dense", dense_tail_only_rounds, dense_tail_ms, 1.0);
   record("sparse-tail-only", "frontier", frontier_tail_only_rounds, frontier_tail_ms,
          tail_speedup);
 
   std::cout << table.to_string() << '\n';
 
-  const std::string out_path = options.get("out");
-  write_json(std::cout, results, seed, avg_degree);
-  if (out_path != "-") {
-    std::ofstream out(out_path);
-    if (!out) {
-      std::cerr << "cannot write " << out_path << '\n';
-      return 1;
-    }
-    write_json(out, results, seed, avg_degree);
-    std::cout << "wrote " << out_path << '\n';
-  }
-  return 0;
+  const benchcommon::JsonReport report = make_report(results, seed, avg_degree, git_rev);
+  return report.write_to(options.get("out"), std::cout) ? 0 : 1;
 }

@@ -1,21 +1,78 @@
 #!/usr/bin/env bash
-# Runs the frontier-core micro-benchmark and records BENCH_core.json at the
-# repository root, so successive PRs accumulate a perf trajectory for the
-# simulator hot path.
+# Runs the simulator-core micro-benchmarks across an n sweep and records
+# BENCH_core.json at the repository root, so successive PRs accumulate a
+# perf trajectory for the simulator hot paths.
 #
-#   scripts/bench_core.sh [extra bench_frontier args...]
+#   scripts/bench_core.sh [common bench args...]
 #
-# Builds the bench target if needed (cmake -B build -S . must have been
+# Two benches contribute:
+#   bench_frontier  seed-path (dense) core vs frontier core, single runs
+#   bench_batch     per-trial scalar sweep vs 64-lane batched sweep
+# each at n in BENCH_SIZES (default "1000 10000 100000").  Positional args
+# are forwarded to *both* drivers, so use them only for flags both accept
+# (--avg-degree, --tail-rounds, --reps, --seed); driver-specific flags go
+# in FRONTIER_ARGS / BATCH_ARGS (e.g. BATCH_ARGS="--trials=128").  The
+# script-owned --n/--git-rev/--out are appended last, so they win over
+# anything forwarded.  The merged JSON is { header, frontier: [per-n
+# reports], batch: [per-n reports] }; every per-n report records the git
+# revision and compiler it was built with.
+#
+# Builds the bench targets if needed (cmake -B build -S . must have been
 # configured, or this script configures it).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-${repo_root}/build}"
+sizes="${BENCH_SIZES:-1000 10000 100000}"
 
 if [[ ! -d "${build_dir}" ]]; then
   cmake -B "${build_dir}" -S "${repo_root}"
 fi
-cmake --build "${build_dir}" --target bench_frontier -j
+cmake --build "${build_dir}" --target bench_frontier bench_batch -j
 
-"${build_dir}/bench/bench_frontier" --out="${repo_root}/BENCH_core.json" "$@"
-echo "perf record written to ${repo_root}/BENCH_core.json"
+git_rev="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+out_dir="${build_dir}/bench_reports"
+mkdir -p "${out_dir}"
+
+# Word-split once and join explicitly: tr-ing the raw string would emit
+# invalid JSON ([1000,,10000]) for irregular whitespace in BENCH_SIZES.
+# shellcheck disable=SC2206
+size_list=(${sizes})
+sizes_json="$(IFS=,; echo "${size_list[*]}")"
+
+# Intentionally word-split driver-specific extras.
+# shellcheck disable=SC2206
+frontier_extra=(${FRONTIER_ARGS:-})
+# shellcheck disable=SC2206
+batch_extra=(${BATCH_ARGS:-})
+
+frontier_reports=()
+batch_reports=()
+for n in "${size_list[@]}"; do
+  frontier_out="${out_dir}/frontier_n${n}.json"
+  batch_out="${out_dir}/batch_n${n}.json"
+  "${build_dir}/bench/bench_frontier" "$@" ${frontier_extra[@]+"${frontier_extra[@]}"} \
+      --n="${n}" --git-rev="${git_rev}" --out="${frontier_out}"
+  "${build_dir}/bench/bench_batch" "$@" ${batch_extra[@]+"${batch_extra[@]}"} \
+      --n="${n}" --git-rev="${git_rev}" --out="${batch_out}"
+  frontier_reports+=("${frontier_out}")
+  batch_reports+=("${batch_out}")
+done
+
+merged="${repo_root}/BENCH_core.json"
+{
+  printf '{\n  "bench": "bench_core",\n  "git_rev": "%s",\n  "sizes": [%s],\n' \
+    "${git_rev}" "${sizes_json}"
+  printf '  "frontier": [\n'
+  for i in "${!frontier_reports[@]}"; do
+    sed 's/^/    /' "${frontier_reports[$i]}"
+    if (( i + 1 < ${#frontier_reports[@]} )); then printf '    ,\n'; fi
+  done
+  printf '  ],\n  "batch": [\n'
+  for i in "${!batch_reports[@]}"; do
+    sed 's/^/    /' "${batch_reports[$i]}"
+    if (( i + 1 < ${#batch_reports[@]} )); then printf '    ,\n'; fi
+  done
+  printf '  ]\n}\n'
+} > "${merged}"
+echo "perf record written to ${merged}"

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mis/verifier.hpp"
+#include "sim/batch.hpp"
 
 namespace beepmis::harness {
 
@@ -39,6 +40,63 @@ struct TrialRecord {
   std::size_t uncovered_nodes = 0;
 };
 
+/// Metric extraction + MIS verification for one finished trial; shared by
+/// the scalar and batched paths so their records are field-identical.
+void fill_record(TrialRecord& rec, const graph::Graph& g, const sim::RunResult& result) {
+  rec.rounds = static_cast<double>(result.rounds);
+  rec.beeps_per_node = result.mean_beeps_per_node();
+  std::uint32_t max_beeps = 0;
+  for (const std::uint32_t b : result.beep_counts) max_beeps = std::max(max_beeps, b);
+  rec.max_beeps = static_cast<double>(max_beeps);
+  rec.message_bits = static_cast<double>(result.message_bits);
+  rec.terminated = result.terminated;
+
+  const mis::VerificationReport report = mis::verify_mis_run(g, result);
+  rec.mis_size = static_cast<double>(report.mis_size);
+  rec.valid = report.valid();
+  rec.independence_violations = report.independence_violations;
+  rec.uncovered_nodes = report.uncovered_nodes;
+}
+
+/// Clamps the requested thread count to the work-unit count (0 = hardware
+/// concurrency) and runs `worker` on that many threads; workers claim
+/// units through their own shared atomic.
+template <typename Worker>
+void run_workers(unsigned threads, std::size_t work_units, Worker&& worker) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(work_units, 1)));
+  if (threads == 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+}
+
+/// Trial-index-ordered aggregation: the floating-point result is identical
+/// for any thread count (and for the scalar vs batched execution paths).
+TrialStats aggregate_records(const std::vector<TrialRecord>& records) {
+  TrialStats total;
+  for (const TrialRecord& rec : records) {
+    total.rounds.push(rec.rounds);
+    total.beeps_per_node.push(rec.beeps_per_node);
+    total.max_beeps_any_node.push(rec.max_beeps);
+    total.mis_size.push(rec.mis_size);
+    total.message_bits.push(rec.message_bits);
+    ++total.trials;
+    if (rec.terminated) ++total.terminated;
+    if (rec.valid) ++total.valid;
+    total.independence_violations += rec.independence_violations;
+    total.uncovered_nodes += rec.uncovered_nodes;
+  }
+  return total;
+}
+
 /// Shared trial-loop machinery.  `make_runner()` is invoked once per worker
 /// thread and returns a `run_one(graph, run_rng) -> RunResult` callable that
 /// owns that worker's simulator (and protocol) instance; reusing it across
@@ -49,13 +107,6 @@ struct TrialRecord {
 template <typename MakeRunner>
 TrialStats run_trials_impl(const GraphFactory& graphs, const TrialConfig& config,
                            MakeRunner&& make_runner) {
-  unsigned threads = config.threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, std::max<std::size_t>(config.trials, 1)));
-
   const support::SeedSequence root(config.base_seed);
 
   // When the graph is shared, build it once up front from trial 0's seed.
@@ -84,53 +135,72 @@ TrialStats run_trials_impl(const GraphFactory& graphs, const TrialConfig& config
       }
 
       const sim::RunResult result = run_one(*g, trial_seed.child(1).generator());
-
-      TrialRecord& rec = records[trial];
-      rec.rounds = static_cast<double>(result.rounds);
-      rec.beeps_per_node = result.mean_beeps_per_node();
-      std::uint32_t max_beeps = 0;
-      for (const std::uint32_t b : result.beep_counts) max_beeps = std::max(max_beeps, b);
-      rec.max_beeps = static_cast<double>(max_beeps);
-      rec.message_bits = static_cast<double>(result.message_bits);
-      rec.terminated = result.terminated;
-
-      const mis::VerificationReport report = mis::verify_mis_run(*g, result);
-      rec.mis_size = static_cast<double>(report.mis_size);
-      rec.valid = report.valid();
-      rec.independence_violations = report.independence_violations;
-      rec.uncovered_nodes = report.uncovered_nodes;
+      fill_record(records[trial], *g, result);
     }
   };
+  run_workers(config.threads, config.trials, worker);
 
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
-  }
+  return aggregate_records(records);
+}
 
-  TrialStats total;
-  for (const TrialRecord& rec : records) {
-    total.rounds.push(rec.rounds);
-    total.beeps_per_node.push(rec.beeps_per_node);
-    total.max_beeps_any_node.push(rec.max_beeps);
-    total.mis_size.push(rec.mis_size);
-    total.message_bits.push(rec.message_bits);
-    ++total.trials;
-    if (rec.terminated) ++total.terminated;
-    if (rec.valid) ++total.valid;
-    total.independence_violations += rec.independence_violations;
-    total.uncovered_nodes += rec.uncovered_nodes;
-  }
-  return total;
+/// Batched fast path: 64 trials share one structure-of-arrays sweep of the
+/// shared graph (see src/sim/batch.hpp).  Per-trial seeds, records and the
+/// aggregation order are identical to the scalar path, and each lane is
+/// bit-identical to its scalar run, so TrialStats match exactly.
+TrialStats run_beep_trials_batched(const graph::Graph& shared,
+                                   const BeepProtocolFactory& protocols,
+                                   const TrialConfig& config) {
+  const support::SeedSequence root(config.base_seed);
+  const std::size_t batches =
+      (config.trials + sim::kMaxBatchLanes - 1) / sim::kMaxBatchLanes;
+
+  std::vector<TrialRecord> records(config.trials);
+  std::atomic<std::size_t> next_batch{0};
+
+  auto worker = [&] {
+    // One batch simulator and one batched kernel per worker, reused across
+    // batches (scratch planes and policy arrays are recycled).
+    sim::BatchSimulator simulator(config.sim);
+    const std::unique_ptr<sim::BatchProtocol> protocol = protocols()->make_batch_protocol();
+    for (;;) {
+      const std::size_t batch = next_batch.fetch_add(1);
+      if (batch >= batches) break;
+      const std::size_t first = batch * sim::kMaxBatchLanes;
+      const std::size_t last = std::min<std::size_t>(first + sim::kMaxBatchLanes, config.trials);
+
+      std::vector<support::Xoshiro256StarStar> rngs;
+      rngs.reserve(last - first);
+      for (std::size_t trial = first; trial < last; ++trial) {
+        rngs.push_back(root.child(trial).child(1).generator());
+      }
+      const std::vector<sim::RunResult> results =
+          simulator.run(shared, *protocol, std::move(rngs));
+      for (std::size_t trial = first; trial < last; ++trial) {
+        fill_record(records[trial], shared, results[trial - first]);
+      }
+    }
+  };
+  run_workers(config.threads, batches, worker);
+
+  return aggregate_records(records);
 }
 
 }  // namespace
 
 TrialStats run_beep_trials(const GraphFactory& graphs, const BeepProtocolFactory& protocols,
                            const TrialConfig& config) {
+  // Batched fast path: one graph shared by every trial, a protocol with a
+  // batched kernel, and no per-run event trace.  Bit-identical to the
+  // scalar path (lane-for-lane), so callers never observe the switch.
+  if (config.allow_batched && config.shared_graph && config.trials > 0 &&
+      !config.sim.record_trace) {
+    if (protocols()->make_batch_protocol() != nullptr) {
+      const support::SeedSequence root(config.base_seed);
+      auto rng = root.child(0).child(0).generator();
+      const graph::Graph shared = graphs(rng);
+      return run_beep_trials_batched(shared, protocols, config);
+    }
+  }
   return run_trials_impl(graphs, config, [&] {
     // One simulator and one protocol per worker, reused for every trial the
     // worker claims; the simulator rebinds to each trial's graph.

@@ -35,6 +35,12 @@ struct TrialConfig {
   /// Generate the graph once (from trial 0's graph seed) and reuse it for
   /// every trial instead of resampling per trial.
   bool shared_graph = false;
+  /// Permit the batched 64-lane fast path.  It engages automatically when
+  /// shared_graph is set, the protocol provides a batched kernel
+  /// (BeepProtocol::make_batch_protocol), and no trace is recorded; results
+  /// are bit-identical to the scalar path either way, so this exists only
+  /// for A/B testing and benchmarking the two paths.
+  bool allow_batched = true;
   sim::SimConfig sim;
   sim::LocalSimConfig local_sim;
 };

@@ -2,8 +2,19 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <typeinfo>
+
+#include "mis/local_feedback_batch.hpp"
 
 namespace beepmis::mis {
+
+std::unique_ptr<sim::BatchProtocol> LocalFeedbackMis::make_batch_protocol() const {
+  // Exact-type guard: subclasses inherit this override but add behaviour
+  // (reactivation hooks, different reset draws) the batched kernel does not
+  // reproduce, so only the base protocol itself is batch-capable.
+  if (typeid(*this) != typeid(LocalFeedbackMis)) return nullptr;
+  return std::make_unique<BatchLocalFeedbackMis>(config_);
+}
 
 void LocalFeedbackConfig::validate() const {
   if (!(initial_p_low > 0.0) || initial_p_low > initial_p_high || initial_p_high > 1.0) {

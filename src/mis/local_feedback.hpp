@@ -38,6 +38,12 @@ class LocalFeedbackMis : public BeepingMisSkeleton {
 
   [[nodiscard]] std::string_view name() const override { return "local-feedback"; }
 
+  /// Batched 64-lane kernel (BatchLocalFeedbackMis).  Returns nullptr from
+  /// subclasses: a derived protocol (e.g. self-healing) changes behaviour
+  /// the batched kernel does not model, and silently batching it would
+  /// break the lane-for-lane identity contract.
+  [[nodiscard]] std::unique_ptr<sim::BatchProtocol> make_batch_protocol() const override;
+
   /// Current beep probability of node v (for tests and introspection).
   [[nodiscard]] double probability_of(graph::NodeId v) const { return p_.at(v); }
   /// The feedback factor assigned to node v at reset.

@@ -1,0 +1,434 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace beepmis::sim {
+
+namespace {
+
+/// Dirty-list clearing for bitplanes, mirroring detail::clear_flags: when a
+/// large fraction of the plane is dirty a straight fill beats the scatter
+/// loop.
+void clear_planes(std::vector<LaneMask>& planes, std::vector<graph::NodeId>& dirty) {
+  if (dirty.size() >= planes.size() / 8) {
+    std::fill(planes.begin(), planes.end(), LaneMask{0});
+  } else {
+    for (const graph::NodeId v : dirty) planes[v] = 0;
+  }
+  dirty.clear();
+}
+
+}  // namespace
+
+void BatchContext::beep(graph::NodeId v, LaneMask lanes) {
+  if (phase_ != Phase::kEmit) {
+    throw std::logic_error("BatchContext::beep called outside the emit phase");
+  }
+  BatchSimulator& sim = *simulator_;
+  if (v >= sim.live_.size() || (lanes & ~sim.live_[v]) != 0) {
+    throw std::logic_error("BatchContext::beep outside the node's live lanes");
+  }
+  LaneMask& plane = sim.beeped_[v];
+  const LaneMask fresh = lanes & ~plane;
+  if (!fresh) return;
+  if (!plane) sim.beepers_.push_back(v);
+  plane |= fresh;
+  // Scalar episode rule: a beep continuing from the previous exchange of
+  // the same round is one signal episode, not two.
+  const std::size_t base = static_cast<std::size_t>(v) * sim.lane_count_;
+  for (LaneMask b = fresh & ~sim.prev_beeped_[v]; b != 0; b &= b - 1) {
+    const unsigned l = static_cast<unsigned>(std::countr_zero(b));
+    ++sim.beep_counts_[base + l];
+    ++sim.lane_total_beeps_[l];
+  }
+}
+
+void BatchContext::join_mis(graph::NodeId v, LaneMask lanes) {
+  if (phase_ != Phase::kReact) {
+    throw std::logic_error("BatchContext::join_mis called outside the react phase");
+  }
+  BatchSimulator& sim = *simulator_;
+  if (v >= sim.live_.size() || lanes == 0 || (lanes & ~sim.live_[v]) != 0) {
+    throw std::logic_error("BatchContext::join_mis outside the node's live lanes");
+  }
+  sim.live_[v] &= ~lanes;
+  sim.inmis_[v] |= lanes;
+  for (LaneMask b = lanes; b != 0; b &= b - 1) {
+    const unsigned l = static_cast<unsigned>(std::countr_zero(b));
+    --sim.active_count_[l];
+    sim.mis_lists_[l].push_back(v);  // per-lane join order, like the scalar core
+  }
+  if (!sim.in_mis_union_[v]) {
+    sim.in_mis_union_[v] = 1;
+    sim.mis_union_.push_back(v);
+  }
+  sim.mis_hear_valid_ = false;
+}
+
+void BatchContext::deactivate(graph::NodeId v, LaneMask lanes) {
+  if (phase_ != Phase::kReact) {
+    throw std::logic_error("BatchContext::deactivate called outside the react phase");
+  }
+  BatchSimulator& sim = *simulator_;
+  if (v >= sim.live_.size() || lanes == 0 || (lanes & ~sim.live_[v]) != 0) {
+    throw std::logic_error("BatchContext::deactivate outside the node's live lanes");
+  }
+  sim.live_[v] &= ~lanes;
+  sim.dominated_[v] |= lanes;
+  for (LaneMask b = lanes; b != 0; b &= b - 1) {
+    --sim.active_count_[std::countr_zero(b)];
+  }
+}
+
+BatchSimulator::BatchSimulator(SimConfig config) : config_(std::move(config)) {
+  if (config_.beep_loss_probability < 0.0 || config_.beep_loss_probability >= 1.0) {
+    throw std::invalid_argument("SimConfig: beep_loss_probability must be in [0, 1)");
+  }
+  if (config_.record_trace) {
+    throw std::invalid_argument(
+        "BatchSimulator does not support record_trace; use the scalar BeepSimulator");
+  }
+}
+
+void BatchSimulator::bind_graph(const graph::Graph& g) {
+  const graph::NodeId n = g.node_count();
+  // Identical to the scalar binding: the schedules depend only on
+  // (config_, n), so a rebind to an equal-sized graph skips the rebuild.
+  if (graph_ != nullptr && n == bound_node_count_) {
+    graph_ = &g;
+    return;
+  }
+  if (!config_.wake_round.empty() && config_.wake_round.size() != n) {
+    throw std::invalid_argument("SimConfig: wake_round size must match the graph");
+  }
+  if (!config_.crash_round.empty() && config_.crash_round.size() != n) {
+    throw std::invalid_argument("SimConfig: crash_round size must match the graph");
+  }
+  graph_ = &g;
+
+  initial_active_.clear();
+  pending_wakeups_.clear();
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (config_.wake_round.empty() || config_.wake_round[v] == 0) {
+      initial_active_.push_back(v);
+    } else {
+      pending_wakeups_.emplace_back(config_.wake_round[v], v);
+    }
+  }
+  std::sort(pending_wakeups_.begin(), pending_wakeups_.end());
+
+  pending_crashes_.clear();
+  if (!config_.crash_round.empty()) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      pending_crashes_.emplace_back(config_.crash_round[v], v);
+    }
+    std::sort(pending_crashes_.begin(), pending_crashes_.end());
+  }
+  bound_node_count_ = n;
+}
+
+void BatchSimulator::apply_wakeups_and_crashes() {
+  bool active_dirty = false;
+  while (next_wakeup_ < pending_wakeups_.size() &&
+         pending_wakeups_[next_wakeup_].first <= round_) {
+    const graph::NodeId v = pending_wakeups_[next_wakeup_].second;
+    ++next_wakeup_;
+    // A sleeper can only be kActive or kCrashed; scalar drops the crashed.
+    const LaneMask add = running_ & ~crashed_[v];
+    if (!add) continue;
+    live_[v] |= add;
+    for (LaneMask b = add; b != 0; b &= b - 1) {
+      ++active_count_[std::countr_zero(b)];
+    }
+    if (!in_active_[v]) {
+      in_active_[v] = 1;
+      active_.push_back(v);
+      active_dirty = true;
+    }
+  }
+  if (active_dirty) std::sort(active_.begin(), active_.end());
+
+  LaneMask mis_crashed = 0;
+  while (next_crash_ < pending_crashes_.size() &&
+         pending_crashes_[next_crash_].first <= round_) {
+    const graph::NodeId v = pending_crashes_[next_crash_].second;
+    ++next_crash_;
+    const LaneMask hit = running_ & ~crashed_[v];
+    if (!hit) continue;
+    crashed_[v] |= hit;
+    const LaneMask hit_live = hit & live_[v];
+    if (hit_live) {
+      live_[v] &= ~hit_live;
+      for (LaneMask b = hit_live; b != 0; b &= b - 1) {
+        --active_count_[std::countr_zero(b)];
+      }
+    }
+    const LaneMask hit_mis = hit & inmis_[v];
+    if (hit_mis) {
+      inmis_[v] &= ~hit_mis;
+      mis_crashed |= hit_mis;
+    }
+    dominated_[v] &= ~hit;
+  }
+  if (mis_crashed) {
+    // A crashed member falls out of its lane's keep-alive frontier the
+    // round it fails, exactly like the scalar mis_nodes_ compaction.
+    for (LaneMask b = mis_crashed; b != 0; b &= b - 1) {
+      const unsigned l = static_cast<unsigned>(std::countr_zero(b));
+      std::erase_if(mis_lists_[l], [this, l](graph::NodeId v) {
+        return ((inmis_[v] >> l) & 1u) == 0;
+      });
+    }
+    std::erase_if(mis_union_, [this](graph::NodeId v) {
+      if (inmis_[v] != 0) return false;
+      in_mis_union_[v] = 0;
+      return true;
+    });
+    mis_hear_valid_ = false;
+  }
+}
+
+void BatchSimulator::deliver_beeps() {
+  clear_planes(heard_, heard_dirty_);
+
+  const bool lossy = config_.beep_loss_probability > 0.0;
+  const double keep = 1.0 - config_.beep_loss_probability;
+  // Protocols emit over the ascending union frontier, so the beeper list is
+  // normally already sorted; keep the guarantee for out-of-order beeps.
+  if (!std::is_sorted(beepers_.begin(), beepers_.end())) {
+    std::sort(beepers_.begin(), beepers_.end());
+  }
+  if (!lossy) {
+    // The batched payoff: one CSR pass serves every lane via OR-accumulation.
+    for (const graph::NodeId v : beepers_) {
+      const LaneMask m = beeped_[v];
+      for (const graph::NodeId w : graph_->neighbors(v)) {
+        const LaneMask old = heard_[w];
+        if (!old) heard_dirty_.push_back(w);
+        heard_[w] = old | m;
+      }
+    }
+    if (config_.mis_keepalive) {
+      // Join order is irrelevant on a reliable channel (no draws), so one
+      // cached (listener, lane-mask) list — re-derived only when some
+      // lane's MIS changed — serves every lane per exchange.
+      if (!mis_hear_valid_) {
+        for (const graph::NodeId w : mis_hear_) mis_hear_mask_[w] = 0;
+        mis_hear_.clear();
+        for (const graph::NodeId v : mis_union_) {
+          const LaneMask m = inmis_[v];
+          if (!m) continue;
+          for (const graph::NodeId w : graph_->neighbors(v)) {
+            if (!mis_hear_mask_[w]) mis_hear_.push_back(w);
+            mis_hear_mask_[w] |= m;
+          }
+        }
+        mis_hear_valid_ = true;
+      }
+      for (const graph::NodeId w : mis_hear_) {
+        const LaneMask old = heard_[w];
+        if (!old) heard_dirty_.push_back(w);
+        heard_[w] = old | mis_hear_mask_[w];
+      }
+    }
+    return;
+  }
+
+  // Lossy channel: every potential (beeper -> not-yet-hearing listener)
+  // delivery consumes exactly one Bernoulli draw from that lane's RNG, in
+  // the scalar iteration order (ascending beepers, CSR neighbour order).
+  for (const graph::NodeId v : beepers_) {
+    const LaneMask m = beeped_[v];
+    for (const graph::NodeId w : graph_->neighbors(v)) {
+      const LaneMask avail = m & ~heard_[w];
+      if (!avail) continue;
+      LaneMask got = 0;
+      for (LaneMask b = avail; b != 0; b &= b - 1) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(b));
+        if (rngs_[l].bernoulli(keep)) got |= LaneMask{1} << l;
+      }
+      if (got) {
+        if (!heard_[w]) heard_dirty_.push_back(w);
+        heard_[w] |= got;
+      }
+    }
+  }
+  if (config_.mis_keepalive) {
+    // Keep-alive draws come after frontier draws and iterate each lane's
+    // live MIS members in that lane's join order — both load-bearing for
+    // scalar parity (see README determinism contract).
+    for (LaneMask lanes = running_; lanes != 0; lanes &= lanes - 1) {
+      const unsigned l = static_cast<unsigned>(std::countr_zero(lanes));
+      const LaneMask bit = LaneMask{1} << l;
+      for (const graph::NodeId v : mis_lists_[l]) {
+        for (const graph::NodeId w : graph_->neighbors(v)) {
+          if (heard_[w] & bit) continue;
+          if (rngs_[l].bernoulli(keep)) {
+            if (!heard_[w]) heard_dirty_.push_back(w);
+            heard_[w] |= bit;
+          }
+        }
+      }
+    }
+  }
+}
+
+void BatchSimulator::compact_active() {
+  std::erase_if(active_, [this](graph::NodeId v) {
+    if (live_[v] != 0) return false;
+    in_active_[v] = 0;
+    return true;
+  });
+}
+
+std::vector<RunResult> BatchSimulator::run(const graph::Graph& g, BatchProtocol& protocol,
+                                           std::vector<support::Xoshiro256StarStar> rngs) {
+  const unsigned lanes = static_cast<unsigned>(rngs.size());
+  if (lanes == 0 || lanes > kMaxBatchLanes) {
+    throw std::invalid_argument("BatchSimulator::run: need 1..64 lane RNGs");
+  }
+  bind_graph(g);
+  const graph::NodeId n = graph_->node_count();
+  lane_count_ = lanes;
+  rngs_ = std::move(rngs);
+  const LaneMask all_lanes =
+      lanes == kMaxBatchLanes ? ~LaneMask{0} : (LaneMask{1} << lanes) - 1;
+
+  live_.assign(n, 0);
+  inmis_.assign(n, 0);
+  dominated_.assign(n, 0);
+  crashed_.assign(n, 0);
+  beeped_.assign(n, 0);
+  prev_beeped_.assign(n, 0);
+  heard_.assign(n, 0);
+  in_active_.assign(n, 0);
+  in_mis_union_.assign(n, 0);
+  beepers_.clear();
+  prev_beepers_.clear();
+  heard_dirty_.clear();
+  mis_union_.clear();
+  mis_hear_mask_.assign(n, 0);
+  mis_hear_.clear();
+  mis_hear_valid_ = false;
+  beep_counts_.assign(static_cast<std::size_t>(n) * lanes, 0);
+  mis_lists_.resize(lanes);
+  for (auto& list : mis_lists_) list.clear();
+  active_count_.assign(lanes, static_cast<std::uint32_t>(initial_active_.size()));
+  lane_rounds_.assign(lanes, 0);
+  lane_total_beeps_.assign(lanes, 0);
+  running_ = all_lanes;
+  terminated_ = 0;
+  next_wakeup_ = 0;
+  next_crash_ = 0;
+  round_ = 0;
+
+  active_ = initial_active_;
+  for (const graph::NodeId v : active_) {
+    in_active_[v] = 1;
+    live_[v] = all_lanes;
+  }
+
+  protocol.reset(*graph_, std::span<support::Xoshiro256StarStar>(rngs_));
+  const unsigned exchanges = protocol.exchanges_per_round();
+  if (exchanges == 0) throw std::logic_error("protocol declares zero exchanges per round");
+
+  BatchContext ctx;
+  ctx.graph_ = graph_;
+  ctx.active_ = &active_;
+  ctx.live_ = &live_;
+  ctx.beeped_ = &beeped_;
+  ctx.heard_ = &heard_;
+  ctx.rngs_ = &rngs_;
+  ctx.simulator_ = this;
+  ctx.lane_count_ = lanes;
+
+  while (running_ != 0) {
+    // Per-lane mirror of the scalar while-condition, evaluated before the
+    // round body: a lane leaves the loop (and freezes its planes and RNG)
+    // exactly when its scalar run would.
+    const bool wakeups_pending = next_wakeup_ < pending_wakeups_.size();
+    if (!wakeups_pending && round_ >= config_.run_until_round) {
+      LaneMask done = 0;
+      for (LaneMask b = running_; b != 0; b &= b - 1) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(b));
+        if (active_count_[l] == 0) {
+          done |= LaneMask{1} << l;
+          lane_rounds_[l] = round_;
+        }
+      }
+      terminated_ |= done;
+      running_ &= ~done;
+    }
+    if (round_ >= config_.max_rounds) {
+      for (LaneMask b = running_; b != 0; b &= b - 1) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(b));
+        lane_rounds_[l] = round_;
+        if (active_count_[l] == 0 && !wakeups_pending) terminated_ |= LaneMask{1} << l;
+      }
+      running_ = 0;
+    }
+    if (running_ == 0) break;
+
+    apply_wakeups_and_crashes();
+
+    for (exchange_ = 0; exchange_ < exchanges; ++exchange_) {
+      if (exchange_ == 0) {
+        clear_planes(prev_beeped_, prev_beepers_);
+      } else {
+        beeped_.swap(prev_beeped_);
+        beepers_.swap(prev_beepers_);
+      }
+      clear_planes(beeped_, beepers_);
+      ctx.round_ = round_;
+      ctx.exchange_ = exchange_;
+
+      ctx.phase_ = BatchContext::Phase::kEmit;
+      protocol.emit(ctx);
+
+      deliver_beeps();
+
+      ctx.phase_ = BatchContext::Phase::kReact;
+      protocol.react(ctx);
+    }
+    compact_active();
+    ++round_;
+  }
+
+  std::vector<RunResult> results(lanes);
+  for (unsigned l = 0; l < lanes; ++l) {
+    const LaneMask bit = LaneMask{1} << l;
+    RunResult& r = results[l];
+    r.terminated = (terminated_ & bit) != 0;
+    r.rounds = lane_rounds_[l];
+    r.total_beeps = lane_total_beeps_[l];
+    r.status.resize(n);
+    r.beep_counts.resize(n);
+  }
+  // Node-major extraction: the node-major beep_counts_ and the planes are
+  // each read once sequentially; lane-major order would stride through the
+  // count array 64 times.
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const LaneMask cr = crashed_[v];
+    const LaneMask im = inmis_[v];
+    const LaneMask dm = dominated_[v];
+    const std::uint32_t* counts = &beep_counts_[static_cast<std::size_t>(v) * lanes];
+    for (unsigned l = 0; l < lanes; ++l) {
+      const LaneMask bit = LaneMask{1} << l;
+      NodeStatus s = NodeStatus::kActive;
+      if (cr & bit) {
+        s = NodeStatus::kCrashed;
+      } else if (im & bit) {
+        s = NodeStatus::kInMis;
+      } else if (dm & bit) {
+        s = NodeStatus::kDominated;
+      }
+      results[l].status[v] = s;
+      results[l].beep_counts[v] = counts[l];
+    }
+  }
+  return results;
+}
+
+}  // namespace beepmis::sim

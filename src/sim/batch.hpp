@@ -1,0 +1,208 @@
+// Batched multi-seed beeping simulator: up to 64 independent trials (one
+// per bit lane) of the *same* graph and SimConfig advance in lock-step
+// through one structure-of-arrays sweep.
+//
+// Layout: every per-node flag of the scalar BeepSimulator (beeped, heard,
+// prev-beeped, live/active, in-MIS, dominated, crashed) becomes a per-node
+// std::uint64_t *bitplane* whose bit l is lane l's flag.  A single pass
+// over the CSR adjacency then delivers beeps for all lanes at once —
+// heard[w] |= beeped[v] is one 8-byte OR where the scalar core performs up
+// to 64 separate byte stores — so the trial sweep is memory-bandwidth-bound
+// instead of lane-bound.  A union-of-lanes frontier (nodes active in at
+// least one lane) drives the activity-bound tail exactly as in the scalar
+// core.
+//
+// Determinism contract: lane l of a batched run is bit-identical to a
+// scalar BeepSimulator run with the same (graph, protocol config, rng).
+// Each lane owns its own RNG stream and consumes it in exactly the scalar
+// order: protocol-reset draws, then per round ascending-id emit draws, then
+// (in lossy mode) one Bernoulli per potential delivery in ascending beeper
+// order, then keep-alive deliveries in per-lane MIS join order.  Lanes that
+// terminate stop consuming randomness and freeze their planes.  See
+// src/sim/README.md ("Batched lanes") for the full contract.
+//
+// Not supported (callers must fall back to the scalar core): event traces,
+// round observers, and protocols without a batched kernel
+// (BeepProtocol::make_batch_protocol() returns nullptr).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/beep.hpp"
+#include "sim/result.hpp"
+#include "support/rng.hpp"
+
+namespace beepmis::sim {
+
+/// Width of the bitplanes: one bit per concurrent trial.
+inline constexpr unsigned kMaxBatchLanes = 64;
+
+/// One bit per lane; bit l belongs to trial lane l.
+using LaneMask = std::uint64_t;
+
+class BatchSimulator;
+
+/// Per-exchange view handed to batched protocols.  Mirrors BeepContext but
+/// every query answers for all lanes at once via a LaneMask.
+class BatchContext {
+ public:
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
+  [[nodiscard]] unsigned exchange() const noexcept { return exchange_; }
+  [[nodiscard]] unsigned lane_count() const noexcept { return lane_count_; }
+
+  /// Union frontier: nodes active in at least one lane, ascending.  Like
+  /// the scalar active list it is compacted only at round boundaries, so
+  /// entries may have an empty live_mask(); protocols must skip those.
+  [[nodiscard]] const std::vector<graph::NodeId>& active_nodes() const noexcept {
+    return *active_;
+  }
+
+  /// Lanes in which v is active and awake (i.e. on lane l's active list).
+  [[nodiscard]] LaneMask live_mask(graph::NodeId v) const { return (*live_)[v]; }
+  /// Lanes in which v beeped this exchange (valid during react).
+  [[nodiscard]] LaneMask beeped_mask(graph::NodeId v) const { return (*beeped_)[v]; }
+  /// Lanes in which v heard at least one beep this exchange (valid during
+  /// react; accounts for injected beep loss).
+  [[nodiscard]] LaneMask heard_mask(graph::NodeId v) const { return (*heard_)[v]; }
+
+  /// Emit-phase only: v beeps in `lanes` (must be a subset of live_mask(v)).
+  /// Beep-episode accounting matches the scalar core: a lane's beep
+  /// continuing from the previous exchange of the same round is one episode.
+  void beep(graph::NodeId v, LaneMask lanes);
+  /// React-phase only: v joins the MIS in `lanes` (subset of live_mask(v)).
+  void join_mis(graph::NodeId v, LaneMask lanes);
+  /// React-phase only: v becomes dominated in `lanes` (subset of
+  /// live_mask(v), disjoint from any lanes joined this call site).
+  void deactivate(graph::NodeId v, LaneMask lanes);
+
+  /// Lane l's private RNG stream (identical to the scalar run's rng).
+  [[nodiscard]] support::Xoshiro256StarStar& rng(unsigned lane) noexcept {
+    return (*rngs_)[lane];
+  }
+
+ private:
+  friend class BatchSimulator;
+  enum class Phase { kEmit, kReact };
+
+  const graph::Graph* graph_ = nullptr;
+  const std::vector<graph::NodeId>* active_ = nullptr;
+  const std::vector<LaneMask>* live_ = nullptr;
+  const std::vector<LaneMask>* beeped_ = nullptr;
+  const std::vector<LaneMask>* heard_ = nullptr;
+  std::vector<support::Xoshiro256StarStar>* rngs_ = nullptr;
+  BatchSimulator* simulator_ = nullptr;
+  std::size_t round_ = 0;
+  unsigned exchange_ = 0;
+  unsigned lane_count_ = 0;
+  Phase phase_ = Phase::kEmit;
+};
+
+/// Batched counterpart of BeepProtocol.  Implementations must reproduce the
+/// scalar protocol's per-lane behaviour exactly, including every RNG draw:
+/// lane l of reset()/emit()/react() consumes rngs[l] precisely as the
+/// scalar protocol would consume its run RNG.
+class BatchProtocol {
+ public:
+  virtual ~BatchProtocol() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual unsigned exchanges_per_round() const = 0;
+  /// Called once before each batched run; must fully (re)initialise all
+  /// per-lane state.  `rngs[l]` is lane l's stream (draw order per lane
+  /// must match the scalar reset).
+  virtual void reset(const graph::Graph& g,
+                     std::span<support::Xoshiro256StarStar> rngs) = 0;
+  /// Decide which (node, lane) pairs beep this exchange (ctx.beep).
+  virtual void emit(BatchContext& ctx) = 0;
+  /// Observe heard/beeped planes; request joins/deactivations.
+  virtual void react(BatchContext& ctx) = 0;
+};
+
+/// The batched simulator.  One instance may execute many batches (scratch
+/// reused); each run() takes the per-lane RNGs by value, one per trial.
+class BatchSimulator {
+ public:
+  /// record_trace is unsupported in the batched core (throws).
+  explicit BatchSimulator(SimConfig config = {});
+
+  /// Runs rngs.size() lanes (1..kMaxBatchLanes) of `protocol` on `g` to
+  /// per-lane termination (or the round cap).  Returns one RunResult per
+  /// lane, bit-identical to scalar BeepSimulator::run(g, scalar_protocol,
+  /// rngs[l]) for every lane l.  The caller must keep `g` alive for the
+  /// duration of the call.
+  [[nodiscard]] std::vector<RunResult> run(const graph::Graph& g, BatchProtocol& protocol,
+                                           std::vector<support::Xoshiro256StarStar> rngs);
+  RunResult run(graph::Graph&&, BatchProtocol&,
+                std::vector<support::Xoshiro256StarStar>) = delete;
+
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+ private:
+  friend class BatchContext;
+
+  void bind_graph(const graph::Graph& g);
+  void apply_wakeups_and_crashes();
+  void deliver_beeps();
+  void compact_active();
+
+  const graph::Graph* graph_ = nullptr;
+  SimConfig config_;
+  unsigned lane_count_ = 0;
+
+  // Fault schedules, presorted by (round, node) once per graph binding;
+  // identical in shape to the scalar simulator's (the schedule is part of
+  // SimConfig and therefore shared by every lane).
+  std::vector<std::pair<std::uint32_t, graph::NodeId>> pending_wakeups_;
+  std::vector<std::pair<std::uint32_t, graph::NodeId>> pending_crashes_;
+  std::vector<graph::NodeId> initial_active_;
+  graph::NodeId bound_node_count_ = 0;
+
+  // Per-node bitplanes (bit l = lane l's flag).
+  std::vector<LaneMask> live_;       ///< on lane's active list
+  std::vector<LaneMask> inmis_;      ///< joined the MIS (live members only)
+  std::vector<LaneMask> dominated_;  ///< dominated
+  std::vector<LaneMask> crashed_;    ///< fail-stopped
+  std::vector<LaneMask> beeped_;
+  std::vector<LaneMask> prev_beeped_;
+  std::vector<LaneMask> heard_;
+
+  // Union frontiers and dirty lists over the planes.
+  std::vector<graph::NodeId> active_;       ///< union active frontier, ascending
+  std::vector<std::uint8_t> in_active_;     ///< membership bitmap of active_
+  std::vector<graph::NodeId> beepers_;      ///< nodes with any beeped_ bit
+  std::vector<graph::NodeId> prev_beepers_;
+  std::vector<graph::NodeId> heard_dirty_;  ///< nodes with any heard_ bit
+  std::vector<graph::NodeId> mis_union_;    ///< nodes with any inmis_ bit, ever
+  std::vector<std::uint8_t> in_mis_union_;
+  /// Reliable-channel keep-alive cache (per-lane analogue of the scalar
+  /// mis_hear_): node w hears keep-alive in lanes mis_hear_mask_[w], for
+  /// each w in mis_hear_.  Re-derived only when any lane's MIS changes, so
+  /// a static tail exchange applies one cached (node, mask) list for all
+  /// 64 lanes instead of 64 CSR walks.  Unused in lossy mode.
+  std::vector<LaneMask> mis_hear_mask_;
+  std::vector<graph::NodeId> mis_hear_;
+  bool mis_hear_valid_ = false;
+
+  // Per-lane state.
+  std::vector<support::Xoshiro256StarStar> rngs_;
+  std::vector<std::vector<graph::NodeId>> mis_lists_;  ///< per-lane live MIS, join order
+  std::vector<std::uint32_t> active_count_;            ///< per-lane |active list|
+  std::vector<std::size_t> lane_rounds_;
+  std::vector<std::uint64_t> lane_total_beeps_;
+  /// Per-(node, lane) beep episodes, node-major: beep_counts_[v * lanes + l].
+  std::vector<std::uint32_t> beep_counts_;
+  LaneMask running_ = 0;     ///< lanes still executing their round loop
+  LaneMask terminated_ = 0;  ///< lanes that finished with an empty active set
+
+  std::size_t next_wakeup_ = 0;
+  std::size_t next_crash_ = 0;
+  std::size_t round_ = 0;
+  unsigned exchange_ = 0;
+};
+
+}  // namespace beepmis::sim

@@ -4,9 +4,12 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sim/batch.hpp"
 #include "sim/flag_buffer.hpp"
 
 namespace beepmis::sim {
+
+std::unique_ptr<BatchProtocol> BeepProtocol::make_batch_protocol() const { return nullptr; }
 
 void BeepContext::beep(graph::NodeId v) {
   if (phase_ != Phase::kEmit) {
@@ -41,6 +44,7 @@ void BeepContext::join_mis(graph::NodeId v) {
   }
   (*status_)[v] = NodeStatus::kInMis;
   simulator_->mis_nodes_.push_back(v);
+  simulator_->mis_hear_valid_ = false;
   if (simulator_->trace_enabled_) {
     simulator_->trace_.record({static_cast<std::uint32_t>(round_),
                                static_cast<std::uint8_t>(exchange_), EventKind::kJoinMis, v});
@@ -159,13 +163,38 @@ void BeepSimulator::deliver_beeps(support::Xoshiro256StarStar& rng) {
     // Members of the independent set beep forever (DISC'11 wake-up rule).
     // mis_nodes_ holds only live members in join order: a crashed member is
     // compacted out the round it fails, so no status check is needed here.
-    for (const graph::NodeId v : mis_nodes_) {
-      for (const graph::NodeId w : graph_->neighbors(v)) {
-        if (heard_[w]) continue;
-        if (!lossy || rng.bernoulli(keep)) {
-          heard_[w] = 1;
-          heard_dirty_.push_back(w);
+    if (lossy) {
+      // Every potential delivery consumes one Bernoulli draw, in join
+      // order — part of the determinism contract; no caching possible.
+      for (const graph::NodeId v : mis_nodes_) {
+        for (const graph::NodeId w : graph_->neighbors(v)) {
+          if (heard_[w]) continue;
+          if (rng.bernoulli(keep)) {
+            heard_[w] = 1;
+            heard_dirty_.push_back(w);
+          }
         }
+      }
+    } else {
+      // Reliable channel: keep-alive only ever sets heard on the fixed
+      // neighbour set of the live MIS, so cache that set (deduplicated)
+      // and re-derive it only when the MIS frontier changes.  A static
+      // tail exchange then costs O(|N(MIS)|) instead of O(sum deg of MIS).
+      if (!mis_hear_valid_) {
+        detail::clear_flags(in_mis_hear_, mis_hear_);
+        for (const graph::NodeId v : mis_nodes_) {
+          for (const graph::NodeId w : graph_->neighbors(v)) {
+            if (in_mis_hear_[w]) continue;
+            in_mis_hear_[w] = 1;
+            mis_hear_.push_back(w);
+          }
+        }
+        mis_hear_valid_ = true;
+      }
+      for (const graph::NodeId w : mis_hear_) {
+        if (heard_[w]) continue;
+        heard_[w] = 1;
+        heard_dirty_.push_back(w);
       }
     }
   }
@@ -215,6 +244,7 @@ void BeepSimulator::apply_wakeups_and_crashes() {
   if (mis_crashed) {
     std::erase_if(mis_nodes_,
                   [this](graph::NodeId v) { return status_[v] != NodeStatus::kInMis; });
+    mis_hear_valid_ = false;
   }
   if (crashed_any) compact_active();
 }
@@ -239,18 +269,22 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
     prev_beeped_.assign(n, 0);
     heard_.assign(n, 0);
     in_active_.assign(n, 0);
+    in_mis_hear_.assign(n, 0);
     beepers_.clear();
     prev_beepers_.clear();
     heard_dirty_.clear();
+    mis_hear_.clear();
   } else {
     // Same-size rerun: restore the all-zero invariant in O(touched) by
     // undoing exactly what the previous run left dirty.
     detail::clear_flags(beeped_, beepers_);
     detail::clear_flags(prev_beeped_, prev_beepers_);
     detail::clear_flags(heard_, heard_dirty_);
+    detail::clear_flags(in_mis_hear_, mis_hear_);
     for (const graph::NodeId v : active_) in_active_[v] = 0;
   }
   mis_nodes_.clear();
+  mis_hear_valid_ = false;
   reactivated_.clear();
   total_beeps_ = 0;
   round_ = 0;

@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -115,6 +116,7 @@ class BeepContext {
 
  private:
   friend class BeepSimulator;
+  friend class DenseReferenceSimulator;  ///< seed-path reference (dense_ref.hpp)
   enum class Phase { kEmit, kReact, kObserve };
 
   const graph::Graph* graph_ = nullptr;
@@ -130,10 +132,20 @@ class BeepContext {
   Phase phase_ = Phase::kEmit;
 };
 
+class BatchProtocol;
+
 /// Interface implemented by beeping protocols (see src/mis/).
 class BeepProtocol {
  public:
   virtual ~BeepProtocol() = default;
+
+  /// Batched kernel for this protocol, or nullptr when no bit-identical
+  /// 64-lane implementation exists (the default).  A non-null kernel is a
+  /// contract: lane l of a BatchSimulator run with it must be bit-identical
+  /// to a scalar run of *this exact* protocol — overrides in non-final
+  /// classes must therefore guard against subclasses inheriting them (see
+  /// LocalFeedbackMis).  Callers that get nullptr use the scalar path.
+  [[nodiscard]] virtual std::unique_ptr<BatchProtocol> make_batch_protocol() const;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
   /// Number of exchanges per paper time step (>= 1).
@@ -189,7 +201,10 @@ class BeepSimulator {
   using RoundObserver = std::function<void(const BeepContext&)>;
   void set_round_observer(RoundObserver observer) { observer_ = std::move(observer); }
 
- private:
+ protected:
+  // Protected (not private) so DenseReferenceSimulator — the preserved
+  // seed-path core used for perf baselines and differential testing — can
+  // reuse the scratch state and context plumbing; see sim/dense_ref.hpp.
   friend class BeepContext;
 
   void bind_graph(const graph::Graph& g);
@@ -226,6 +241,15 @@ class BeepSimulator {
   std::vector<graph::NodeId> heard_dirty_;   ///< set bits of heard_
   std::vector<std::uint32_t> beep_counts_;
   std::vector<graph::NodeId> mis_nodes_;     ///< live MIS frontier, join order
+  /// Reliable-channel keep-alive cache: the deduplicated neighbour set of
+  /// mis_nodes_ (the nodes keep-alive delivery reaches), re-derived only
+  /// when the MIS frontier changes (join / member crash).  Turns the static
+  /// tail's per-exchange keep-alive cost from O(sum deg of MIS) into
+  /// O(|N(MIS)|).  Unused in lossy mode, where every potential delivery
+  /// must consume its own Bernoulli draw.
+  std::vector<graph::NodeId> mis_hear_;
+  std::vector<std::uint8_t> in_mis_hear_;    ///< membership bitmap of mis_hear_
+  bool mis_hear_valid_ = false;
   std::vector<graph::NodeId> reactivated_;   ///< pending re-entries to active_
   std::size_t next_wakeup_ = 0;
   std::size_t next_crash_ = 0;

@@ -1,0 +1,164 @@
+#include "sim/dense_ref.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace beepmis::sim {
+
+// Everything below is a faithful transcription of the seed simulator
+// (commit 78daa6e, src/sim/beep.cpp) onto the current member names.  The
+// only deliberate differences: scratch vectors come from the shared base
+// so the context plumbing works unchanged, and BeepContext::beep now also
+// appends to beepers_ (cleared alongside the beeped_ fill below) — a
+// per-beep push the seed did not pay, negligible against the Θ(n) fills.
+
+void DenseReferenceSimulator::deliver_beeps_dense(support::Xoshiro256StarStar& rng) {
+  std::fill(heard_.begin(), heard_.end(), std::uint8_t{0});
+  const bool lossy = config_.beep_loss_probability > 0.0;
+  const double keep = 1.0 - config_.beep_loss_probability;
+  for (const graph::NodeId v : active_) {
+    if (!beeped_[v]) continue;
+    for (const graph::NodeId w : graph_->neighbors(v)) {
+      if (heard_[w]) continue;  // already hearing a beep; extra losses moot
+      if (!lossy || rng.bernoulli(keep)) heard_[w] = 1;
+    }
+  }
+  if (config_.mis_keepalive) {
+    for (const graph::NodeId v : mis_nodes_) {
+      if (status_[v] != NodeStatus::kInMis) continue;
+      for (const graph::NodeId w : graph_->neighbors(v)) {
+        if (heard_[w]) continue;
+        if (!lossy || rng.bernoulli(keep)) heard_[w] = 1;
+      }
+    }
+  }
+}
+
+void DenseReferenceSimulator::compact_active_dense() {
+  std::erase_if(active_,
+                [this](graph::NodeId v) { return status_[v] != NodeStatus::kActive; });
+}
+
+void DenseReferenceSimulator::apply_wakeups_and_crashes_dense() {
+  bool active_dirty = false;
+  while (next_wakeup_ < pending_wakeups_.size() &&
+         pending_wakeups_[next_wakeup_].first <= round_) {
+    const graph::NodeId v = pending_wakeups_[next_wakeup_].second;
+    ++next_wakeup_;
+    if (status_[v] != NodeStatus::kActive) continue;  // crashed while asleep
+    active_.push_back(v);
+    active_dirty = true;
+    if (trace_enabled_) {
+      trace_.record({static_cast<std::uint32_t>(round_), 0, EventKind::kWake, v});
+    }
+  }
+  if (active_dirty) std::sort(active_.begin(), active_.end());
+
+  if (!config_.crash_round.empty()) {
+    // The seed's O(n) crash scan, every round.
+    bool crashed_any = false;
+    for (graph::NodeId v = 0; v < graph_->node_count(); ++v) {
+      if (config_.crash_round[v] == round_ && status_[v] != NodeStatus::kCrashed) {
+        crashed_any = crashed_any || status_[v] == NodeStatus::kActive;
+        status_[v] = NodeStatus::kCrashed;
+        if (trace_enabled_) {
+          trace_.record({static_cast<std::uint32_t>(round_), 0, EventKind::kCrash, v});
+        }
+      }
+    }
+    if (crashed_any) compact_active_dense();
+  }
+  // The seed kept crashed members in mis_nodes_ and filtered per delivery;
+  // deliver_beeps_dense reproduces that, so no compaction here.
+}
+
+RunResult DenseReferenceSimulator::run_dense(BeepProtocol& protocol,
+                                             support::Xoshiro256StarStar rng) {
+  if (graph_ == nullptr) {
+    throw std::logic_error("DenseReferenceSimulator::run_dense: no graph bound");
+  }
+  const graph::NodeId n = graph_->node_count();
+  status_.assign(n, NodeStatus::kActive);
+  beeped_.assign(n, 0);
+  prev_beeped_.assign(n, 0);
+  heard_.assign(n, 0);
+  beep_counts_.assign(n, 0);
+  beepers_.clear();
+  mis_nodes_.clear();
+  reactivated_.clear();
+  total_beeps_ = 0;
+  round_ = 0;
+  trace_.clear();
+  trace_enabled_ = config_.record_trace;
+
+  // Per-run schedule rebuild, exactly like the seed (the frontier core
+  // hoisted this into graph binding).
+  active_.clear();
+  pending_wakeups_.clear();
+  next_wakeup_ = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (config_.wake_round.empty() || config_.wake_round[v] == 0) {
+      active_.push_back(v);
+    } else {
+      pending_wakeups_.emplace_back(config_.wake_round[v], v);
+    }
+  }
+  std::sort(pending_wakeups_.begin(), pending_wakeups_.end());
+
+  protocol.reset(*graph_, rng);
+  const unsigned exchanges = protocol.exchanges_per_round();
+  if (exchanges == 0) throw std::logic_error("protocol declares zero exchanges per round");
+
+  BeepContext ctx;
+  ctx.graph_ = graph_;
+  ctx.active_ = &active_;
+  ctx.status_ = &status_;
+  ctx.beeped_ = &beeped_;
+  ctx.prev_beeped_ = &prev_beeped_;
+  ctx.heard_ = &heard_;
+  ctx.rng_ = &rng;
+  ctx.simulator_ = this;
+
+  while ((!active_.empty() || next_wakeup_ < pending_wakeups_.size() ||
+          round_ < config_.run_until_round) &&
+         round_ < config_.max_rounds) {
+    apply_wakeups_and_crashes_dense();
+
+    for (exchange_ = 0; exchange_ < exchanges; ++exchange_) {
+      if (exchange_ == 0) {
+        std::fill(prev_beeped_.begin(), prev_beeped_.end(), std::uint8_t{0});
+      } else {
+        prev_beeped_ = beeped_;  // the full-array copy the rewrite removed
+      }
+      std::fill(beeped_.begin(), beeped_.end(), std::uint8_t{0});
+      beepers_.clear();
+      ctx.round_ = round_;
+      ctx.exchange_ = exchange_;
+
+      ctx.phase_ = BeepContext::Phase::kEmit;
+      protocol.emit(ctx);
+
+      deliver_beeps_dense(rng);
+
+      ctx.phase_ = BeepContext::Phase::kReact;
+      protocol.react(ctx);
+    }
+    compact_active_dense();
+    if (!reactivated_.empty()) {
+      active_.insert(active_.end(), reactivated_.begin(), reactivated_.end());
+      std::sort(active_.begin(), active_.end());
+      reactivated_.clear();
+    }
+    ++round_;
+  }
+
+  RunResult result;
+  result.terminated = active_.empty() && next_wakeup_ >= pending_wakeups_.size();
+  result.rounds = round_;
+  result.status = std::move(status_);
+  result.beep_counts = std::move(beep_counts_);
+  result.total_beeps = total_beeps_;
+  return result;
+}
+
+}  // namespace beepmis::sim

@@ -1,0 +1,42 @@
+// Faithful preservation of the *seed* (pre-frontier) simulator hot path,
+// kept as a first-class reference implementation so that
+//
+//  * perf reports (bench_frontier) can compare the frontier-driven core
+//    against the real seed execution path running the real protocol stack
+//    (virtual dispatch through BeepProtocol, the BeepContext plumbing, the
+//    shipped LocalFeedbackMis) instead of a hand-inlined approximation, and
+//  * tests can use it as a differential oracle: both cores are pure
+//    functions of (graph, protocol, seed) with identical RNG draw order,
+//    so results must agree bit-for-bit.
+//
+// Per-exchange cost is Θ(n) by construction — full-array flag fills, a full
+// prev-beep copy, a dense active-list delivery scan and an O(n) crash scan
+// per round — exactly like the seed core.  Do not "fix" that; it is the
+// point.
+//
+// Caveats: reactivation handling predates the frontier core's dedup (a
+// node deactivated and reactivated in the same round would be visited
+// twice), so drive it only with non-reactivating protocols; and a
+// DenseReferenceSimulator instance must not be mixed with base-class run()
+// calls (the dense loop does not maintain the frontier invariants).
+#pragma once
+
+#include "sim/beep.hpp"
+
+namespace beepmis::sim {
+
+class DenseReferenceSimulator : private BeepSimulator {
+ public:
+  explicit DenseReferenceSimulator(const graph::Graph& g, SimConfig config = {})
+      : BeepSimulator(g, std::move(config)) {}
+
+  /// Executes `protocol` with the seed core's Θ(n)-per-exchange loop.
+  [[nodiscard]] RunResult run_dense(BeepProtocol& protocol, support::Xoshiro256StarStar rng);
+
+ private:
+  void deliver_beeps_dense(support::Xoshiro256StarStar& rng);
+  void compact_active_dense();
+  void apply_wakeups_and_crashes_dense();
+};
+
+}  // namespace beepmis::sim
