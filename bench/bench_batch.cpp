@@ -1,12 +1,20 @@
 // Batched-lanes benchmark: per-trial scalar simulator vs the 64-lane
 // BatchSimulator on shared-graph trial sweeps (the paper's methodology:
 // every reported metric is an average over many independent seeds of the
-// same random graph).
+// same random graph), across the whole batched protocol family.
 //
 // Both paths run the identical trial set — same shared graph, same
 // per-trial seed tree as harness::run_beep_trials — and the bench verifies
 // every per-trial RunResult is bit-identical before timing, so the
-// trials/sec ratio compares two executions of the same computation.
+// trials/sec ratio compares two executions of the same computation.  The
+// batched kernel comes from BeepProtocol::make_batch_protocol(), i.e. the
+// exact wiring the trial harness uses.
+//
+// Protocol lanes (one scalar protocol + its batched kernel each):
+//   local-feedback  the paper's Definition 1 (dyadic fast-path kernel)
+//   global-sweep    Afek et al.'s globally scheduled probabilities
+//   exact-feedback  the integer-exponent variant (integer-compare kernel)
+//   healing         self-healing maintenance (reactivation in BatchContext)
 //
 // Workloads:
 //   converge        run each trial to natural termination (~O(log n)
@@ -18,6 +26,10 @@
 //                   regime): the static tail collapses to one cached
 //                   (listener, lane-mask) sweep for all lanes, the
 //                   headline >= 10x.
+//   healing-tail    (healing only) keep-alive + targeted crashes after
+//                   convergence + run_until_round tail: the per-round
+//                   healing scan serves 64 lanes per plane load where the
+//                   scalar protocol scans all n nodes per trial.
 //
 //   ./bench_batch [--n=10000] [--avg-degree=8] [--trials=64] [--reps=3]
 //                 [--tail-rounds=500] [--seed=2026] [--git-rev=<rev>]
@@ -25,15 +37,20 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "graph/generators.hpp"
+#include "mis/exact_feedback.hpp"
+#include "mis/global_schedule.hpp"
 #include "mis/local_feedback.hpp"
-#include "mis/local_feedback_batch.hpp"
+#include "mis/schedule.hpp"
+#include "mis/self_healing.hpp"
 #include "sim/batch.hpp"
 #include "sim/beep.hpp"
 #include "support/options.hpp"
@@ -46,6 +63,7 @@ using namespace beepmis;
 
 struct Measurement {
   std::string workload;
+  std::string protocol;
   std::string impl;
   std::size_t n = 0;
   std::size_t trials = 0;
@@ -74,9 +92,10 @@ benchcommon::JsonReport make_report(const std::vector<Measurement>& results,
   };
   for (const Measurement& m : results) {
     std::ostringstream row;
-    row << "{\"workload\": \"" << m.workload << "\", \"impl\": \"" << m.impl
-        << "\", \"n\": " << m.n << ", \"trials\": " << m.trials
-        << ", \"wall_ms\": " << m.wall_ms << ", \"trials_per_sec\": " << m.trials_per_sec
+    row << "{\"workload\": \"" << m.workload << "\", \"protocol\": \"" << m.protocol
+        << "\", \"impl\": \"" << m.impl << "\", \"n\": " << m.n
+        << ", \"trials\": " << m.trials << ", \"wall_ms\": " << m.wall_ms
+        << ", \"trials_per_sec\": " << m.trials_per_sec
         << ", \"speedup_vs_scalar\": " << m.speedup_vs_scalar << "}";
     report.rows.push_back(row.str());
   }
@@ -90,7 +109,7 @@ int main(int argc, char** argv) {
   options.add("n", "10000", "nodes in the shared sparse G(n, d/n) instance");
   options.add("avg-degree", "8", "average degree of the shared graph");
   options.add("trials", "64", "independent seeds per sweep");
-  options.add("tail-rounds", "500", "run_until_round for the keepalive-tail workload");
+  options.add("tail-rounds", "500", "run_until_round for the *-tail workloads");
   options.add("reps", "3", "timing repetitions (best-of)");
   options.add("seed", "2026", "base seed of the trial seed tree");
   options.add("git-rev", "unknown", "git revision recorded in the JSON header");
@@ -118,11 +137,13 @@ int main(int argc, char** argv) {
   std::cout << "graph: " << g.describe() << ", trials: " << trials << "\n\n";
 
   std::vector<Measurement> results;
-  support::Table table({"workload", "impl", "trials", "wall ms", "trials/sec", "speedup"});
-  const auto record = [&](const std::string& workload, const char* impl, double ms,
-                          double speedup) {
+  support::Table table(
+      {"workload", "protocol", "impl", "trials", "wall ms", "trials/sec", "speedup"});
+  const auto record = [&](const std::string& workload, const std::string& protocol,
+                          const char* impl, double ms, double speedup) {
     Measurement m;
     m.workload = workload;
+    m.protocol = protocol;
     m.impl = impl;
     m.n = n;
     m.trials = trials;
@@ -132,6 +153,7 @@ int main(int argc, char** argv) {
     results.push_back(m);
     table.new_row()
         .cell(workload)
+        .cell(protocol)
         .cell(impl)
         .cell(trials)
         .cell(ms)
@@ -139,13 +161,23 @@ int main(int argc, char** argv) {
         .cell(speedup);
   };
 
-  const auto measure_workload = [&](const std::string& workload, const sim::SimConfig& config) {
+  using ProtocolFactory = std::function<std::unique_ptr<sim::BeepProtocol>()>;
+  const auto measure_workload = [&](const std::string& workload,
+                                    const std::string& protocol_name,
+                                    const sim::SimConfig& config,
+                                    const ProtocolFactory& make_protocol) {
     // Scalar sweep: one simulator + protocol reused across trials, exactly
-    // like one harness worker.
+    // like one harness worker; the batched kernel comes from the scalar
+    // protocol's own make_batch_protocol.
     sim::BeepSimulator scalar_sim(g, config);
-    mis::LocalFeedbackMis scalar_protocol;
+    const std::unique_ptr<sim::BeepProtocol> scalar_protocol = make_protocol();
     sim::BatchSimulator batch_sim(config);
-    mis::BatchLocalFeedbackMis batch_protocol;
+    const std::unique_ptr<sim::BatchProtocol> batch_protocol =
+        scalar_protocol->make_batch_protocol();
+    if (!batch_protocol) {
+      std::cerr << "FATAL: protocol " << protocol_name << " has no batched kernel\n";
+      std::exit(1);
+    }
 
     // Cross-check every trial before timing: lane t of the batch must be
     // bit-identical to scalar trial t.
@@ -157,17 +189,18 @@ int main(int argc, char** argv) {
         const bool flush = rngs.size() == sim::kMaxBatchLanes || t + 1 == trials;
         if (!flush) continue;
         const std::size_t first = t + 1 - rngs.size();
-        const std::vector<sim::RunResult> batch = batch_sim.run(g, batch_protocol, rngs);
+        const std::vector<sim::RunResult> batch = batch_sim.run(g, *batch_protocol, rngs);
         for (std::size_t lane = 0; lane < batch.size(); ++lane) {
           const sim::RunResult scalar =
-              scalar_sim.run(scalar_protocol, trial_rng(root, first + lane));
+              scalar_sim.run(*scalar_protocol, trial_rng(root, first + lane));
           if (scalar.rounds != batch[lane].rounds ||
               scalar.total_beeps != batch[lane].total_beeps ||
               scalar.terminated != batch[lane].terminated ||
               scalar.status != batch[lane].status ||
               scalar.beep_counts != batch[lane].beep_counts) {
             std::cerr << "FATAL: scalar and batched runs diverged (workload " << workload
-                      << ", trial " << (first + lane) << ")\n";
+                      << ", protocol " << protocol_name << ", trial " << (first + lane)
+                      << ")\n";
             std::exit(1);
           }
         }
@@ -176,7 +209,7 @@ int main(int argc, char** argv) {
 
     const double scalar_ms = best_wall_ms(reps, [&] {
       for (std::size_t t = 0; t < trials; ++t) {
-        (void)scalar_sim.run(scalar_protocol, trial_rng(root, t));
+        (void)scalar_sim.run(*scalar_protocol, trial_rng(root, t));
       }
     });
     const double batch_ms = best_wall_ms(reps, [&] {
@@ -185,23 +218,47 @@ int main(int argc, char** argv) {
         std::vector<support::Xoshiro256StarStar> rngs;
         rngs.reserve(last - first);
         for (std::size_t t = first; t < last; ++t) rngs.push_back(trial_rng(root, t));
-        (void)batch_sim.run(g, batch_protocol, std::move(rngs));
+        (void)batch_sim.run(g, *batch_protocol, std::move(rngs));
       }
     });
-    record(workload, "scalar", scalar_ms, 1.0);
-    record(workload, "batched", batch_ms, scalar_ms / batch_ms);
+    record(workload, protocol_name, "scalar", scalar_ms, 1.0);
+    record(workload, protocol_name, "batched", batch_ms, scalar_ms / batch_ms);
   };
 
-  {
-    sim::SimConfig config;
-    measure_workload("converge", config);
+  const ProtocolFactory local_feedback = [] {
+    return std::make_unique<mis::LocalFeedbackMis>();
+  };
+  const ProtocolFactory global_sweep = [] {
+    return std::make_unique<mis::GlobalScheduleMis>(std::make_unique<mis::SweepSchedule>());
+  };
+  const ProtocolFactory exact_feedback = [] {
+    return std::make_unique<mis::ExactLocalFeedbackMis>();
+  };
+  const ProtocolFactory healing = [] {
+    return std::make_unique<mis::SelfHealingLocalFeedbackMis>();
+  };
+
+  sim::SimConfig converge;
+  sim::SimConfig keepalive_tail;
+  keepalive_tail.mis_keepalive = true;
+  keepalive_tail.run_until_round = tail_rounds;
+  // Maintenance scenario for the healing lane: a handful of spread-out
+  // nodes fail after the initial MIS converges, so dominated neighbourhoods
+  // go silent, reactivate and re-converge before the static tail.
+  sim::SimConfig healing_tail = keepalive_tail;
+  healing_tail.crash_round.assign(n, UINT32_MAX);
+  for (unsigned i = 1; i <= 8; ++i) {
+    healing_tail.crash_round[static_cast<graph::NodeId>(
+        (static_cast<std::size_t>(i) * n) / 9)] = 14 + 2 * i;
   }
-  {
-    sim::SimConfig config;
-    config.mis_keepalive = true;
-    config.run_until_round = tail_rounds;
-    measure_workload("keepalive-tail", config);
-  }
+
+  measure_workload("converge", "local-feedback", converge, local_feedback);
+  measure_workload("converge", "global-sweep", converge, global_sweep);
+  measure_workload("converge", "exact-feedback", converge, exact_feedback);
+  measure_workload("keepalive-tail", "local-feedback", keepalive_tail, local_feedback);
+  measure_workload("keepalive-tail", "global-sweep", keepalive_tail, global_sweep);
+  measure_workload("keepalive-tail", "exact-feedback", keepalive_tail, exact_feedback);
+  measure_workload("healing-tail", "healing", healing_tail, healing);
 
   std::cout << table.to_string() << '\n';
 

@@ -3,7 +3,7 @@
 # BENCH_core.json at the repository root, so successive PRs accumulate a
 # perf trajectory for the simulator hot paths.
 #
-#   scripts/bench_core.sh [common bench args...]
+#   scripts/bench_core.sh [--smoke] [common bench args...]
 #
 # Two benches contribute:
 #   bench_frontier  seed-path (dense) core vs frontier core, single runs
@@ -17,13 +17,36 @@
 # reports], batch: [per-n reports] }; every per-n report records the git
 # revision and compiler it was built with.
 #
+# --smoke (must be the first argument) is the CI mode: one tiny size
+# (n=256), one rep, short tails, and the merged JSON goes to
+# ${build_dir}/BENCH_core_smoke.json instead of clobbering the committed
+# perf record — the point is exercising every driver row and the merge
+# logic on every PR, plus feeding scripts/check_bench_regression.py, not
+# producing publishable numbers.  BENCH_SIZES/BENCH_OUT still override.
+#
 # Builds the bench targets if needed (cmake -B build -S . must have been
 # configured, or this script configures it).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-${repo_root}/build}"
-sizes="${BENCH_SIZES:-1000 10000 100000}"
+
+smoke=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  smoke=1
+  shift
+fi
+
+if (( smoke )); then
+  sizes="${BENCH_SIZES:-256}"
+  merged_default="${build_dir}/BENCH_core_smoke.json"
+  smoke_args=(--reps=1 --tail-rounds=32)
+else
+  sizes="${BENCH_SIZES:-1000 10000 100000}"
+  merged_default="${repo_root}/BENCH_core.json"
+  smoke_args=()
+fi
+merged="${BENCH_OUT:-${merged_default}}"
 
 if [[ ! -d "${build_dir}" ]]; then
   cmake -B "${build_dir}" -S "${repo_root}"
@@ -51,15 +74,15 @@ batch_reports=()
 for n in "${size_list[@]}"; do
   frontier_out="${out_dir}/frontier_n${n}.json"
   batch_out="${out_dir}/batch_n${n}.json"
-  "${build_dir}/bench/bench_frontier" "$@" ${frontier_extra[@]+"${frontier_extra[@]}"} \
+  "${build_dir}/bench/bench_frontier" ${smoke_args[@]+"${smoke_args[@]}"} "$@" \
+      ${frontier_extra[@]+"${frontier_extra[@]}"} \
       --n="${n}" --git-rev="${git_rev}" --out="${frontier_out}"
-  "${build_dir}/bench/bench_batch" "$@" ${batch_extra[@]+"${batch_extra[@]}"} \
+  "${build_dir}/bench/bench_batch" ${smoke_args[@]+"${smoke_args[@]}"} "$@" \
+      ${batch_extra[@]+"${batch_extra[@]}"} \
       --n="${n}" --git-rev="${git_rev}" --out="${batch_out}"
   frontier_reports+=("${frontier_out}")
   batch_reports+=("${batch_out}")
 done
-
-merged="${repo_root}/BENCH_core.json"
 {
   printf '{\n  "bench": "bench_core",\n  "git_rev": "%s",\n  "sizes": [%s],\n' \
     "${git_rev}" "${sizes_json}"

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_core run against the committed BENCH_core.json.
+
+The committed artifact is the perf trajectory the ROADMAP asks every PR to
+watch; this script makes "watched" mean something mechanical:
+
+  * coverage  — every (section, workload, protocol, impl) row family present
+                in the committed baseline must also appear in the fresh run,
+                so a bench refactor cannot silently drop a measured lane;
+  * speedups  — for rows that report a speedup_vs_* ratio, fresh and
+                baseline are compared per matching n (a full-sweep rerun
+                checks every size independently, so a large-n regression
+                cannot hide behind a healthy small-n row); when no sizes
+                overlap (the n=256 CI smoke run vs the committed
+                1k/10k/100k sweep) the fresh run's smallest n is compared
+                against the baseline's smallest n, the closest regimes.
+                A fresh ratio below --threshold times the baseline one is
+                flagged.
+
+By default the script only *warns* (exit 0): a tiny-n smoke sweep on a
+noisy shared runner is a liveness check for the drivers and the merge
+script, not a publishable measurement.  Pass --strict to turn warnings
+into a nonzero exit for a dedicated perf runner.
+
+Usage:
+  scripts/check_bench_regression.py \
+      [--baseline BENCH_core.json] [--fresh build/BENCH_core_smoke.json] \
+      [--threshold 0.3] [--strict]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SECTIONS = ("frontier", "batch")
+
+
+def load_report(path):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def speedup_of(row):
+    """The row's speedup_vs_* value, whatever the baseline impl is named."""
+    for key, value in row.items():
+        if key.startswith("speedup_vs_"):
+            return float(value)
+    return None
+
+
+def row_key(row):
+    """Identity of a measured lane, independent of n and of timing noise.
+
+    Older baselines predate the per-protocol bench_batch rows, so a missing
+    "protocol" field maps to the only protocol they measured.
+    """
+    return (
+        row.get("workload", "?"),
+        row.get("protocol", "local-feedback"),
+        row.get("impl", "?"),
+    )
+
+
+def index_rows(report):
+    """{(section, workload, protocol, impl): [(n, speedup), ...]}"""
+    indexed = {}
+    for section in SECTIONS:
+        for per_n in report.get(section, []):
+            for row in per_n.get("results", []):
+                key = (section,) + row_key(row)
+                indexed.setdefault(key, []).append(
+                    (int(row.get("n", 0)), speedup_of(row))
+                )
+    return indexed
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(REPO_ROOT, "BENCH_core.json"),
+        help="committed perf record (default: repo BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--fresh",
+        default=os.path.join(REPO_ROOT, "build", "BENCH_core_smoke.json"),
+        help="freshly produced record (default: build/BENCH_core_smoke.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.3,
+        help="flag fresh speedup below THRESHOLD * baseline speedup "
+        "(default 0.3: generous, smoke n is far below baseline n)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on warnings (for a dedicated perf runner)",
+    )
+    args = parser.parse_args()
+
+    try:
+        baseline = index_rows(load_report(args.baseline))
+    except (OSError, ValueError) as err:
+        print(f"error: cannot read baseline {args.baseline}: {err}")
+        return 1
+    try:
+        fresh = index_rows(load_report(args.fresh))
+    except (OSError, ValueError) as err:
+        print(f"error: cannot read fresh report {args.fresh}: {err}")
+        return 1
+
+    warnings = []
+
+    for key in sorted(baseline):
+        section, workload, protocol, impl = key
+        label = f"{section}/{workload}/{protocol}/{impl}"
+        if key not in fresh:
+            warnings.append(f"coverage lost: {label} is in the baseline but "
+                            "missing from the fresh run")
+            continue
+        base_rows = {n: s for n, s in baseline[key] if s is not None}
+        fresh_rows = {n: s for n, s in fresh[key] if s is not None}
+        if not base_rows or not fresh_rows:
+            continue  # reference impl rows (speedup == 1) still count for coverage
+        common = sorted(set(base_rows) & set(fresh_rows))
+        if common:
+            # Full-sweep rerun: every size stands on its own, so a large-n
+            # regression cannot hide behind a healthy small-n row.
+            pairs = [(n, base_rows[n], fresh_rows[n], f"n={n}") for n in common]
+        else:
+            # Disjoint sizes (tiny-n smoke vs committed sweep): compare the
+            # two smallest n, the closest regimes.
+            base_n = min(base_rows)
+            fresh_n = min(fresh_rows)
+            pairs = [(base_n, base_rows[base_n], fresh_rows[fresh_n],
+                      f"baseline n={base_n} vs fresh n={fresh_n}")]
+        for _, base_speedup, fresh_speedup, where in pairs:
+            if base_speedup > 1.0 and fresh_speedup < args.threshold * base_speedup:
+                warnings.append(
+                    f"possible regression: {label} fresh speedup "
+                    f"{fresh_speedup:.2f}x < {args.threshold:.2f} * baseline "
+                    f"{base_speedup:.2f}x ({where})"
+                )
+
+    for key in sorted(set(fresh) - set(baseline)):
+        print(f"note: new lane not in baseline yet: {'/'.join(key)}")
+
+    if warnings:
+        for warning in warnings:
+            print(f"WARNING: {warning}")
+        print(f"{len(warnings)} warning(s); "
+              + ("failing (--strict)" if args.strict else "warn-only, exiting 0"))
+        return 1 if args.strict else 0
+
+    print(f"ok: {len(baseline)} baseline lanes all present, no speedup below "
+          f"{args.threshold:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

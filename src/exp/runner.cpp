@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -60,7 +62,10 @@ void fill_record(TrialRecord& rec, const graph::Graph& g, const sim::RunResult& 
 
 /// Clamps the requested thread count to the work-unit count (0 = hardware
 /// concurrency) and runs `worker` on that many threads; workers claim
-/// units through their own shared atomic.
+/// units through their own shared atomic.  A throw from any worker (a
+/// protocol-contract logic_error, a misconfigured SimConfig) is captured
+/// and rethrown after the join, so callers see the same catchable
+/// exception at any thread count instead of std::terminate.
 template <typename Worker>
 void run_workers(unsigned threads, std::size_t work_units, Worker&& worker) {
   if (threads == 0) {
@@ -72,10 +77,21 @@ void run_workers(unsigned threads, std::size_t work_units, Worker&& worker) {
     worker();
     return;
   }
+  std::mutex mutex;
+  std::exception_ptr first_error;
+  const auto guarded = [&] {
+    try {
+      worker();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(guarded);
   for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 /// Trial-index-ordered aggregation: the floating-point result is identical
@@ -162,6 +178,12 @@ TrialStats run_beep_trials_batched(const graph::Graph& shared,
     // batches (scratch planes and policy arrays are recycled).
     sim::BatchSimulator simulator(config.sim);
     const std::unique_ptr<sim::BatchProtocol> protocol = protocols()->make_batch_protocol();
+    if (!protocol) {
+      // The dispatch probe saw a kernel but this worker's instance refuses
+      // one: the factory returns protocols of varying dynamic type.
+      throw std::logic_error(
+          "run_beep_trials: protocol factory is inconsistent about make_batch_protocol");
+    }
     for (;;) {
       const std::size_t batch = next_batch.fetch_add(1);
       if (batch >= batches) break;

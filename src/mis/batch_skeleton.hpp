@@ -1,0 +1,40 @@
+// Shared announcement-exchange logic of the batched MIS kernels — the
+// lane-parallel mirror of BeepingMisSkeleton's second exchange (Table 1
+// lines 11-15).  Every batched kernel of the two-exchange family carries a
+// per-node LaneMask winner plane; the announce emit and the join/dominate
+// react over it are protocol-independent and must stay identical across
+// kernels (a divergence breaks lane parity for just that protocol), so
+// they live here once.
+#pragma once
+
+#include <vector>
+
+#include "sim/batch.hpp"
+
+namespace beepmis::mis::batch_skeleton {
+
+/// Announcement-exchange emit: first-exchange winners that are still live
+/// keep signalling.
+inline void announce_winners(sim::BatchContext& ctx,
+                             const std::vector<sim::LaneMask>& winner) {
+  for (const graph::NodeId v : ctx.active_nodes()) {
+    const sim::LaneMask m = winner[v] & ctx.live_mask(v);
+    if (m) ctx.beep(v, m);
+  }
+}
+
+/// Announcement-exchange react: winners join the MIS; anyone else (still
+/// live) who heard the announcement becomes dominated.
+inline void apply_round_outcome(sim::BatchContext& ctx,
+                                const std::vector<sim::LaneMask>& winner) {
+  for (const graph::NodeId v : ctx.active_nodes()) {
+    const sim::LaneMask live = ctx.live_mask(v);
+    if (!live) continue;
+    const sim::LaneMask joins = winner[v] & live;
+    const sim::LaneMask dominated = ctx.heard_mask(v) & live & ~joins;
+    if (joins) ctx.join_mis(v, joins);
+    if (dominated) ctx.deactivate(v, dominated);
+  }
+}
+
+}  // namespace beepmis::mis::batch_skeleton

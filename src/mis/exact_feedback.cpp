@@ -2,7 +2,13 @@
 
 #include <cmath>
 
+#include "mis/exact_feedback_batch.hpp"
+
 namespace beepmis::mis {
+
+std::unique_ptr<sim::BatchProtocol> ExactLocalFeedbackMis::make_batch_protocol() const {
+  return std::make_unique<BatchExactLocalFeedbackMis>();
+}
 
 void ExactLocalFeedbackMis::on_reset(const graph::Graph& g,
                                      support::Xoshiro256StarStar& /*rng*/) {

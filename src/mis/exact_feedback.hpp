@@ -22,6 +22,10 @@ class ExactLocalFeedbackMis final : public BeepingMisSkeleton {
  public:
   [[nodiscard]] std::string_view name() const override { return "local-feedback-exact"; }
 
+  /// Batched 64-lane kernel (BatchExactLocalFeedbackMis).  Never nullptr:
+  /// the class is final and carries no configuration.
+  [[nodiscard]] std::unique_ptr<sim::BatchProtocol> make_batch_protocol() const override;
+
   /// The paper's n(v, t) for node v (valid after reset).
   [[nodiscard]] std::uint32_t exponent_of(graph::NodeId v) const { return exponent_.at(v); }
 

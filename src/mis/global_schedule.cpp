@@ -2,11 +2,19 @@
 
 #include <stdexcept>
 
+#include "mis/global_schedule_batch.hpp"
+
 namespace beepmis::mis {
 
 GlobalScheduleMis::GlobalScheduleMis(std::unique_ptr<Schedule> schedule)
     : schedule_(std::move(schedule)) {
   if (!schedule_) throw std::invalid_argument("GlobalScheduleMis: null schedule");
+}
+
+std::unique_ptr<sim::BatchProtocol> GlobalScheduleMis::make_batch_protocol() const {
+  // No typeid guard needed: the class is final, so no subclass can inherit
+  // this override with changed behaviour.
+  return std::make_unique<BatchGlobalScheduleMis>(schedule_);
 }
 
 void GlobalScheduleMis::on_reset(const graph::Graph& /*g*/,

@@ -14,18 +14,27 @@ namespace beepmis::mis {
 class GlobalScheduleMis final : public BeepingMisSkeleton {
  public:
   /// Takes ownership of the schedule.  The protocol's reported name is the
-  /// schedule's name, so results are labelled by schedule.
+  /// schedule's name, so results are labelled by schedule.  Ownership is
+  /// shared internally so batched kernels can outlive this instance (the
+  /// trial runner materialises the kernel and discards the scalar
+  /// protocol); schedules are immutable after construction, which makes the
+  /// sharing thread-safe.
   explicit GlobalScheduleMis(std::unique_ptr<Schedule> schedule);
 
   [[nodiscard]] std::string_view name() const override { return schedule_->name(); }
   [[nodiscard]] const Schedule& schedule() const noexcept { return *schedule_; }
+
+  /// Batched 64-lane kernel (BatchGlobalScheduleMis), sharing this
+  /// protocol's schedule.  Never nullptr: the class is final and the
+  /// skeleton's round structure is fully reproduced by the kernel.
+  [[nodiscard]] std::unique_ptr<sim::BatchProtocol> make_batch_protocol() const override;
 
  protected:
   void on_reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) override;
   [[nodiscard]] double beep_probability(graph::NodeId v, std::size_t round) const override;
 
  private:
-  std::unique_ptr<Schedule> schedule_;
+  std::shared_ptr<const Schedule> schedule_;
 };
 
 /// Convenience factories.

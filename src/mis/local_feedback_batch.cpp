@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "mis/batch_skeleton.hpp"
+
 namespace beepmis::mis {
 
 namespace {
@@ -50,8 +52,8 @@ void BatchLocalFeedbackMis::reset(const graph::Graph& g,
   if (dyadic_) {
     // Scalar reset clamps p0 to max_p, i.e. k = max(k0, k_cap); no draws.
     k_min_ = static_cast<std::uint16_t>(k_cap);
-    k_.assign(static_cast<std::size_t>(n) * lanes_,
-              static_cast<std::uint16_t>(std::max(k0, k_cap)));
+    k_reset_ = static_cast<std::uint16_t>(std::max(k0, k_cap));
+    k_.assign(static_cast<std::size_t>(n) * lanes_, k_reset_);
     p_.clear();
     factor_.clear();
     return;
@@ -82,6 +84,15 @@ void BatchLocalFeedbackMis::reset(const graph::Graph& g,
   }
 }
 
+void BatchLocalFeedbackMis::reset_lane_probability(graph::NodeId v, unsigned lane) {
+  const std::size_t cell = static_cast<std::size_t>(v) * lanes_ + lane;
+  if (dyadic_) {
+    k_[cell] = k_reset_;
+  } else {
+    p_[cell] = std::min(config_.initial_p_low, config_.max_p);
+  }
+}
+
 void BatchLocalFeedbackMis::emit_intent_dyadic(sim::BatchContext& ctx) {
   for (const graph::NodeId v : ctx.active_nodes()) {
     const LaneMask live = ctx.live_mask(v);
@@ -91,16 +102,10 @@ void BatchLocalFeedbackMis::emit_intent_dyadic(sim::BatchContext& ctx) {
     LaneMask beeps = 0;
     for (LaneMask b = live; b != 0; b &= b - 1) {
       const unsigned l = lowest_lane(b);
-      const unsigned k = kv[l];
       // One rng() output per draw, exactly like the scalar bernoulli; the
-      // comparison is the integer form of (x >> 11) * 2^-53 < 2^-k.
-      // Branchless accumulate: the outcome is a coin flip, so a data
-      // dependency beats a guaranteed-mispredicting branch.
-      const std::uint64_t mantissa = ctx.rng(l)() >> 11;
-      const unsigned shift = k < 53 ? 53 - k : 0;
-      const LaneMask hit =
-          static_cast<LaneMask>((k < kZeroExponent) & ((mantissa >> shift) == 0));
-      beeps |= hit << l;
+      // endpoint behaviour (subnormal region, 2^-1075 underflow to
+      // never-beep) is single-sourced in bernoulli_pow2.
+      beeps |= static_cast<LaneMask>(ctx.rng(l).bernoulli_pow2(kv[l])) << l;
     }
     if (beeps) ctx.beep(v, beeps);
   }
@@ -131,11 +136,7 @@ void BatchLocalFeedbackMis::emit(sim::BatchContext& ctx) {
       emit_intent_general(ctx);
     }
   } else {
-    // Announcement exchange: first-exchange winners keep signalling.
-    for (const graph::NodeId v : ctx.active_nodes()) {
-      const LaneMask m = winner_[v] & ctx.live_mask(v);
-      if (m) ctx.beep(v, m);
-    }
+    batch_skeleton::announce_winners(ctx, winner_);
   }
 }
 
@@ -187,14 +188,7 @@ void BatchLocalFeedbackMis::react(sim::BatchContext& ctx) {
   if (ctx.exchange() == 0) {
     react_feedback(ctx);
   } else {
-    for (const graph::NodeId v : ctx.active_nodes()) {
-      const LaneMask live = ctx.live_mask(v);
-      if (!live) continue;
-      const LaneMask joins = winner_[v] & live;
-      const LaneMask dominated = ctx.heard_mask(v) & live & ~joins;
-      if (joins) ctx.join_mis(v, joins);
-      if (dominated) ctx.deactivate(v, dominated);
-    }
+    batch_skeleton::apply_round_outcome(ctx, winner_);
   }
 }
 

@@ -17,7 +17,7 @@
 
 namespace beepmis::mis {
 
-class BatchLocalFeedbackMis final : public sim::BatchProtocol {
+class BatchLocalFeedbackMis : public sim::BatchProtocol {
  public:
   explicit BatchLocalFeedbackMis(LocalFeedbackConfig config = LocalFeedbackConfig::paper());
 
@@ -28,6 +28,16 @@ class BatchLocalFeedbackMis final : public sim::BatchProtocol {
              std::span<support::Xoshiro256StarStar> rngs) override;
   void emit(sim::BatchContext& ctx) override;
   void react(sim::BatchContext& ctx) override;
+
+ protected:
+  // For maintenance subclasses (the batched mirror of
+  // LocalFeedbackMis::set_probability with the scalar healing argument):
+  // reset lane l of node v to min(initial_p_low, max_p), in whichever
+  // representation (dyadic exponent / double) this kernel is running.
+  void reset_lane_probability(graph::NodeId v, unsigned lane);
+
+  [[nodiscard]] unsigned lane_count() const noexcept { return lanes_; }
+  [[nodiscard]] const LocalFeedbackConfig& config() const noexcept { return config_; }
 
  private:
   void emit_intent_dyadic(sim::BatchContext& ctx);
@@ -51,7 +61,8 @@ class BatchLocalFeedbackMis final : public sim::BatchProtocol {
   // free of double multiplies.  Pinned against the scalar core by
   // tests/test_batch_sim.cpp.
   bool dyadic_ = false;
-  std::uint16_t k_min_ = 1;   ///< exponent of max_p (cap on silence)
+  std::uint16_t k_min_ = 1;    ///< exponent of max_p (cap on silence)
+  std::uint16_t k_reset_ = 1;  ///< exponent of min(initial_p_low, max_p)
   std::vector<std::uint16_t> k_;  ///< node-major per-lane exponents
 
   // --- General path -----------------------------------------------------

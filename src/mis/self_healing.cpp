@@ -2,7 +2,14 @@
 
 #include <stdexcept>
 
+#include "mis/self_healing_batch.hpp"
+
 namespace beepmis::mis {
+
+std::unique_ptr<sim::BatchProtocol> SelfHealingLocalFeedbackMis::make_batch_protocol()
+    const {
+  return std::make_unique<BatchSelfHealingMis>(config_);
+}
 
 SelfHealingLocalFeedbackMis::SelfHealingLocalFeedbackMis(SelfHealingConfig config)
     : LocalFeedbackMis(config.base), config_(config) {

@@ -34,6 +34,12 @@ class SelfHealingLocalFeedbackMis final : public LocalFeedbackMis {
   /// Total reactivations over the run (observability for tests/benches).
   [[nodiscard]] std::size_t reactivations() const noexcept { return reactivations_; }
 
+  /// Batched 64-lane kernel (BatchSelfHealingMis).  Overrides the nullptr
+  /// that LocalFeedbackMis's typeid guard hands to subclasses: the healing
+  /// kernel reproduces the reactivation pass, so this final class is
+  /// batch-capable again.
+  [[nodiscard]] std::unique_ptr<sim::BatchProtocol> make_batch_protocol() const override;
+
  protected:
   void on_reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) override;
   void on_round_complete(sim::BeepContext& ctx) override;

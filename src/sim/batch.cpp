@@ -82,6 +82,33 @@ void BatchContext::deactivate(graph::NodeId v, LaneMask lanes) {
   }
 }
 
+LaneMask BatchContext::dominated_mask(graph::NodeId v) const {
+  return simulator_->dominated_[v];
+}
+
+LaneMask BatchContext::running_mask() const noexcept { return simulator_->running_; }
+
+void BatchContext::reactivate(graph::NodeId v, LaneMask lanes) {
+  if (phase_ != Phase::kReact) {
+    throw std::logic_error("BatchContext::reactivate called outside the react phase");
+  }
+  BatchSimulator& sim = *simulator_;
+  if (v >= sim.dominated_.size() || lanes == 0 || (lanes & ~sim.dominated_[v]) != 0) {
+    throw std::logic_error("BatchContext::reactivate outside the node's dominated lanes");
+  }
+  // A lane that left the round loop has frozen planes; reactivating into it
+  // would corrupt the lane's already-final RunResult.
+  if ((lanes & ~sim.running_) != 0) {
+    throw std::logic_error("BatchContext::reactivate on a terminated lane");
+  }
+  sim.dominated_[v] &= ~lanes;
+  sim.live_[v] |= lanes;
+  for (LaneMask b = lanes; b != 0; b &= b - 1) {
+    ++sim.active_count_[std::countr_zero(b)];
+  }
+  sim.reactivated_.push_back(v);
+}
+
 BatchSimulator::BatchSimulator(SimConfig config) : config_(std::move(config)) {
   if (config_.beep_loss_probability < 0.0 || config_.beep_loss_probability >= 1.0) {
     throw std::invalid_argument("SimConfig: beep_loss_probability must be in [0, 1)");
@@ -312,6 +339,7 @@ std::vector<RunResult> BatchSimulator::run(const graph::Graph& g, BatchProtocol&
   mis_hear_mask_.assign(n, 0);
   mis_hear_.clear();
   mis_hear_valid_ = false;
+  reactivated_.clear();
   beep_counts_.assign(static_cast<std::size_t>(n) * lanes, 0);
   mis_lists_.resize(lanes);
   for (auto& list : mis_lists_) list.clear();
@@ -393,6 +421,18 @@ std::vector<RunResult> BatchSimulator::run(const graph::Graph& g, BatchProtocol&
       protocol.react(ctx);
     }
     compact_active();
+    if (!reactivated_.empty()) {
+      // Scalar round-boundary rule: a reactivated node re-enters the active
+      // list unless it is still on it (live in another lane, or reactivated
+      // twice); compaction above kept it when any live bit was set.
+      for (const graph::NodeId v : reactivated_) {
+        if (in_active_[v]) continue;
+        active_.push_back(v);
+        in_active_[v] = 1;
+      }
+      std::sort(active_.begin(), active_.end());
+      reactivated_.clear();
+    }
     ++round_;
   }
 

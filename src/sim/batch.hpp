@@ -69,6 +69,15 @@ class BatchContext {
   /// Lanes in which v heard at least one beep this exchange (valid during
   /// react; accounts for injected beep loss).
   [[nodiscard]] LaneMask heard_mask(graph::NodeId v) const { return (*heard_)[v]; }
+  /// Lanes in which v is dominated (maintenance protocols inspect these
+  /// between the usual frontier sweeps; crashed lanes are never dominated).
+  [[nodiscard]] LaneMask dominated_mask(graph::NodeId v) const;
+  /// Lanes still executing their round loop.  A lane that left the loop
+  /// (scalar termination point) has frozen planes; maintenance protocols
+  /// must mask any state they keep per round — silence counters,
+  /// reactivations — with this, or they would keep mutating lanes whose
+  /// scalar run has already returned.
+  [[nodiscard]] LaneMask running_mask() const noexcept;
 
   /// Emit-phase only: v beeps in `lanes` (must be a subset of live_mask(v)).
   /// Beep-episode accounting matches the scalar core: a lane's beep
@@ -79,6 +88,11 @@ class BatchContext {
   /// React-phase only: v becomes dominated in `lanes` (subset of
   /// live_mask(v), disjoint from any lanes joined this call site).
   void deactivate(graph::NodeId v, LaneMask lanes);
+  /// React-phase only: *dominated* node v resumes competing in `lanes`
+  /// (subset of dominated_mask(v) & running_mask(); self-healing
+  /// protocols).  Mirrors the scalar BeepContext::reactivate: takes effect
+  /// from the next round, when v rejoins the union active frontier.
+  void reactivate(graph::NodeId v, LaneMask lanes);
 
   /// Lane l's private RNG stream (identical to the scalar run's rng).
   [[nodiscard]] support::Xoshiro256StarStar& rng(unsigned lane) noexcept {
@@ -187,6 +201,9 @@ class BatchSimulator {
   std::vector<LaneMask> mis_hear_mask_;
   std::vector<graph::NodeId> mis_hear_;
   bool mis_hear_valid_ = false;
+  /// Nodes reactivated this round (self-healing); merged into the union
+  /// active frontier at the round boundary, like the scalar reactivated_.
+  std::vector<graph::NodeId> reactivated_;
 
   // Per-lane state.
   std::vector<support::Xoshiro256StarStar> rngs_;

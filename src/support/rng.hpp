@@ -83,6 +83,23 @@ class Xoshiro256StarStar {
   /// (p <= 0 never fires, p >= 1 always fires).
   [[nodiscard]] bool bernoulli(double p) noexcept { return uniform01() < p; }
 
+  /// Bernoulli(2^-k) draw, bit-identical to bernoulli(ldexp(1.0, -k)) for
+  /// every k >= 0 on the same single rng() output — including the region
+  /// below the 2^-53 draw granularity (53 < k <= 1074, only the exact-zero
+  /// mantissa passes) and the underflow at k >= 1075, where ldexp rounds
+  /// to 0.0 and the draw can never fire (the output is still consumed,
+  /// like bernoulli(0.0)).  The uniform01 mantissa (x >> 11) * 2^-53 is
+  /// below 2^-k iff its top 53-k bits are all zero, so the whole draw is
+  /// one integer shift/compare; the batched dyadic kernels rely on this
+  /// being the single source of that endpoint behaviour.  Deliberately
+  /// branchless: the outcome is a coin flip, so a data dependency beats a
+  /// guaranteed-mispredicting branch in the kernel hot loops.
+  [[nodiscard]] bool bernoulli_pow2(unsigned k) noexcept {
+    const std::uint64_t mantissa = (*this)() >> 11;
+    const unsigned shift = k < 53 ? 53 - k : 0;
+    return (static_cast<unsigned>(k < 1075) & static_cast<unsigned>((mantissa >> shift) == 0)) != 0;
+  }
+
   /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection
   /// method; bound must be nonzero.
   [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;

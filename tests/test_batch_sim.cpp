@@ -11,10 +11,13 @@
 
 #include "exp/runner.hpp"
 #include "graph/generators.hpp"
+#include "mis/exact_feedback.hpp"
 #include "mis/global_schedule.hpp"
 #include "mis/local_feedback.hpp"
 #include "mis/local_feedback_batch.hpp"
+#include "mis/schedule.hpp"
 #include "mis/self_healing.hpp"
+#include "mis/self_healing_batch.hpp"
 #include "sim/batch.hpp"
 #include "sim/beep.hpp"
 #include "sim/dense_ref.hpp"
@@ -32,15 +35,14 @@ void expect_identical_run(const sim::RunResult& scalar, const sim::RunResult& la
   EXPECT_EQ(scalar.beep_counts, lane.beep_counts) << what;
 }
 
-/// Runs `lanes` batched seeds and the matching scalar runs and expects
-/// bit-identical per-lane results.
-void expect_batch_matches_scalar(const graph::Graph& g, const sim::SimConfig& config,
-                                 unsigned lanes, std::uint64_t seed,
-                                 const mis::LocalFeedbackConfig& protocol_config =
-                                     mis::LocalFeedbackConfig::paper()) {
-  mis::LocalFeedbackMis scalar_protocol(protocol_config);
+/// Runs `lanes` batched seeds of `batch_protocol` and the matching scalar
+/// runs of `scalar_protocol` and expects bit-identical per-lane results.
+/// Works for any (scalar, batched-kernel) protocol pair.
+void expect_pair_matches(const graph::Graph& g, const sim::SimConfig& config,
+                         unsigned lanes, std::uint64_t seed,
+                         sim::BeepProtocol& scalar_protocol,
+                         sim::BatchProtocol& batch_protocol) {
   sim::BeepSimulator scalar_sim(g, config);
-  mis::BatchLocalFeedbackMis batch_protocol(protocol_config);
   sim::BatchSimulator batch_sim(config);
 
   std::vector<support::Xoshiro256StarStar> rngs;
@@ -53,8 +55,29 @@ void expect_batch_matches_scalar(const graph::Graph& g, const sim::SimConfig& co
     const sim::RunResult scalar =
         scalar_sim.run(scalar_protocol, support::Xoshiro256StarStar(seed + l));
     expect_identical_run(scalar, batch[l],
-                         (std::string("lane ") + std::to_string(l)).c_str());
+                         (std::string(scalar_protocol.name()) + " lane " +
+                          std::to_string(l)).c_str());
   }
+}
+
+/// Convenience: the kernel comes from the scalar protocol itself, i.e. the
+/// exact wiring harness::run_beep_trials uses.
+void expect_protocol_matches(const graph::Graph& g, const sim::SimConfig& config,
+                             unsigned lanes, std::uint64_t seed,
+                             sim::BeepProtocol& scalar_protocol) {
+  const std::unique_ptr<sim::BatchProtocol> batch = scalar_protocol.make_batch_protocol();
+  ASSERT_NE(batch, nullptr) << scalar_protocol.name();
+  expect_pair_matches(g, config, lanes, seed, scalar_protocol, *batch);
+}
+
+/// Local-feedback pair (the PR-2 coverage).
+void expect_batch_matches_scalar(const graph::Graph& g, const sim::SimConfig& config,
+                                 unsigned lanes, std::uint64_t seed,
+                                 const mis::LocalFeedbackConfig& protocol_config =
+                                     mis::LocalFeedbackConfig::paper()) {
+  mis::LocalFeedbackMis scalar_protocol(protocol_config);
+  mis::BatchLocalFeedbackMis batch_protocol(protocol_config);
+  expect_pair_matches(g, config, lanes, seed, scalar_protocol, batch_protocol);
 }
 
 sim::SimConfig faulty_config(graph::NodeId n, double loss) {
@@ -126,6 +149,192 @@ TEST(BatchSim, NonDyadicHomogeneousConfigMatchesScalar) {
   config.factor_low = config.factor_high = 3.0;
   config.max_p = 0.4;
   expect_batch_matches_scalar(g, sim::SimConfig{}, 32, 6000, config);
+}
+
+// --- GlobalScheduleMis lanes ------------------------------------------------
+
+TEST(BatchSim, GlobalScheduleLanesMatchScalarLossless) {
+  auto rng = support::Xoshiro256StarStar(20);
+  const graph::Graph g = graph::gnp(80, 0.08, rng);
+  for (const unsigned lanes : {1u, 7u, 64u}) {
+    mis::GlobalScheduleMis scalar = mis::make_global_sweep_mis();
+    expect_protocol_matches(g, sim::SimConfig{}, lanes, 7000 + lanes, scalar);
+  }
+}
+
+TEST(BatchSim, GlobalScheduleLanesMatchScalarLossy) {
+  auto rng = support::Xoshiro256StarStar(21);
+  const graph::Graph g = graph::gnp(80, 0.08, rng);
+  sim::SimConfig config;
+  config.beep_loss_probability = 0.3;
+  config.max_rounds = 400;
+  for (const unsigned lanes : {1u, 7u, 64u}) {
+    mis::GlobalScheduleMis scalar = mis::make_global_sweep_mis();
+    expect_protocol_matches(g, config, lanes, 7100 + lanes, scalar);
+  }
+}
+
+TEST(BatchSim, GlobalScheduleLanesMatchScalarWithCrashWakeupKeepalive) {
+  auto rng = support::Xoshiro256StarStar(22);
+  const graph::Graph g = graph::gnp(84, 0.07, rng);
+  for (const unsigned lanes : {1u, 7u, 64u}) {
+    mis::GlobalScheduleMis sweep = mis::make_global_sweep_mis();
+    expect_protocol_matches(g, faulty_config(84, 0.0), lanes, 7200 + lanes, sweep);
+    mis::GlobalScheduleMis increasing =
+        mis::make_global_increasing_mis(g.max_degree(), g.node_count());
+    expect_protocol_matches(g, faulty_config(84, 0.15), lanes, 7300 + lanes, increasing);
+  }
+}
+
+// --- ExactLocalFeedbackMis lanes --------------------------------------------
+
+TEST(BatchSim, ExactFeedbackLanesMatchScalarLossless) {
+  auto rng = support::Xoshiro256StarStar(23);
+  const graph::Graph g = graph::gnp(80, 0.08, rng);
+  mis::ExactLocalFeedbackMis scalar;
+  for (const unsigned lanes : {1u, 7u, 64u}) {
+    expect_protocol_matches(g, sim::SimConfig{}, lanes, 7400 + lanes, scalar);
+  }
+}
+
+TEST(BatchSim, ExactFeedbackLanesMatchScalarLossy) {
+  auto rng = support::Xoshiro256StarStar(24);
+  const graph::Graph g = graph::gnp(80, 0.08, rng);
+  sim::SimConfig config;
+  config.beep_loss_probability = 0.3;
+  config.max_rounds = 400;
+  mis::ExactLocalFeedbackMis scalar;
+  for (const unsigned lanes : {1u, 7u, 64u}) {
+    expect_protocol_matches(g, config, lanes, 7500 + lanes, scalar);
+  }
+}
+
+TEST(BatchSim, ExactFeedbackLanesMatchScalarWithCrashWakeupKeepalive) {
+  auto rng = support::Xoshiro256StarStar(25);
+  const graph::Graph g = graph::gnp(84, 0.07, rng);
+  mis::ExactLocalFeedbackMis scalar;
+  for (const unsigned lanes : {1u, 7u, 64u}) {
+    expect_protocol_matches(g, faulty_config(84, 0.0), lanes, 7600 + lanes, scalar);
+    expect_protocol_matches(g, faulty_config(84, 0.15), lanes, 7700 + lanes, scalar);
+  }
+}
+
+TEST(BatchSim, ExactFeedbackMatchesDyadicLocalFeedbackLanes) {
+  // Definition 1's exponent protocol and the floating-point local-feedback
+  // protocol compute identical dyadic probabilities under the paper config;
+  // their batched kernels must agree the same way the scalar pair does
+  // (tests/test_exact_feedback.cpp pins the scalar equivalence).
+  auto rng = support::Xoshiro256StarStar(26);
+  const graph::Graph g = graph::gnp(60, 0.1, rng);
+  mis::ExactLocalFeedbackMis exact;
+  mis::BatchLocalFeedbackMis dyadic_kernel;  // paper config -> dyadic path
+  expect_pair_matches(g, sim::SimConfig{}, 64, 7800, exact, dyadic_kernel);
+}
+
+// --- Self-healing lanes -----------------------------------------------------
+
+/// Maintenance scenario: keep-alive on, staggered wake-ups, targeted
+/// crashes after initial convergence so dominators disappear and healing
+/// reactivations actually fire, plus a run_until tail.
+sim::SimConfig healing_config(graph::NodeId n, double loss) {
+  sim::SimConfig config;
+  config.mis_keepalive = true;
+  config.beep_loss_probability = loss;
+  config.run_until_round = 48;
+  config.max_rounds = 600;
+  config.wake_round.assign(n, 0);
+  for (graph::NodeId v = 0; v < n; ++v) config.wake_round[v] = (v * 5) % 3;
+  config.crash_round.assign(n, UINT32_MAX);
+  config.crash_round[n / 5] = 8;
+  config.crash_round[n / 2] = 12;
+  config.crash_round[(3 * n) / 4] = 16;
+  config.crash_round[n - 2] = 20;
+  return config;
+}
+
+TEST(BatchSim, SelfHealingLanesMatchScalar) {
+  // Sparse graph so many dominated nodes have a single dominator: crashing
+  // it silences them and the healing pass must re-enter them into the
+  // frontier — in exactly the lanes where that node had joined the MIS.
+  auto rng = support::Xoshiro256StarStar(27);
+  const graph::Graph g = graph::gnp(80, 0.03, rng);
+  for (const unsigned lanes : {1u, 7u, 64u}) {
+    mis::SelfHealingLocalFeedbackMis scalar;
+    expect_protocol_matches(g, healing_config(80, 0.0), lanes, 8000 + lanes, scalar);
+    expect_protocol_matches(g, healing_config(80, 0.15), lanes, 8100 + lanes, scalar);
+  }
+}
+
+TEST(BatchSim, SelfHealingThresholdOneMatchesScalar) {
+  // threshold = 1 reactivates on the first silent round — the most
+  // reactivation-heavy setting.
+  auto rng = support::Xoshiro256StarStar(28);
+  const graph::Graph g = graph::gnp(72, 0.04, rng);
+  mis::SelfHealingConfig cfg;
+  cfg.silence_threshold = 1;
+  mis::SelfHealingLocalFeedbackMis scalar(cfg);
+  expect_protocol_matches(g, healing_config(72, 0.0), 64, 8200, scalar);
+}
+
+TEST(BatchSim, SelfHealingHeterogeneousBaseMatchesScalar) {
+  // Healing on top of the general (non-dyadic) probability path: the
+  // probability reset must go through the double representation.
+  auto rng = support::Xoshiro256StarStar(29);
+  const graph::Graph g = graph::gnp(60, 0.05, rng);
+  mis::SelfHealingConfig cfg;
+  cfg.base.initial_p_low = 0.25;
+  cfg.base.initial_p_high = 0.5;
+  cfg.base.factor_low = 1.5;
+  cfg.base.factor_high = 3.0;
+  mis::SelfHealingLocalFeedbackMis scalar(cfg);
+  expect_protocol_matches(g, healing_config(60, 0.0), 64, 8300, scalar);
+}
+
+TEST(BatchSim, SelfHealingReactivationCountsMatchScalar) {
+  // The batched kernel's per-lane reactivation counters must equal the
+  // scalar protocol's total for the same seed — and the scenario must
+  // actually heal (nonzero total), or the test would pass vacuously.
+  auto rng = support::Xoshiro256StarStar(30);
+  const graph::Graph g = graph::gnp(80, 0.03, rng);
+  const sim::SimConfig config = healing_config(80, 0.0);
+  const unsigned lanes = 64;
+
+  mis::BatchSelfHealingMis kernel;
+  sim::BatchSimulator batch_sim(config);
+  std::vector<support::Xoshiro256StarStar> rngs;
+  for (unsigned l = 0; l < lanes; ++l) rngs.push_back(support::Xoshiro256StarStar(500 + l));
+  const std::vector<sim::RunResult> batch = batch_sim.run(g, kernel, rngs);
+  ASSERT_EQ(batch.size(), lanes);
+
+  std::size_t total = 0;
+  sim::BeepSimulator scalar_sim(g, config);
+  for (unsigned l = 0; l < lanes; ++l) {
+    mis::SelfHealingLocalFeedbackMis scalar;
+    const sim::RunResult r = scalar_sim.run(scalar, support::Xoshiro256StarStar(500 + l));
+    expect_identical_run(r, batch[l], "healing lane");
+    EXPECT_EQ(scalar.reactivations(), kernel.reactivations(l)) << "lane " << l;
+    total += kernel.reactivations(l);
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(BatchSim, ReactivateGuardsInvalidLanes) {
+  // ctx.reactivate must reject lanes where the node is not dominated; a
+  // kernel bug here would silently corrupt lane state.
+  class ReactivateAbuser final : public sim::BatchProtocol {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "abuser"; }
+    [[nodiscard]] unsigned exchanges_per_round() const override { return 1; }
+    void reset(const graph::Graph&, std::span<support::Xoshiro256StarStar>) override {}
+    void emit(sim::BatchContext&) override {}
+    void react(sim::BatchContext& ctx) override { ctx.reactivate(0, 1); }
+  };
+  const graph::Graph g = graph::path(4);
+  ReactivateAbuser protocol;
+  sim::BatchSimulator simulator{sim::SimConfig{}};
+  std::vector<support::Xoshiro256StarStar> rngs;
+  rngs.push_back(support::Xoshiro256StarStar(1));
+  EXPECT_THROW((void)simulator.run(g, protocol, std::move(rngs)), std::logic_error);
 }
 
 TEST(BatchSim, ScratchReuseAcrossRunsIsExact) {
@@ -206,14 +415,24 @@ TEST(BatchSim, RejectsUnsupportedConfigurations) {
 }
 
 TEST(BatchSim, BatchKernelAvailability) {
-  // The base protocol is batch-capable; subclasses and unrelated protocols
-  // must not silently inherit the kernel (their behaviour differs).
+  // Every shipped protocol of the family is batch-capable; an *unknown*
+  // LocalFeedbackMis subclass must still not silently inherit the base
+  // kernel (its behaviour may differ — the typeid guard catches it).
   const mis::LocalFeedbackMis base;
   EXPECT_NE(base.make_batch_protocol(), nullptr);
   const mis::SelfHealingLocalFeedbackMis healing;
-  EXPECT_EQ(healing.make_batch_protocol(), nullptr);
+  EXPECT_NE(healing.make_batch_protocol(), nullptr);
   const mis::GlobalScheduleMis global = mis::make_global_sweep_mis();
-  EXPECT_EQ(global.make_batch_protocol(), nullptr);
+  EXPECT_NE(global.make_batch_protocol(), nullptr);
+  const mis::ExactLocalFeedbackMis exact;
+  EXPECT_NE(exact.make_batch_protocol(), nullptr);
+
+  class TweakedLocalFeedback : public mis::LocalFeedbackMis {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "tweaked"; }
+  };
+  const TweakedLocalFeedback tweaked;
+  EXPECT_EQ(tweaked.make_batch_protocol(), nullptr);
 }
 
 // --- Harness fast path ----------------------------------------------------
@@ -272,6 +491,60 @@ TEST(BatchRunner, BatchedTrialStatsIdenticalToScalar) {
       run_beep_trials(shared_gnp(60), local_feedback(), batched_mt);
   expect_identical_stats(s, b);
   expect_identical_stats(s, bmt);
+}
+
+/// Scalar-vs-batched-vs-multithreaded TrialStats identity for one protocol
+/// factory — the contract the auto-batching runner must keep for every
+/// newly batched lane.
+void expect_runner_identity(const harness::BeepProtocolFactory& protocols,
+                            harness::TrialConfig batched) {
+  batched.threads = 1;
+  batched.shared_graph = true;
+  harness::TrialConfig scalar = batched;
+  scalar.allow_batched = false;
+  harness::TrialConfig batched_mt = batched;
+  batched_mt.threads = 4;
+
+  const harness::TrialStats s = run_beep_trials(shared_gnp(60), protocols, scalar);
+  const harness::TrialStats b = run_beep_trials(shared_gnp(60), protocols, batched);
+  const harness::TrialStats bmt = run_beep_trials(shared_gnp(60), protocols, batched_mt);
+  expect_identical_stats(s, b);
+  expect_identical_stats(s, bmt);
+}
+
+TEST(BatchRunner, GlobalScheduleTrialStatsIdenticalToScalar) {
+  harness::TrialConfig config;
+  config.trials = 100;
+  config.base_seed = 0x10ba1;
+  expect_runner_identity([] { return std::make_unique<mis::GlobalScheduleMis>(
+                                  std::make_unique<mis::SweepSchedule>()); },
+                         config);
+}
+
+TEST(BatchRunner, ExactFeedbackTrialStatsIdenticalToScalar) {
+  harness::TrialConfig config;
+  config.trials = 100;
+  config.base_seed = 0xeac7;
+  config.sim.beep_loss_probability = 0.2;
+  config.sim.mis_keepalive = true;
+  config.sim.max_rounds = 500;
+  expect_runner_identity([] { return std::make_unique<mis::ExactLocalFeedbackMis>(); },
+                         config);
+}
+
+TEST(BatchRunner, SelfHealingTrialStatsIdenticalToScalar) {
+  harness::TrialConfig config;
+  config.trials = 100;
+  config.base_seed = 0x4ea1;
+  config.sim.mis_keepalive = true;
+  config.sim.run_until_round = 40;
+  config.sim.max_rounds = 600;
+  config.sim.crash_round.assign(60, UINT32_MAX);
+  config.sim.crash_round[10] = 8;
+  config.sim.crash_round[30] = 12;
+  config.sim.crash_round[50] = 16;
+  expect_runner_identity([] { return std::make_unique<mis::SelfHealingLocalFeedbackMis>(); },
+                         config);
 }
 
 TEST(BatchRunner, LosslessSweepIdenticalToScalar) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -157,6 +158,25 @@ TEST(Xoshiro, SplitStreamsAreIndependentAndDeterministic) {
 TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
   static_assert(std::uniform_random_bit_generator<Xoshiro256StarStar>);
   SUCCEED();
+}
+
+TEST(Xoshiro, BernoulliPow2MatchesFloatingBernoulliEverywhere) {
+  // bernoulli_pow2(k) must be bit-identical to bernoulli(ldexp(1, -k)) on
+  // the same stream for every k — including the endpoints the batched
+  // dyadic kernels rely on: k = 0 (p = 1, always fires), the draw
+  // granularity boundary (52/53/54), the subnormal clamp region, the
+  // smallest subnormal (1074) and the underflow to exact zero (>= 1075,
+  // never fires but still consumes the draw).
+  for (const unsigned k : {0u, 1u, 2u, 5u, 52u, 53u, 54u, 100u, 1000u, 1074u,
+                           1075u, 1076u, 5000u}) {
+    Xoshiro256StarStar a(900 + k);
+    Xoshiro256StarStar b(900 + k);
+    const double p = std::ldexp(1.0, -static_cast<int>(k));
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_EQ(a.bernoulli_pow2(k), b.bernoulli(p)) << "k=" << k << " i=" << i;
+    }
+    EXPECT_EQ(a.state(), b.state()) << "k=" << k;  // same number of outputs consumed
+  }
 }
 
 TEST(SeedSequence, ChildrenAreDistinctAndStable) {
