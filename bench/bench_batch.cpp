@@ -252,12 +252,24 @@ int main(int argc, char** argv) {
         (static_cast<std::size_t>(i) * n) / 9)] = 14 + 2 * i;
   }
 
+  // Lossy maintenance tail (the rows left open after the PR-3 sweep): with
+  // beep loss every potential keep-alive delivery consumes its own
+  // per-lane Bernoulli, so nothing can be cached and the batched win is
+  // bounded by per-lane draw work — the honest counterpart to the cached
+  // lossless tail.  A quarter-length tail: the regime is draw-dominated
+  // and steady from the first tail round, so longer tails only multiply
+  // bench wall-clock without changing the ratio.
+  sim::SimConfig lossy_tail = keepalive_tail;
+  lossy_tail.beep_loss_probability = 0.05;
+  lossy_tail.run_until_round = std::max<std::size_t>(1, tail_rounds / 4);
+
   measure_workload("converge", "local-feedback", converge, local_feedback);
   measure_workload("converge", "global-sweep", converge, global_sweep);
   measure_workload("converge", "exact-feedback", converge, exact_feedback);
   measure_workload("keepalive-tail", "local-feedback", keepalive_tail, local_feedback);
   measure_workload("keepalive-tail", "global-sweep", keepalive_tail, global_sweep);
   measure_workload("keepalive-tail", "exact-feedback", keepalive_tail, exact_feedback);
+  measure_workload("lossy-tail", "local-feedback", lossy_tail, local_feedback);
   measure_workload("healing-tail", "healing", healing_tail, healing);
 
   std::cout << table.to_string() << '\n';

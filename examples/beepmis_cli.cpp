@@ -30,6 +30,9 @@ int main(int argc, char** argv) {
   options.add("seed", "1", "algorithm seed (first trial; trial t uses seed + t)");
   options.add("trials", "1", "number of runs (same graph, different seeds)");
   options.add("loss", "0", "beep loss probability (beeping algorithms)");
+  options.add("shards", "1",
+              "run each trial across this many CSR shards / worker threads "
+              "(shard-capable beeping algorithms; results are bit-identical)");
   options.add("keepalive", "false", "MIS nodes keep beeping (wake-up support)");
   options.add("max-rounds", "1048576", "round cap");
   options.add("factor", "2.0", "local-feedback feedback factor");
@@ -82,6 +85,7 @@ int main(int argc, char** argv) {
   aspec.local_sim.max_rounds = aspec.sim.max_rounds;
   aspec.factor = options.get_double("factor");
   aspec.initial_p = options.get_double("initial-p");
+  aspec.shards = static_cast<unsigned>(options.get_int("shards"));
 
   const auto trials = static_cast<std::size_t>(options.get_int("trials"));
   const std::uint64_t seed0 = options.get_u64("seed");

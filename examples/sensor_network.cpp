@@ -9,8 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "mis/local_feedback.hpp"
 #include "mis/mis.hpp"
 #include "mis/self_healing.hpp"
+#include "sim/sharded.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 
@@ -47,6 +49,9 @@ int main(int argc, char** argv) {
   options.add("radius", "0.18", "radio range (unit square)");
   options.add("seed", "7", "random seed");
   options.add("compare", "false", "also run Luby's algorithm and compare cost");
+  options.add("shards", "1",
+              "elect heads across this many CSR shards / worker threads "
+              "(bit-identical to the single-threaded election)");
   options.add("churn", "false",
               "crash 20% of sensors mid-run and re-elect heads via self-healing");
   if (!options.parse(argc, argv)) {
@@ -61,6 +66,7 @@ int main(int argc, char** argv) {
   const auto sensors = static_cast<graph::NodeId>(options.get_int("sensors"));
   const double radius = options.get_double("radius");
   const std::uint64_t seed = options.get_u64("seed");
+  const auto shards = static_cast<unsigned>(options.get_int("shards"));
 
   auto rng = support::Xoshiro256StarStar(seed);
   const graph::GeometricGraph field = graph::random_geometric(sensors, radius, rng);
@@ -70,7 +76,18 @@ int main(int argc, char** argv) {
   const graph::Components comps = graph::connected_components(g);
   std::cout << "network has " << comps.count << " connected component(s)\n\n";
 
-  const sim::RunResult result = mis::run_local_feedback(g, seed);
+  // --shards >= 2 elects through the sharded simulator (one worker thread
+  // per CSR shard); the sharded core draws in scalar order, so the elected
+  // heads — and everything printed below — are identical either way.
+  sim::RunResult result;
+  if (shards >= 2) {
+    mis::LocalFeedbackMis protocol;
+    sim::ShardedSimulator simulator(g, shards);
+    result = simulator.run(protocol, support::Xoshiro256StarStar(seed));
+    std::cout << "election ran on " << simulator.shard_count() << " CSR shards\n";
+  } else {
+    result = mis::run_local_feedback(g, seed);
+  }
   const mis::VerificationReport report = mis::verify_mis_run(g, result);
   const auto heads = result.mis();
 

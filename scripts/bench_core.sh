@@ -5,17 +5,21 @@
 #
 #   scripts/bench_core.sh [--smoke] [common bench args...]
 #
-# Two benches contribute:
+# Three benches contribute:
 #   bench_frontier  seed-path (dense) core vs frontier core, single runs
 #   bench_batch     per-trial scalar sweep vs 64-lane batched sweep
-# each at n in BENCH_SIZES (default "1000 10000 100000").  Positional args
-# are forwarded to *both* drivers, so use them only for flags both accept
+#   bench_shard     scalar single run vs sharded single run (ShardedSimulator)
+# bench_frontier and bench_batch run at n in BENCH_SIZES (default
+# "1000 10000 100000"); bench_shard runs at n in SHARD_SIZES (default
+# "100000 1000000" — sharding targets large single runs).  Positional args
+# are forwarded to *all* drivers, so use them only for flags all accept
 # (--avg-degree, --tail-rounds, --reps, --seed); driver-specific flags go
-# in FRONTIER_ARGS / BATCH_ARGS (e.g. BATCH_ARGS="--trials=128").  The
-# script-owned --n/--git-rev/--out are appended last, so they win over
-# anything forwarded.  The merged JSON is { header, frontier: [per-n
-# reports], batch: [per-n reports] }; every per-n report records the git
-# revision and compiler it was built with.
+# in FRONTIER_ARGS / BATCH_ARGS / SHARD_ARGS (e.g. BATCH_ARGS="--trials=128",
+# SHARD_ARGS="--shards=1,2,4,8").  The script-owned --n/--git-rev/--out are
+# appended last, so they win over anything forwarded.  The merged JSON is
+# { header, frontier: [...], batch: [...], shard: [...] } (one per-n report
+# each); every per-n report records the git revision and compiler it was
+# built with.
 #
 # --smoke (must be the first argument) is the CI mode: one tiny size
 # (n=256), one rep, short tails, and the merged JSON goes to
@@ -39,10 +43,15 @@ fi
 
 if (( smoke )); then
   sizes="${BENCH_SIZES:-256}"
+  # Larger than the other smoke lanes: at n=256 the sharded rows measure
+  # nothing but barrier latency, which made the warn-only comparison
+  # against the committed 100k/1M rows pure noise.
+  shard_sizes="${SHARD_SIZES:-20000}"
   merged_default="${build_dir}/BENCH_core_smoke.json"
   smoke_args=(--reps=1 --tail-rounds=32)
 else
   sizes="${BENCH_SIZES:-1000 10000 100000}"
+  shard_sizes="${SHARD_SIZES:-100000 1000000}"
   merged_default="${repo_root}/BENCH_core.json"
   smoke_args=()
 fi
@@ -51,7 +60,7 @@ merged="${BENCH_OUT:-${merged_default}}"
 if [[ ! -d "${build_dir}" ]]; then
   cmake -B "${build_dir}" -S "${repo_root}"
 fi
-cmake --build "${build_dir}" --target bench_frontier bench_batch -j
+cmake --build "${build_dir}" --target bench_frontier bench_batch bench_shard -j
 
 git_rev="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 out_dir="${build_dir}/bench_reports"
@@ -62,15 +71,20 @@ mkdir -p "${out_dir}"
 # shellcheck disable=SC2206
 size_list=(${sizes})
 sizes_json="$(IFS=,; echo "${size_list[*]}")"
+# shellcheck disable=SC2206
+shard_size_list=(${shard_sizes})
 
 # Intentionally word-split driver-specific extras.
 # shellcheck disable=SC2206
 frontier_extra=(${FRONTIER_ARGS:-})
 # shellcheck disable=SC2206
 batch_extra=(${BATCH_ARGS:-})
+# shellcheck disable=SC2206
+shard_extra=(${SHARD_ARGS:-})
 
 frontier_reports=()
 batch_reports=()
+shard_reports=()
 for n in "${size_list[@]}"; do
   frontier_out="${out_dir}/frontier_n${n}.json"
   batch_out="${out_dir}/batch_n${n}.json"
@@ -83,19 +97,33 @@ for n in "${size_list[@]}"; do
   frontier_reports+=("${frontier_out}")
   batch_reports+=("${batch_out}")
 done
+for n in "${shard_size_list[@]}"; do
+  shard_out="${out_dir}/shard_n${n}.json"
+  "${build_dir}/bench/bench_shard" ${smoke_args[@]+"${smoke_args[@]}"} "$@" \
+      ${shard_extra[@]+"${shard_extra[@]}"} \
+      --n="${n}" --git-rev="${git_rev}" --out="${shard_out}"
+  shard_reports+=("${shard_out}")
+done
+
+emit_section() {  # $1 = section name, rest = report files
+  local name="$1"; shift
+  printf '  "%s": [\n' "${name}"
+  local i=0
+  for report in "$@"; do
+    sed 's/^/    /' "${report}"
+    i=$((i + 1))
+    if (( i < $# )); then printf '    ,\n'; fi
+  done
+  printf '  ]'
+}
 {
   printf '{\n  "bench": "bench_core",\n  "git_rev": "%s",\n  "sizes": [%s],\n' \
     "${git_rev}" "${sizes_json}"
-  printf '  "frontier": [\n'
-  for i in "${!frontier_reports[@]}"; do
-    sed 's/^/    /' "${frontier_reports[$i]}"
-    if (( i + 1 < ${#frontier_reports[@]} )); then printf '    ,\n'; fi
-  done
-  printf '  ],\n  "batch": [\n'
-  for i in "${!batch_reports[@]}"; do
-    sed 's/^/    /' "${batch_reports[$i]}"
-    if (( i + 1 < ${#batch_reports[@]} )); then printf '    ,\n'; fi
-  done
-  printf '  ]\n}\n'
+  emit_section frontier "${frontier_reports[@]}"
+  printf ',\n'
+  emit_section batch "${batch_reports[@]}"
+  printf ',\n'
+  emit_section shard "${shard_reports[@]}"
+  printf '\n}\n'
 } > "${merged}"
 echo "perf record written to ${merged}"

@@ -36,7 +36,7 @@ import os
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SECTIONS = ("frontier", "batch")
+SECTIONS = ("frontier", "batch", "shard")
 
 
 def load_report(path):

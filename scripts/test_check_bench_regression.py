@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Tests for check_bench_regression.py (run via ctest or `python3 -m
+pytest scripts/` or directly).
+
+The checker is the only gate between a bench refactor and silently losing
+a measured lane, so it gets its own coverage: matching lanes pass, a
+regressed lane warns (and fails under --strict), lost coverage warns, and
+the disjoint-size fallback compares the two smallest n.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_bench_regression.py")
+
+
+def report(section_rows):
+    """Builds a bench_core-shaped report: {section: [{results: rows}]}."""
+    out = {"bench": "bench_core", "git_rev": "test"}
+    for section, rows in section_rows.items():
+        out[section] = [{"git_rev": "test", "results": rows}]
+    return out
+
+
+def row(workload, impl, n, speedup=None, protocol="local-feedback"):
+    r = {"workload": workload, "protocol": protocol, "impl": impl, "n": n}
+    if speedup is not None:
+        r["speedup_vs_scalar"] = speedup
+    return r
+
+
+class CheckBenchRegressionTest(unittest.TestCase):
+    def run_checker(self, baseline, fresh, *extra_args):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "baseline.json")
+            fresh_path = os.path.join(tmp, "fresh.json")
+            with open(base_path, "w", encoding="utf-8") as fh:
+                json.dump(baseline, fh)
+            with open(fresh_path, "w", encoding="utf-8") as fh:
+                json.dump(fresh, fh)
+            proc = subprocess.run(
+                [sys.executable, SCRIPT, "--baseline", base_path, "--fresh",
+                 fresh_path, *extra_args],
+                capture_output=True, text=True, check=False)
+        return proc.returncode, proc.stdout + proc.stderr
+
+    def test_matching_lanes_pass(self):
+        base = report({"batch": [row("converge", "batched", 1000, 3.0)],
+                       "shard": [row("converge", "sharded-k8", 100000, 3.5)]})
+        code, out = self.run_checker(base, base, "--strict")
+        self.assertEqual(code, 0, out)
+        self.assertIn("ok:", out)
+
+    def test_regressed_lane_warns_without_strict(self):
+        base = report({"batch": [row("keepalive-tail", "batched", 10000, 12.0)]})
+        fresh = report({"batch": [row("keepalive-tail", "batched", 10000, 1.1)]})
+        code, out = self.run_checker(base, fresh)
+        self.assertEqual(code, 0, out)  # warn-only by default
+        self.assertIn("possible regression", out)
+
+    def test_regressed_lane_fails_under_strict(self):
+        base = report({"shard": [row("converge", "sharded-k8", 1000000, 4.0)]})
+        fresh = report({"shard": [row("converge", "sharded-k8", 1000000, 0.5)]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 1, out)
+        self.assertIn("possible regression", out)
+        self.assertIn("--strict", out)
+
+    def test_lost_coverage_warns(self):
+        base = report({"batch": [row("converge", "batched", 1000, 3.0),
+                                 row("lossy-tail", "batched", 1000, 2.0)]})
+        fresh = report({"batch": [row("converge", "batched", 1000, 3.0)]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 1, out)
+        self.assertIn("coverage lost", out)
+        self.assertIn("lossy-tail", out)
+
+    def test_disjoint_sizes_compare_smallest(self):
+        # Smoke n=256 vs committed 10k/100k: the fresh 256 row is compared
+        # against the baseline's smallest n only, and a healthy ratio
+        # passes even though no size matches.
+        base = report({"batch": [row("converge", "batched", 10000, 3.0),
+                                 row("converge", "batched", 100000, 4.0)]})
+        fresh = report({"batch": [row("converge", "batched", 256, 2.5)]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 0, out)
+        self.assertIn("ok:", out)
+
+    def test_new_lane_is_noted_not_fatal(self):
+        base = report({"batch": [row("converge", "batched", 1000, 3.0)]})
+        fresh = report({"batch": [row("converge", "batched", 1000, 3.0)],
+                        "shard": [row("converge", "sharded-k8", 256, 1.0)]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 0, out)
+        self.assertIn("new lane not in baseline yet", out)
+
+    def test_per_size_comparison_catches_large_n_regression(self):
+        # A healthy small-n row must not hide a large-n regression when the
+        # sweeps overlap.
+        base = report({"frontier": [row("tail", "frontier", 1000, 100.0),
+                                    row("tail", "frontier", 100000, 400.0)]})
+        fresh = report({"frontier": [row("tail", "frontier", 1000, 100.0),
+                                     row("tail", "frontier", 100000, 30.0)]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 1, out)
+        self.assertIn("n=100000", out)
+
+    def test_unreadable_baseline_is_an_error(self):
+        fresh = report({"batch": [row("converge", "batched", 1000, 3.0)]})
+        with tempfile.TemporaryDirectory() as tmp:
+            fresh_path = os.path.join(tmp, "fresh.json")
+            with open(fresh_path, "w", encoding="utf-8") as fh:
+                json.dump(fresh, fh)
+            proc = subprocess.run(
+                [sys.executable, SCRIPT, "--baseline",
+                 os.path.join(tmp, "missing.json"), "--fresh", fresh_path],
+                capture_output=True, text=True, check=False)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("cannot read baseline", proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

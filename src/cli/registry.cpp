@@ -6,8 +6,11 @@
 
 #include "graph/generators.hpp"
 #include "mis/exact_feedback.hpp"
+#include "mis/global_schedule.hpp"
 #include "mis/mis.hpp"
 #include "mis/pure_beep.hpp"
+#include "mis/schedule.hpp"
+#include "sim/sharded.hpp"
 
 namespace beepmis::cli {
 
@@ -57,26 +60,61 @@ std::string graph_help() {
          "  clique-family  Theorem 1 family, param k    (--k)\n";
 }
 
+namespace {
+
+/// Runs a shard-capable beeping protocol either scalar or sharded
+/// (AlgorithmSpec::shards >= 2).  The sharded path draws in scalar order,
+/// so both paths return bit-identical results.
+sim::RunResult run_beeping(const AlgorithmSpec& spec, const graph::Graph& g,
+                           sim::BeepProtocol& protocol) {
+  if (spec.shards >= 2) {
+    sim::ShardedSimulator simulator(g, spec.shards, spec.sim);
+    return simulator.run(protocol, support::Xoshiro256StarStar(spec.seed));
+  }
+  sim::BeepSimulator simulator(g, spec.sim);
+  return simulator.run(protocol, support::Xoshiro256StarStar(spec.seed));
+}
+
+}  // namespace
+
 sim::RunResult run_algorithm(const AlgorithmSpec& spec, const graph::Graph& g) {
   if (spec.name == "local-feedback") {
     mis::LocalFeedbackConfig config;
     config.factor_low = config.factor_high = spec.factor;
     config.initial_p_low = config.initial_p_high = spec.initial_p;
-    return mis::run_local_feedback(g, spec.seed, config, spec.sim);
+    mis::LocalFeedbackMis protocol(config);
+    return run_beeping(spec, g, protocol);
   }
   if (spec.name == "local-feedback-exact") {
     mis::ExactLocalFeedbackMis protocol;
-    sim::BeepSimulator simulator(g, spec.sim);
-    return simulator.run(protocol, support::Xoshiro256StarStar(spec.seed));
+    return run_beeping(spec, g, protocol);
   }
   if (spec.name == "pure-beep") {
+    if (spec.shards >= 2) {
+      throw std::invalid_argument(
+          "--shards: pure-beep has no sharded support (subslot exchanges draw "
+          "outside the skeleton contract)");
+    }
     mis::PureBeepLocalFeedbackMis protocol(/*subslots=*/8, spec.factor);
     sim::BeepSimulator simulator(g, spec.sim);
     return simulator.run(protocol, support::Xoshiro256StarStar(spec.seed));
   }
-  if (spec.name == "global-sweep") return mis::run_global_sweep(g, spec.seed, spec.sim);
+  if (spec.name == "global-sweep") {
+    mis::GlobalScheduleMis protocol = mis::make_global_sweep_mis();
+    return run_beeping(spec, g, protocol);
+  }
   if (spec.name == "global-increasing") {
-    return mis::run_global_increasing(g, spec.seed, spec.sim);
+    // Parameterisation must match mis::run_global_increasing (mis.cpp),
+    // which this path mirrors so --shards can route through run_beeping.
+    mis::GlobalScheduleMis protocol =
+        mis::make_global_increasing_mis(g.max_degree(), g.node_count());
+    return run_beeping(spec, g, protocol);
+  }
+  if (spec.shards >= 2) {
+    throw std::invalid_argument("--shards is only supported by the shard-capable "
+                                "beeping algorithms (local-feedback, "
+                                "local-feedback-exact, global-sweep, "
+                                "global-increasing); got: " + spec.name);
   }
   if (spec.name == "luby") return mis::run_luby(g, spec.seed, spec.local_sim);
   if (spec.name == "luby-degree") return mis::run_luby_degree(g, spec.seed, spec.local_sim);

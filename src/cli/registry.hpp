@@ -42,6 +42,12 @@ struct AlgorithmSpec {
   /// Local-feedback knobs (ignored by other algorithms).
   double factor = 2.0;
   double initial_p = 0.5;
+  /// >= 2: run through sim::ShardedSimulator with this many shards (one
+  /// worker thread each) — bit-identical to the scalar run, so results
+  /// never depend on the flag.  Only shard-capable beeping algorithms
+  /// accept it (local-feedback, local-feedback-exact, global-sweep,
+  /// global-increasing); others throw std::invalid_argument.
+  unsigned shards = 1;
 };
 
 /// Runs the named algorithm on `g`.  Throws std::invalid_argument for an

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "mis/verifier.hpp"
 #include "sim/batch.hpp"
+#include "sim/sharded.hpp"
+#include "support/parallel.hpp"
 
 namespace beepmis::harness {
 
@@ -60,39 +60,10 @@ void fill_record(TrialRecord& rec, const graph::Graph& g, const sim::RunResult& 
   rec.uncovered_nodes = report.uncovered_nodes;
 }
 
-/// Clamps the requested thread count to the work-unit count (0 = hardware
-/// concurrency) and runs `worker` on that many threads; workers claim
-/// units through their own shared atomic.  A throw from any worker (a
-/// protocol-contract logic_error, a misconfigured SimConfig) is captured
-/// and rethrown after the join, so callers see the same catchable
-/// exception at any thread count instead of std::terminate.
-template <typename Worker>
-void run_workers(unsigned threads, std::size_t work_units, Worker&& worker) {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, std::max<std::size_t>(work_units, 1)));
-  if (threads == 1) {
-    worker();
-    return;
-  }
-  std::mutex mutex;
-  std::exception_ptr first_error;
-  const auto guarded = [&] {
-    try {
-      worker();
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(mutex);
-      if (!first_error) first_error = std::current_exception();
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(guarded);
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
-}
+// run_workers — the shared worker-pool + exception-capture helper — now
+// lives in support/parallel.hpp so the sharded simulator's per-run worker
+// pool funnels through the same policy.
+using support::run_workers;
 
 /// Trial-index-ordered aggregation: the floating-point result is identical
 /// for any thread count (and for the scalar vs batched execution paths).
@@ -207,10 +178,77 @@ TrialStats run_beep_trials_batched(const graph::Graph& shared,
   return aggregate_records(records);
 }
 
+/// Sharded execution paths (see TrialConfig::shards).  Returns true and
+/// fills `out` when a sharded path ran; false = use the scalar/batched
+/// paths.  Both sharded paths draw in scalar order, so TrialStats are
+/// bit-identical to the other execution paths.
+bool run_beep_trials_sharded(const GraphFactory& graphs,
+                             const BeepProtocolFactory& protocols,
+                             const TrialConfig& config, TrialStats& out) {
+  if (!config.allow_sharded || config.sim.record_trace || config.trials == 0 ||
+      config.shards == 1) {
+    return false;
+  }
+  if (!protocols()->shard_support().supported) return false;
+
+  if (config.shards >= 2) {
+    // Explicit shard count: every trial runs sharded; the outer trial loop
+    // is single-worker because each run already uses `shards` threads.
+    TrialConfig outer = config;
+    outer.threads = 1;
+    out = run_trials_impl(graphs, outer, [&] {
+      return [simulator = sim::ShardedSimulator(config.shards, config.sim),
+              protocol = protocols()](const graph::Graph& g,
+                                      support::Xoshiro256StarStar rng) mutable {
+        return simulator.run(g, *protocol, rng);
+      };
+    });
+    return true;
+  }
+
+  // Auto mode: only a lone large run benefits — with several trials the
+  // trial-level parallelism already saturates the machine.
+  const unsigned threads = config.threads != 0
+                               ? config.threads
+                               : std::max(1u, std::thread::hardware_concurrency());
+  if (config.trials != 1 || threads < 2) return false;
+  const support::SeedSequence trial_seed = support::SeedSequence(config.base_seed).child(0);
+  // Shared or not, trial 0's graph comes from root.child(0).child(0) —
+  // the same seed path either way.
+  auto graph_rng = trial_seed.child(0).generator();
+  const graph::Graph g = graphs(graph_rng);
+
+  const std::unique_ptr<sim::BeepProtocol> protocol = protocols();
+  sim::RunResult result;
+  if (g.node_count() >= config.auto_shard_min_nodes) {
+    // Auto mode must never reject a config that worked before sharding
+    // existed, so clamp to the simulator's shard ceiling (explicit
+    // TrialConfig::shards beyond it still throws — that is a request).
+    const unsigned k = std::min(threads, sim::ShardedSimulator::kMaxShards);
+    sim::ShardedSimulator simulator(g, k, config.sim);
+    result = simulator.run(*protocol, trial_seed.child(1).generator());
+  } else {
+    // Too small for the per-exchange barriers to pay off — but the graph
+    // is already built, so run the lone trial scalar here rather than
+    // rebuilding it from the same seed in the generic trial loop.
+    sim::BeepSimulator simulator(g, config.sim);
+    result = simulator.run(*protocol, trial_seed.child(1).generator());
+  }
+  std::vector<TrialRecord> records(1);
+  fill_record(records[0], g, result);
+  out = aggregate_records(records);
+  return true;
+}
+
 }  // namespace
 
 TrialStats run_beep_trials(const GraphFactory& graphs, const BeepProtocolFactory& protocols,
                            const TrialConfig& config) {
+  // Sharded path: parallelism *within* one run (TrialConfig::shards).
+  // Bit-identical to the scalar path, like the batched path below.
+  if (TrialStats sharded; run_beep_trials_sharded(graphs, protocols, config, sharded)) {
+    return sharded;
+  }
   // Batched fast path: one graph shared by every trial, a protocol with a
   // batched kernel, and no per-run event trace.  Bit-identical to the
   // scalar path (lane-for-lane), so callers never observe the switch.

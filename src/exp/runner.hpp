@@ -41,6 +41,21 @@ struct TrialConfig {
   /// are bit-identical to the scalar path either way, so this exists only
   /// for A/B testing and benchmarking the two paths.
   bool allow_batched = true;
+  /// Shard-parallel execution of large single runs (sim/sharded.hpp).
+  /// 0 = auto: when exactly one trial is requested, the protocol declares
+  /// shard support (BeepProtocol::shard_support), no trace is recorded and
+  /// the trial's graph has at least `auto_shard_min_nodes` nodes, the run
+  /// executes across `threads` (default: hardware) shards.  1 = never.
+  /// >= 2 = force that shard count for every trial; the trial loop then
+  /// runs single-worker, since each trial already uses `shards` threads.
+  /// The sharded path draws in scalar order, so results are bit-identical
+  /// to the scalar path either way — callers never observe the switch.
+  unsigned shards = 0;
+  /// Opt-out mirror of allow_batched for the sharded path.
+  bool allow_sharded = true;
+  /// Auto-sharding size threshold: below this a single run is too small
+  /// for the per-exchange barriers to pay off.  Exposed for tests.
+  std::size_t auto_shard_min_nodes = std::size_t{1} << 18;
   sim::SimConfig sim;
   sim::LocalSimConfig local_sim;
 };

@@ -26,6 +26,12 @@ class ExactLocalFeedbackMis final : public BeepingMisSkeleton {
   /// the class is final and carries no configuration.
   [[nodiscard]] std::unique_ptr<sim::BatchProtocol> make_batch_protocol() const override;
 
+  /// Sharded single-run execution: exponent_ is per-node and the hooks
+  /// are draw-free.  No typeid guard needed — the class is final.
+  [[nodiscard]] sim::ShardSupport shard_support() const override {
+    return skeleton_shard_support();
+  }
+
   /// The paper's n(v, t) for node v (valid after reset).
   [[nodiscard]] std::uint32_t exponent_of(graph::NodeId v) const { return exponent_.at(v); }
 

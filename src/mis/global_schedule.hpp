@@ -29,6 +29,13 @@ class GlobalScheduleMis final : public BeepingMisSkeleton {
   /// skeleton's round structure is fully reproduced by the kernel.
   [[nodiscard]] std::unique_ptr<sim::BatchProtocol> make_batch_protocol() const override;
 
+  /// Sharded single-run execution: the schedule is immutable and read by
+  /// round only, so the hooks are trivially per-node safe.  No typeid
+  /// guard needed — the class is final.
+  [[nodiscard]] sim::ShardSupport shard_support() const override {
+    return skeleton_shard_support();
+  }
+
  protected:
   void on_reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) override;
   [[nodiscard]] double beep_probability(graph::NodeId v, std::size_t round) const override;

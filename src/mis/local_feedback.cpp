@@ -16,6 +16,14 @@ std::unique_ptr<sim::BatchProtocol> LocalFeedbackMis::make_batch_protocol() cons
   return std::make_unique<BatchLocalFeedbackMis>(config_);
 }
 
+sim::ShardSupport LocalFeedbackMis::shard_support() const {
+  // Exact-type guard, like make_batch_protocol: a subclass (self-healing)
+  // adds cross-node behaviour and extra bookkeeping the sharded contract
+  // does not cover.
+  if (typeid(*this) != typeid(LocalFeedbackMis)) return {};
+  return skeleton_shard_support();
+}
+
 void LocalFeedbackConfig::validate() const {
   if (!(initial_p_low > 0.0) || initial_p_low > initial_p_high || initial_p_high > 1.0) {
     throw std::invalid_argument(

@@ -44,6 +44,12 @@ class LocalFeedbackMis : public BeepingMisSkeleton {
   /// break the lane-for-lane identity contract.
   [[nodiscard]] std::unique_ptr<sim::BatchProtocol> make_batch_protocol() const override;
 
+  /// Sharded single-run execution (sim::ShardedSimulator): the skeleton's
+  /// one-draw-per-active-node contract holds and all hook state (p_,
+  /// factor_, winner_) is per-node.  Refuses subclasses for the same
+  /// reason make_batch_protocol does.
+  [[nodiscard]] sim::ShardSupport shard_support() const override;
+
   /// Current beep probability of node v (for tests and introspection).
   [[nodiscard]] double probability_of(graph::NodeId v) const { return p_.at(v); }
   /// The feedback factor assigned to node v at reset.

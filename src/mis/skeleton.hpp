@@ -32,6 +32,17 @@ class BeepingMisSkeleton : public sim::BeepProtocol {
   void react(sim::BeepContext& ctx) final;
 
  protected:
+  /// The skeleton's sharded-execution declaration, for concrete protocols
+  /// whose hooks satisfy the sharded contract (sim::ShardSupport): the
+  /// intent exchange draws exactly one Bernoulli per active-list entry,
+  /// the announcement exchange draws nothing, and react/on_feedback touch
+  /// only per-node state.  Concrete protocols return this from their
+  /// shard_support() override — with a typeid guard when non-final, like
+  /// make_batch_protocol (see the kernel-authoring checklist).
+  [[nodiscard]] sim::ShardSupport skeleton_shard_support() const {
+    return {/*supported=*/true, /*emit_draws_per_entry=*/{1, 0}};
+  }
+
   /// Initialise per-node policy state.
   virtual void on_reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) = 0;
   /// Beep probability of active node `v` at time step `round`.

@@ -5,11 +5,14 @@
 #include <stdexcept>
 
 #include "sim/batch.hpp"
+#include "sim/exchange_core.hpp"
 #include "sim/flag_buffer.hpp"
 
 namespace beepmis::sim {
 
 std::unique_ptr<BatchProtocol> BeepProtocol::make_batch_protocol() const { return nullptr; }
+
+ShardSupport BeepProtocol::shard_support() const { return {}; }
 
 void BeepContext::beep(graph::NodeId v) {
   if (phase_ != Phase::kEmit) {
@@ -18,18 +21,20 @@ void BeepContext::beep(graph::NodeId v) {
   if (v >= status_->size() || (*status_)[v] != NodeStatus::kActive) {
     throw std::logic_error("BeepContext::beep on an inactive or invalid node");
   }
+  if (v < sink_->lo || v >= sink_->hi) {
+    throw std::logic_error("BeepContext::beep on a node outside this shard's range");
+  }
   if (!(*beeped_)[v]) {
     (*beeped_)[v] = 1;
-    simulator_->beepers_.push_back(v);
+    sink_->beepers->push_back(v);
     // A signal continuing from the previous exchange is one episode (see
     // beep() documentation in the header).
     if (!(*prev_beeped_)[v]) {
-      ++simulator_->beep_counts_[v];
-      ++simulator_->total_beeps_;
-      if (simulator_->trace_enabled_) {
-        simulator_->trace_.record({static_cast<std::uint32_t>(round_),
-                                   static_cast<std::uint8_t>(exchange_), EventKind::kBeep,
-                                   v});
+      ++(*sink_->beep_counts)[v];
+      ++*sink_->total_beeps;
+      if (sink_->trace != nullptr) {
+        sink_->trace->record({static_cast<std::uint32_t>(round_),
+                              static_cast<std::uint8_t>(exchange_), EventKind::kBeep, v});
       }
     }
   }
@@ -42,12 +47,15 @@ void BeepContext::join_mis(graph::NodeId v) {
   if (v >= status_->size() || (*status_)[v] != NodeStatus::kActive) {
     throw std::logic_error("BeepContext::join_mis on an inactive or invalid node");
   }
+  if (v < sink_->lo || v >= sink_->hi) {
+    throw std::logic_error("BeepContext::join_mis on a node outside this shard's range");
+  }
   (*status_)[v] = NodeStatus::kInMis;
-  simulator_->mis_nodes_.push_back(v);
-  simulator_->mis_hear_valid_ = false;
-  if (simulator_->trace_enabled_) {
-    simulator_->trace_.record({static_cast<std::uint32_t>(round_),
-                               static_cast<std::uint8_t>(exchange_), EventKind::kJoinMis, v});
+  sink_->mis_joins->push_back(v);
+  *sink_->mis_hear_valid = false;
+  if (sink_->trace != nullptr) {
+    sink_->trace->record({static_cast<std::uint32_t>(round_),
+                          static_cast<std::uint8_t>(exchange_), EventKind::kJoinMis, v});
   }
 }
 
@@ -58,11 +66,13 @@ void BeepContext::deactivate(graph::NodeId v) {
   if (v >= status_->size() || (*status_)[v] != NodeStatus::kActive) {
     throw std::logic_error("BeepContext::deactivate on an inactive or invalid node");
   }
+  if (v < sink_->lo || v >= sink_->hi) {
+    throw std::logic_error("BeepContext::deactivate on a node outside this shard's range");
+  }
   (*status_)[v] = NodeStatus::kDominated;
-  if (simulator_->trace_enabled_) {
-    simulator_->trace_.record({static_cast<std::uint32_t>(round_),
-                               static_cast<std::uint8_t>(exchange_), EventKind::kDeactivate,
-                               v});
+  if (sink_->trace != nullptr) {
+    sink_->trace->record({static_cast<std::uint32_t>(round_),
+                          static_cast<std::uint8_t>(exchange_), EventKind::kDeactivate, v});
   }
 }
 
@@ -73,12 +83,14 @@ void BeepContext::reactivate(graph::NodeId v) {
   if (v >= status_->size() || (*status_)[v] != NodeStatus::kDominated) {
     throw std::logic_error("BeepContext::reactivate on a non-dominated node");
   }
+  if (v < sink_->lo || v >= sink_->hi) {
+    throw std::logic_error("BeepContext::reactivate on a node outside this shard's range");
+  }
   (*status_)[v] = NodeStatus::kActive;
-  simulator_->reactivated_.push_back(v);
-  if (simulator_->trace_enabled_) {
-    simulator_->trace_.record({static_cast<std::uint32_t>(round_),
-                               static_cast<std::uint8_t>(exchange_), EventKind::kReactivate,
-                               v});
+  sink_->reactivated->push_back(v);
+  if (sink_->trace != nullptr) {
+    sink_->trace->record({static_cast<std::uint32_t>(round_),
+                          static_cast<std::uint8_t>(exchange_), EventKind::kReactivate, v});
   }
 }
 
@@ -111,28 +123,7 @@ void BeepSimulator::bind_graph(const graph::Graph& g) {
     throw std::invalid_argument("SimConfig: crash_round size must match the graph");
   }
   graph_ = &g;
-
-  initial_active_.clear();
-  pending_wakeups_.clear();
-  for (graph::NodeId v = 0; v < n; ++v) {
-    if (config_.wake_round.empty() || config_.wake_round[v] == 0) {
-      initial_active_.push_back(v);
-    } else {
-      pending_wakeups_.emplace_back(config_.wake_round[v], v);
-    }
-  }
-  std::sort(pending_wakeups_.begin(), pending_wakeups_.end());
-
-  pending_crashes_.clear();
-  if (!config_.crash_round.empty()) {
-    // Never-crash (UINT32_MAX) entries are kept so behaviour matches the
-    // dense scan exactly even for absurd round counts; the cursor simply
-    // never reaches them in a sane run.
-    for (graph::NodeId v = 0; v < n; ++v) {
-      pending_crashes_.emplace_back(config_.crash_round[v], v);
-    }
-    std::sort(pending_crashes_.begin(), pending_crashes_.end());
-  }
+  faults_ = detail::build_fault_schedule(config_.wake_round, config_.crash_round, 0, n);
   bound_node_count_ = n;
 }
 
@@ -147,34 +138,20 @@ void BeepSimulator::deliver_beeps(support::Xoshiro256StarStar& rng) {
   if (!std::is_sorted(beepers_.begin(), beepers_.end())) {
     std::sort(beepers_.begin(), beepers_.end());
   }
-  for (const graph::NodeId v : beepers_) {
-    // A beeper outside the active list (a node reactivated earlier in this
-    // round) does not deliver — identical to the dense scan of active_.
-    if (!in_active_[v]) continue;
-    for (const graph::NodeId w : graph_->neighbors(v)) {
-      if (heard_[w]) continue;  // already hearing a beep; extra losses moot
-      if (!lossy || rng.bernoulli(keep)) {
-        heard_[w] = 1;
-        heard_dirty_.push_back(w);
-      }
-    }
-  }
+  const auto full_adjacency = [this](graph::NodeId v) { return graph_->neighbors(v); };
+  const auto mark_heard = [this](graph::NodeId w) {
+    heard_[w] = 1;
+    heard_dirty_.push_back(w);
+  };
+  detail::deliver_from_beepers(beepers_, in_active_, full_adjacency, heard_.data(), lossy,
+                               keep, &rng, mark_heard);
   if (config_.mis_keepalive) {
     // Members of the independent set beep forever (DISC'11 wake-up rule).
     // mis_nodes_ holds only live members in join order: a crashed member is
     // compacted out the round it fails, so no status check is needed here.
     if (lossy) {
-      // Every potential delivery consumes one Bernoulli draw, in join
-      // order — part of the determinism contract; no caching possible.
-      for (const graph::NodeId v : mis_nodes_) {
-        for (const graph::NodeId w : graph_->neighbors(v)) {
-          if (heard_[w]) continue;
-          if (rng.bernoulli(keep)) {
-            heard_[w] = 1;
-            heard_dirty_.push_back(w);
-          }
-        }
-      }
+      detail::deliver_keepalive_lossy(mis_nodes_, full_adjacency, heard_.data(), keep, rng,
+                                      mark_heard);
     } else {
       // Reliable channel: keep-alive only ever sets heard on the fixed
       // neighbour set of the live MIS, so cache that set (deduplicated)
@@ -182,13 +159,7 @@ void BeepSimulator::deliver_beeps(support::Xoshiro256StarStar& rng) {
       // tail exchange then costs O(|N(MIS)|) instead of O(sum deg of MIS).
       if (!mis_hear_valid_) {
         detail::clear_flags(in_mis_hear_, mis_hear_);
-        for (const graph::NodeId v : mis_nodes_) {
-          for (const graph::NodeId w : graph_->neighbors(v)) {
-            if (in_mis_hear_[w]) continue;
-            in_mis_hear_[w] = 1;
-            mis_hear_.push_back(w);
-          }
-        }
+        detail::extend_mis_hear(mis_nodes_, 0, full_adjacency, in_mis_hear_, mis_hear_);
         mis_hear_valid_ = true;
       }
       for (const graph::NodeId w : mis_hear_) {
@@ -201,52 +172,28 @@ void BeepSimulator::deliver_beeps(support::Xoshiro256StarStar& rng) {
 }
 
 void BeepSimulator::compact_active() {
-  std::erase_if(active_, [this](graph::NodeId v) {
-    if (status_[v] == NodeStatus::kActive) return false;
-    in_active_[v] = 0;
-    return true;
-  });
+  detail::compact_active(active_, in_active_, status_);
 }
 
 void BeepSimulator::apply_wakeups_and_crashes() {
-  bool active_dirty = false;
-  while (next_wakeup_ < pending_wakeups_.size() &&
-         pending_wakeups_[next_wakeup_].first <= round_) {
-    const graph::NodeId v = pending_wakeups_[next_wakeup_].second;
-    ++next_wakeup_;
-    if (status_[v] != NodeStatus::kActive) continue;  // crashed while asleep
-    active_.push_back(v);
-    in_active_[v] = 1;
-    active_dirty = true;
+  const auto trace_wake = [this](graph::NodeId v) {
     if (trace_enabled_) {
       trace_.record({static_cast<std::uint32_t>(round_), 0, EventKind::kWake, v});
     }
-  }
-  if (active_dirty) std::sort(active_.begin(), active_.end());
-
-  // Fail-stop hits any node that has not already crashed — including MIS
-  // members (whose keep-alive then falls silent) and dominated nodes.
-  // Events are presorted by (round, node), so per-round work is O(crashes).
-  bool crashed_any = false;
-  bool mis_crashed = false;
-  while (next_crash_ < pending_crashes_.size() &&
-         pending_crashes_[next_crash_].first <= round_) {
-    const graph::NodeId v = pending_crashes_[next_crash_].second;
-    ++next_crash_;
-    if (status_[v] == NodeStatus::kCrashed) continue;
-    crashed_any = crashed_any || status_[v] == NodeStatus::kActive;
-    mis_crashed = mis_crashed || status_[v] == NodeStatus::kInMis;
-    status_[v] = NodeStatus::kCrashed;
+  };
+  const auto trace_crash = [this](graph::NodeId v) {
     if (trace_enabled_) {
       trace_.record({static_cast<std::uint32_t>(round_), 0, EventKind::kCrash, v});
     }
-  }
-  if (mis_crashed) {
+  };
+  const detail::FaultOutcome outcome = detail::apply_fault_events(
+      faults_, fault_cursor_, round_, status_, active_, in_active_, trace_wake, trace_crash);
+  if (outcome.mis_crashed) {
     std::erase_if(mis_nodes_,
                   [this](graph::NodeId v) { return status_[v] != NodeStatus::kInMis; });
     mis_hear_valid_ = false;
   }
-  if (crashed_any) compact_active();
+  if (outcome.active_crashed) compact_active();
 }
 
 RunResult BeepSimulator::run(const graph::Graph& g, BeepProtocol& protocol,
@@ -291,15 +238,25 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
   trace_.clear();
   trace_enabled_ = config_.record_trace;
 
-  active_ = initial_active_;
+  active_ = faults_.initial_active;
   for (const graph::NodeId v : active_) in_active_[v] = 1;
-  next_wakeup_ = 0;
-  next_crash_ = 0;
+  fault_cursor_ = {};
 
   protocol.reset(*graph_, rng);
   // Read after reset: protocols may size their exchange count to the graph.
   const unsigned exchanges = protocol.exchanges_per_round();
   if (exchanges == 0) throw std::logic_error("protocol declares zero exchanges per round");
+
+  detail::MutationSink sink;
+  sink.beepers = &beepers_;
+  sink.beep_counts = &beep_counts_;
+  sink.total_beeps = &total_beeps_;
+  sink.mis_joins = &mis_nodes_;
+  sink.mis_hear_valid = &mis_hear_valid_;
+  sink.reactivated = &reactivated_;
+  sink.trace = trace_enabled_ ? &trace_ : nullptr;
+  sink.lo = 0;
+  sink.hi = n;
 
   BeepContext ctx;
   ctx.graph_ = graph_;
@@ -309,9 +266,9 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
   ctx.prev_beeped_ = &prev_beeped_;
   ctx.heard_ = &heard_;
   ctx.rng_ = &rng;
-  ctx.simulator_ = this;
+  ctx.sink_ = &sink;
 
-  while ((!active_.empty() || next_wakeup_ < pending_wakeups_.size() ||
+  while ((!active_.empty() || fault_cursor_.next_wakeup < faults_.wakeups.size() ||
           round_ < config_.run_until_round) &&
          round_ < config_.max_rounds) {
     apply_wakeups_and_crashes();
@@ -339,18 +296,7 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
       protocol.react(ctx);
     }
     compact_active();
-    if (!reactivated_.empty()) {
-      // A node deactivated and reactivated within the same round is still
-      // on the active list (it survived compaction as kActive), so skip it
-      // here — inserting it again would duplicate its emit/react visits.
-      for (const graph::NodeId v : reactivated_) {
-        if (in_active_[v]) continue;
-        active_.push_back(v);
-        in_active_[v] = 1;
-      }
-      std::sort(active_.begin(), active_.end());
-      reactivated_.clear();
-    }
+    detail::merge_reactivated(active_, in_active_, reactivated_);
     if (observer_) {
       ctx.phase_ = BeepContext::Phase::kObserve;
       observer_(ctx);
@@ -359,7 +305,8 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
   }
 
   RunResult result;
-  result.terminated = active_.empty() && next_wakeup_ >= pending_wakeups_.size();
+  result.terminated =
+      active_.empty() && fault_cursor_.next_wakeup >= faults_.wakeups.size();
   result.rounds = round_;
   result.status = std::move(status_);
   result.beep_counts = std::move(beep_counts_);

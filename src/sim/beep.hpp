@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/exchange_core.hpp"
 #include "sim/result.hpp"
 #include "sim/trace.hpp"
 #include "support/rng.hpp"
@@ -71,6 +72,30 @@ struct SimConfig {
 };
 
 class BeepSimulator;
+class ShardedSimulator;
+
+namespace detail {
+/// Where a context's mutations land.  The scalar core wires one sink at
+/// the simulator's own bookkeeping; the sharded core wires one sink per
+/// lane, which is what lets K lanes run one protocol's emit/react
+/// concurrently over disjoint node ranges without sharing any mutable
+/// list.  [lo, hi) is the id range this context may mutate (the whole
+/// graph for the scalar core).
+struct MutationSink {
+  std::vector<graph::NodeId>* beepers = nullptr;
+  std::vector<std::uint32_t>* beep_counts = nullptr;  ///< global array
+  std::uint64_t* total_beeps = nullptr;               ///< per-lane counter
+  /// Where join_mis records the new member: the live-MIS join-order list
+  /// itself (scalar) or a per-lane new-joins list merged at the round
+  /// boundary (sharded).
+  std::vector<graph::NodeId>* mis_joins = nullptr;
+  /// Cleared on join so the reliable-channel keep-alive cache re-derives.
+  bool* mis_hear_valid = nullptr;
+  std::vector<graph::NodeId>* reactivated = nullptr;
+  Trace* trace = nullptr;  ///< nullptr = not recording
+  graph::NodeId lo = 0, hi = 0;
+};
+}  // namespace detail
 
 /// Per-exchange view handed to protocols.  All mutating calls validate
 /// their preconditions and throw std::logic_error on protocol bugs.
@@ -117,6 +142,7 @@ class BeepContext {
  private:
   friend class BeepSimulator;
   friend class DenseReferenceSimulator;  ///< seed-path reference (dense_ref.hpp)
+  friend class ShardedSimulator;         ///< per-lane contexts (sharded.hpp)
   enum class Phase { kEmit, kReact, kObserve };
 
   const graph::Graph* graph_ = nullptr;
@@ -126,13 +152,35 @@ class BeepContext {
   const std::vector<std::uint8_t>* prev_beeped_ = nullptr;
   const std::vector<std::uint8_t>* heard_ = nullptr;
   support::Xoshiro256StarStar* rng_ = nullptr;
-  BeepSimulator* simulator_ = nullptr;
+  detail::MutationSink* sink_ = nullptr;
   std::size_t round_ = 0;
   unsigned exchange_ = 0;
   Phase phase_ = Phase::kEmit;
 };
 
 class BatchProtocol;
+
+/// Sharded-execution capability of a protocol (see sim/sharded.hpp and the
+/// "Sharded execution" section of src/sim/README.md).  supported == false
+/// (the default) keeps the protocol on the scalar path.  A protocol that
+/// declares support promises the sharded draw-order contract:
+///
+///  * emit() iterates ctx.active_nodes() in ascending order and consumes
+///    exactly emit_draws_per_entry[ctx.exchange()] rng outputs per list
+///    entry, each via a single-output draw (bernoulli / uniform01),
+///    regardless of per-node state — this is what lets the sharded driver
+///    carve per-shard windows out of the scalar rng stream by count;
+///  * react(), and any state emit() touches besides the rng, is per-node:
+///    concurrent calls over disjoint node ranges must be safe, and neither
+///    emit nor react may draw randomness outside the declared counts;
+///  * joins happen only in the final exchange of a round (keep-alive
+///    bookkeeping is merged across shards at round boundaries);
+///  * reset() may draw freely (it runs serially on the base stream).
+struct ShardSupport {
+  bool supported = false;
+  /// Size exchanges_per_round() when supported.
+  std::vector<unsigned> emit_draws_per_entry;
+};
 
 /// Interface implemented by beeping protocols (see src/mis/).
 class BeepProtocol {
@@ -146,6 +194,12 @@ class BeepProtocol {
   /// classes must therefore guard against subclasses inheriting them (see
   /// LocalFeedbackMis).  Callers that get nullptr use the scalar path.
   [[nodiscard]] virtual std::unique_ptr<BatchProtocol> make_batch_protocol() const;
+
+  /// Sharded-execution declaration; default: not supported.  Like
+  /// make_batch_protocol, an override in a non-final class must refuse
+  /// subclasses (typeid guard) — a subclass may add behaviour (extra
+  /// draws, cross-node state) that breaks the sharded contract.
+  [[nodiscard]] virtual ShardSupport shard_support() const;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
   /// Number of exchanges per paper time step (>= 1).
@@ -217,15 +271,12 @@ class BeepSimulator {
   Trace trace_;
   RoundObserver observer_;
 
-  // Fault schedules, presorted by (round, node) once per graph binding.
-  /// Sleeping nodes (kActive but not yet awake), sorted by wake round.
-  std::vector<std::pair<std::uint32_t, graph::NodeId>> pending_wakeups_;
-  /// Fail-stop events, sorted by crash round (UINT32_MAX entries included
-  /// for exact parity with a dense scan; they are simply never reached).
-  std::vector<std::pair<std::uint32_t, graph::NodeId>> pending_crashes_;
-  /// Nodes awake at round 0, ascending — the initial active frontier.
-  std::vector<graph::NodeId> initial_active_;
-  /// Size the schedules above were built for (graph_ may dangle between
+  /// Fault schedule (presorted events + round-0 frontier), built once per
+  /// graph binding; the per-run cursor walks it (see sim/exchange_core.hpp,
+  /// which the sharded core shares per lane).
+  detail::FaultSchedule faults_;
+  detail::FaultCursor fault_cursor_;
+  /// Size the schedule above was built for (graph_ may dangle between
   /// rebinding runs, so the size is cached rather than read through it).
   graph::NodeId bound_node_count_ = 0;
 
@@ -251,8 +302,6 @@ class BeepSimulator {
   std::vector<std::uint8_t> in_mis_hear_;    ///< membership bitmap of mis_hear_
   bool mis_hear_valid_ = false;
   std::vector<graph::NodeId> reactivated_;   ///< pending re-entries to active_
-  std::size_t next_wakeup_ = 0;
-  std::size_t next_crash_ = 0;
   std::uint64_t total_beeps_ = 0;
   std::size_t round_ = 0;
   unsigned exchange_ = 0;

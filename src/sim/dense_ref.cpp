@@ -41,10 +41,10 @@ void DenseReferenceSimulator::compact_active_dense() {
 
 void DenseReferenceSimulator::apply_wakeups_and_crashes_dense() {
   bool active_dirty = false;
-  while (next_wakeup_ < pending_wakeups_.size() &&
-         pending_wakeups_[next_wakeup_].first <= round_) {
-    const graph::NodeId v = pending_wakeups_[next_wakeup_].second;
-    ++next_wakeup_;
+  while (fault_cursor_.next_wakeup < faults_.wakeups.size() &&
+         faults_.wakeups[fault_cursor_.next_wakeup].first <= round_) {
+    const graph::NodeId v = faults_.wakeups[fault_cursor_.next_wakeup].second;
+    ++fault_cursor_.next_wakeup;
     if (status_[v] != NodeStatus::kActive) continue;  // crashed while asleep
     active_.push_back(v);
     active_dirty = true;
@@ -94,20 +94,31 @@ RunResult DenseReferenceSimulator::run_dense(BeepProtocol& protocol,
   // Per-run schedule rebuild, exactly like the seed (the frontier core
   // hoisted this into graph binding).
   active_.clear();
-  pending_wakeups_.clear();
-  next_wakeup_ = 0;
+  faults_.wakeups.clear();
+  fault_cursor_ = {};
   for (graph::NodeId v = 0; v < n; ++v) {
     if (config_.wake_round.empty() || config_.wake_round[v] == 0) {
       active_.push_back(v);
     } else {
-      pending_wakeups_.emplace_back(config_.wake_round[v], v);
+      faults_.wakeups.emplace_back(config_.wake_round[v], v);
     }
   }
-  std::sort(pending_wakeups_.begin(), pending_wakeups_.end());
+  std::sort(faults_.wakeups.begin(), faults_.wakeups.end());
 
   protocol.reset(*graph_, rng);
   const unsigned exchanges = protocol.exchanges_per_round();
   if (exchanges == 0) throw std::logic_error("protocol declares zero exchanges per round");
+
+  detail::MutationSink sink;
+  sink.beepers = &beepers_;
+  sink.beep_counts = &beep_counts_;
+  sink.total_beeps = &total_beeps_;
+  sink.mis_joins = &mis_nodes_;
+  sink.mis_hear_valid = &mis_hear_valid_;
+  sink.reactivated = &reactivated_;
+  sink.trace = trace_enabled_ ? &trace_ : nullptr;
+  sink.lo = 0;
+  sink.hi = n;
 
   BeepContext ctx;
   ctx.graph_ = graph_;
@@ -117,9 +128,9 @@ RunResult DenseReferenceSimulator::run_dense(BeepProtocol& protocol,
   ctx.prev_beeped_ = &prev_beeped_;
   ctx.heard_ = &heard_;
   ctx.rng_ = &rng;
-  ctx.simulator_ = this;
+  ctx.sink_ = &sink;
 
-  while ((!active_.empty() || next_wakeup_ < pending_wakeups_.size() ||
+  while ((!active_.empty() || fault_cursor_.next_wakeup < faults_.wakeups.size() ||
           round_ < config_.run_until_round) &&
          round_ < config_.max_rounds) {
     apply_wakeups_and_crashes_dense();
@@ -153,7 +164,8 @@ RunResult DenseReferenceSimulator::run_dense(BeepProtocol& protocol,
   }
 
   RunResult result;
-  result.terminated = active_.empty() && next_wakeup_ >= pending_wakeups_.size();
+  result.terminated =
+      active_.empty() && fault_cursor_.next_wakeup >= faults_.wakeups.size();
   result.rounds = round_;
   result.status = std::move(status_);
   result.beep_counts = std::move(beep_counts_);

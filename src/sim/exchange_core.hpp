@@ -1,0 +1,208 @@
+// Shared per-exchange machinery of the frontier-driven simulators.
+//
+// BeepSimulator (one lane covering [0, n)) and ShardedSimulator (K lanes,
+// one per contiguous node range) execute the same exchange: clear flags
+// through dirty lists, deliver beeps by walking an explicit beeper
+// frontier, apply presorted fault events, compact the active list at round
+// boundaries.  This header holds that logic once, parameterised over the
+// node range and the adjacency view (the full CSR for the scalar core, a
+// Partition slice for one shard), so the two cores cannot drift — the
+// determinism contract in src/sim/README.md is implemented here.
+//
+// Everything operates on ranges of the *global* per-node arrays: a lane
+// touches only ids in [lo, hi), which is what makes the sharded core's
+// listener-partitioned delivery race-free without atomics.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/flag_buffer.hpp"
+#include "sim/result.hpp"
+#include "support/rng.hpp"
+
+namespace beepmis::sim::detail {
+
+// clear_flag_range / clear_flags live in flag_buffer.hpp (included above):
+// one home for the sparse/dense clearing policy, shared by every core.
+
+/// Presorted fault events and the round-0 active frontier for one node
+/// range — the per-lane form of what BeepSimulator builds at graph binding.
+struct FaultSchedule {
+  /// Sleeping nodes (kActive but not yet awake), sorted by (round, node).
+  std::vector<std::pair<std::uint32_t, graph::NodeId>> wakeups;
+  /// Fail-stop events, sorted by (round, node); UINT32_MAX entries included
+  /// for exact parity with a dense scan (they are simply never reached).
+  std::vector<std::pair<std::uint32_t, graph::NodeId>> crashes;
+  /// Nodes awake at round 0, ascending.
+  std::vector<graph::NodeId> initial_active;
+};
+
+/// Builds the schedule for ids [lo, hi) from the per-node config vectors
+/// (either may be empty = no such faults).  Restricting a global build to a
+/// subrange and concatenating preserves the (round, node) order globally,
+/// because ranges are contiguous and ascending.
+inline FaultSchedule build_fault_schedule(const std::vector<std::uint32_t>& wake_round,
+                                          const std::vector<std::uint32_t>& crash_round,
+                                          graph::NodeId lo, graph::NodeId hi) {
+  FaultSchedule sched;
+  for (graph::NodeId v = lo; v < hi; ++v) {
+    if (wake_round.empty() || wake_round[v] == 0) {
+      sched.initial_active.push_back(v);
+    } else {
+      sched.wakeups.emplace_back(wake_round[v], v);
+    }
+  }
+  std::sort(sched.wakeups.begin(), sched.wakeups.end());
+  if (!crash_round.empty()) {
+    for (graph::NodeId v = lo; v < hi; ++v) {
+      sched.crashes.emplace_back(crash_round[v], v);
+    }
+    std::sort(sched.crashes.begin(), sched.crashes.end());
+  }
+  return sched;
+}
+
+struct FaultCursor {
+  std::size_t next_wakeup = 0;
+  std::size_t next_crash = 0;
+};
+
+struct FaultOutcome {
+  bool active_crashed = false;  ///< some kActive node fail-stopped
+  bool mis_crashed = false;     ///< some MIS member fail-stopped
+};
+
+/// Fires this round's wake then crash events over one range, mutating
+/// status / active / in_active exactly like the scalar core: wakes before
+/// crashes, equal-round events in ascending node id, a crashed sleeper
+/// dropped at its wake round.  `on_wake` / `on_crash` are notification
+/// hooks (trace recording in the scalar core; no-ops in a shard lane).
+/// The caller handles the consequences of the returned flags (MIS-list
+/// pruning, active compaction) so lane-local and global bookkeeping both
+/// work.
+template <typename OnWake, typename OnCrash>
+FaultOutcome apply_fault_events(const FaultSchedule& sched, FaultCursor& cursor,
+                                std::size_t round, std::vector<NodeStatus>& status,
+                                std::vector<graph::NodeId>& active,
+                                std::vector<std::uint8_t>& in_active, OnWake&& on_wake,
+                                OnCrash&& on_crash) {
+  FaultOutcome outcome;
+  bool active_dirty = false;
+  while (cursor.next_wakeup < sched.wakeups.size() &&
+         sched.wakeups[cursor.next_wakeup].first <= round) {
+    const graph::NodeId v = sched.wakeups[cursor.next_wakeup].second;
+    ++cursor.next_wakeup;
+    if (status[v] != NodeStatus::kActive) continue;  // crashed while asleep
+    active.push_back(v);
+    in_active[v] = 1;
+    active_dirty = true;
+    on_wake(v);
+  }
+  if (active_dirty) std::sort(active.begin(), active.end());
+
+  // Fail-stop hits any node that has not already crashed — including MIS
+  // members (whose keep-alive then falls silent) and dominated nodes.
+  while (cursor.next_crash < sched.crashes.size() &&
+         sched.crashes[cursor.next_crash].first <= round) {
+    const graph::NodeId v = sched.crashes[cursor.next_crash].second;
+    ++cursor.next_crash;
+    if (status[v] == NodeStatus::kCrashed) continue;
+    outcome.active_crashed = outcome.active_crashed || status[v] == NodeStatus::kActive;
+    outcome.mis_crashed = outcome.mis_crashed || status[v] == NodeStatus::kInMis;
+    status[v] = NodeStatus::kCrashed;
+    on_crash(v);
+  }
+  return outcome;
+}
+
+/// Round-boundary compaction: drops no-longer-active ids from the list and
+/// their bits from the membership bitmap, preserving order.
+inline void compact_active(std::vector<graph::NodeId>& active,
+                           std::vector<std::uint8_t>& in_active,
+                           const std::vector<NodeStatus>& status) {
+  std::erase_if(active, [&](graph::NodeId v) {
+    if (status[v] == NodeStatus::kActive) return false;
+    in_active[v] = 0;
+    return true;
+  });
+}
+
+/// Round-boundary re-entry of reactivated nodes.  A node deactivated and
+/// reactivated within the same round is still on the active list (it
+/// survived compaction as kActive), so it is skipped here — inserting it
+/// again would duplicate its emit/react visits.
+inline void merge_reactivated(std::vector<graph::NodeId>& active,
+                              std::vector<std::uint8_t>& in_active,
+                              std::vector<graph::NodeId>& reactivated) {
+  if (reactivated.empty()) return;
+  for (const graph::NodeId v : reactivated) {
+    if (in_active[v]) continue;
+    active.push_back(v);
+    in_active[v] = 1;
+  }
+  std::sort(active.begin(), active.end());
+  reactivated.clear();
+}
+
+/// Frontier delivery: walks `beepers` (must be ascending; the caller
+/// re-sorts if a protocol beeped out of order) and sets heard on each
+/// neighbour returned by `neighbors_of` (full adjacency for the scalar
+/// core, one shard's listener slice for a lane).  A beeper outside the
+/// active list (a node reactivated earlier in this round) does not
+/// deliver.  In lossy mode every *potential* delivery (listener not yet
+/// hearing, in iteration order) consumes exactly one Bernoulli draw —
+/// part of the determinism contract.  `on_hear(w)` marks the listener
+/// (set flag + push the owning dirty list).
+template <typename NeighborsFn, typename OnHear>
+void deliver_from_beepers(const std::vector<graph::NodeId>& beepers,
+                          const std::vector<std::uint8_t>& in_active,
+                          NeighborsFn&& neighbors_of, const std::uint8_t* heard, bool lossy,
+                          double keep, support::Xoshiro256StarStar* rng, OnHear&& on_hear) {
+  for (const graph::NodeId v : beepers) {
+    if (!in_active[v]) continue;
+    for (const graph::NodeId w : neighbors_of(v)) {
+      if (heard[w]) continue;  // already hearing a beep; extra losses moot
+      if (!lossy || rng->bernoulli(keep)) on_hear(w);
+    }
+  }
+}
+
+/// Lossy keep-alive delivery: live MIS members beep forever; every
+/// potential delivery consumes one Bernoulli draw, iterating members in
+/// **join order** (the contract; no caching possible).
+template <typename NeighborsFn, typename OnHear>
+void deliver_keepalive_lossy(const std::vector<graph::NodeId>& mis_nodes,
+                             NeighborsFn&& neighbors_of, const std::uint8_t* heard,
+                             double keep, support::Xoshiro256StarStar& rng,
+                             OnHear&& on_hear) {
+  for (const graph::NodeId v : mis_nodes) {
+    for (const graph::NodeId w : neighbors_of(v)) {
+      if (heard[w]) continue;
+      if (rng.bernoulli(keep)) on_hear(w);
+    }
+  }
+}
+
+/// Reliable-channel keep-alive cache: appends the not-yet-cached neighbours
+/// of mis_nodes[from..) to the dedup set (membership bitmap + list).  With
+/// from == 0 and a cleared set this is the scalar core's full rebuild;
+/// incremental appends produce the same *set* (order within the cache list
+/// is irrelevant — reliable delivery is idempotent).
+template <typename NeighborsFn>
+void extend_mis_hear(const std::vector<graph::NodeId>& mis_nodes, std::size_t from,
+                     NeighborsFn&& neighbors_of, std::vector<std::uint8_t>& in_mis_hear,
+                     std::vector<graph::NodeId>& mis_hear) {
+  for (std::size_t i = from; i < mis_nodes.size(); ++i) {
+    for (const graph::NodeId w : neighbors_of(mis_nodes[i])) {
+      if (in_mis_hear[w]) continue;
+      in_mis_hear[w] = 1;
+      mis_hear.push_back(w);
+    }
+  }
+}
+
+}  // namespace beepmis::sim::detail

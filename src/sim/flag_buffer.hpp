@@ -9,18 +9,27 @@
 
 namespace beepmis::sim::detail {
 
-/// Restores `flags` to all-zero given the list of set positions.  When a
-/// large fraction of the array is dirty a straight memset beats the
-/// scatter-store loop, so dense exchanges don't pay for the sparse-path
-/// machinery; the crossover fraction is conservative.
-inline void clear_flags(std::vector<std::uint8_t>& flags,
-                        std::vector<graph::NodeId>& dirty) {
-  if (dirty.size() >= flags.size() / 8) {
-    std::fill(flags.begin(), flags.end(), std::uint8_t{0});
+/// Restores flags[lo, hi) to all-zero given the list of set positions
+/// (all within [lo, hi)).  When a large fraction of the range is dirty a
+/// straight memset beats the scatter-store loop, so dense exchanges don't
+/// pay for the sparse-path machinery; the crossover fraction is
+/// conservative.  The ranged form is the single home of that policy: the
+/// scalar core clears whole arrays through the wrapper below, the sharded
+/// core clears its shard's range directly.
+inline void clear_flag_range(std::uint8_t* flags, graph::NodeId lo, graph::NodeId hi,
+                             std::vector<graph::NodeId>& dirty) {
+  if (dirty.size() >= static_cast<std::size_t>(hi - lo) / 8) {
+    std::fill(flags + lo, flags + hi, std::uint8_t{0});
   } else {
     for (const graph::NodeId v : dirty) flags[v] = 0;
   }
   dirty.clear();
+}
+
+/// Whole-array form of clear_flag_range.
+inline void clear_flags(std::vector<std::uint8_t>& flags,
+                        std::vector<graph::NodeId>& dirty) {
+  clear_flag_range(flags.data(), 0, static_cast<graph::NodeId>(flags.size()), dirty);
 }
 
 }  // namespace beepmis::sim::detail

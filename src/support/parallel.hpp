@@ -1,0 +1,77 @@
+// Shared worker-pool helper for the trial runner and the sharded
+// simulator.  Extracted from exp/runner.cpp so every multi-threaded
+// execution path in the library funnels through one exception-capture
+// policy: a throw from any worker (a protocol-contract logic_error, a
+// misconfigured SimConfig) is captured and rethrown after the join, so
+// callers see the same catchable exception at any thread count instead of
+// std::terminate.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace beepmis::support {
+
+/// Clamps the requested thread count to the work-unit count (0 = hardware
+/// concurrency) and runs `worker` on that many threads; workers claim
+/// units through their own shared atomic (or, for SPMD callers like the
+/// sharded simulator, one worker per unit).  With a single thread the
+/// worker runs inline on the calling thread.
+///
+/// std::thread construction can fail partway (resource exhaustion);
+/// unwinding past joinable threads would std::terminate, so the failure
+/// is captured like a worker error, `on_spawn_failure(missing)` runs
+/// before the join, and the exception is rethrown after it.  Workers that
+/// merely drain a shared queue need no hook (the started ones finish the
+/// work); workers that *rendezvous* with every sibling (the sharded
+/// simulator's barrier lanes) must use the hook to unblock the started
+/// ones, or the join would deadlock.
+template <typename Worker, typename OnSpawnFailure>
+void run_workers(unsigned threads, std::size_t work_units, Worker&& worker,
+                 OnSpawnFailure&& on_spawn_failure) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(work_units, 1)));
+  if (threads == 1) {
+    worker();
+    return;
+  }
+  std::mutex mutex;
+  std::exception_ptr first_error;
+  const auto guarded = [&] {
+    try {
+      worker();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  unsigned spawned = 0;
+  try {
+    for (; spawned < threads; ++spawned) pool.emplace_back(guarded);
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+    on_spawn_failure(threads - spawned);
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+template <typename Worker>
+void run_workers(unsigned threads, std::size_t work_units, Worker&& worker) {
+  run_workers(threads, work_units, std::forward<Worker>(worker), [](unsigned) {});
+}
+
+}  // namespace beepmis::support

@@ -69,6 +69,16 @@ class Xoshiro256StarStar {
   /// long non-overlapping sequences).
   void jump() noexcept;
 
+  /// Advance by exactly `count` outputs, as if calling operator() that
+  /// many times and discarding the results.  The sharded simulator carves
+  /// per-shard windows out of one scalar stream with this (one output per
+  /// Bernoulli draw), so it must stay exactly equivalent to the discard
+  /// loop — there is no shortcut through xoshiro state space for
+  /// arbitrary counts.
+  void discard(std::uint64_t count) noexcept {
+    while (count-- > 0) (void)(*this)();
+  }
+
   /// Derives an independent generator for stream `stream`.  Unlike jump(),
   /// this supports an arbitrary number of streams and is the mechanism used
   /// for per-trial and per-node randomness.

@@ -186,6 +186,19 @@ TEST(SeedSequence, ChildrenAreDistinctAndStable) {
   EXPECT_NE(root.child(3).child(0).value(), root.child(3).child(1).value());
 }
 
+TEST(Xoshiro, DiscardMatchesManualDraws) {
+  // The sharded stream carving advances per-shard windows with discard(),
+  // so it must be exactly k operator() calls — including k = 0.
+  for (const std::uint64_t k : {0u, 1u, 7u, 1000u}) {
+    Xoshiro256StarStar discarded(42);
+    discarded.discard(k);
+    Xoshiro256StarStar manual(42);
+    for (std::uint64_t i = 0; i < k; ++i) (void)manual();
+    EXPECT_EQ(discarded.state(), manual.state()) << "k=" << k;
+    EXPECT_EQ(discarded(), manual());
+  }
+}
+
 TEST(SeedSequence, SiblingSubtreesDoNotCollide) {
   const SeedSequence root(100);
   std::set<std::uint64_t> seen;
