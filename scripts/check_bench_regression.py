@@ -56,17 +56,23 @@ def row_key(row):
     """Identity of a measured lane, independent of n and of timing noise.
 
     Older baselines predate the per-protocol bench_batch rows, so a missing
-    "protocol" field maps to the only protocol they measured.
+    "protocol" field maps to the only protocol they measured; likewise a
+    missing "mode" field maps to "scalar-order", the only draw-entropy mode
+    that existed before BatchRngMode::kStatisticalLanes.  Keying on mode
+    keeps the scalar-order and statistical rows of one (workload, protocol,
+    impl) from colliding — they are different lanes with very different
+    expected speedups.
     """
     return (
         row.get("workload", "?"),
         row.get("protocol", "local-feedback"),
         row.get("impl", "?"),
+        row.get("mode", "scalar-order"),
     )
 
 
 def index_rows(report):
-    """{(section, workload, protocol, impl): [(n, speedup), ...]}"""
+    """{(section, workload, protocol, impl, mode): [(n, speedup), ...]}"""
     indexed = {}
     for section in SECTIONS:
         for per_n in report.get(section, []):
@@ -76,6 +82,23 @@ def index_rows(report):
                     (int(row.get("n", 0)), speedup_of(row))
                 )
     return indexed
+
+
+def hardware_threads_of(report):
+    """{section: set of hardware_threads recorded by that section's reports}.
+
+    Shard speedups are a property of the machine as much as of the code (a
+    1-core box records oversubscription, a 16-core box records scaling), so
+    the comparison must know when baseline and fresh ran on different
+    hardware.  Sections that do not stamp hardware_threads yield an empty
+    set and are always comparable.
+    """
+    threads = {}
+    for section in SECTIONS:
+        for per_n in report.get(section, []):
+            if "hardware_threads" in per_n:
+                threads.setdefault(section, set()).add(int(per_n["hardware_threads"]))
+    return threads
 
 
 def main():
@@ -105,25 +128,48 @@ def main():
     args = parser.parse_args()
 
     try:
-        baseline = index_rows(load_report(args.baseline))
+        baseline_report = load_report(args.baseline)
     except (OSError, ValueError) as err:
         print(f"error: cannot read baseline {args.baseline}: {err}")
         return 1
+    baseline = index_rows(baseline_report)
     try:
-        fresh = index_rows(load_report(args.fresh))
+        fresh_report = load_report(args.fresh)
     except (OSError, ValueError) as err:
         print(f"error: cannot read fresh report {args.fresh}: {err}")
         return 1
+    fresh = index_rows(fresh_report)
+
+    baseline_threads = hardware_threads_of(baseline_report)
+    fresh_threads = hardware_threads_of(fresh_report)
+
+    # Sections whose speedup ratios depend on the core count are only
+    # comparable between runs on matching hardware: a baseline recorded on
+    # a 1-core dev box (sharded rows < 1x) against a fresh run on a
+    # many-core runner — or vice versa — would flag phantom regressions on
+    # every run, which is fatal under --strict.  Coverage is still checked;
+    # only the ratio comparison is skipped.
+    incomparable = set()
+    for section in SECTIONS:
+        base_t = baseline_threads.get(section, set())
+        fresh_t = fresh_threads.get(section, set())
+        if base_t and fresh_t and base_t != fresh_t:
+            incomparable.add(section)
+            print(f"note: skipping speedup comparison for section '{section}': "
+                  f"baseline hardware_threads={sorted(base_t)} vs "
+                  f"fresh hardware_threads={sorted(fresh_t)} (coverage still checked)")
 
     warnings = []
 
     for key in sorted(baseline):
-        section, workload, protocol, impl = key
-        label = f"{section}/{workload}/{protocol}/{impl}"
+        section, workload, protocol, impl, mode = key
+        label = f"{section}/{workload}/{protocol}/{impl}/{mode}"
         if key not in fresh:
             warnings.append(f"coverage lost: {label} is in the baseline but "
                             "missing from the fresh run")
             continue
+        if section in incomparable:
+            continue  # hardware mismatch: coverage checked above, ratios not
         base_rows = {n: s for n, s in baseline[key] if s is not None}
         fresh_rows = {n: s for n, s in fresh[key] if s is not None}
         if not base_rows or not fresh_rows:

@@ -29,10 +29,12 @@ def report(section_rows):
     return out
 
 
-def row(workload, impl, n, speedup=None, protocol="local-feedback"):
+def row(workload, impl, n, speedup=None, protocol="local-feedback", mode=None):
     r = {"workload": workload, "protocol": protocol, "impl": impl, "n": n}
     if speedup is not None:
         r["speedup_vs_scalar"] = speedup
+    if mode is not None:
+        r["mode"] = mode
     return r
 
 
@@ -111,6 +113,71 @@ class CheckBenchRegressionTest(unittest.TestCase):
         code, out = self.run_checker(base, fresh, "--strict")
         self.assertEqual(code, 1, out)
         self.assertIn("n=100000", out)
+
+    def test_modes_are_distinct_lanes(self):
+        # A scalar-order and a statistical row of the same (workload,
+        # protocol, impl) must not collide: a healthy scalar-order row may
+        # not mask a regressed statistical row.
+        base = report({"batch": [
+            row("converge", "batched", 10000, 3.0, mode="scalar-order"),
+            row("converge", "batched", 10000, 6.0, mode="statistical")]})
+        fresh = report({"batch": [
+            row("converge", "batched", 10000, 3.0, mode="scalar-order"),
+            row("converge", "batched", 10000, 1.0, mode="statistical")]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 1, out)
+        self.assertIn("statistical", out)
+        self.assertIn("possible regression", out)
+        # The healthy scalar-order lane itself is not flagged.
+        self.assertNotIn("scalar-order fresh speedup", out)
+
+    def test_missing_mode_defaults_to_scalar_order(self):
+        # Pre-statistical baselines have no "mode" field; their rows must
+        # compare against the fresh scalar-order rows, not vanish as lost
+        # coverage (and not collide with the new statistical lanes).
+        base = report({"batch": [row("converge", "batched", 1000, 3.0)]})
+        fresh = report({"batch": [
+            row("converge", "batched", 1000, 3.0, mode="scalar-order"),
+            row("converge", "batched", 1000, 6.0, mode="statistical")]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 0, out)
+        self.assertIn("new lane not in baseline yet", out)
+        self.assertIn("statistical", out)
+
+    def test_hardware_mismatch_skips_ratios_keeps_coverage(self):
+        # Shard speedups depend on the core count: a baseline recorded on a
+        # 16-core box must not flag "regressions" on a 4-core runner.  The
+        # ratio comparison is skipped on mismatch, but lost coverage still
+        # fails --strict.
+        base = {"bench": "bench_core",
+                "shard": [{"hardware_threads": 16,
+                           "results": [row("converge", "sharded-k8", 100000, 4.0),
+                                       row("tail", "sharded-k8", 100000, 3.0)]}]}
+        fresh_ok = {"bench": "bench_core",
+                    "shard": [{"hardware_threads": 4,
+                               "results": [row("converge", "sharded-k8", 100000, 0.5),
+                                           row("tail", "sharded-k8", 100000, 0.4)]}]}
+        code, out = self.run_checker(base, fresh_ok, "--strict")
+        self.assertEqual(code, 0, out)
+        self.assertIn("skipping speedup comparison", out)
+
+        fresh_lost = {"bench": "bench_core",
+                      "shard": [{"hardware_threads": 4,
+                                 "results": [row("converge", "sharded-k8", 100000, 0.5)]}]}
+        code, out = self.run_checker(base, fresh_lost, "--strict")
+        self.assertEqual(code, 1, out)
+        self.assertIn("coverage lost", out)
+
+    def test_matching_hardware_still_compares(self):
+        base = {"bench": "bench_core",
+                "shard": [{"hardware_threads": 4,
+                           "results": [row("converge", "sharded-k8", 100000, 4.0)]}]}
+        fresh = {"bench": "bench_core",
+                 "shard": [{"hardware_threads": 4,
+                            "results": [row("converge", "sharded-k8", 100000, 0.5)]}]}
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 1, out)
+        self.assertIn("possible regression", out)
 
     def test_unreadable_baseline_is_an_error(self):
         fresh = report({"batch": [row("converge", "batched", 1000, 3.0)]})

@@ -147,8 +147,9 @@ TrialStats run_beep_trials_batched(const graph::Graph& shared,
   auto worker = [&] {
     // One batch simulator and one batched kernel per worker, reused across
     // batches (scratch planes and policy arrays are recycled).
-    sim::BatchSimulator simulator(config.sim);
-    const std::unique_ptr<sim::BatchProtocol> protocol = protocols()->make_batch_protocol();
+    sim::BatchSimulator simulator(config.sim, config.rng_mode);
+    const std::unique_ptr<sim::BatchProtocol> protocol =
+        protocols()->make_batch_protocol(config.rng_mode);
     if (!protocol) {
       // The dispatch probe saw a kernel but this worker's instance refuses
       // one: the factory returns protocols of varying dynamic type.
@@ -161,13 +162,23 @@ TrialStats run_beep_trials_batched(const graph::Graph& shared,
       const std::size_t first = batch * sim::kMaxBatchLanes;
       const std::size_t last = std::min<std::size_t>(first + sim::kMaxBatchLanes, config.trials);
 
-      std::vector<support::Xoshiro256StarStar> rngs;
-      rngs.reserve(last - first);
-      for (std::size_t trial = first; trial < last; ++trial) {
-        rngs.push_back(root.child(trial).child(1).generator());
+      std::vector<sim::RunResult> results;
+      if (config.rng_mode == sim::BatchRngMode::kStatisticalLanes) {
+        // One base stream per batch, keyed by the batch's first trial
+        // index: lane streams are jump()-partitioned inside the
+        // simulator, so records stay deterministic for any thread count
+        // (per (base_seed, trials, mode), not per trial seed).
+        results = simulator.run(shared, *protocol,
+                                root.child(first).child(1).generator(),
+                                static_cast<unsigned>(last - first));
+      } else {
+        std::vector<support::Xoshiro256StarStar> rngs;
+        rngs.reserve(last - first);
+        for (std::size_t trial = first; trial < last; ++trial) {
+          rngs.push_back(root.child(trial).child(1).generator());
+        }
+        results = simulator.run(shared, *protocol, std::move(rngs));
       }
-      const std::vector<sim::RunResult> results =
-          simulator.run(shared, *protocol, std::move(rngs));
       for (std::size_t trial = first; trial < last; ++trial) {
         fill_record(records[trial], shared, results[trial - first]);
       }
@@ -250,11 +261,24 @@ TrialStats run_beep_trials(const GraphFactory& graphs, const BeepProtocolFactory
     return sharded;
   }
   // Batched fast path: one graph shared by every trial, a protocol with a
-  // batched kernel, and no per-run event trace.  Bit-identical to the
-  // scalar path (lane-for-lane), so callers never observe the switch.
+  // batched kernel, and no per-run event trace.  In kScalarOrder it is
+  // bit-identical to the scalar path (lane-for-lane), so callers never
+  // observe the switch; in kStatisticalLanes it is an explicit opt-in
+  // trade (TrialConfig::rng_mode).
   if (config.allow_batched && config.shared_graph && config.trials > 0 &&
       !config.sim.record_trace) {
-    if (protocols()->make_batch_protocol() != nullptr) {
+    // Lossy tail-dominated sweeps (loss + keep-alive + a run_until tail):
+    // in kScalarOrder every potential keep-alive delivery consumes its own
+    // per-lane Bernoulli, nothing amortises, and the batched path *loses*
+    // to scalar (0.6-0.9x in BENCH_core.json) — skip it.  In
+    // kStatisticalLanes the bulk loss planes flip the trade back, so those
+    // workloads prefer the batched path like everything else.
+    const bool statistical = config.rng_mode == sim::BatchRngMode::kStatisticalLanes;
+    const bool lossy_tail_dominated = config.sim.beep_loss_probability > 0.0 &&
+                                      config.sim.mis_keepalive &&
+                                      config.sim.run_until_round > 0;
+    if ((statistical || !lossy_tail_dominated) &&
+        protocols()->make_batch_protocol(config.rng_mode) != nullptr) {
       const support::SeedSequence root(config.base_seed);
       auto rng = root.child(0).child(0).generator();
       const graph::Graph shared = graphs(rng);

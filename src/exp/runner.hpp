@@ -37,10 +37,24 @@ struct TrialConfig {
   bool shared_graph = false;
   /// Permit the batched 64-lane fast path.  It engages automatically when
   /// shared_graph is set, the protocol provides a batched kernel
-  /// (BeepProtocol::make_batch_protocol), and no trace is recorded; results
-  /// are bit-identical to the scalar path either way, so this exists only
-  /// for A/B testing and benchmarking the two paths.
+  /// (BeepProtocol::make_batch_protocol), no trace is recorded, and — in
+  /// the default kScalarOrder mode — the workload is not a lossy
+  /// tail-dominated sweep (where per-lane delivery draws make batching a
+  /// pessimisation; see BENCH_core.json's lossy-tail rows).  In
+  /// kScalarOrder results are bit-identical to the scalar path either way,
+  /// so this exists only for A/B testing and benchmarking the two paths.
   bool allow_batched = true;
+  /// Draw-entropy policy of the batched fast path.  kScalarOrder (the
+  /// default) keeps every trial bit-identical to the scalar path.
+  /// kStatisticalLanes opts into jump()-partitioned per-lane streams and
+  /// bulk cross-lane Bernoulli planes: the same per-trial marginal
+  /// distributions from a different sample, which lifts the converge-phase
+  /// batching ceiling and makes lossy tail-dominated sweeps batchable
+  /// again.  TrialStats stay deterministic per (base_seed, trials, mode)
+  /// and thread count, but are not comparable seed-for-seed with
+  /// kScalarOrder runs.  Only consulted on the batched path; scalar and
+  /// sharded execution always draw in scalar order.
+  sim::BatchRngMode rng_mode = sim::BatchRngMode::kScalarOrder;
   /// Shard-parallel execution of large single runs (sim/sharded.hpp).
   /// 0 = auto: when exactly one trial is requested, the protocol declares
   /// shard support (BeepProtocol::shard_support), no trace is recorded and

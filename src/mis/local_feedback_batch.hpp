@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mis/batch_skeleton.hpp"
 #include "mis/local_feedback.hpp"
 #include "sim/batch.hpp"
 
@@ -19,7 +20,13 @@ namespace beepmis::mis {
 
 class BatchLocalFeedbackMis : public sim::BatchProtocol {
  public:
-  explicit BatchLocalFeedbackMis(LocalFeedbackConfig config = LocalFeedbackConfig::paper());
+  /// `mode` selects the draw-entropy representation the kernel maintains:
+  /// kScalarOrder replays the scalar protocol draw-for-draw, while
+  /// kStatisticalLanes keeps the dyadic exponents as bitplanes and draws
+  /// bulk Bernoulli planes (it must run on a simulator in the same mode —
+  /// the bulk-plane context APIs reject kScalarOrder simulators).
+  explicit BatchLocalFeedbackMis(LocalFeedbackConfig config = LocalFeedbackConfig::paper(),
+                                 sim::BatchRngMode mode = sim::BatchRngMode::kScalarOrder);
 
   [[nodiscard]] std::string_view name() const override { return "local-feedback/batch"; }
   [[nodiscard]] unsigned exchanges_per_round() const override { return 2; }
@@ -41,10 +48,12 @@ class BatchLocalFeedbackMis : public sim::BatchProtocol {
 
  private:
   void emit_intent_dyadic(sim::BatchContext& ctx);
+  void emit_intent_dyadic_planes(sim::BatchContext& ctx);
   void emit_intent_general(sim::BatchContext& ctx);
   void react_feedback(sim::BatchContext& ctx);
 
   LocalFeedbackConfig config_;
+  sim::BatchRngMode mode_ = sim::BatchRngMode::kScalarOrder;
   unsigned lanes_ = 0;
   std::vector<sim::LaneMask> winner_;
 
@@ -63,7 +72,12 @@ class BatchLocalFeedbackMis : public sim::BatchProtocol {
   bool dyadic_ = false;
   std::uint16_t k_min_ = 1;    ///< exponent of max_p (cap on silence)
   std::uint16_t k_reset_ = 1;  ///< exponent of min(initial_p_low, max_p)
-  std::vector<std::uint16_t> k_;  ///< node-major per-lane exponents
+  std::vector<std::uint16_t> k_;  ///< node-major per-lane exponents (kScalarOrder)
+  /// kStatisticalLanes representation of the same exponents: bitplanes, so
+  /// the intent draw and the feedback +-1 are whole-plane operations with
+  /// no per-lane loop at all (see batch_skeleton.hpp::ExponentPlanes).
+  /// Only the constructed mode's representation is populated.
+  batch_skeleton::ExponentPlanes eplanes_;
 
   // --- General path -----------------------------------------------------
   /// Node-major per-lane policy state: lane l of node v at [v * lanes_ + l],

@@ -7,8 +7,9 @@ namespace beepmis::mis {
 
 using sim::LaneMask;
 
-BatchSelfHealingMis::BatchSelfHealingMis(SelfHealingConfig config)
-    : BatchLocalFeedbackMis(config.base), silence_threshold_(config.silence_threshold) {
+BatchSelfHealingMis::BatchSelfHealingMis(SelfHealingConfig config, sim::BatchRngMode mode)
+    : BatchLocalFeedbackMis(config.base, mode),
+      silence_threshold_(config.silence_threshold) {
   if (silence_threshold_ == 0) {
     throw std::invalid_argument("BatchSelfHealingMis: silence_threshold must be >= 1");
   }

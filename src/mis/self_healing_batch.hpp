@@ -23,7 +23,8 @@ namespace beepmis::mis {
 
 class BatchSelfHealingMis final : public BatchLocalFeedbackMis {
  public:
-  explicit BatchSelfHealingMis(SelfHealingConfig config = {});
+  explicit BatchSelfHealingMis(SelfHealingConfig config = {},
+                               sim::BatchRngMode mode = sim::BatchRngMode::kScalarOrder);
 
   [[nodiscard]] std::string_view name() const override {
     return "local-feedback-healing/batch";

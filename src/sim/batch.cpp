@@ -22,29 +22,6 @@ void clear_planes(std::vector<LaneMask>& planes, std::vector<graph::NodeId>& dir
 
 }  // namespace
 
-void BatchContext::beep(graph::NodeId v, LaneMask lanes) {
-  if (phase_ != Phase::kEmit) {
-    throw std::logic_error("BatchContext::beep called outside the emit phase");
-  }
-  BatchSimulator& sim = *simulator_;
-  if (v >= sim.live_.size() || (lanes & ~sim.live_[v]) != 0) {
-    throw std::logic_error("BatchContext::beep outside the node's live lanes");
-  }
-  LaneMask& plane = sim.beeped_[v];
-  const LaneMask fresh = lanes & ~plane;
-  if (!fresh) return;
-  if (!plane) sim.beepers_.push_back(v);
-  plane |= fresh;
-  // Scalar episode rule: a beep continuing from the previous exchange of
-  // the same round is one signal episode, not two.
-  const std::size_t base = static_cast<std::size_t>(v) * sim.lane_count_;
-  for (LaneMask b = fresh & ~sim.prev_beeped_[v]; b != 0; b &= b - 1) {
-    const unsigned l = static_cast<unsigned>(std::countr_zero(b));
-    ++sim.beep_counts_[base + l];
-    ++sim.lane_total_beeps_[l];
-  }
-}
-
 void BatchContext::join_mis(graph::NodeId v, LaneMask lanes) {
   if (phase_ != Phase::kReact) {
     throw std::logic_error("BatchContext::join_mis called outside the react phase");
@@ -109,7 +86,8 @@ void BatchContext::reactivate(graph::NodeId v, LaneMask lanes) {
   sim.reactivated_.push_back(v);
 }
 
-BatchSimulator::BatchSimulator(SimConfig config) : config_(std::move(config)) {
+BatchSimulator::BatchSimulator(SimConfig config, BatchRngMode rng_mode)
+    : config_(std::move(config)), rng_mode_(rng_mode) {
   if (config_.beep_loss_probability < 0.0 || config_.beep_loss_probability >= 1.0) {
     throw std::invalid_argument("SimConfig: beep_loss_probability must be in [0, 1)");
   }
@@ -263,9 +241,48 @@ void BatchSimulator::deliver_beeps() {
     return;
   }
 
-  // Lossy channel: every potential (beeper -> not-yet-hearing listener)
-  // delivery consumes exactly one Bernoulli draw from that lane's RNG, in
-  // the scalar iteration order (ascending beepers, CSR neighbour order).
+  if (rng_mode_ == BatchRngMode::kStatisticalLanes) {
+    // Statistical lanes: loss bits for *all* lanes of an edge come from
+    // one bulk Bernoulli plane instead of popcount(avail) serially
+    // dependent per-lane draws — this is what flips the lossy-tail rows
+    // back above 1x (BENCH_core.json).  Keep-alive needs no join-order
+    // iteration either: the union MIS in ascending order has the same
+    // per-lane marginals.
+    const LaneMask running = running_;
+    for (const graph::NodeId v : beepers_) {
+      const LaneMask m = beeped_[v];
+      for (const graph::NodeId w : graph_->neighbors(v)) {
+        const LaneMask avail = m & ~heard_[w];
+        if (!avail) continue;
+        const LaneMask got = bernoulli_plane(keep, avail);
+        if (got) {
+          if (!heard_[w]) heard_dirty_.push_back(w);
+          heard_[w] |= got;
+        }
+      }
+    }
+    if (config_.mis_keepalive) {
+      for (const graph::NodeId v : mis_union_) {
+        const LaneMask m = inmis_[v] & running;
+        if (!m) continue;
+        for (const graph::NodeId w : graph_->neighbors(v)) {
+          const LaneMask avail = m & ~heard_[w];
+          if (!avail) continue;
+          const LaneMask got = bernoulli_plane(keep, avail);
+          if (got) {
+            if (!heard_[w]) heard_dirty_.push_back(w);
+            heard_[w] |= got;
+          }
+        }
+      }
+    }
+    return;
+  }
+
+  // Lossy channel, scalar order: every potential (beeper -> not-yet-hearing
+  // listener) delivery consumes exactly one Bernoulli draw from that
+  // lane's RNG, in the scalar iteration order (ascending beepers, CSR
+  // neighbour order).
   for (const graph::NodeId v : beepers_) {
     const LaneMask m = beeped_[v];
     for (const graph::NodeId w : graph_->neighbors(v)) {
@@ -312,6 +329,43 @@ void BatchSimulator::compact_active() {
 
 std::vector<RunResult> BatchSimulator::run(const graph::Graph& g, BatchProtocol& protocol,
                                            std::vector<support::Xoshiro256StarStar> rngs) {
+  if (rng_mode_ != BatchRngMode::kScalarOrder) {
+    throw std::logic_error(
+        "BatchSimulator: per-lane rng vectors belong to kScalarOrder; a "
+        "kStatisticalLanes run is seeded by one base stream (run(g, protocol, "
+        "base, lanes))");
+  }
+  return run_lanes(g, protocol, std::move(rngs));
+}
+
+std::vector<RunResult> BatchSimulator::run(const graph::Graph& g, BatchProtocol& protocol,
+                                           support::Xoshiro256StarStar base,
+                                           unsigned lanes) {
+  if (rng_mode_ != BatchRngMode::kStatisticalLanes) {
+    throw std::logic_error(
+        "BatchSimulator: base-seeded runs belong to kStatisticalLanes; a "
+        "kScalarOrder run takes one rng per lane");
+  }
+  if (lanes == 0 || lanes > kMaxBatchLanes) {
+    throw std::invalid_argument("BatchSimulator::run: need 1..64 lanes");
+  }
+  // Lane l's stream is the base advanced by l+1 jumps, so it depends only
+  // on (seed, l); the base itself serves the bulk planes.  Windows of
+  // 2^128 outputs apart can never overlap in any realistic run.
+  bulk_rng_ = base;
+  std::vector<support::Xoshiro256StarStar> rngs;
+  rngs.reserve(lanes);
+  support::Xoshiro256StarStar stream = base;
+  for (unsigned l = 0; l < lanes; ++l) {
+    stream.jump();
+    rngs.push_back(stream);
+  }
+  return run_lanes(g, protocol, std::move(rngs));
+}
+
+std::vector<RunResult> BatchSimulator::run_lanes(
+    const graph::Graph& g, BatchProtocol& protocol,
+    std::vector<support::Xoshiro256StarStar> rngs) {
   const unsigned lanes = static_cast<unsigned>(rngs.size());
   if (lanes == 0 || lanes > kMaxBatchLanes) {
     throw std::invalid_argument("BatchSimulator::run: need 1..64 lane RNGs");
@@ -345,7 +399,6 @@ std::vector<RunResult> BatchSimulator::run(const graph::Graph& g, BatchProtocol&
   for (auto& list : mis_lists_) list.clear();
   active_count_.assign(lanes, static_cast<std::uint32_t>(initial_active_.size()));
   lane_rounds_.assign(lanes, 0);
-  lane_total_beeps_.assign(lanes, 0);
   running_ = all_lanes;
   terminated_ = 0;
   next_wakeup_ = 0;
@@ -442,7 +495,6 @@ std::vector<RunResult> BatchSimulator::run(const graph::Graph& g, BatchProtocol&
     RunResult& r = results[l];
     r.terminated = (terminated_ & bit) != 0;
     r.rounds = lane_rounds_[l];
-    r.total_beeps = lane_total_beeps_[l];
     r.status.resize(n);
     r.beep_counts.resize(n);
   }
@@ -466,6 +518,10 @@ std::vector<RunResult> BatchSimulator::run(const graph::Graph& g, BatchProtocol&
       }
       results[l].status[v] = s;
       results[l].beep_counts[v] = counts[l];
+      // Per-lane episode totals are the per-node counts summed, so they
+      // are derived here instead of a second scatter increment per
+      // episode in BatchContext::beep.
+      results[l].total_beeps += counts[l];
     }
   }
   return results;

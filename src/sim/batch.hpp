@@ -12,22 +12,36 @@
 // least one lane) drives the activity-bound tail exactly as in the scalar
 // core.
 //
-// Determinism contract: lane l of a batched run is bit-identical to a
-// scalar BeepSimulator run with the same (graph, protocol config, rng).
-// Each lane owns its own RNG stream and consumes it in exactly the scalar
-// order: protocol-reset draws, then per round ascending-id emit draws, then
-// (in lossy mode) one Bernoulli per potential delivery in ascending beeper
-// order, then keep-alive deliveries in per-lane MIS join order.  Lanes that
-// terminate stop consuming randomness and freeze their planes.  See
-// src/sim/README.md ("Batched lanes") for the full contract.
+// Determinism contract (BatchRngMode::kScalarOrder, the default): lane l
+// of a batched run is bit-identical to a scalar BeepSimulator run with the
+// same (graph, protocol config, rng).  Each lane owns its own RNG stream
+// and consumes it in exactly the scalar order: protocol-reset draws, then
+// per round ascending-id emit draws, then (in lossy mode) one Bernoulli
+// per potential delivery in ascending beeper order, then keep-alive
+// deliveries in per-lane MIS join order.  Lanes that terminate stop
+// consuming randomness and freeze their planes.  See src/sim/README.md
+// ("Batched lanes") for the full contract.
+//
+// BatchRngMode::kStatisticalLanes (opt-in) relaxes that contract to
+// per-lane *marginal distributions*: the run is seeded by one base stream,
+// lane l draws from the base advanced by l+1 jump() calls (deterministic
+// per (seed, lane), no scalar draw-order carving), and the base stream
+// itself becomes a shared bulk-plane stream from which kernels draw one
+// 64-bit word per Bernoulli *plane* — all lanes of a dyadic exponent
+// bucket, or all lanes of a lossy edge delivery, decided at once.  Results
+// are deterministic per (seed, lane count, mode) but not comparable
+// seed-for-seed with scalar runs; see src/sim/README.md ("Statistical
+// lanes") for when the trade is sound.
 //
 // Not supported (callers must fall back to the scalar core): event traces,
 // round observers, and protocols without a batched kernel
 // (BeepProtocol::make_batch_protocol() returns nullptr).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string_view>
 #include <vector>
 
@@ -94,10 +108,40 @@ class BatchContext {
   /// from the next round, when v rejoins the union active frontier.
   void reactivate(graph::NodeId v, LaneMask lanes);
 
-  /// Lane l's private RNG stream (identical to the scalar run's rng).
+  /// Lane l's private RNG stream.  In kScalarOrder mode it is identical to
+  /// the scalar run's rng; in kStatisticalLanes mode it is the lane's
+  /// jump()-partitioned stream (for draws that cannot be vectorised, e.g.
+  /// per-lane heterogeneous probabilities).
   [[nodiscard]] support::Xoshiro256StarStar& rng(unsigned lane) noexcept {
     return (*rngs_)[lane];
   }
+
+  /// The simulator's draw-entropy mode; kernels that vectorise draws must
+  /// branch on this (the bulk-plane APIs below throw in kScalarOrder).
+  [[nodiscard]] BatchRngMode rng_mode() const noexcept;
+
+  // --- Bulk-plane draws (kStatisticalLanes only) -----------------------
+  // One shared stream serves all lanes: every call consumes whole 64-bit
+  // outputs, bit l of a plane is an independent fair bit for lane l.  The
+  // draw *count* of the masked variants depends on the mask (early exit
+  // once every requested lane is decided), which is fine — statistical
+  // mode has no draw-order contract — but it is why results depend on the
+  // lane count as well as the seed.
+
+  /// 64 independent fair bits, one per lane (callers mask as needed).
+  [[nodiscard]] LaneMask random_plane();
+  /// Independent Bernoulli(2^-k) bits for the lanes in `lanes` (zero
+  /// elsewhere): the AND of k planes, early-exiting once no requested lane
+  /// survives, so the expected cost is min(k, ~log2(popcount(lanes)) + 1)
+  /// draws.  k >= 1075 returns the empty plane without drawing, matching
+  /// bernoulli_pow2's underflow-to-never endpoint.
+  [[nodiscard]] LaneMask bernoulli_plane_pow2(unsigned k, LaneMask lanes);
+  /// Independent Bernoulli(p) bits for the lanes in `lanes`: each lane's
+  /// uniform bit stream is compared against the binary expansion of p and
+  /// the first differing bit decides, so the draw is exact for every
+  /// double p at ~log2(popcount(lanes)) + 2 expected planes — where the
+  /// scalar path spends popcount(lanes) serially dependent rng() calls.
+  [[nodiscard]] LaneMask bernoulli_plane(double p, LaneMask lanes);
 
  private:
   friend class BatchSimulator;
@@ -142,9 +186,11 @@ class BatchProtocol {
 class BatchSimulator {
  public:
   /// record_trace is unsupported in the batched core (throws).
-  explicit BatchSimulator(SimConfig config = {});
+  explicit BatchSimulator(SimConfig config = {},
+                          BatchRngMode rng_mode = BatchRngMode::kScalarOrder);
 
-  /// Runs rngs.size() lanes (1..kMaxBatchLanes) of `protocol` on `g` to
+  /// kScalarOrder only (throws std::logic_error otherwise): runs
+  /// rngs.size() lanes (1..kMaxBatchLanes) of `protocol` on `g` to
   /// per-lane termination (or the round cap).  Returns one RunResult per
   /// lane, bit-identical to scalar BeepSimulator::run(g, scalar_protocol,
   /// rngs[l]) for every lane l.  The caller must keep `g` alive for the
@@ -154,7 +200,20 @@ class BatchSimulator {
   RunResult run(graph::Graph&&, BatchProtocol&,
                 std::vector<support::Xoshiro256StarStar>) = delete;
 
+  /// kStatisticalLanes only (throws std::logic_error otherwise): runs
+  /// `lanes` lanes seeded from one base stream — lane l draws from `base`
+  /// advanced by l+1 jump() calls, and `base` itself becomes the shared
+  /// bulk-plane stream — so lane l's stream depends only on (seed, l).
+  /// Per-lane results are distributed like independent scalar runs but are
+  /// not bit-comparable to any scalar seed; they are deterministic per
+  /// (seed, lane count).
+  [[nodiscard]] std::vector<RunResult> run(const graph::Graph& g, BatchProtocol& protocol,
+                                           support::Xoshiro256StarStar base, unsigned lanes);
+  RunResult run(graph::Graph&&, BatchProtocol&, support::Xoshiro256StarStar,
+                unsigned) = delete;
+
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  [[nodiscard]] BatchRngMode rng_mode() const noexcept { return rng_mode_; }
 
  private:
   friend class BatchContext;
@@ -163,9 +222,22 @@ class BatchSimulator {
   void apply_wakeups_and_crashes();
   void deliver_beeps();
   void compact_active();
+  [[nodiscard]] std::vector<RunResult> run_lanes(
+      const graph::Graph& g, BatchProtocol& protocol,
+      std::vector<support::Xoshiro256StarStar> rngs);
+
+  // Bulk-plane draws from bulk_rng_ (kStatisticalLanes; see BatchContext).
+  [[nodiscard]] LaneMask random_plane() noexcept { return bulk_rng_(); }
+  [[nodiscard]] LaneMask bernoulli_plane_pow2(unsigned k, LaneMask lanes) noexcept;
+  [[nodiscard]] LaneMask bernoulli_plane(double p, LaneMask lanes) noexcept;
 
   const graph::Graph* graph_ = nullptr;
   SimConfig config_;
+  BatchRngMode rng_mode_ = BatchRngMode::kScalarOrder;
+  /// Shared bulk-plane stream (kStatisticalLanes only): the run's base
+  /// stream, disjoint from every jump()-partitioned lane stream for the
+  /// first 2^128 outputs.
+  support::Xoshiro256StarStar bulk_rng_{0};
   unsigned lane_count_ = 0;
 
   // Fault schedules, presorted by (round, node) once per graph binding;
@@ -210,7 +282,6 @@ class BatchSimulator {
   std::vector<std::vector<graph::NodeId>> mis_lists_;  ///< per-lane live MIS, join order
   std::vector<std::uint32_t> active_count_;            ///< per-lane |active list|
   std::vector<std::size_t> lane_rounds_;
-  std::vector<std::uint64_t> lane_total_beeps_;
   /// Per-(node, lane) beep episodes, node-major: beep_counts_[v * lanes + l].
   std::vector<std::uint32_t> beep_counts_;
   LaneMask running_ = 0;     ///< lanes still executing their round loop
@@ -221,5 +292,100 @@ class BatchSimulator {
   std::size_t round_ = 0;
   unsigned exchange_ = 0;
 };
+
+// --- Inline hot paths -------------------------------------------------------
+// BatchContext::beep and the bulk-plane draws run once per (node, exchange)
+// or per exponent chunk in the kernel sweeps; defining them here lets the
+// kernel translation units inline them (they need the complete
+// BatchSimulator, so they live below both classes).
+
+inline BatchRngMode BatchContext::rng_mode() const noexcept {
+  return simulator_->rng_mode_;
+}
+
+inline LaneMask BatchSimulator::bernoulli_plane_pow2(unsigned k, LaneMask lanes) noexcept {
+  // AND of k uniform planes: a lane's bit survives all k only with
+  // probability 2^-k.  Early exit at the empty plane is distribution-exact
+  // (further ANDs cannot resurrect a bit) and bounds the expected work at
+  // ~log2(lanes) draws.  k >= 1075 mirrors bernoulli_pow2's underflow
+  // endpoint: the draw can never fire (and, unlike the scalar contract,
+  // nothing obliges us to consume outputs for it).
+  if (k >= 1075) return 0;
+  LaneMask plane = lanes;
+  for (unsigned i = 0; i < k && plane != 0; ++i) plane &= bulk_rng_();
+  return plane;
+}
+
+inline LaneMask BatchSimulator::bernoulli_plane(double p, LaneMask lanes) noexcept {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return lanes;
+  // Arithmetic-decoding Bernoulli: walk the binary expansion of p msb
+  // first; each plane supplies one uniform bit per undecided lane, and the
+  // first position where a lane's bit differs from p's bit decides it
+  // (lane bit 0 under p bit 1 => its uniform lies below p).  Exact for
+  // every double p, and all 64 lanes resolve in ~log2(lanes) + 2 expected
+  // planes.  Once p's remaining bits are all zero, an undecided lane's
+  // uniform prefix equals p, so the uniform is >= p: failure.
+  LaneMask undecided = lanes;
+  LaneMask result = 0;
+  while (undecided != 0) {
+    p += p;
+    const bool bit = p >= 1.0;
+    if (bit) p -= 1.0;
+    const LaneMask r = bulk_rng_();
+    if (bit) {
+      result |= undecided & ~r;
+      undecided &= r;
+    } else {
+      undecided &= ~r;
+    }
+    if (p == 0.0) break;
+  }
+  return result;
+}
+
+inline LaneMask BatchContext::random_plane() {
+  if (simulator_->rng_mode_ != BatchRngMode::kStatisticalLanes) {
+    throw std::logic_error("BatchContext::random_plane requires kStatisticalLanes");
+  }
+  return simulator_->random_plane();
+}
+
+inline LaneMask BatchContext::bernoulli_plane_pow2(unsigned k, LaneMask lanes) {
+  if (simulator_->rng_mode_ != BatchRngMode::kStatisticalLanes) {
+    throw std::logic_error("BatchContext::bernoulli_plane_pow2 requires kStatisticalLanes");
+  }
+  return simulator_->bernoulli_plane_pow2(k, lanes);
+}
+
+inline LaneMask BatchContext::bernoulli_plane(double p, LaneMask lanes) {
+  if (simulator_->rng_mode_ != BatchRngMode::kStatisticalLanes) {
+    throw std::logic_error("BatchContext::bernoulli_plane requires kStatisticalLanes");
+  }
+  return simulator_->bernoulli_plane(p, lanes);
+}
+
+inline void BatchContext::beep(graph::NodeId v, LaneMask lanes) {
+  if (phase_ != Phase::kEmit) {
+    throw std::logic_error("BatchContext::beep called outside the emit phase");
+  }
+  BatchSimulator& sim = *simulator_;
+  if (v >= sim.live_.size() || (lanes & ~sim.live_[v]) != 0) {
+    throw std::logic_error("BatchContext::beep outside the node's live lanes");
+  }
+  LaneMask& plane = sim.beeped_[v];
+  const LaneMask fresh = lanes & ~plane;
+  if (!fresh) return;
+  if (!plane) sim.beepers_.push_back(v);
+  plane |= fresh;
+  // Scalar episode rule: a beep continuing from the previous exchange of
+  // the same round is one signal episode, not two.  Per-lane episode
+  // *totals* are derived from these counts at extraction time, so each
+  // episode costs exactly one scatter increment here.
+  std::uint32_t* counts = &sim.beep_counts_[static_cast<std::size_t>(v) * sim.lane_count_];
+  for (LaneMask b = fresh & ~sim.prev_beeped_[v]; b != 0; b &= b - 1) {
+    ++counts[std::countr_zero(b)];
+  }
+}
 
 }  // namespace beepmis::sim

@@ -10,7 +10,13 @@
 
 namespace beepmis::sim {
 
-std::unique_ptr<BatchProtocol> BeepProtocol::make_batch_protocol() const { return nullptr; }
+std::unique_ptr<BatchProtocol> BeepProtocol::make_batch_protocol(BatchRngMode /*mode*/) const {
+  return nullptr;
+}
+
+std::unique_ptr<BatchProtocol> BeepProtocol::make_batch_protocol() const {
+  return make_batch_protocol(BatchRngMode::kScalarOrder);
+}
 
 ShardSupport BeepProtocol::shard_support() const { return {}; }
 
