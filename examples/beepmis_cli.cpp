@@ -37,6 +37,15 @@ int main(int argc, char** argv) {
   options.add("max-rounds", "1048576", "round cap");
   options.add("factor", "2.0", "local-feedback feedback factor");
   options.add("initial-p", "0.5", "local-feedback initial probability");
+  options.add("scenario", "none", "fault adversary (see --list; beeping algorithms)");
+  options.add("scenario-rate", "0.05",
+              "scenario crash fraction / churn rate / crash probability");
+  options.add("scenario-lo", "0", "scenario crash-window start round");
+  options.add("scenario-hi", "0", "scenario crash-window end round (churn: 0 = open)");
+  options.add("scenario-budget", "64", "scenario crash budget / target count");
+  options.add("scenario-seed", "1", "scenario rng seed");
+  options.add("run-until", "0", "keep simulating until at least this round");
+  options.add("track-recovery", "false", "collect recovery-time SLA samples");
   options.add("dot-out", "", "write DOT with highlighted MIS to this file (trial 0)");
   options.add("edge-list", "", "read the graph from an edge-list file instead");
   options.add("csv", "false", "print one CSV row per trial");
@@ -48,11 +57,13 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::cout << options.usage("beepmis_cli") << '\n'
               << cli::graph_help() << '\n'
-              << cli::algorithm_help();
+              << cli::algorithm_help() << '\n'
+              << cli::scenario_help();
     return 0;
   }
   if (options.get_bool("list")) {
-    std::cout << cli::graph_help() << '\n' << cli::algorithm_help();
+    std::cout << cli::graph_help() << '\n' << cli::algorithm_help() << '\n'
+              << cli::scenario_help();
     return 0;
   }
 
@@ -86,6 +97,14 @@ int main(int argc, char** argv) {
   aspec.factor = options.get_double("factor");
   aspec.initial_p = options.get_double("initial-p");
   aspec.shards = static_cast<unsigned>(options.get_int("shards"));
+  aspec.sim.run_until_round = static_cast<std::size_t>(options.get_int("run-until"));
+  aspec.sim.track_recovery = options.get_bool("track-recovery");
+  aspec.scenario.name = options.get("scenario");
+  aspec.scenario.rate = options.get_double("scenario-rate");
+  aspec.scenario.round_lo = static_cast<std::uint32_t>(options.get_int("scenario-lo"));
+  aspec.scenario.round_hi = static_cast<std::uint32_t>(options.get_int("scenario-hi"));
+  aspec.scenario.budget = static_cast<std::size_t>(options.get_int("scenario-budget"));
+  aspec.scenario.seed = options.get_u64("scenario-seed");
 
   const auto trials = static_cast<std::size_t>(options.get_int("trials"));
   const std::uint64_t seed0 = options.get_u64("seed");

@@ -5,21 +5,25 @@
 #
 #   scripts/bench_core.sh [--smoke] [common bench args...]
 #
-# Three benches contribute:
-#   bench_frontier  seed-path (dense) core vs frontier core, single runs
-#   bench_batch     per-trial scalar sweep vs 64-lane batched sweep
-#   bench_shard     scalar single run vs sharded single run (ShardedSimulator)
+# Four benches contribute:
+#   bench_frontier   seed-path (dense) core vs frontier core, single runs
+#   bench_batch      per-trial scalar sweep vs 64-lane batched sweep
+#   bench_shard      scalar single run vs sharded single run (ShardedSimulator)
+#   bench_scenarios  recovery SLAs under fault adversaries (scalar fallback)
 # bench_frontier and bench_batch run at n in BENCH_SIZES (default
 # "1000 10000 100000"); bench_shard runs at n in SHARD_SIZES (default
-# "100000 1000000" — sharding targets large single runs).  Positional args
-# are forwarded to *all* drivers, so use them only for flags all accept
+# "100000 1000000" — sharding targets large single runs); bench_scenarios
+# runs at n in FAULT_SIZES (default "1000 10000" — scenario rows run on the
+# scalar simulator, so huge n would dominate the wall clock).  Positional
+# args are forwarded to *all* drivers, so use them only for flags all accept
 # (--avg-degree, --tail-rounds, --reps, --seed); driver-specific flags go
-# in FRONTIER_ARGS / BATCH_ARGS / SHARD_ARGS (e.g. BATCH_ARGS="--trials=128",
-# SHARD_ARGS="--shards=1,2,4,8").  The script-owned --n/--git-rev/--out are
-# appended last, so they win over anything forwarded.  The merged JSON is
-# { header, frontier: [...], batch: [...], shard: [...] } (one per-n report
-# each); every per-n report records the git revision and compiler it was
-# built with.
+# in FRONTIER_ARGS / BATCH_ARGS / SHARD_ARGS / FAULT_ARGS (e.g.
+# BATCH_ARGS="--trials=128", SHARD_ARGS="--shards=1,2,4,8").  The
+# script-owned --n/--git-rev/--out are appended last, so they win over
+# anything forwarded.  The merged JSON is { header, frontier: [...],
+# batch: [...], shard: [...], faults: [...] } (one per-n report each);
+# every per-n report records the git revision and compiler it was built
+# with.
 #
 # --smoke (must be the first argument) is the CI mode: one tiny size
 # (n=256), one rep, short tails, and the merged JSON goes to
@@ -47,11 +51,13 @@ if (( smoke )); then
   # nothing but barrier latency, which made the warn-only comparison
   # against the committed 100k/1M rows pure noise.
   shard_sizes="${SHARD_SIZES:-20000}"
+  fault_sizes="${FAULT_SIZES:-256}"
   merged_default="${build_dir}/BENCH_core_smoke.json"
   smoke_args=(--reps=1 --tail-rounds=32)
 else
   sizes="${BENCH_SIZES:-1000 10000 100000}"
   shard_sizes="${SHARD_SIZES:-100000 1000000}"
+  fault_sizes="${FAULT_SIZES:-1000 10000}"
   merged_default="${repo_root}/BENCH_core.json"
   smoke_args=()
 fi
@@ -60,7 +66,8 @@ merged="${BENCH_OUT:-${merged_default}}"
 if [[ ! -d "${build_dir}" ]]; then
   cmake -B "${build_dir}" -S "${repo_root}"
 fi
-cmake --build "${build_dir}" --target bench_frontier bench_batch bench_shard -j
+cmake --build "${build_dir}" --target bench_frontier bench_batch bench_shard \
+  bench_scenarios -j
 
 git_rev="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 out_dir="${build_dir}/bench_reports"
@@ -73,6 +80,8 @@ size_list=(${sizes})
 sizes_json="$(IFS=,; echo "${size_list[*]}")"
 # shellcheck disable=SC2206
 shard_size_list=(${shard_sizes})
+# shellcheck disable=SC2206
+fault_size_list=(${fault_sizes})
 
 # Intentionally word-split driver-specific extras.
 # shellcheck disable=SC2206
@@ -81,10 +90,13 @@ frontier_extra=(${FRONTIER_ARGS:-})
 batch_extra=(${BATCH_ARGS:-})
 # shellcheck disable=SC2206
 shard_extra=(${SHARD_ARGS:-})
+# shellcheck disable=SC2206
+fault_extra=(${FAULT_ARGS:-})
 
 frontier_reports=()
 batch_reports=()
 shard_reports=()
+fault_reports=()
 for n in "${size_list[@]}"; do
   frontier_out="${out_dir}/frontier_n${n}.json"
   batch_out="${out_dir}/batch_n${n}.json"
@@ -103,6 +115,13 @@ for n in "${shard_size_list[@]}"; do
       ${shard_extra[@]+"${shard_extra[@]}"} \
       --n="${n}" --git-rev="${git_rev}" --out="${shard_out}"
   shard_reports+=("${shard_out}")
+done
+for n in "${fault_size_list[@]}"; do
+  fault_out="${out_dir}/faults_n${n}.json"
+  "${build_dir}/bench/bench_scenarios" ${smoke_args[@]+"${smoke_args[@]}"} "$@" \
+      ${fault_extra[@]+"${fault_extra[@]}"} \
+      --n="${n}" --git-rev="${git_rev}" --out="${fault_out}"
+  fault_reports+=("${fault_out}")
 done
 
 emit_section() {  # $1 = section name, rest = report files
@@ -124,6 +143,8 @@ emit_section() {  # $1 = section name, rest = report files
   emit_section batch "${batch_reports[@]}"
   printf ',\n'
   emit_section shard "${shard_reports[@]}"
+  printf ',\n'
+  emit_section faults "${fault_reports[@]}"
   printf '\n}\n'
 } > "${merged}"
 echo "perf record written to ${merged}"

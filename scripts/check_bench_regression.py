@@ -36,7 +36,7 @@ import os
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SECTIONS = ("frontier", "batch", "shard")
+SECTIONS = ("frontier", "batch", "shard", "faults")
 
 
 def load_report(path):
@@ -62,6 +62,11 @@ def row_key(row):
     keeps the scalar-order and statistical rows of one (workload, protocol,
     impl) from colliding — they are different lanes with very different
     expected speedups.
+
+    Any other row fields — the faults section's recovery_p50/p95/p99 SLA
+    quantiles, disruption counts, and whatever future drivers add — are
+    deliberately ignored: new optional fields must never break keying or
+    comparison of existing lanes.
     """
     return (
         row.get("workload", "?"),

@@ -179,6 +179,40 @@ class CheckBenchRegressionTest(unittest.TestCase):
         self.assertEqual(code, 1, out)
         self.assertIn("possible regression", out)
 
+    def test_faults_section_coverage_is_gated(self):
+        # The recovery-SLA lanes (bench_scenarios) are part of the coverage
+        # contract: dropping one fails --strict like any other section.
+        base = report({"faults": [
+            row("sla", "uniform-crash", 1000, protocol="self-healing"),
+            row("sla", "target-mis", 1000, protocol="self-healing")]})
+        fresh = report({"faults": [
+            row("sla", "uniform-crash", 1000, protocol="self-healing")]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 1, out)
+        self.assertIn("coverage lost", out)
+        self.assertIn("faults/sla/self-healing/target-mis", out)
+
+    def test_optional_recovery_fields_are_tolerated(self):
+        # Rows may carry fields the checker does not know (recovery
+        # quantiles, disruption counts); they must neither break keying nor
+        # be mistaken for speedup ratios.
+        def sla_row(impl, **extra):
+            r = row("sla", impl, 1000, protocol="self-healing")
+            r.update(extra)
+            return r
+        base = report({"faults": [sla_row("target-mis")]})
+        fresh = report({"faults": [sla_row(
+            "target-mis", recovery_p50=13.5, recovery_p95=21.5,
+            recovery_p99=22.7, disruptions=16, unrecovered=0)]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 0, out)
+        self.assertIn("ok:", out)
+        # And symmetrically: a baseline *with* the fields against a fresh
+        # run without them still matches the same lane.
+        code, out = self.run_checker(fresh, base, "--strict")
+        self.assertEqual(code, 0, out)
+        self.assertIn("ok:", out)
+
     def test_unreadable_baseline_is_an_error(self):
         fresh = report({"batch": [row("converge", "batched", 1000, 3.0)]})
         with tempfile.TemporaryDirectory() as tmp:

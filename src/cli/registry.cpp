@@ -10,6 +10,7 @@
 #include "mis/mis.hpp"
 #include "mis/pure_beep.hpp"
 #include "mis/schedule.hpp"
+#include "mis/self_healing.hpp"
 #include "sim/sharded.hpp"
 
 namespace beepmis::cli {
@@ -60,7 +61,68 @@ std::string graph_help() {
          "  clique-family  Theorem 1 family, param k    (--k)\n";
 }
 
+std::shared_ptr<sim::FaultScenario> make_scenario(const ScenarioSpec& spec) {
+  if (spec.name == "none") return nullptr;
+  if (spec.name == "uniform-crash") {
+    return std::make_shared<sim::UniformRandomCrash>(sim::UniformRandomCrashConfig{
+        spec.rate, spec.round_lo, spec.round_hi, spec.seed});
+  }
+  if (spec.name == "target-degree") {
+    return std::make_shared<sim::TargetHighDegree>(sim::TargetHighDegreeConfig{
+        spec.budget, spec.round_lo, spec.round_hi, spec.seed});
+  }
+  if (spec.name == "target-boundary") {
+    return std::make_shared<sim::TargetBoundary>(sim::TargetBoundaryConfig{
+        spec.shards, spec.rate, spec.round_lo, spec.round_hi, spec.seed});
+  }
+  if (spec.name == "target-mis") {
+    return std::make_shared<sim::TargetMisMembers>(sim::TargetMisMembersConfig{
+        spec.round_lo, spec.budget, spec.rate, spec.seed});
+  }
+  if (spec.name == "churn") {
+    const std::uint32_t hi = spec.round_hi == 0 ? UINT32_MAX : spec.round_hi;
+    return std::make_shared<sim::ChurnStream>(sim::ChurnStreamConfig{
+        spec.rate, spec.revive_delay_mean, spec.round_lo, hi, spec.seed});
+  }
+  if (spec.name == "budgeted") {
+    return std::make_shared<sim::BudgetedAdversary>(sim::BudgetedAdversaryConfig{
+        spec.budget, spec.round_lo, /*crashes_per_round=*/1});
+  }
+  throw std::invalid_argument("unknown fault scenario: " + spec.name);
+}
+
+std::vector<std::string> scenario_names() {
+  return {"budgeted",   "churn",          "none",      "target-boundary",
+          "target-degree", "target-mis", "uniform-crash"};
+}
+
+std::string scenario_help() {
+  return "fault scenarios (--scenario; all deterministic per --scenario-seed):\n"
+         "  none             no injected faults (default)\n"
+         "  uniform-crash    each node crashes w.p. rate in [round-lo, round-hi]\n"
+         "  target-degree    crash the budget highest-degree nodes in the window\n"
+         "  target-boundary  crash partition-boundary nodes w.p. rate (shards cuts)\n"
+         "  target-mis       adaptive: crash new MIS members (prob rate, from\n"
+         "                   round-lo, at most budget crashes)\n"
+         "  churn            Poisson(rate) crashes/round, geometric revives\n"
+         "  budgeted         adaptive: greedy worst-case member kills (budget)\n";
+}
+
 namespace {
+
+/// The beeping SimConfig for a spec: the shared sim knobs plus the
+/// requested fault scenario.
+sim::SimConfig beeping_sim_config(const AlgorithmSpec& spec) {
+  sim::SimConfig config = spec.sim;
+  if (auto scenario = make_scenario(spec.scenario)) {
+    if (spec.shards >= 2) {
+      throw std::invalid_argument(
+          "--scenario: fault scenarios run on the scalar simulator (drop --shards)");
+    }
+    config.scenario = std::move(scenario);
+  }
+  return config;
+}
 
 /// Runs a shard-capable beeping protocol either scalar or sharded
 /// (AlgorithmSpec::shards >= 2).  The sharded path draws in scalar order,
@@ -68,10 +130,10 @@ namespace {
 sim::RunResult run_beeping(const AlgorithmSpec& spec, const graph::Graph& g,
                            sim::BeepProtocol& protocol) {
   if (spec.shards >= 2) {
-    sim::ShardedSimulator simulator(g, spec.shards, spec.sim);
+    sim::ShardedSimulator simulator(g, spec.shards, beeping_sim_config(spec));
     return simulator.run(protocol, support::Xoshiro256StarStar(spec.seed));
   }
-  sim::BeepSimulator simulator(g, spec.sim);
+  sim::BeepSimulator simulator(g, beeping_sim_config(spec));
   return simulator.run(protocol, support::Xoshiro256StarStar(spec.seed));
 }
 
@@ -89,6 +151,17 @@ sim::RunResult run_algorithm(const AlgorithmSpec& spec, const graph::Graph& g) {
     mis::ExactLocalFeedbackMis protocol;
     return run_beeping(spec, g, protocol);
   }
+  if (spec.name == "self-healing") {
+    mis::SelfHealingConfig config;
+    config.base.factor_low = config.base.factor_high = spec.factor;
+    config.base.initial_p_low = config.base.initial_p_high = spec.initial_p;
+    mis::SelfHealingLocalFeedbackMis protocol(config);
+    // Healing detects dominator death through keepalive silence; without
+    // keepalive the protocol never reactivates, so force it on.
+    AlgorithmSpec healing = spec;
+    healing.sim.mis_keepalive = true;
+    return run_beeping(healing, g, protocol);
+  }
   if (spec.name == "pure-beep") {
     if (spec.shards >= 2) {
       throw std::invalid_argument(
@@ -96,7 +169,7 @@ sim::RunResult run_algorithm(const AlgorithmSpec& spec, const graph::Graph& g) {
           "outside the skeleton contract)");
     }
     mis::PureBeepLocalFeedbackMis protocol(/*subslots=*/8, spec.factor);
-    sim::BeepSimulator simulator(g, spec.sim);
+    sim::BeepSimulator simulator(g, beeping_sim_config(spec));
     return simulator.run(protocol, support::Xoshiro256StarStar(spec.seed));
   }
   if (spec.name == "global-sweep") {
@@ -113,8 +186,13 @@ sim::RunResult run_algorithm(const AlgorithmSpec& spec, const graph::Graph& g) {
   if (spec.shards >= 2) {
     throw std::invalid_argument("--shards is only supported by the shard-capable "
                                 "beeping algorithms (local-feedback, "
-                                "local-feedback-exact, global-sweep, "
+                                "local-feedback-exact, self-healing, global-sweep, "
                                 "global-increasing); got: " + spec.name);
+  }
+  if (spec.scenario.name != "none") {
+    throw std::invalid_argument(
+        "--scenario: fault scenarios are a beeping-model feature; got LOCAL-model "
+        "algorithm: " + spec.name);
   }
   if (spec.name == "luby") return mis::run_luby(g, spec.seed, spec.local_sim);
   if (spec.name == "luby-degree") return mis::run_luby_degree(g, spec.seed, spec.local_sim);
@@ -126,13 +204,15 @@ sim::RunResult run_algorithm(const AlgorithmSpec& spec, const graph::Graph& g) {
 std::vector<std::string> algorithm_names() {
   return {"global-increasing",    "global-sweep", "greedy-id", "local-feedback",
           "local-feedback-exact", "luby",         "luby-degree", "metivier",
-          "pure-beep"};
+          "pure-beep",            "self-healing"};
 }
 
 std::string algorithm_help() {
   return "algorithms:\n"
          "  local-feedback     the paper's algorithm (beeping; --factor, --initial-p)\n"
          "  local-feedback-exact  Definition 1 with integer exponents (beeping)\n"
+         "  self-healing       local feedback + silence-triggered reactivation\n"
+         "                     (beeping; forces keepalive; pair with --scenario)\n"
          "  pure-beep          local feedback without sender collision detection\n"
          "  global-sweep       Afek et al. DISC'11 sweeping schedule (beeping)\n"
          "  global-increasing  Science'11-style increasing schedule (beeping)\n"

@@ -4,12 +4,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/beep.hpp"
 #include "sim/local.hpp"
+#include "sim/scenario.hpp"
 
 namespace beepmis::cli {
 
@@ -34,6 +36,28 @@ struct GraphSpec {
 /// One-line description per family.
 [[nodiscard]] std::string graph_help();
 
+/// Fault-scenario selection (see sim/scenario.hpp); each scenario reads
+/// the parameter subset documented in scenario_help().
+struct ScenarioSpec {
+  std::string name = "none";
+  /// uniform-crash / target-boundary crash fraction; churn crashes/round;
+  /// target-mis per-member crash probability.
+  double rate = 0.05;
+  std::uint32_t round_lo = 0;  ///< crash window start / adaptive start round
+  std::uint32_t round_hi = 0;  ///< crash window end (inclusive)
+  std::size_t budget = 64;     ///< max crashes (adaptive) / node count (target-degree)
+  std::uint32_t shards = 2;    ///< target-boundary partition width
+  double revive_delay_mean = 8.0;  ///< churn mean down-time
+  std::uint64_t seed = 1;
+};
+
+/// Builds the named scenario, or nullptr for "none".  Throws
+/// std::invalid_argument for an unknown name.
+[[nodiscard]] std::shared_ptr<sim::FaultScenario> make_scenario(const ScenarioSpec& spec);
+
+[[nodiscard]] std::vector<std::string> scenario_names();
+[[nodiscard]] std::string scenario_help();
+
 struct AlgorithmSpec {
   std::string name = "local-feedback";
   std::uint64_t seed = 1;
@@ -48,6 +72,9 @@ struct AlgorithmSpec {
   /// accept it (local-feedback, local-feedback-exact, global-sweep,
   /// global-increasing); others throw std::invalid_argument.
   unsigned shards = 1;
+  /// Fault adversary (beeping algorithms only; scalar simulator only —
+  /// combining with shards >= 2 throws).
+  ScenarioSpec scenario;
 };
 
 /// Runs the named algorithm on `g`.  Throws std::invalid_argument for an

@@ -28,6 +28,8 @@ namespace beepmis::harness {
 [[nodiscard]] support::Table comparison_table(std::span<const ComparisonRow> rows);
 [[nodiscard]] support::Table robustness_table(std::span<const RobustnessRow> rows);
 [[nodiscard]] support::Table fault_table(std::span<const FaultRow> rows);
+/// Recovery-SLA rendering of FaultRows produced by fault_scenario_experiment.
+[[nodiscard]] support::Table fault_recovery_table(std::span<const FaultRow> rows);
 [[nodiscard]] support::Table family_table(std::span<const FamilyRow> rows);
 
 /// Prints a table plus its CSV twin separated by a blank line.

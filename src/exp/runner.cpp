@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "mis/verifier.hpp"
@@ -23,6 +27,22 @@ void TrialStats::merge(const TrialStats& other) {
   valid += other.valid;
   independence_violations += other.independence_violations;
   uncovered_nodes += other.uncovered_nodes;
+  recovery_rounds.insert(recovery_rounds.end(), other.recovery_rounds.begin(),
+                         other.recovery_rounds.end());
+  disruptions += other.disruptions;
+  unrecovered_disruptions += other.unrecovered_disruptions;
+  if (scalar_fallback_reason.empty()) scalar_fallback_reason = other.scalar_fallback_reason;
+}
+
+TrialStats::RecoveryQuantiles TrialStats::recovery_quantiles() const {
+  RecoveryQuantiles q;
+  if (recovery_rounds.empty()) return q;
+  std::vector<double> sorted = recovery_rounds;
+  std::sort(sorted.begin(), sorted.end());
+  q.p50 = support::quantile_sorted(sorted, 0.50);
+  q.p95 = support::quantile_sorted(sorted, 0.95);
+  q.p99 = support::quantile_sorted(sorted, 0.99);
+  return q;
 }
 
 namespace {
@@ -40,6 +60,8 @@ struct TrialRecord {
   bool valid = false;
   std::size_t independence_violations = 0;
   std::size_t uncovered_nodes = 0;
+  std::vector<std::uint32_t> recovery_rounds;
+  std::size_t unrecovered_disruptions = 0;
 };
 
 /// Metric extraction + MIS verification for one finished trial; shared by
@@ -58,6 +80,8 @@ void fill_record(TrialRecord& rec, const graph::Graph& g, const sim::RunResult& 
   rec.valid = report.valid();
   rec.independence_violations = report.independence_violations;
   rec.uncovered_nodes = report.uncovered_nodes;
+  rec.recovery_rounds = result.recovery_rounds;
+  rec.unrecovered_disruptions = result.unrecovered_disruptions;
 }
 
 // run_workers — the shared worker-pool + exception-capture helper — now
@@ -80,6 +104,11 @@ TrialStats aggregate_records(const std::vector<TrialRecord>& records) {
     if (rec.valid) ++total.valid;
     total.independence_violations += rec.independence_violations;
     total.uncovered_nodes += rec.uncovered_nodes;
+    for (const std::uint32_t r : rec.recovery_rounds) {
+      total.recovery_rounds.push_back(static_cast<double>(r));
+    }
+    total.disruptions += rec.recovery_rounds.size() + rec.unrecovered_disruptions;
+    total.unrecovered_disruptions += rec.unrecovered_disruptions;
   }
   return total;
 }
@@ -251,10 +280,12 @@ bool run_beep_trials_sharded(const GraphFactory& graphs,
   return true;
 }
 
-}  // namespace
-
-TrialStats run_beep_trials(const GraphFactory& graphs, const BeepProtocolFactory& protocols,
-                           const TrialConfig& config) {
+/// The pre-scenario dispatch pipeline: sharded, then batched, then the
+/// scalar trial loop.  Callers route scenario configs before this point —
+/// only a materialised (or absent) scenario may reach it.
+TrialStats dispatch_beep_trials(const GraphFactory& graphs,
+                                const BeepProtocolFactory& protocols,
+                                const TrialConfig& config) {
   // Sharded path: parallelism *within* one run (TrialConfig::shards).
   // Bit-identical to the scalar path, like the batched path below.
   if (TrialStats sharded; run_beep_trials_sharded(graphs, protocols, config, sharded)) {
@@ -295,8 +326,86 @@ TrialStats run_beep_trials(const GraphFactory& graphs, const BeepProtocolFactory
   });
 }
 
+}  // namespace
+
+TrialStats run_beep_trials(const GraphFactory& graphs, const BeepProtocolFactory& protocols,
+                           const TrialConfig& config) {
+  if (config.sim.scenario != nullptr) {
+    throw std::invalid_argument(
+        "run_beep_trials: set TrialConfig::scenario (a factory), not "
+        "SimConfig::scenario — every worker thread needs its own stateful instance");
+  }
+  TrialConfig cfg = config;
+  const GraphFactory* effective_graphs = &graphs;
+  GraphFactory materialized_graphs;  // owns the shared graph when we materialise
+  std::string fallback;
+
+  if (cfg.scenario) {
+    const std::unique_ptr<sim::FaultScenario> probe = cfg.scenario();
+    if (probe == nullptr) {
+      throw std::invalid_argument("run_beep_trials: scenario factory returned nullptr");
+    }
+    const std::string name(probe->name());
+    switch (probe->kind()) {
+      case sim::ScenarioKind::kStaticSchedule:
+        if (cfg.shared_graph && cfg.sim.crash_round.empty()) {
+          // The schedule is a pure function of (graph, scenario config),
+          // so fold it into the static crash vectors once and keep every
+          // fast path — the run is bit-identical to executing the
+          // scenario live through the scalar driver.
+          const support::SeedSequence root(cfg.base_seed);
+          auto rng = root.child(0).child(0).generator();
+          auto shared = std::make_shared<graph::Graph>(graphs(rng));
+          cfg.sim.crash_round = probe->materialize_crash_rounds(*shared);
+          cfg.scenario = nullptr;
+          materialized_graphs = [shared](support::Xoshiro256StarStar&) { return *shared; };
+          effective_graphs = &materialized_graphs;
+        } else {
+          fallback = "scenario '" + name +
+                     "' runs live on the scalar simulator (materialising needs "
+                     "shared_graph and an empty crash_round)";
+        }
+        break;
+      case sim::ScenarioKind::kObliviousStream:
+        fallback = "scenario '" + name +
+                   "' emits dynamic events (revives/churn): scalar simulator only";
+        break;
+      case sim::ScenarioKind::kAdaptive:
+        fallback = "scenario '" + name +
+                   "' is adaptive (observes live run state): batched/sharded fast "
+                   "paths refused, scalar simulator only";
+        break;
+    }
+  }
+  if (cfg.sim.track_recovery && fallback.empty()) {
+    fallback = "recovery tracking is scalar-only: batched/sharded fast paths refused";
+  }
+
+  if (!cfg.scenario && !cfg.sim.track_recovery) {
+    TrialStats stats = dispatch_beep_trials(*effective_graphs, protocols, cfg);
+    stats.scalar_fallback_reason = std::move(fallback);
+    return stats;
+  }
+  // Forced-scalar path: each worker owns a private scenario instance
+  // (fresh from the factory; BeepSimulator::run resets it every trial).
+  TrialStats stats = run_trials_impl(*effective_graphs, cfg, [&] {
+    sim::SimConfig sim_config = cfg.sim;
+    if (cfg.scenario) sim_config.scenario = cfg.scenario();
+    return [simulator = sim::BeepSimulator(std::move(sim_config)), protocol = protocols()](
+               const graph::Graph& g, support::Xoshiro256StarStar rng) mutable {
+      return simulator.run(g, *protocol, rng);
+    };
+  });
+  stats.scalar_fallback_reason = std::move(fallback);
+  return stats;
+}
+
 TrialStats run_local_trials(const GraphFactory& graphs, const LocalProtocolFactory& protocols,
                             const TrialConfig& config) {
+  if (config.scenario || config.sim.scenario != nullptr) {
+    throw std::invalid_argument(
+        "run_local_trials: fault scenarios are a beeping-model feature");
+  }
   return run_trials_impl(graphs, config, [&] {
     return [simulator = sim::LocalSimulator(config.local_sim), protocol = protocols()](
                const graph::Graph& g, support::Xoshiro256StarStar rng) mutable {

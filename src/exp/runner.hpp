@@ -26,6 +26,9 @@ using GraphFactory = std::function<graph::Graph(support::Xoshiro256StarStar&)>;
 /// Creates a fresh protocol instance (protocols are stateful per run).
 using BeepProtocolFactory = std::function<std::unique_ptr<sim::BeepProtocol>()>;
 using LocalProtocolFactory = std::function<std::unique_ptr<sim::LocalProtocol>()>;
+/// Creates a fresh fault-scenario instance (scenarios are stateful per
+/// run, so every worker thread needs its own; see TrialConfig::scenario).
+using FaultScenarioFactory = std::function<std::unique_ptr<sim::FaultScenario>()>;
 
 struct TrialConfig {
   std::size_t trials = 100;
@@ -70,6 +73,17 @@ struct TrialConfig {
   /// Auto-sharding size threshold: below this a single run is too small
   /// for the per-exchange barriers to pay off.  Exposed for tests.
   std::size_t auto_shard_min_nodes = std::size_t{1} << 18;
+  /// Fault scenario for every trial (see sim/scenario.hpp).  Set this —
+  /// not SimConfig::scenario, which run_beep_trials rejects — so the
+  /// harness can hand each worker thread its own instance.  Routing by
+  /// ScenarioKind: a kStaticSchedule scenario on a shared graph with empty
+  /// crash_round is materialised into SimConfig::crash_round once, keeping
+  /// the batched/sharded fast paths (bit-identical to the equivalent
+  /// static-vector run); anything else — adaptive or dynamic-event
+  /// scenarios, per-trial graphs, recovery tracking — runs on the scalar
+  /// simulator, with the reason surfaced in
+  /// TrialStats::scalar_fallback_reason.
+  FaultScenarioFactory scenario;
   sim::SimConfig sim;
   sim::LocalSimConfig local_sim;
 };
@@ -88,6 +102,25 @@ struct TrialStats {
   /// Total violation counts summed over trials (nonzero only under faults).
   std::size_t independence_violations = 0;
   std::size_t uncovered_nodes = 0;
+  /// Recovery-SLA samples across all trials, in trial order (populated
+  /// only when SimConfig::track_recovery is set): rounds from each
+  /// disruption to the next quiescent-and-valid state.
+  std::vector<double> recovery_rounds;
+  /// Disruptions opened across trials (== recovery_rounds.size() +
+  /// unrecovered_disruptions).
+  std::size_t disruptions = 0;
+  /// Disruptions still unhealed when their runs ended.
+  std::size_t unrecovered_disruptions = 0;
+  /// Why the batched/sharded fast paths were refused and the scalar
+  /// simulator ran instead (empty = no forced fallback).  E.g. an adaptive
+  /// fault scenario or recovery tracking.
+  std::string scalar_fallback_reason;
+
+  struct RecoveryQuantiles {
+    double p50 = 0, p95 = 0, p99 = 0;
+  };
+  /// p50/p95/p99 of recovery_rounds (zeros when there are no samples).
+  [[nodiscard]] RecoveryQuantiles recovery_quantiles() const;
 
   void merge(const TrialStats& other);
 };

@@ -95,6 +95,15 @@ BatchSimulator::BatchSimulator(SimConfig config, BatchRngMode rng_mode)
     throw std::invalid_argument(
         "BatchSimulator does not support record_trace; use the scalar BeepSimulator");
   }
+  if (config_.scenario != nullptr) {
+    throw std::invalid_argument(
+        "BatchSimulator: fault scenarios run on the scalar BeepSimulator "
+        "(kStaticSchedule scenarios materialise into crash_round vectors instead)");
+  }
+  if (config_.track_recovery) {
+    throw std::invalid_argument(
+        "BatchSimulator: recovery tracking is scalar-only (use BeepSimulator)");
+  }
 }
 
 void BatchSimulator::bind_graph(const graph::Graph& g) {

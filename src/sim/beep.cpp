@@ -181,7 +181,7 @@ void BeepSimulator::compact_active() {
   detail::compact_active(active_, in_active_, status_);
 }
 
-void BeepSimulator::apply_wakeups_and_crashes() {
+detail::FaultOutcome BeepSimulator::apply_wakeups_and_crashes() {
   const auto trace_wake = [this](graph::NodeId v) {
     if (trace_enabled_) {
       trace_.record({static_cast<std::uint32_t>(round_), 0, EventKind::kWake, v});
@@ -200,6 +200,122 @@ void BeepSimulator::apply_wakeups_and_crashes() {
     mis_hear_valid_ = false;
   }
   if (outcome.active_crashed) compact_active();
+  return outcome;
+}
+
+bool BeepSimulator::apply_scenario_events() {
+  scenario_events_.clear();
+  const ScenarioView view{*graph_, round_, status_, active_, mis_nodes_};
+  config_.scenario->on_round(view, scenario_events_);
+  if (scenario_events_.empty()) return false;
+
+  const graph::NodeId n = graph_->node_count();
+  // Application order is a driver guarantee, not an emission obligation:
+  // wakes, then crashes, then revives, ascending node id within each kind.
+  std::sort(scenario_events_.begin(), scenario_events_.end(),
+            [](const ScenarioEvent& a, const ScenarioEvent& b) {
+              return a.kind != b.kind ? a.kind < b.kind : a.node < b.node;
+            });
+  bool active_dirty = false;
+  bool active_crashed = false;
+  bool mis_crashed = false;
+  bool revived = false;
+  for (const ScenarioEvent& e : scenario_events_) {
+    const graph::NodeId v = e.node;
+    if (v >= n) {
+      throw std::invalid_argument("fault scenario emitted an out-of-range node id");
+    }
+    switch (e.kind) {
+      case ScenarioEventKind::kWake:
+        // Early wake of a still-sleeping node; awake or decided nodes are
+        // a defined no-op (the legacy wake queue's in_active guard later
+        // skips the node it no longer needs to wake).
+        if (status_[v] != NodeStatus::kActive || in_active_[v]) break;
+        active_.push_back(v);
+        in_active_[v] = 1;
+        active_dirty = true;
+        if (trace_enabled_) {
+          trace_.record({static_cast<std::uint32_t>(round_), 0, EventKind::kWake, v});
+        }
+        break;
+      case ScenarioEventKind::kCrash:
+        if (status_[v] == NodeStatus::kCrashed) break;  // crash-while-crashed: no-op
+        active_crashed = active_crashed || status_[v] == NodeStatus::kActive;
+        mis_crashed = mis_crashed || status_[v] == NodeStatus::kInMis;
+        status_[v] = NodeStatus::kCrashed;
+        if (trace_enabled_) {
+          trace_.record({static_cast<std::uint32_t>(round_), 0, EventKind::kCrash, v});
+        }
+        break;
+      case ScenarioEventKind::kRevive:
+        if (status_[v] != NodeStatus::kCrashed) break;  // revive-while-alive: no-op
+        status_[v] = NodeStatus::kActive;
+        active_.push_back(v);
+        in_active_[v] = 1;
+        active_dirty = true;
+        revived = true;
+        if (trace_enabled_) {
+          trace_.record({static_cast<std::uint32_t>(round_), 0, EventKind::kRevive, v});
+        }
+        break;
+    }
+  }
+  if (mis_crashed) {
+    std::erase_if(mis_nodes_,
+                  [this](graph::NodeId v) { return status_[v] != NodeStatus::kInMis; });
+    mis_hear_valid_ = false;
+  }
+  if (active_crashed) compact_active();
+  if (active_dirty) std::sort(active_.begin(), active_.end());
+  return mis_crashed || revived;
+}
+
+void BeepSimulator::update_recovery(bool state_may_have_changed) {
+  if (state_may_have_changed) recovery_dirty_ = true;
+  if (open_disruptions_.empty()) return;
+  if (!active_.empty() || fault_cursor_.next_wakeup < faults_.wakeups.size()) return;
+  if (recovery_dirty_) {
+    recovery_valid_ = quiescent_state_valid();
+    recovery_dirty_ = false;
+  }
+  if (!recovery_valid_) return;
+  // Quiescent and valid at the end of round round_: every open disruption
+  // recovered within (round_ + 1 - start) rounds.
+  const auto close = static_cast<std::uint32_t>(round_ + 1);
+  for (const std::uint32_t start : open_disruptions_) {
+    recovery_rounds_.push_back(close - start);
+  }
+  open_disruptions_.clear();
+}
+
+bool BeepSimulator::quiescent_state_valid() const {
+  const graph::Graph& g = *graph_;
+  const graph::NodeId n = g.node_count();
+  for (graph::NodeId v = 0; v < n; ++v) {
+    switch (status_[v]) {
+      case NodeStatus::kActive:
+        return false;  // undecided (or still asleep) node
+      case NodeStatus::kCrashed:
+        break;  // exempt, like mis::verify_mis_run
+      case NodeStatus::kInMis:
+        for (const graph::NodeId w : g.neighbors(v)) {
+          if (status_[w] == NodeStatus::kInMis) return false;  // independence
+        }
+        break;
+      case NodeStatus::kDominated: {
+        bool covered = false;
+        for (const graph::NodeId w : g.neighbors(v)) {
+          if (status_[w] == NodeStatus::kInMis) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) return false;  // lost its cover
+        break;
+      }
+    }
+  }
+  return true;
 }
 
 RunResult BeepSimulator::run(const graph::Graph& g, BeepProtocol& protocol,
@@ -247,6 +363,11 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
   active_ = faults_.initial_active;
   for (const graph::NodeId v : active_) in_active_[v] = 1;
   fault_cursor_ = {};
+  open_disruptions_.clear();
+  recovery_rounds_.clear();
+  recovery_dirty_ = true;
+  recovery_valid_ = false;
+  if (config_.scenario != nullptr) config_.scenario->reset(*graph_);
 
   protocol.reset(*graph_, rng);
   // Read after reset: protocols may size their exchange count to the graph.
@@ -277,7 +398,15 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
   while ((!active_.empty() || fault_cursor_.next_wakeup < faults_.wakeups.size() ||
           round_ < config_.run_until_round) &&
          round_ < config_.max_rounds) {
-    apply_wakeups_and_crashes();
+    const detail::FaultOutcome outcome = apply_wakeups_and_crashes();
+    bool disruptive = outcome.mis_crashed;
+    if (config_.scenario != nullptr) {
+      disruptive = apply_scenario_events() || disruptive;
+    }
+    if (config_.track_recovery && disruptive) {
+      open_disruptions_.push_back(static_cast<std::uint32_t>(round_));
+    }
+    const bool had_active = !active_.empty();
 
     for (exchange_ = 0; exchange_ < exchanges; ++exchange_) {
       if (exchange_ == 0) {
@@ -307,6 +436,7 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
       ctx.phase_ = BeepContext::Phase::kObserve;
       observer_(ctx);
     }
+    if (config_.track_recovery) update_recovery(had_active || disruptive);
     ++round_;
   }
 
@@ -317,6 +447,8 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
   result.status = std::move(status_);
   result.beep_counts = std::move(beep_counts_);
   result.total_beeps = total_beeps_;
+  result.recovery_rounds = std::move(recovery_rounds_);
+  result.unrecovered_disruptions = open_disruptions_.size();
   return result;
 }
 

@@ -39,6 +39,7 @@
 #include "graph/graph.hpp"
 #include "sim/exchange_core.hpp"
 #include "sim/result.hpp"
+#include "sim/scenario.hpp"
 #include "sim/trace.hpp"
 #include "support/rng.hpp"
 
@@ -69,6 +70,25 @@ struct SimConfig {
   /// — required by maintenance/self-healing experiments where scheduled
   /// crashes and reactivations happen after the initial MIS converges.
   std::size_t run_until_round = 0;
+  /// Adaptive fault adversary consulted at every round boundary, layered
+  /// on top of (after) the static wake/crash vectors; see sim/scenario.hpp
+  /// for the event semantics and determinism contract.  Scalar
+  /// BeepSimulator only — the batched and sharded simulators reject it
+  /// (the trial harness materialises kStaticSchedule scenarios into
+  /// crash_round vectors to keep those fast paths).  The scenario does not
+  /// extend the run: set run_until_round to cover its event window.  The
+  /// instance is stateful per run (reset() is called at every run start),
+  /// so it must not be shared between concurrently running simulators —
+  /// clone() exists for exactly that.
+  std::shared_ptr<FaultScenario> scenario;
+  /// Collect per-disruption recovery-time samples (RunResult::
+  /// recovery_rounds): a disruption opens at a round where an MIS member
+  /// crashes or a crashed node revives, and closes at the next round
+  /// boundary where no node is active, no wake is pending, and the
+  /// surviving nodes form a valid MIS.  Scalar BeepSimulator only; the
+  /// validity check is O(n + m) but only runs when the state changed since
+  /// it last failed.
+  bool track_recovery = false;
 };
 
 class BeepSimulator;
@@ -292,7 +312,19 @@ class BeepSimulator {
   void bind_graph(const graph::Graph& g);
   void deliver_beeps(support::Xoshiro256StarStar& rng);
   void compact_active();
-  void apply_wakeups_and_crashes();
+  /// Returns the outcome so the run loop can open recovery disruptions on
+  /// MIS-member crashes.
+  detail::FaultOutcome apply_wakeups_and_crashes();
+  /// Consults config_.scenario and applies its events (wakes, then
+  /// crashes, then revives, ascending node id within each kind).  Returns
+  /// true when the round was *disruptive* for recovery tracking (an MIS
+  /// member crashed or a node revived).
+  bool apply_scenario_events();
+  /// Recovery-SLA bookkeeping at the round boundary (track_recovery only).
+  void update_recovery(bool state_may_have_changed);
+  /// Whether the current quiescent state is a valid MIS over the surviving
+  /// (non-crashed) nodes.  O(n + m); callers gate it behind a dirty flag.
+  [[nodiscard]] bool quiescent_state_valid() const;
 
   const graph::Graph* graph_ = nullptr;
   SimConfig config_;
@@ -330,6 +362,12 @@ class BeepSimulator {
   std::vector<std::uint8_t> in_mis_hear_;    ///< membership bitmap of mis_hear_
   bool mis_hear_valid_ = false;
   std::vector<graph::NodeId> reactivated_;   ///< pending re-entries to active_
+  // Fault-scenario and recovery-SLA per-run state.
+  std::vector<ScenarioEvent> scenario_events_;   ///< per-round scratch
+  std::vector<std::uint32_t> open_disruptions_;  ///< start rounds, open
+  std::vector<std::uint32_t> recovery_rounds_;   ///< closed-disruption samples
+  bool recovery_dirty_ = true;   ///< statuses changed since last validity check
+  bool recovery_valid_ = false;  ///< cached quiescent_state_valid() result
   std::uint64_t total_beeps_ = 0;
   std::size_t round_ = 0;
   unsigned exchange_ = 0;

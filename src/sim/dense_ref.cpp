@@ -77,6 +77,11 @@ RunResult DenseReferenceSimulator::run_dense(BeepProtocol& protocol,
   if (graph_ == nullptr) {
     throw std::logic_error("DenseReferenceSimulator::run_dense: no graph bound");
   }
+  if (config_.scenario != nullptr || config_.track_recovery) {
+    throw std::invalid_argument(
+        "DenseReferenceSimulator: fault scenarios and recovery tracking are "
+        "frontier-core features (use BeepSimulator)");
+  }
   const graph::NodeId n = graph_->node_count();
   status_.assign(n, NodeStatus::kActive);
   beeped_.assign(n, 0);

@@ -97,6 +97,7 @@ FaultOutcome apply_fault_events(const FaultSchedule& sched, FaultCursor& cursor,
     const graph::NodeId v = sched.wakeups[cursor.next_wakeup].second;
     ++cursor.next_wakeup;
     if (status[v] != NodeStatus::kActive) continue;  // crashed while asleep
+    if (in_active[v]) continue;  // already woken early by a fault scenario
     active.push_back(v);
     in_active[v] = 1;
     active_dirty = true;

@@ -80,6 +80,13 @@ ReplayReport replay_mis_trace(const graph::Graph& g, const Trace& trace,
         h.fate_round = kNoRound;  // back in the competition; fate cleared
         h.fate = EventKind::kBeep;
         break;
+      case EventKind::kRevive:
+        if (h.fate != EventKind::kCrash) {
+          add_issue("node " + std::to_string(e.node) + " revived without being crashed");
+        }
+        h.fate_round = kNoRound;  // back in the competition; fate cleared
+        h.fate = EventKind::kBeep;
+        break;
       case EventKind::kWake:
         break;  // wake events carry no constraints checked here
     }

@@ -32,6 +32,13 @@ struct RunResult {
   /// Total message bits sent (LOCAL-model runs; 0 for the beeping model,
   /// where `total_beeps` is the natural measure).
   std::uint64_t message_bits = 0;
+  /// Recovery-SLA samples (SimConfig::track_recovery only): for each
+  /// disruption — a round where an MIS member crashed or a crashed node
+  /// revived — the number of rounds until the run was next quiescent with
+  /// a valid MIS over the surviving nodes.  In disruption order.
+  std::vector<std::uint32_t> recovery_rounds;
+  /// Disruptions still open when the run ended (never recovered).
+  std::size_t unrecovered_disruptions = 0;
 
   /// Nodes with status kInMis, ascending.
   [[nodiscard]] std::vector<graph::NodeId> mis() const;

@@ -1,0 +1,367 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/partition.hpp"
+
+namespace beepmis::sim {
+
+namespace {
+
+constexpr std::uint32_t kNever = std::numeric_limits<std::uint32_t>::max();
+
+/// Knuth's product-of-uniforms Poisson sampler; fine for the small rates
+/// churn uses (cost is O(rate) draws per round).
+std::uint64_t poisson(double rate, support::Xoshiro256StarStar& rng) {
+  if (rate <= 0.0) return 0;
+  const double limit = std::exp(-rate);
+  std::uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform01();
+  } while (p > limit);
+  return k - 1;
+}
+
+/// Geometric (support {1, 2, ...}) with the given mean, by inverse
+/// transform — one draw, no rejection loop.
+std::uint64_t geometric_delay(double mean, support::Xoshiro256StarStar& rng) {
+  if (mean <= 1.0) return 1;
+  const double p = 1.0 / mean;
+  const double u = rng.uniform01();
+  // ceil(log(1-u) / log(1-p)) in [1, inf); u == 0 maps to 1.
+  const double d = std::ceil(std::log1p(-u) / std::log1p(-p));
+  if (!(d >= 1.0)) return 1;
+  if (d >= 1e18) return std::uint64_t{1} << 60;
+  return static_cast<std::uint64_t>(d);
+}
+
+std::uint32_t uniform_round(std::uint32_t lo, std::uint32_t hi,
+                            support::Xoshiro256StarStar& rng) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<std::uint32_t>(rng.below(std::uint64_t{hi} - lo + 1));
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> FaultScenario::materialize_crash_rounds(
+    const graph::Graph& /*g*/) const {
+  throw std::logic_error(
+      "FaultScenario::materialize_crash_rounds: only kStaticSchedule scenarios "
+      "are expressible as crash_round vectors");
+}
+
+// --------------------------------------------------------------------------
+// StaticScheduleScenario
+
+StaticScheduleScenario::StaticScheduleScenario(std::vector<std::uint32_t> crash_round)
+    : crash_round_(std::move(crash_round)) {}
+
+std::unique_ptr<FaultScenario> StaticScheduleScenario::clone() const {
+  return std::make_unique<StaticScheduleScenario>(crash_round_);
+}
+
+void StaticScheduleScenario::reset(const graph::Graph& g) {
+  if (!crash_round_.empty() && crash_round_.size() != g.node_count()) {
+    throw std::invalid_argument(
+        "StaticScheduleScenario: crash_round size must match the graph");
+  }
+  queue_.clear();
+  for (graph::NodeId v = 0; v < crash_round_.size(); ++v) {
+    if (crash_round_[v] != kNever) queue_.emplace_back(crash_round_[v], v);
+  }
+  std::sort(queue_.begin(), queue_.end());
+  next_ = 0;
+}
+
+void StaticScheduleScenario::on_round(const ScenarioView& view,
+                                      std::vector<ScenarioEvent>& out) {
+  while (next_ < queue_.size() && queue_[next_].first <= view.round) {
+    out.push_back({ScenarioEventKind::kCrash, queue_[next_].second});
+    ++next_;
+  }
+}
+
+std::vector<std::uint32_t> StaticScheduleScenario::materialize_crash_rounds(
+    const graph::Graph& g) const {
+  if (!crash_round_.empty() && crash_round_.size() != g.node_count()) {
+    throw std::invalid_argument(
+        "StaticScheduleScenario: crash_round size must match the graph");
+  }
+  std::vector<std::uint32_t> rounds = crash_round_;
+  rounds.resize(g.node_count(), kNever);
+  return rounds;
+}
+
+// --------------------------------------------------------------------------
+// UniformRandomCrash
+
+UniformRandomCrash::UniformRandomCrash(UniformRandomCrashConfig config)
+    : config_(config) {
+  if (config_.fraction < 0.0 || config_.fraction > 1.0) {
+    throw std::invalid_argument("UniformRandomCrash: fraction must be in [0, 1]");
+  }
+}
+
+std::unique_ptr<FaultScenario> UniformRandomCrash::clone() const {
+  return std::make_unique<UniformRandomCrash>(config_);
+}
+
+std::vector<std::uint32_t> UniformRandomCrash::materialize_crash_rounds(
+    const graph::Graph& g) const {
+  auto rng = support::SeedSequence(config_.seed).generator();
+  std::vector<std::uint32_t> rounds(g.node_count(), kNever);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    // Two draws per node regardless of outcome keeps each node's schedule
+    // independent of every other node's coin.
+    const bool hit = rng.bernoulli(config_.fraction);
+    const std::uint32_t round = uniform_round(config_.round_lo, config_.round_hi, rng);
+    if (hit) rounds[v] = round;
+  }
+  return rounds;
+}
+
+void UniformRandomCrash::reset(const graph::Graph& g) {
+  inner_ = StaticScheduleScenario(materialize_crash_rounds(g));
+  inner_.reset(g);
+}
+
+void UniformRandomCrash::on_round(const ScenarioView& view,
+                                  std::vector<ScenarioEvent>& out) {
+  inner_.on_round(view, out);
+}
+
+// --------------------------------------------------------------------------
+// TargetHighDegree
+
+TargetHighDegree::TargetHighDegree(TargetHighDegreeConfig config) : config_(config) {}
+
+std::unique_ptr<FaultScenario> TargetHighDegree::clone() const {
+  return std::make_unique<TargetHighDegree>(config_);
+}
+
+std::vector<std::uint32_t> TargetHighDegree::materialize_crash_rounds(
+    const graph::Graph& g) const {
+  const graph::NodeId n = g.node_count();
+  std::vector<graph::NodeId> order(n);
+  for (graph::NodeId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](graph::NodeId a, graph::NodeId b) {
+    const std::size_t da = g.degree(a), db = g.degree(b);
+    return da != db ? da > db : a < b;
+  });
+  auto rng = support::SeedSequence(config_.seed).generator();
+  std::vector<std::uint32_t> rounds(n, kNever);
+  const std::size_t count = std::min<std::size_t>(config_.count, n);
+  for (std::size_t i = 0; i < count; ++i) {
+    rounds[order[i]] = uniform_round(config_.round_lo, config_.round_hi, rng);
+  }
+  return rounds;
+}
+
+void TargetHighDegree::reset(const graph::Graph& g) {
+  inner_ = StaticScheduleScenario(materialize_crash_rounds(g));
+  inner_.reset(g);
+}
+
+void TargetHighDegree::on_round(const ScenarioView& view,
+                                std::vector<ScenarioEvent>& out) {
+  inner_.on_round(view, out);
+}
+
+// --------------------------------------------------------------------------
+// TargetBoundary
+
+TargetBoundary::TargetBoundary(TargetBoundaryConfig config) : config_(config) {
+  if (config_.shards < 1) {
+    throw std::invalid_argument("TargetBoundary: shards must be >= 1");
+  }
+  if (config_.fraction < 0.0 || config_.fraction > 1.0) {
+    throw std::invalid_argument("TargetBoundary: fraction must be in [0, 1]");
+  }
+}
+
+std::unique_ptr<FaultScenario> TargetBoundary::clone() const {
+  return std::make_unique<TargetBoundary>(config_);
+}
+
+std::vector<std::uint32_t> TargetBoundary::materialize_crash_rounds(
+    const graph::Graph& g) const {
+  const graph::Partition partition = graph::Partition::build(g, config_.shards);
+  auto rng = support::SeedSequence(config_.seed).generator();
+  std::vector<std::uint32_t> rounds(g.node_count(), kNever);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    if (!partition.is_boundary(v)) continue;
+    const bool hit = rng.bernoulli(config_.fraction);
+    const std::uint32_t round = uniform_round(config_.round_lo, config_.round_hi, rng);
+    if (hit) rounds[v] = round;
+  }
+  return rounds;
+}
+
+void TargetBoundary::reset(const graph::Graph& g) {
+  inner_ = StaticScheduleScenario(materialize_crash_rounds(g));
+  inner_.reset(g);
+}
+
+void TargetBoundary::on_round(const ScenarioView& view, std::vector<ScenarioEvent>& out) {
+  inner_.on_round(view, out);
+}
+
+// --------------------------------------------------------------------------
+// TargetMisMembers
+
+TargetMisMembers::TargetMisMembers(TargetMisMembersConfig config) : config_(config) {
+  if (config_.probability < 0.0 || config_.probability > 1.0) {
+    throw std::invalid_argument("TargetMisMembers: probability must be in [0, 1]");
+  }
+}
+
+std::unique_ptr<FaultScenario> TargetMisMembers::clone() const {
+  return std::make_unique<TargetMisMembers>(config_);
+}
+
+void TargetMisMembers::reset(const graph::Graph& g) {
+  rng_ = support::SeedSequence(config_.seed).generator();
+  seen_.assign(g.node_count(), 0);
+  crashes_used_ = 0;
+}
+
+void TargetMisMembers::on_round(const ScenarioView& view,
+                                std::vector<ScenarioEvent>& out) {
+  // view.mis_nodes is in join order; fresh joiners from the previous round
+  // sit at the tail, but crashes may have compacted the list, so scan it
+  // all and key on the per-node seen flag.  "The round after they join":
+  // a member joining in round r-1 is first visible here at round r.
+  for (const graph::NodeId v : view.mis_nodes) {
+    if (seen_[v]) continue;
+    seen_[v] = 1;
+    if (view.round < config_.start_round) continue;  // pre-convergence grace
+    if (crashes_used_ >= config_.budget) continue;
+    if (config_.probability < 1.0 && !rng_.bernoulli(config_.probability)) continue;
+    out.push_back({ScenarioEventKind::kCrash, v});
+    ++crashes_used_;
+  }
+}
+
+// --------------------------------------------------------------------------
+// ChurnStream
+
+ChurnStream::ChurnStream(ChurnStreamConfig config) : config_(config) {
+  if (config_.rate < 0.0) throw std::invalid_argument("ChurnStream: rate must be >= 0");
+  if (config_.revive_delay_mean < 1.0) {
+    throw std::invalid_argument("ChurnStream: revive_delay_mean must be >= 1");
+  }
+}
+
+std::unique_ptr<FaultScenario> ChurnStream::clone() const {
+  return std::make_unique<ChurnStream>(config_);
+}
+
+void ChurnStream::reset(const graph::Graph& g) {
+  crash_rng_ = support::SeedSequence(config_.seed).generator();
+  revive_rng_ = crash_rng_;
+  revive_rng_.jump();  // non-overlapping half of the same seeded stream
+  down_.assign(g.node_count(), 0);
+  pending_ = {};
+}
+
+void ChurnStream::on_round(const ScenarioView& view, std::vector<ScenarioEvent>& out) {
+  while (!pending_.empty() && pending_.top().first <= view.round) {
+    const graph::NodeId v = pending_.top().second;
+    pending_.pop();
+    down_[v] = 0;
+    out.push_back({ScenarioEventKind::kRevive, v});
+  }
+  if (view.round < config_.round_lo || view.round >= config_.round_hi) return;
+  const std::uint64_t n = view.graph.node_count();
+  if (n == 0) return;
+  const std::uint64_t crashes = poisson(config_.rate, crash_rng_);
+  for (std::uint64_t i = 0; i < crashes; ++i) {
+    const auto v = static_cast<graph::NodeId>(crash_rng_.below(n));
+    if (down_[v]) continue;  // landed on a node the churn already took down
+    down_[v] = 1;
+    out.push_back({ScenarioEventKind::kCrash, v});
+    pending_.emplace(view.round + geometric_delay(config_.revive_delay_mean, revive_rng_),
+                     v);
+  }
+}
+
+// --------------------------------------------------------------------------
+// BudgetedAdversary
+
+BudgetedAdversary::BudgetedAdversary(BudgetedAdversaryConfig config) : config_(config) {
+  if (config_.crashes_per_round == 0) {
+    throw std::invalid_argument("BudgetedAdversary: crashes_per_round must be >= 1");
+  }
+}
+
+std::unique_ptr<FaultScenario> BudgetedAdversary::clone() const {
+  return std::make_unique<BudgetedAdversary>(config_);
+}
+
+void BudgetedAdversary::reset(const graph::Graph& /*g*/) {
+  budget_left_ = config_.budget;
+}
+
+void BudgetedAdversary::on_round(const ScenarioView& view,
+                                 std::vector<ScenarioEvent>& out) {
+  if (view.round < config_.start_round || budget_left_ == 0 || view.mis_nodes.empty()) {
+    return;
+  }
+  // Greedy damage heuristic: a member's crash uncovers every dominated
+  // neighbour whose only cover it was; counting all dominated neighbours
+  // over-approximates that but ranks members the same way in practice.
+  struct Scored {
+    std::size_t score;
+    graph::NodeId node;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(view.mis_nodes.size());
+  for (const graph::NodeId v : view.mis_nodes) {
+    std::size_t dominated = 0;
+    for (const graph::NodeId w : view.graph.neighbors(v)) {
+      if (view.status[w] == NodeStatus::kDominated) ++dominated;
+    }
+    scored.push_back({dominated, v});
+  }
+  const std::size_t take = std::min<std::size_t>(
+      std::min<std::size_t>(config_.crashes_per_round, budget_left_), scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(take),
+                    scored.end(), [](const Scored& a, const Scored& b) {
+                      return a.score != b.score ? a.score > b.score : a.node < b.node;
+                    });
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back({ScenarioEventKind::kCrash, scored[i].node});
+    --budget_left_;
+  }
+}
+
+// --------------------------------------------------------------------------
+// ScriptedScenario
+
+ScriptedScenario::ScriptedScenario(std::vector<Step> steps, ScenarioKind kind)
+    : steps_(std::move(steps)), kind_(kind) {
+  std::stable_sort(steps_.begin(), steps_.end(),
+                   [](const Step& a, const Step& b) { return a.round < b.round; });
+}
+
+std::unique_ptr<FaultScenario> ScriptedScenario::clone() const {
+  auto copy = std::make_unique<ScriptedScenario>(std::vector<Step>{}, kind_);
+  copy->steps_ = steps_;
+  return copy;
+}
+
+void ScriptedScenario::reset(const graph::Graph& /*g*/) { next_ = 0; }
+
+void ScriptedScenario::on_round(const ScenarioView& view, std::vector<ScenarioEvent>& out) {
+  while (next_ < steps_.size() && steps_[next_].round <= view.round) {
+    out.push_back(steps_[next_].event);
+    ++next_;
+  }
+}
+
+}  // namespace beepmis::sim

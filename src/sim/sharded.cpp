@@ -26,6 +26,15 @@ ShardedSimulator::ShardedSimulator(unsigned shards, SimConfig config, RngMode rn
     throw std::invalid_argument(
         "ShardedSimulator: event traces are scalar-only (use BeepSimulator)");
   }
+  if (config_.scenario != nullptr) {
+    throw std::invalid_argument(
+        "ShardedSimulator: fault scenarios run on the scalar BeepSimulator "
+        "(kStaticSchedule scenarios materialise into crash_round vectors instead)");
+  }
+  if (config_.track_recovery) {
+    throw std::invalid_argument(
+        "ShardedSimulator: recovery tracking is scalar-only (use BeepSimulator)");
+  }
   if (rng_mode_ == RngMode::kPartitionedStreams && config_.beep_loss_probability > 0.0) {
     throw std::invalid_argument(
         "ShardedSimulator: lossy delivery draws have no shard-local order; "

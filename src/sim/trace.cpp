@@ -19,6 +19,8 @@ const char* to_string(EventKind kind) noexcept {
       return "crash";
     case EventKind::kReactivate:
       return "reactivate";
+    case EventKind::kRevive:
+      return "revive";
   }
   return "unknown";
 }

@@ -17,6 +17,7 @@ enum class EventKind : std::uint8_t {
   kWake,        ///< node woke up (asynchronous-start runs)
   kCrash,       ///< node fail-stopped (fault injection)
   kReactivate,  ///< dominated node resumed competing (self-healing runs)
+  kRevive,      ///< crashed node came back as active (fault scenarios)
 };
 
 struct Event {

@@ -114,6 +114,145 @@ double Histogram::bin_hi(std::size_t bin) const noexcept {
   return bin_lo(bin + 1);
 }
 
+namespace {
+
+/// Series expansion of P(a, x), valid (and fast) for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Modified Lentz continued fraction for Q(a, x) = 1 - P(a, x), x >= a + 1.
+double gamma_q_contfrac(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) {
+  if (!(a > 0.0) || x < 0.0) {
+    throw std::invalid_argument("regularized_gamma_p: requires a > 0 and x >= 0");
+  }
+  if (x == 0.0) return 0.0;
+  return x < a + 1.0 ? gamma_p_series(a, x) : 1.0 - gamma_q_contfrac(a, x);
+}
+
+double chi_square_cdf(double x, double dof) {
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(dof / 2.0, x / 2.0);
+}
+
+ChiSquareResult chi_square_gof(std::span<const double> observed,
+                               std::span<const double> expected) {
+  if (observed.size() != expected.size()) {
+    throw std::invalid_argument("chi_square_gof: observed/expected size mismatch");
+  }
+  ChiSquareResult result;
+  result.bins = observed.size();
+  if (observed.size() < 2) return result;  // nothing to test; p = 1
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (!(expected[i] > 0.0)) {
+      throw std::invalid_argument("chi_square_gof: expected counts must be > 0");
+    }
+    const double diff = observed[i] - expected[i];
+    result.statistic += diff * diff / expected[i];
+  }
+  result.dof = static_cast<double>(observed.size() - 1);
+  result.p_value = 1.0 - chi_square_cdf(result.statistic, result.dof);
+  return result;
+}
+
+ChiSquareResult chi_square_homogeneity(std::span<const double> a,
+                                       std::span<const double> b, double min_expected) {
+  ChiSquareResult result;
+  if (a.empty() || b.empty()) return result;  // degenerate; p = 1
+
+  // Pool the distinct values of both samples into ascending value bins.
+  std::vector<double> values;
+  values.reserve(a.size() + b.size());
+  values.insert(values.end(), a.begin(), a.end());
+  values.insert(values.end(), b.begin(), b.end());
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+
+  const auto count_in = [&](std::span<const double> sample, std::vector<double>& counts) {
+    for (const double x : sample) {
+      const auto it = std::lower_bound(values.begin(), values.end(), x);
+      counts[static_cast<std::size_t>(it - values.begin())] += 1.0;
+    }
+  };
+  std::vector<double> count_a(values.size(), 0.0), count_b(values.size(), 0.0);
+  count_in(a, count_a);
+  count_in(b, count_b);
+
+  // Merge adjacent value bins left to right until each pooled bin's
+  // *smaller* expected cell reaches min_expected; a trailing light bin is
+  // folded into its predecessor.
+  const double total = static_cast<double>(a.size() + b.size());
+  const double share_a = static_cast<double>(a.size()) / total;
+  const double share_b = static_cast<double>(b.size()) / total;
+  const double min_share = std::min(share_a, share_b);
+  std::vector<double> merged_a, merged_b;
+  double acc_a = 0.0, acc_b = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    acc_a += count_a[i];
+    acc_b += count_b[i];
+    if ((acc_a + acc_b) * min_share >= min_expected) {
+      merged_a.push_back(acc_a);
+      merged_b.push_back(acc_b);
+      acc_a = acc_b = 0.0;
+    }
+  }
+  if (acc_a + acc_b > 0.0) {
+    if (merged_a.empty()) {
+      merged_a.push_back(acc_a);
+      merged_b.push_back(acc_b);
+    } else {
+      merged_a.back() += acc_a;
+      merged_b.back() += acc_b;
+    }
+  }
+  result.bins = merged_a.size();
+  if (merged_a.size() < 2) return result;  // one bin: identical by construction
+
+  for (std::size_t i = 0; i < merged_a.size(); ++i) {
+    const double bin_total = merged_a[i] + merged_b[i];
+    const double exp_a = bin_total * share_a;
+    const double exp_b = bin_total * share_b;
+    const double da = merged_a[i] - exp_a;
+    const double db = merged_b[i] - exp_b;
+    result.statistic += da * da / exp_a + db * db / exp_b;
+  }
+  result.dof = static_cast<double>(merged_a.size() - 1);
+  result.p_value = 1.0 - chi_square_cdf(result.statistic, result.dof);
+  return result;
+}
+
 std::string Histogram::render(std::size_t max_bar_width) const {
   std::size_t peak = 0;
   for (std::size_t c : counts_) peak = std::max(peak, c);

@@ -59,6 +59,44 @@ struct Summary {
 [[nodiscard]] double mean_of(std::span<const double> values) noexcept;
 [[nodiscard]] double stddev_of(std::span<const double> values) noexcept;
 
+// --- Chi-square goodness of fit ------------------------------------------
+//
+// Distribution-level evidence for the statistical-lanes RNG mode: instead
+// of only comparing means (6-sigma intervals), compare full termination-
+// round histograms with a chi-square test.  No external math library: the
+// CDF comes from the regularized incomplete gamma function below.
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a), a > 0,
+/// x >= 0.  Series expansion for x < a + 1, continued fraction otherwise
+/// (the classic split; accurate to ~1e-12 over the range tests use).
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+
+/// CDF of the chi-square distribution with `dof` degrees of freedom.
+[[nodiscard]] double chi_square_cdf(double x, double dof);
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double dof = 0.0;
+  double p_value = 1.0;
+  std::size_t bins = 0;  ///< bins actually used after pooling
+};
+
+/// Pearson goodness-of-fit test of observed counts against expected
+/// counts (same length; expected entries must be > 0).
+[[nodiscard]] ChiSquareResult chi_square_gof(std::span<const double> observed,
+                                             std::span<const double> expected);
+
+/// Two-sample chi-square homogeneity test: are samples `a` and `b` drawn
+/// from the same distribution?  Bins are the pooled distinct values of
+/// both samples (suited to integer-valued samples such as termination
+/// rounds), then adjacent bins are merged until every expected cell count
+/// is at least `min_expected` — the textbook validity rule.  dof =
+/// bins - 1.  Degenerate inputs (either sample empty, or only one pooled
+/// bin) return p_value = 1.
+[[nodiscard]] ChiSquareResult chi_square_homogeneity(std::span<const double> a,
+                                                     std::span<const double> b,
+                                                     double min_expected = 5.0);
+
 /// Fixed-width histogram over [lo, hi); samples outside the range clamp to
 /// the first/last bin so no mass is silently dropped.
 class Histogram {

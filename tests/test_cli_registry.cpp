@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "mis/verifier.hpp"
 
@@ -122,6 +126,79 @@ TEST(AlgorithmRegistry, HelpMentionsEveryAlgorithm) {
   for (const std::string& name : algorithm_names()) {
     EXPECT_NE(help.find(name), std::string::npos) << name;
   }
+}
+
+TEST(AlgorithmRegistry, SelfHealingIsRegistered) {
+  const std::vector<std::string> names = algorithm_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "self-healing"), names.end());
+}
+
+TEST(ScenarioRegistry, EveryListedScenarioBuilds) {
+  for (const std::string& name : scenario_names()) {
+    ScenarioSpec spec;
+    spec.name = name;
+    spec.round_hi = 10;
+    const std::shared_ptr<sim::FaultScenario> scenario = make_scenario(spec);
+    if (name == "none") {
+      EXPECT_EQ(scenario, nullptr);
+    } else {
+      ASSERT_NE(scenario, nullptr) << name;
+      EXPECT_EQ(scenario->name(), name);
+    }
+  }
+}
+
+TEST(ScenarioRegistry, UnknownScenarioThrows) {
+  ScenarioSpec spec;
+  spec.name = "nonsense";
+  EXPECT_THROW((void)make_scenario(spec), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, HelpMentionsEveryScenario) {
+  const std::string help = scenario_help();
+  for (const std::string& name : scenario_names()) {
+    if (name == "none") continue;
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(ScenarioRegistry, ScenarioOnLocalAlgorithmThrows) {
+  const graph::Graph g = make_graph(GraphSpec{});
+  AlgorithmSpec spec;
+  spec.name = "luby";
+  spec.scenario.name = "uniform-crash";
+  spec.scenario.round_hi = 5;
+  EXPECT_THROW((void)run_algorithm(spec, g), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, ScenarioWithShardsThrows) {
+  const graph::Graph g = make_graph(GraphSpec{});
+  AlgorithmSpec spec;
+  spec.name = "local-feedback";
+  spec.shards = 2;
+  spec.scenario.name = "uniform-crash";
+  spec.scenario.round_hi = 5;
+  EXPECT_THROW((void)run_algorithm(spec, g), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, SelfHealingSurvivesAdversaryThroughCli) {
+  GraphSpec gspec;
+  gspec.family = "gnp";
+  gspec.n = 50;
+  gspec.p = 0.15;
+  const graph::Graph g = make_graph(gspec);
+  AlgorithmSpec spec;
+  spec.name = "self-healing";
+  spec.seed = 3;
+  spec.sim.run_until_round = 80;
+  spec.scenario.name = "target-mis";
+  spec.scenario.round_lo = 2;  // armed while the MIS is still forming
+  spec.scenario.budget = 6;
+  spec.scenario.rate = 1.0;
+  const sim::RunResult result = run_algorithm(spec, g);
+  EXPECT_TRUE(mis::is_valid_mis_run(g, result));
+  const mis::VerificationReport report = mis::verify_mis_run(g, result);
+  EXPECT_GT(report.crashed, 0u);  // the adversary actually fired
 }
 
 }  // namespace

@@ -163,5 +163,103 @@ TEST(Histogram, RenderMentionsCounts) {
   EXPECT_NE(render.find('2'), std::string::npos);
 }
 
+// --- Chi-square machinery --------------------------------------------------
+
+TEST(RegularizedGamma, MatchesClosedForms) {
+  // P(1, x) = 1 - e^{-x}  (exponential CDF).
+  for (const double x : {0.1, 0.5, 1.0, 2.5, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12) << x;
+  }
+  // P(1/2, x) = erf(sqrt(x)).
+  for (const double x : {0.2, 1.0, 4.0}) {
+    EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12) << x;
+  }
+  EXPECT_EQ(regularized_gamma_p(3.0, 0.0), 0.0);
+  // Both branches (series x < a+1, continued fraction x >= a+1) agree with
+  // monotonicity and saturate to 1.
+  EXPECT_LT(regularized_gamma_p(5.0, 4.0), regularized_gamma_p(5.0, 6.0));
+  EXPECT_NEAR(regularized_gamma_p(2.0, 60.0), 1.0, 1e-12);
+  EXPECT_THROW((void)regularized_gamma_p(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)regularized_gamma_p(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ChiSquareCdf, KnownValues) {
+  // dof 2: CDF(x) = 1 - e^{-x/2}.
+  EXPECT_NEAR(chi_square_cdf(2.0, 2.0), 1.0 - std::exp(-1.0), 1e-12);
+  // Median of chi-square with 1 dof is ~0.4549.
+  EXPECT_NEAR(chi_square_cdf(0.454936, 1.0), 0.5, 1e-4);
+  // 95th percentile with 5 dof is ~11.0705.
+  EXPECT_NEAR(chi_square_cdf(11.0705, 5.0), 0.95, 1e-4);
+  EXPECT_EQ(chi_square_cdf(0.0, 3.0), 0.0);
+  EXPECT_EQ(chi_square_cdf(-1.0, 3.0), 0.0);
+}
+
+TEST(ChiSquareGof, PerfectFitHasPValueOne) {
+  const std::vector<double> counts{10.0, 20.0, 30.0};
+  const ChiSquareResult r = chi_square_gof(counts, counts);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_EQ(r.dof, 2.0);
+}
+
+TEST(ChiSquareGof, GrossMismatchHasTinyPValue) {
+  const std::vector<double> observed{100.0, 0.0, 0.0};
+  const std::vector<double> expected{33.0, 33.0, 34.0};
+  const ChiSquareResult r = chi_square_gof(observed, expected);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(ChiSquareGof, ValidatesInput) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> shorter{1.0};
+  const std::vector<double> zero_expected{1.0, 0.0};
+  EXPECT_THROW((void)chi_square_gof(a, shorter), std::invalid_argument);
+  EXPECT_THROW((void)chi_square_gof(a, zero_expected), std::invalid_argument);
+}
+
+TEST(ChiSquareHomogeneity, IdenticalSamplesPassTrivially) {
+  std::vector<double> sample;
+  for (int v = 0; v < 10; ++v) {
+    for (int rep = 0; rep < 12; ++rep) sample.push_back(static_cast<double>(v));
+  }
+  const ChiSquareResult r = chi_square_homogeneity(sample, sample);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_GE(r.bins, 2u);
+}
+
+TEST(ChiSquareHomogeneity, DisjointSupportsAreRejected) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(static_cast<double>(i % 5));        // values 0..4
+    b.push_back(static_cast<double>(10 + i % 5));   // values 10..14
+  }
+  const ChiSquareResult r = chi_square_homogeneity(a, b);
+  EXPECT_LT(r.p_value, 1e-9);
+}
+
+TEST(ChiSquareHomogeneity, BinsRespectMinExpected) {
+  // 40 distinct values, 2 observations each per sample: with the
+  // textbook min-expected rule the 80 raw value bins must be pooled.
+  std::vector<double> a, b;
+  for (int v = 0; v < 40; ++v) {
+    a.push_back(v);
+    a.push_back(v);
+    b.push_back(v);
+    b.push_back(v);
+  }
+  const ChiSquareResult r = chi_square_homogeneity(a, b, 5.0);
+  EXPECT_GE(r.bins, 2u);
+  EXPECT_LT(r.bins, 40u);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);  // samples identical after pooling too
+}
+
+TEST(ChiSquareHomogeneity, DegenerateInputsReturnPOne) {
+  const std::vector<double> empty;
+  const std::vector<double> constant(50, 3.0);
+  EXPECT_DOUBLE_EQ(chi_square_homogeneity(empty, constant).p_value, 1.0);
+  EXPECT_DOUBLE_EQ(chi_square_homogeneity(constant, constant).p_value, 1.0);
+}
+
 }  // namespace
 }  // namespace beepmis::support
