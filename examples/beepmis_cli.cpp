@@ -5,15 +5,45 @@
 //   ./beepmis_cli --graph=grid --rows=16 --cols=16 --trials=50 --csv
 //   ./beepmis_cli --graph=gnp --algorithm=luby --trials=20
 //   ./beepmis_cli --list
+//
+// Crash-safe sweep mode (any of --journal/--resume/--budget/--trial-timeout/
+// --isolate-faults routes --trials through the checkpointing harness; see
+// src/exp/README.md):
+//   ./beepmis_cli --graph=gnp --n=400 --trials=512 --journal=sweep.journal
+//   ./beepmis_cli ... --journal=sweep.journal --resume     # after a crash
+//   ./beepmis_cli ... --budget=30                          # honest partial answer
+#include <bit>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 
 #include "cli/registry.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "mis/verifier.hpp"
+#include "support/hash.hpp"
 #include "support/options.hpp"
 #include "support/stats.hpp"
+
+namespace {
+
+/// Machine-readable, bit-exact digest of the sweep aggregates: one line
+/// per metric with the Welford state as raw bit patterns.  The
+/// kill-and-resume CI script diffs these lines between an uninterrupted
+/// run and an interrupted-then-resumed one — formatting floats would hide
+/// low-bit divergence, so the bits are printed directly.
+void print_stats_bits(const char* name, const beepmis::support::RunningStats& s) {
+  using beepmis::support::to_hex_u64;
+  const auto st = s.state();
+  std::cout << "stats_bits " << name << ' ' << st.count << ' '
+            << to_hex_u64(std::bit_cast<std::uint64_t>(st.mean)) << ' '
+            << to_hex_u64(std::bit_cast<std::uint64_t>(st.m2)) << ' '
+            << to_hex_u64(std::bit_cast<std::uint64_t>(st.min)) << ' '
+            << to_hex_u64(std::bit_cast<std::uint64_t>(st.max)) << '\n';
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace beepmis;
@@ -46,6 +76,19 @@ int main(int argc, char** argv) {
   options.add("scenario-seed", "1", "scenario rng seed");
   options.add("run-until", "0", "keep simulating until at least this round");
   options.add("track-recovery", "false", "collect recovery-time SLA samples");
+  options.add("journal", "",
+              "crash-safe sweep mode: checkpoint per-chunk aggregates to this file "
+              "(per-trial seeds come from the --seed seed tree, not seed + t)");
+  options.add("resume", "false", "load --journal and skip its completed chunks");
+  options.add("budget", "0",
+              "sweep wall-clock budget in seconds (0 = unlimited); on expiry the "
+              "sweep checkpoints and returns a truncated partial result (exit 3)");
+  options.add("trial-timeout", "0", "per-trial-attempt timeout in seconds (0 = unlimited)");
+  options.add("isolate-faults", "false",
+              "retry (then quarantine) throwing trials instead of failing the sweep");
+  options.add("max-retries", "2", "extra attempts per failing trial (with --isolate-faults)");
+  options.add("checkpoint-interval", "64", "trials per checkpoint chunk (rounded up to x64)");
+  options.add("threads", "0", "sweep worker threads (0 = hardware concurrency)");
   options.add("dot-out", "", "write DOT with highlighted MIS to this file (trial 0)");
   options.add("edge-list", "", "read the graph from an edge-list file instead");
   options.add("csv", "false", "print one CSV row per trial");
@@ -68,23 +111,24 @@ int main(int argc, char** argv) {
   }
 
   // Build or load the graph.
+  cli::GraphSpec gspec;
+  gspec.family = options.get("graph");
+  gspec.n = static_cast<graph::NodeId>(options.get_int("n"));
+  gspec.p = options.get_double("p");
+  gspec.rows = static_cast<graph::NodeId>(options.get_int("rows"));
+  gspec.cols = static_cast<graph::NodeId>(options.get_int("cols"));
+  gspec.k = static_cast<graph::NodeId>(options.get_int("k"));
+  gspec.seed = options.get_u64("graph-seed");
+  const std::string edge_list_path = options.get("edge-list");
   graph::Graph g;
-  if (const std::string path = options.get("edge-list"); !path.empty()) {
-    std::ifstream in(path);
+  if (!edge_list_path.empty()) {
+    std::ifstream in(edge_list_path);
     if (!in) {
-      std::cerr << "cannot open " << path << '\n';
+      std::cerr << "cannot open " << edge_list_path << '\n';
       return 1;
     }
     g = graph::read_edge_list(in);
   } else {
-    cli::GraphSpec gspec;
-    gspec.family = options.get("graph");
-    gspec.n = static_cast<graph::NodeId>(options.get_int("n"));
-    gspec.p = options.get_double("p");
-    gspec.rows = static_cast<graph::NodeId>(options.get_int("rows"));
-    gspec.cols = static_cast<graph::NodeId>(options.get_int("cols"));
-    gspec.k = static_cast<graph::NodeId>(options.get_int("k"));
-    gspec.seed = options.get_u64("graph-seed");
     g = cli::make_graph(gspec);
   }
 
@@ -109,6 +153,75 @@ int main(int argc, char** argv) {
   const auto trials = static_cast<std::size_t>(options.get_int("trials"));
   const std::uint64_t seed0 = options.get_u64("seed");
   const bool csv = options.get_bool("csv");
+
+  // Crash-safe sweep mode: any durability/robustness flag routes the trial
+  // loop through the checkpointing harness instead of the legacy loop.
+  const bool harness_mode = !options.get("journal").empty() || options.get_bool("resume") ||
+                            options.get("budget") != "0" ||
+                            options.get("trial-timeout") != "0" ||
+                            options.get_bool("isolate-faults");
+  if (harness_mode) {
+    try {
+      if (!edge_list_path.empty()) {
+        throw std::invalid_argument(
+            "--journal/--budget sweeps need a generated graph spec (the journal's "
+            "request hash covers the graph parameters); --edge-list is unsupported");
+      }
+      cli::SweepSpec spec;
+      spec.graph = gspec;
+      spec.algorithm = aspec;
+      spec.trials = trials;
+      spec.base_seed = seed0;
+      spec.threads = static_cast<unsigned>(
+          cli::parse_count_flag("--threads", options.get("threads")));
+      spec.journal_path = options.get("journal");
+      spec.resume = options.get_bool("resume");
+      spec.budget_seconds = cli::parse_seconds_flag("--budget", options.get("budget"));
+      spec.trial_timeout_seconds =
+          cli::parse_seconds_flag("--trial-timeout", options.get("trial-timeout"));
+      spec.isolate_faults = options.get_bool("isolate-faults");
+      spec.max_retries = static_cast<unsigned>(
+          cli::parse_count_flag("--max-retries", options.get("max-retries")));
+      spec.checkpoint_interval =
+          cli::parse_count_flag("--checkpoint-interval", options.get("checkpoint-interval"));
+
+      const harness::TrialStats stats = cli::run_sweep(spec);
+
+      if (!stats.resume_discarded_reason.empty()) {
+        std::cout << "journal rejected: " << stats.resume_discarded_reason << '\n';
+      }
+      std::cout << "sweep: requested " << stats.requested_trials << ", completed "
+                << stats.trials << ", attempted " << stats.attempted << ", quarantined "
+                << stats.quarantined << ", retries " << stats.retries << ", resumed "
+                << stats.resumed_trials << ", truncated " << (stats.truncated ? 1 : 0)
+                << '\n';
+      for (const harness::FailedTrial& f : stats.failed_trials) {
+        std::cout << "quarantined trial " << f.trial << " after " << f.attempts
+                  << " attempt(s): " << f.error << '\n';
+      }
+      const auto rounds_ci = harness::TrialStats::ci95(stats.rounds);
+      std::cout << "rounds mean " << stats.rounds.mean() << " ci95 [" << rounds_ci.lo << ", "
+                << rounds_ci.hi << "], MIS size " << stats.mis_size.mean() << ", valid "
+                << stats.valid << "/" << stats.trials << '\n';
+      print_stats_bits("rounds", stats.rounds);
+      print_stats_bits("beeps_per_node", stats.beeps_per_node);
+      print_stats_bits("max_beeps_any_node", stats.max_beeps_any_node);
+      print_stats_bits("mis_size", stats.mis_size);
+      print_stats_bits("message_bits", stats.message_bits);
+      std::cout << "counts_exact " << stats.trials << ' ' << stats.terminated << ' '
+                << stats.valid << ' ' << stats.independence_violations << ' '
+                << stats.uncovered_nodes << '\n';
+
+      // Exit codes: 0 complete-and-valid, 2 quarantined trials, 3 truncated
+      // (partial but resumable), 1 invalid MIS results.
+      if (stats.truncated) return 3;
+      if (stats.quarantined > 0) return 2;
+      return stats.valid == stats.trials ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::cerr << "beepmis_cli: " << e.what() << '\n';
+      return 1;
+    }
+  }
 
   if (!csv) {
     std::cout << g.describe() << ", max degree " << g.max_degree() << ", algorithm "

@@ -5,10 +5,18 @@
 // local-feedback MIS, and draws the result as an ASCII map.
 //
 //   ./sensor_network [--sensors=120] [--radius=0.18] [--seed=7] [--compare]
+//
+// --budget=SECONDS bounds the beeping election's wall clock: the exact
+// election runs if it finishes inside the budget, otherwise the example
+// falls back to the deterministic greedy-id election — an exact answer
+// when affordable, an honest approximate one when not.
+#include <atomic>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cli/registry.hpp"
 #include "mis/local_feedback.hpp"
 #include "mis/mis.hpp"
 #include "mis/self_healing.hpp"
@@ -54,6 +62,9 @@ int main(int argc, char** argv) {
               "(bit-identical to the single-threaded election)");
   options.add("churn", "false",
               "crash 20% of sensors mid-run and re-elect heads via self-healing");
+  options.add("budget", "0",
+              "wall-clock budget in seconds for the head election (0 = unlimited); "
+              "on expiry fall back to the deterministic greedy election");
   if (!options.parse(argc, argv)) {
     std::cerr << options.error() << '\n' << options.usage("sensor_network");
     return 1;
@@ -67,6 +78,13 @@ int main(int argc, char** argv) {
   const double radius = options.get_double("radius");
   const std::uint64_t seed = options.get_u64("seed");
   const auto shards = static_cast<unsigned>(options.get_int("shards"));
+  double budget_seconds = 0.0;
+  try {
+    budget_seconds = cli::parse_seconds_flag("--budget", options.get("budget"));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << '\n' << options.usage("sensor_network");
+    return 1;
+  }
 
   auto rng = support::Xoshiro256StarStar(seed);
   const graph::GeometricGraph field = graph::random_geometric(sensors, radius, rng);
@@ -80,18 +98,40 @@ int main(int argc, char** argv) {
   // per CSR shard); the sharded core draws in scalar order, so the elected
   // heads — and everything printed below — are identical either way.
   sim::RunResult result;
+  bool exact_election = true;
   if (shards >= 2) {
     mis::LocalFeedbackMis protocol;
     sim::ShardedSimulator simulator(g, shards);
     result = simulator.run(protocol, support::Xoshiro256StarStar(seed));
     std::cout << "election ran on " << simulator.shard_count() << " CSR shards\n";
+  } else if (budget_seconds > 0.0) {
+    // Budget-bounded election: the simulator checks the deadline at every
+    // round boundary and throws sim::RunCancelled past it; the fallback is
+    // the deterministic greedy election — exact if affordable, honest
+    // approximation otherwise.
+    sim::SimConfig config;
+    config.deadline_ns = std::make_shared<std::atomic<std::int64_t>>(
+        sim::steady_now_ns() + static_cast<std::int64_t>(budget_seconds * 1e9));
+    mis::LocalFeedbackMis protocol;
+    sim::BeepSimulator simulator(g, config);
+    try {
+      result = simulator.run(protocol, support::Xoshiro256StarStar(seed));
+    } catch (const sim::RunCancelled& e) {
+      std::cout << "election budget expired (" << e.what()
+                << "); falling back to the deterministic greedy election\n";
+      result = mis::run_greedy_id(g);
+      exact_election = false;
+    }
   } else {
     result = mis::run_local_feedback(g, seed);
   }
   const mis::VerificationReport report = mis::verify_mis_run(g, result);
   const auto heads = result.mis();
 
-  std::cout << "cluster-head election (local-feedback beeping MIS):\n"
+  std::cout << "cluster-head election ("
+            << (exact_election ? "local-feedback beeping MIS"
+                               : "greedy-id fallback, budget expired")
+            << "):\n"
             << "  time steps: " << result.rounds << "\n"
             << "  beeps per node: " << result.mean_beeps_per_node()
             << " (1-bit radio messages)\n"

@@ -52,6 +52,26 @@ def speedup_of(row):
     return None
 
 
+def row_is_degraded(row):
+    """True when the row's measurement came from a degraded sweep.
+
+    The crash-safe trial harness may return *partial* results: a sweep
+    truncated by a wall-clock budget, or one that quarantined failing
+    trials, stamps its bench row with the optional "truncated" /
+    "quarantined" fields.  Such a row aggregates fewer samples than the
+    lane's baseline, so its ratio is not comparable — it is excluded from
+    the speedup comparison (with a note) but still counts for coverage.
+    Unparseable values are treated as degraded: better to skip one ratio
+    than to flag a phantom regression.
+    """
+    if bool(row.get("truncated", False)):
+        return True
+    try:
+        return int(row.get("quarantined", 0)) > 0
+    except (TypeError, ValueError):
+        return True
+
+
 def row_key(row):
     """Identity of a measured lane, independent of n and of timing noise.
 
@@ -77,14 +97,14 @@ def row_key(row):
 
 
 def index_rows(report):
-    """{(section, workload, protocol, impl, mode): [(n, speedup), ...]}"""
+    """{(section, workload, protocol, impl, mode): [(n, speedup, degraded), ...]}"""
     indexed = {}
     for section in SECTIONS:
         for per_n in report.get(section, []):
             for row in per_n.get("results", []):
                 key = (section,) + row_key(row)
                 indexed.setdefault(key, []).append(
-                    (int(row.get("n", 0)), speedup_of(row))
+                    (int(row.get("n", 0)), speedup_of(row), row_is_degraded(row))
                 )
     return indexed
 
@@ -175,8 +195,12 @@ def main():
             continue
         if section in incomparable:
             continue  # hardware mismatch: coverage checked above, ratios not
-        base_rows = {n: s for n, s in baseline[key] if s is not None}
-        fresh_rows = {n: s for n, s in fresh[key] if s is not None}
+        degraded_n = sorted({n for n, _, d in baseline[key] + fresh[key] if d})
+        if degraded_n:
+            print(f"note: {label}: ignoring truncated/quarantined row(s) at "
+                  f"n={degraded_n} for the speedup comparison")
+        base_rows = {n: s for n, s, d in baseline[key] if s is not None and not d}
+        fresh_rows = {n: s for n, s, d in fresh[key] if s is not None and not d}
         if not base_rows or not fresh_rows:
             continue  # reference impl rows (speedup == 1) still count for coverage
         common = sorted(set(base_rows) & set(fresh_rows))

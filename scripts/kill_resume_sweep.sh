@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Kill-and-resume differential oracle for crash-safe sweeps, driven
+# through the real CLI binary with real SIGKILLs (the in-process gtest
+# oracle in tests/test_sweep_resilience.cpp interrupts cooperatively; this
+# script proves the journal survives an *uncooperative* death too).
+#
+#   scripts/kill_resume_sweep.sh <path-to-beepmis_cli> [workdir]
+#
+# Protocol: run the sweep once uninterrupted and record its bit-exact
+# aggregate (the stats_bits / counts_exact lines, which print every
+# RunningStats field as raw IEEE-754 bit patterns).  Then, three times
+# over: start the same sweep fresh with a journal, SIGKILL it as soon as
+# the journal holds >= k completed chunks (k = 1, 2, 3), resume it, and
+# demand the resumed aggregate match the one-shot bits exactly.
+set -u
+
+CLI=${1:?usage: kill_resume_sweep.sh <beepmis_cli> [workdir]}
+WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+
+# 10 checkpoint chunks (64-trial chunks) at ~150 ms per chunk: slow enough
+# that every SIGKILL lands mid-sweep against the 10 ms journal polling,
+# fast enough to finish in seconds; --threads=2 exercises concurrent
+# checkpointing.
+SWEEP_ARGS=(--graph=gnp --n=20000 --p=0.0006 --trials=640 --seed=4242
+            --checkpoint-interval=64 --threads=2)
+
+fail() { echo "kill_resume_sweep: FAIL: $*" >&2; exit 1; }
+
+# --- one-shot reference ---------------------------------------------------
+"$CLI" "${SWEEP_ARGS[@]}" --trial-timeout=600 > "$WORKDIR/oneshot.txt" \
+  || fail "one-shot sweep exited nonzero"
+grep -E '^(stats_bits|counts_exact) ' "$WORKDIR/oneshot.txt" > "$WORKDIR/oneshot.bits"
+[ -s "$WORKDIR/oneshot.bits" ] || fail "one-shot run printed no stats_bits lines"
+
+for k in 1 2 3; do
+  journal="$WORKDIR/journal_k$k.txt"
+  rm -f "$journal" "$journal.tmp"
+
+  # Start the sweep and SIGKILL it once the journal holds >= k chunks.
+  "$CLI" "${SWEEP_ARGS[@]}" --journal="$journal" > "$WORKDIR/killed_k$k.txt" 2>&1 &
+  pid=$!
+  for _ in $(seq 1 2000); do  # up to ~20 s
+    chunks=$(grep -c '^chunk ' "$journal" 2>/dev/null || true)
+    [ "${chunks:-0}" -ge "$k" ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.01
+  done
+  if kill -0 "$pid" 2>/dev/null; then
+    kill -9 "$pid"
+    wait "$pid" 2>/dev/null
+  else
+    # The sweep finished before we could kill it — the journal is still a
+    # complete, valid checkpoint, so the resume leg below remains a real
+    # (if weaker) test.  Flag it rather than fail: timing, not substance.
+    echo "kill_resume_sweep: note: k=$k sweep finished before the kill" >&2
+    wait "$pid" 2>/dev/null
+  fi
+  [ -f "$journal" ] || fail "k=$k: no journal left behind"
+
+  # Resume and compare bit-for-bit with the uninterrupted run.
+  "$CLI" "${SWEEP_ARGS[@]}" --journal="$journal" --resume \
+    > "$WORKDIR/resumed_k$k.txt" || fail "k=$k: resume exited nonzero"
+  grep -E '^(stats_bits|counts_exact) ' "$WORKDIR/resumed_k$k.txt" > "$WORKDIR/resumed_k$k.bits"
+  if ! diff -u "$WORKDIR/oneshot.bits" "$WORKDIR/resumed_k$k.bits"; then
+    fail "k=$k: resumed aggregate differs from the one-shot run"
+  fi
+  grep -q 'resumed 0,' "$WORKDIR/resumed_k$k.txt" \
+    && echo "kill_resume_sweep: note: k=$k resumed nothing (journal was empty or rejected)" >&2
+done
+
+# --- torn-journal leg: corrupt one byte, resume must reject and restart ---
+journal="$WORKDIR/journal_torn.txt"
+rm -f "$journal"
+"$CLI" "${SWEEP_ARGS[@]}" --journal="$journal" > /dev/null \
+  || fail "torn-leg sweep exited nonzero"
+printf 'X' | dd of="$journal" bs=1 seek=100 conv=notrunc status=none \
+  || fail "could not corrupt the journal"
+"$CLI" "${SWEEP_ARGS[@]}" --journal="$journal" --resume > "$WORKDIR/torn.txt" \
+  || fail "resume after corruption exited nonzero"
+grep -q '^journal rejected: ' "$WORKDIR/torn.txt" \
+  || fail "corrupt journal was not reported as rejected"
+grep -E '^(stats_bits|counts_exact) ' "$WORKDIR/torn.txt" > "$WORKDIR/torn.bits"
+diff -u "$WORKDIR/oneshot.bits" "$WORKDIR/torn.bits" \
+  || fail "restart after corrupt journal differs from the one-shot run"
+
+echo "kill_resume_sweep: PASS"

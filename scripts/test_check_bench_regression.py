@@ -213,6 +213,56 @@ class CheckBenchRegressionTest(unittest.TestCase):
         self.assertEqual(code, 0, out)
         self.assertIn("ok:", out)
 
+    def test_truncated_rows_are_excluded_from_ratio_comparison(self):
+        # A budget-truncated fresh row aggregates fewer samples: an apparent
+        # "regression" from a partial measurement must not fire, even under
+        # --strict — but the lane still counts as covered.
+        base = report({"batch": [row("converge", "batched", 10000, 8.0)]})
+        degraded = row("converge", "batched", 10000, 1.1)
+        degraded["truncated"] = True
+        fresh = report({"batch": [degraded]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 0, out)
+        self.assertIn("ignoring truncated/quarantined", out)
+        self.assertNotIn("possible regression", out)
+        self.assertNotIn("coverage lost", out)
+
+    def test_quarantined_rows_are_excluded_from_ratio_comparison(self):
+        base = report({"batch": [row("converge", "batched", 10000, 8.0)]})
+        degraded = row("converge", "batched", 10000, 1.1)
+        degraded["quarantined"] = 3
+        fresh = report({"batch": [degraded]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 0, out)
+        self.assertIn("ignoring truncated/quarantined", out)
+        self.assertNotIn("possible regression", out)
+
+    def test_clean_sweep_fields_do_not_mask_regressions(self):
+        # truncated=false / quarantined=0 mark a *complete* sweep: the row
+        # stays fully comparable and a real regression still fires.
+        base = report({"batch": [row("converge", "batched", 10000, 8.0)]})
+        clean = row("converge", "batched", 10000, 1.1)
+        clean["truncated"] = False
+        clean["quarantined"] = 0
+        fresh = report({"batch": [clean]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 1, out)
+        self.assertIn("possible regression", out)
+
+    def test_degraded_size_skipped_but_healthy_sizes_still_compared(self):
+        # Only the truncated n drops out of the comparison; a regression at
+        # another (complete) size of the same lane still fires.
+        base = report({"batch": [row("converge", "batched", 1000, 8.0),
+                                 row("converge", "batched", 10000, 8.0)]})
+        degraded = row("converge", "batched", 1000, 0.5)
+        degraded["truncated"] = True
+        fresh = report({"batch": [degraded,
+                                  row("converge", "batched", 10000, 0.5)]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 1, out)
+        self.assertIn("n=10000", out)
+        self.assertNotIn("n=1000 ", out.replace("n=10000", ""))
+
     def test_unreadable_baseline_is_an_error(self):
         fresh = report({"batch": [row("converge", "batched", 1000, 3.0)]})
         with tempfile.TemporaryDirectory() as tmp:

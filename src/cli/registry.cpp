@@ -1,10 +1,14 @@
 #include "cli/registry.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "graph/generators.hpp"
+#include "support/hash.hpp"
 #include "mis/exact_feedback.hpp"
 #include "mis/global_schedule.hpp"
 #include "mis/mis.hpp"
@@ -205,6 +209,135 @@ std::vector<std::string> algorithm_names() {
   return {"global-increasing",    "global-sweep", "greedy-id", "local-feedback",
           "local-feedback-exact", "luby",         "luby-degree", "metivier",
           "pure-beep",            "self-healing"};
+}
+
+double parse_seconds_flag(const std::string& flag, const std::string& value) {
+  const auto bad = [&] {
+    throw std::invalid_argument(flag + ": expected a finite, non-negative number of seconds, got '" +
+                                value + "'");
+  };
+  if (value.empty()) bad();
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  const double parsed = std::strtod(begin, &end);
+  if (end != begin + value.size()) bad();        // trailing garbage ("5s", "1,5")
+  if (!std::isfinite(parsed) || parsed < 0.0) bad();  // "nan", "inf", "-1"
+  return parsed;
+}
+
+std::size_t parse_count_flag(const std::string& flag, const std::string& value) {
+  const auto bad = [&] {
+    throw std::invalid_argument(flag + ": expected a non-negative integer, got '" + value + "'");
+  };
+  if (value.empty() || value.size() > 19) bad();  // 19 digits always fits in 63 bits
+  std::size_t parsed = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') bad();  // rejects "-3", "+3", "1e3", "7x"
+    parsed = parsed * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return parsed;
+}
+
+namespace {
+
+/// Fresh protocol instance for a beeping algorithm spec, or nullptr for
+/// LOCAL-model algorithms (g parameterises the global-increasing
+/// schedule).  Unknown names throw, matching run_algorithm.
+std::unique_ptr<sim::BeepProtocol> make_beep_protocol(const AlgorithmSpec& spec,
+                                                      const graph::Graph& g) {
+  if (spec.name == "local-feedback") {
+    mis::LocalFeedbackConfig config;
+    config.factor_low = config.factor_high = spec.factor;
+    config.initial_p_low = config.initial_p_high = spec.initial_p;
+    return std::make_unique<mis::LocalFeedbackMis>(config);
+  }
+  if (spec.name == "local-feedback-exact") return std::make_unique<mis::ExactLocalFeedbackMis>();
+  if (spec.name == "self-healing") {
+    mis::SelfHealingConfig config;
+    config.base.factor_low = config.base.factor_high = spec.factor;
+    config.base.initial_p_low = config.base.initial_p_high = spec.initial_p;
+    return std::make_unique<mis::SelfHealingLocalFeedbackMis>(config);
+  }
+  if (spec.name == "pure-beep") {
+    return std::make_unique<mis::PureBeepLocalFeedbackMis>(/*subslots=*/8, spec.factor);
+  }
+  if (spec.name == "global-sweep") {
+    return std::make_unique<mis::GlobalScheduleMis>(mis::make_global_sweep_mis());
+  }
+  if (spec.name == "global-increasing") {
+    return std::make_unique<mis::GlobalScheduleMis>(
+        mis::make_global_increasing_mis(g.max_degree(), g.node_count()));
+  }
+  if (spec.name == "luby" || spec.name == "luby-degree" || spec.name == "metivier" ||
+      spec.name == "greedy-id") {
+    return nullptr;  // LOCAL-model: no beeping protocol
+  }
+  throw std::invalid_argument("unknown algorithm: " + spec.name);
+}
+
+}  // namespace
+
+std::uint64_t sweep_fingerprint(const SweepSpec& spec) {
+  support::StableHash h;
+  h.update("beepmis-cli-sweep-v1");
+  h.update(spec.graph.family);
+  h.update_u64(spec.graph.n);
+  h.update_double(spec.graph.p);
+  h.update_u64(spec.graph.rows);
+  h.update_u64(spec.graph.cols);
+  h.update_u64(spec.graph.k);
+  h.update_u64(spec.graph.seed);
+  h.update(spec.algorithm.name);
+  h.update_double(spec.algorithm.factor);
+  h.update_double(spec.algorithm.initial_p);
+  h.update(spec.algorithm.scenario.name);
+  h.update_double(spec.algorithm.scenario.rate);
+  h.update_u64(spec.algorithm.scenario.round_lo);
+  h.update_u64(spec.algorithm.scenario.round_hi);
+  h.update_u64(spec.algorithm.scenario.budget);
+  h.update_u64(spec.algorithm.scenario.shards);
+  h.update_double(spec.algorithm.scenario.revive_delay_mean);
+  h.update_u64(spec.algorithm.scenario.seed);
+  return h.digest();
+}
+
+harness::TrialStats run_sweep(const SweepSpec& spec) {
+  // Build the graph once up front: it is shared across trials (the CLI
+  // sweep semantics) and parameterises the global-increasing schedule.
+  auto g = std::make_shared<const graph::Graph>(make_graph(spec.graph));
+  const AlgorithmSpec aspec = spec.algorithm;
+  if (make_beep_protocol(aspec, *g) == nullptr) {
+    throw std::invalid_argument(
+        "run_sweep: crash-safe sweeps are a beeping-harness feature; got LOCAL-model "
+        "algorithm: " + aspec.name);
+  }
+
+  harness::TrialConfig config;
+  config.trials = spec.trials;
+  config.base_seed = spec.base_seed;
+  config.threads = spec.threads;
+  config.shared_graph = true;
+  config.shards = aspec.shards;  // AlgorithmSpec default 1 = never auto-shard
+  config.sim = aspec.sim;
+  if (aspec.name == "self-healing") config.sim.mis_keepalive = true;  // mirror run_algorithm
+  config.journal_path = spec.journal_path;
+  config.resume = spec.resume;
+  config.budget_seconds = spec.budget_seconds;
+  config.trial_timeout_seconds = spec.trial_timeout_seconds;
+  config.isolate_trial_faults = spec.isolate_faults;
+  config.max_retries = spec.max_retries;
+  config.checkpoint_interval = spec.checkpoint_interval;
+  config.request_fingerprint = sweep_fingerprint(spec);
+  if (aspec.scenario.name != "none") {
+    const ScenarioSpec sspec = aspec.scenario;
+    config.scenario = [sspec]() { return make_scenario(sspec)->clone(); };
+  }
+
+  const harness::GraphFactory graphs = [g](support::Xoshiro256StarStar&) { return *g; };
+  const harness::BeepProtocolFactory protocols = [aspec, g]() {
+    return make_beep_protocol(aspec, *g);
+  };
+  return harness::run_beep_trials(graphs, protocols, config);
 }
 
 std::string algorithm_help() {

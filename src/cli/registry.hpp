@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/runner.hpp"
 #include "graph/graph.hpp"
 #include "sim/beep.hpp"
 #include "sim/local.hpp"
@@ -83,5 +84,51 @@ struct AlgorithmSpec {
 
 [[nodiscard]] std::vector<std::string> algorithm_names();
 [[nodiscard]] std::string algorithm_help();
+
+// --- Crash-safe trial sweeps (the harness path; src/exp/README.md) ------
+
+/// Strict duration-flag validation: a finite, non-negative number of
+/// seconds, full-match.  Throws std::invalid_argument naming the flag with
+/// a clear message on negative, non-numeric or partially numeric input
+/// (the kMaxShards guard style) — never silently truncates.
+[[nodiscard]] double parse_seconds_flag(const std::string& flag, const std::string& value);
+
+/// Strict count-flag validation: a non-negative decimal integer,
+/// full-match (rejects "-3", "1e3", "7x", overflow).  Throws
+/// std::invalid_argument naming the flag.
+[[nodiscard]] std::size_t parse_count_flag(const std::string& flag, const std::string& value);
+
+/// A crash-safe multi-trial sweep request: one graph (GraphSpec), one
+/// beeping algorithm, harness-derived per-trial seeds (SeedSequence tree
+/// rooted at base_seed — deliberately different from the legacy
+/// seed-plus-trial CLI loop, which has no checkpointing).  LOCAL-model
+/// algorithms are rejected — crash-safe sweeps are a beeping-harness
+/// feature.
+struct SweepSpec {
+  GraphSpec graph;
+  AlgorithmSpec algorithm;
+  std::size_t trials = 1;
+  std::uint64_t base_seed = 1;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+  // Crash-safety knobs, forwarded to harness::TrialConfig (see there).
+  std::string journal_path;
+  bool resume = false;
+  double budget_seconds = 0.0;
+  double trial_timeout_seconds = 0.0;
+  bool isolate_faults = false;
+  unsigned max_retries = 2;
+  std::size_t checkpoint_interval = 64;
+};
+
+/// Stable identity of everything in `spec` the harness cannot see (graph
+/// family and parameters, algorithm and its knobs, scenario parameters);
+/// becomes TrialConfig::request_fingerprint so a journal written for one
+/// request is rejected by any other.
+[[nodiscard]] std::uint64_t sweep_fingerprint(const SweepSpec& spec);
+
+/// Runs the sweep through harness::run_beep_trials with journaling, fault
+/// isolation and budget controls wired up.  Throws std::invalid_argument
+/// for unknown names, LOCAL-model algorithms, or invalid knobs.
+[[nodiscard]] harness::TrialStats run_sweep(const SweepSpec& spec);
 
 }  // namespace beepmis::cli

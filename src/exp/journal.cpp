@@ -1,0 +1,343 @@
+#include "exp/journal.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "support/hash.hpp"
+
+namespace beepmis::harness {
+
+namespace {
+
+using support::parse_hex_u64;
+using support::stable_hash_bytes;
+using support::to_hex_u64;
+
+constexpr std::string_view kMagic = "beepmis-sweep-journal v1";
+
+std::string hex_double(double v) {
+  return to_hex_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+bool parse_hex_double(std::string_view text, double& out) noexcept {
+  std::uint64_t bits = 0;
+  if (!parse_hex_u64(text, bits)) return false;
+  out = std::bit_cast<double>(bits);
+  return true;
+}
+
+/// Strict full-match decimal parse (journal loaders must reject, never
+/// guess; same policy as parse_hex_u64).
+bool parse_size(std::string_view text, std::size_t& out) noexcept {
+  if (text.empty() || text.size() > 20) return false;
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (value > (SIZE_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+/// Hex-escapes an arbitrary byte string into one whitespace-free token
+/// ("-" for empty, so every line keeps a fixed token structure).
+std::string escape_text(std::string_view s) {
+  if (s.empty()) return "-";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (const unsigned char c : s) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+  }
+  return out;
+}
+
+bool unescape_text(std::string_view token, std::string& out) {
+  out.clear();
+  if (token == "-") return true;
+  if (token.size() % 2 != 0) return false;
+  const auto nibble = [](char c, unsigned& v) {
+    if (c >= '0' && c <= '9') { v = static_cast<unsigned>(c - '0'); return true; }
+    if (c >= 'a' && c <= 'f') { v = static_cast<unsigned>(c - 'a') + 10; return true; }
+    return false;
+  };
+  out.reserve(token.size() / 2);
+  for (std::size_t i = 0; i < token.size(); i += 2) {
+    unsigned hi = 0, lo = 0;
+    if (!nibble(token[i], hi) || !nibble(token[i + 1], lo)) return false;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+std::vector<std::string> split_tokens(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > start) tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+constexpr const char* kStatNames[] = {"rounds", "beeps_per_node", "max_beeps_any_node",
+                                      "mis_size", "message_bits"};
+
+std::array<const support::RunningStats*, 5> stat_fields(const TrialStats& s) {
+  return {&s.rounds, &s.beeps_per_node, &s.max_beeps_any_node, &s.mis_size, &s.message_bits};
+}
+
+std::array<support::RunningStats*, 5> stat_fields(TrialStats& s) {
+  return {&s.rounds, &s.beeps_per_node, &s.max_beeps_any_node, &s.mis_size, &s.message_bits};
+}
+
+void encode_chunk(std::ostringstream& out, const JournalChunk& chunk) {
+  out << "chunk " << chunk.index << "\n";
+  const auto stats = stat_fields(chunk.stats);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const support::RunningStats::State st = stats[i]->state();
+    out << "stat " << kStatNames[i] << ' ' << st.count << ' ' << hex_double(st.mean) << ' '
+        << hex_double(st.m2) << ' ' << hex_double(st.min) << ' ' << hex_double(st.max) << "\n";
+  }
+  const TrialStats& s = chunk.stats;
+  out << "counts " << s.trials << ' ' << s.terminated << ' ' << s.valid << ' '
+      << s.independence_violations << ' ' << s.uncovered_nodes << ' ' << s.disruptions << ' '
+      << s.unrecovered_disruptions << ' ' << s.attempted << ' ' << s.quarantined << ' '
+      << s.retries << "\n";
+  out << "recovery " << s.recovery_rounds.size();
+  for (const double r : s.recovery_rounds) out << ' ' << hex_double(r);
+  out << "\n";
+  for (const FailedTrial& f : s.failed_trials) {
+    out << "failed " << f.trial << ' ' << to_hex_u64(f.base_seed) << ' ' << f.attempts << ' '
+        << escape_text(f.error) << "\n";
+  }
+  out << "end " << chunk.index << "\n";
+}
+
+}  // namespace
+
+SweepJournal::SweepJournal(std::string path, std::uint64_t request_hash, std::size_t trials,
+                           std::size_t chunk_size)
+    : path_(std::move(path)), request_hash_(request_hash), trials_(trials),
+      chunk_size_(chunk_size) {
+  if (path_.empty()) throw std::invalid_argument("SweepJournal: empty path");
+  if (chunk_size_ == 0) throw std::invalid_argument("SweepJournal: chunk_size must be >= 1");
+}
+
+void SweepJournal::save(const std::vector<JournalChunk>& chunks) const {
+  std::vector<const JournalChunk*> ordered;
+  ordered.reserve(chunks.size());
+  for (const JournalChunk& c : chunks) ordered.push_back(&c);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const JournalChunk* a, const JournalChunk* b) { return a->index < b->index; });
+
+  std::ostringstream content;
+  content << kMagic << "\n";
+  content << "request " << to_hex_u64(request_hash_) << "\n";
+  content << "trials " << trials_ << "\n";
+  content << "chunk_size " << chunk_size_ << "\n";
+  for (const JournalChunk* c : ordered) encode_chunk(content, *c);
+  std::string body = content.str();
+  body += "checksum " + to_hex_u64(stable_hash_bytes(body)) + "\n";
+
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("SweepJournal: cannot open " + tmp + " for writing");
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    out.flush();
+    if (!out) throw std::runtime_error("SweepJournal: short write to " + tmp);
+  }
+  // Atomic publish: readers see the old snapshot or the new one, never a
+  // torn mix.  (A torn file can still exist after a power loss — that is
+  // what the whole-file checksum rejects on load.)
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw std::runtime_error("SweepJournal: rename " + tmp + " -> " + path_ + " failed");
+  }
+}
+
+JournalLoadResult SweepJournal::load() const {
+  JournalLoadResult result;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    result.status = JournalLoadResult::Status::kNoFile;
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string file = buffer.str();
+
+  const auto reject = [&result](std::string reason) {
+    result.status = JournalLoadResult::Status::kRejected;
+    result.reason = std::move(reason);
+    result.chunks.clear();
+    return result;
+  };
+
+  // Split into lines; require a trailing newline (a truncated final line is
+  // torn content).
+  if (file.empty() || file.back() != '\n') return reject("journal is truncated (no final newline)");
+  std::vector<std::string_view> lines;
+  {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < file.size(); ++i) {
+      if (file[i] == '\n') {
+        lines.emplace_back(file.data() + start, i - start);
+        start = i + 1;
+      }
+    }
+  }
+  if (lines.size() < 5) return reject("journal too short");
+
+  // Checksum covers every byte before the checksum line.
+  const std::string_view last = lines.back();
+  const auto checksum_tokens = split_tokens(last);
+  std::uint64_t stored_checksum = 0;
+  if (checksum_tokens.size() != 2 || checksum_tokens[0] != "checksum" ||
+      !parse_hex_u64(checksum_tokens[1], stored_checksum)) {
+    return reject("missing or malformed checksum line");
+  }
+  const std::size_t body_len = file.size() - (last.size() + 1);
+  if (stable_hash_bytes(std::string_view(file.data(), body_len)) != stored_checksum) {
+    return reject("content checksum mismatch (torn or corrupted journal)");
+  }
+
+  // Header.
+  if (lines[0] != kMagic) return reject("unrecognised journal magic/version");
+  {
+    const auto tokens = split_tokens(lines[1]);
+    std::uint64_t stored_request = 0;
+    if (tokens.size() != 2 || tokens[0] != "request" ||
+        !parse_hex_u64(tokens[1], stored_request)) {
+      return reject("malformed request line");
+    }
+    if (stored_request != request_hash_) {
+      return reject("request hash mismatch: journal belongs to a different sweep (have " +
+                    to_hex_u64(stored_request) + ", want " + to_hex_u64(request_hash_) + ")");
+    }
+  }
+  {
+    const auto tokens = split_tokens(lines[2]);
+    std::size_t stored_trials = 0;
+    if (tokens.size() != 2 || tokens[0] != "trials" || !parse_size(tokens[1], stored_trials)) {
+      return reject("malformed trials line");
+    }
+    if (stored_trials != trials_) return reject("trial-count mismatch");
+  }
+  {
+    const auto tokens = split_tokens(lines[3]);
+    std::size_t stored_chunk = 0;
+    if (tokens.size() != 2 || tokens[0] != "chunk_size" || !parse_size(tokens[1], stored_chunk)) {
+      return reject("malformed chunk_size line");
+    }
+    if (stored_chunk != chunk_size_) return reject("chunk-size mismatch");
+  }
+
+  const std::size_t num_chunks = trials_ == 0 ? 0 : (trials_ + chunk_size_ - 1) / chunk_size_;
+  std::vector<bool> seen(num_chunks, false);
+
+  // Chunk blocks: lines[4 .. size-2].
+  std::size_t i = 4;
+  const std::size_t stop = lines.size() - 1;
+  while (i < stop) {
+    auto tokens = split_tokens(lines[i]);
+    if (tokens.size() != 2 || tokens[0] != "chunk") return reject("expected chunk line");
+    JournalChunk chunk;
+    if (!parse_size(tokens[1], chunk.index)) return reject("malformed chunk index");
+    if (chunk.index >= num_chunks) return reject("chunk index out of range");
+    if (seen[chunk.index]) return reject("duplicate chunk index");
+    ++i;
+
+    const auto stats = stat_fields(chunk.stats);
+    for (std::size_t s = 0; s < stats.size(); ++s) {
+      if (i >= stop) return reject("truncated chunk block");
+      tokens = split_tokens(lines[i]);
+      support::RunningStats::State st;
+      if (tokens.size() != 7 || tokens[0] != "stat" || tokens[1] != kStatNames[s] ||
+          !parse_size(tokens[2], st.count) || !parse_hex_double(tokens[3], st.mean) ||
+          !parse_hex_double(tokens[4], st.m2) || !parse_hex_double(tokens[5], st.min) ||
+          !parse_hex_double(tokens[6], st.max)) {
+        return reject("malformed stat line");
+      }
+      *stats[s] = support::RunningStats::from_state(st);
+      ++i;
+    }
+
+    if (i >= stop) return reject("truncated chunk block");
+    tokens = split_tokens(lines[i]);
+    TrialStats& s = chunk.stats;
+    if (tokens.size() != 11 || tokens[0] != "counts" || !parse_size(tokens[1], s.trials) ||
+        !parse_size(tokens[2], s.terminated) || !parse_size(tokens[3], s.valid) ||
+        !parse_size(tokens[4], s.independence_violations) ||
+        !parse_size(tokens[5], s.uncovered_nodes) || !parse_size(tokens[6], s.disruptions) ||
+        !parse_size(tokens[7], s.unrecovered_disruptions) ||
+        !parse_size(tokens[8], s.attempted) || !parse_size(tokens[9], s.quarantined) ||
+        !parse_size(tokens[10], s.retries)) {
+      return reject("malformed counts line");
+    }
+    ++i;
+
+    if (i >= stop) return reject("truncated chunk block");
+    tokens = split_tokens(lines[i]);
+    std::size_t recovery_count = 0;
+    if (tokens.size() < 2 || tokens[0] != "recovery" || !parse_size(tokens[1], recovery_count) ||
+        tokens.size() != recovery_count + 2) {
+      return reject("malformed recovery line");
+    }
+    s.recovery_rounds.reserve(recovery_count);
+    for (std::size_t r = 0; r < recovery_count; ++r) {
+      double value = 0;
+      if (!parse_hex_double(tokens[r + 2], value)) return reject("malformed recovery sample");
+      s.recovery_rounds.push_back(value);
+    }
+    ++i;
+
+    while (i < stop) {
+      tokens = split_tokens(lines[i]);
+      if (tokens.empty()) return reject("blank line inside chunk block");
+      if (tokens[0] != "failed") break;
+      FailedTrial f;
+      std::size_t attempts = 0;
+      if (tokens.size() != 5 || !parse_size(tokens[1], f.trial) ||
+          !parse_hex_u64(tokens[2], f.base_seed) || !parse_size(tokens[3], attempts) ||
+          attempts > UINT32_MAX || !unescape_text(tokens[4], f.error)) {
+        return reject("malformed failed-trial line");
+      }
+      f.attempts = static_cast<unsigned>(attempts);
+      s.failed_trials.push_back(std::move(f));
+      ++i;
+    }
+
+    if (i >= stop) return reject("truncated chunk block");
+    tokens = split_tokens(lines[i]);
+    std::size_t end_index = 0;
+    if (tokens.size() != 2 || tokens[0] != "end" || !parse_size(tokens[1], end_index) ||
+        end_index != chunk.index) {
+      return reject("malformed chunk end line");
+    }
+    ++i;
+
+    seen[chunk.index] = true;
+    result.chunks.push_back(std::move(chunk));
+  }
+
+  std::sort(result.chunks.begin(), result.chunks.end(),
+            [](const JournalChunk& a, const JournalChunk& b) { return a.index < b.index; });
+  result.status = JournalLoadResult::Status::kValid;
+  return result;
+}
+
+}  // namespace beepmis::harness

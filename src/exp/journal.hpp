@@ -1,0 +1,87 @@
+// Durable sweep journal: the persistence layer behind crash-safe trial
+// sweeps (TrialConfig::journal_path / resume).
+//
+// The trial harness aggregates a sweep in fixed chunks of
+// TrialConfig::checkpoint_interval trials; every time a chunk completes it
+// snapshots *all* completed chunks here.  A snapshot is atomic — the file
+// is written whole to "<path>.tmp" and renamed over the destination — so a
+// reader never sees a torn file from a normal crash, and any file that
+// nevertheless fails validation (checksum mismatch, unparseable line,
+// request-hash mismatch) is rejected in full: resume either trusts the
+// whole journal or none of it.
+//
+// Format (line-oriented text, self-checksummed):
+//
+//   beepmis-sweep-journal v1
+//   request <hex16>           # StableHash of the sweep request (see
+//   trials <N>                #   runner.cpp's request hash: config knobs
+//   chunk_size <C>            #   + TrialConfig::request_fingerprint)
+//   chunk <index> ...         # repeated blocks, one per completed chunk
+//     stat <name> <count> <hex16 mean> <hex16 m2> <hex16 min> <hex16 max>
+//     counts <...integers...>
+//     recovery <k> <hex16>*k
+//     failed <trial> <hex16 seed> <attempts> <hex-escaped error>
+//   end <index>
+//   checksum <hex16>          # StableHash of every preceding byte
+//
+// Doubles are stored as exact bit patterns (hex), never formatted — a
+// load(save(x)) round trip is bit-identical, which is what lets a resumed
+// sweep's final merged TrialStats match an uninterrupted run's exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace beepmis::harness {
+
+/// One completed checkpoint chunk: the chunk-local TrialStats aggregate of
+/// trials [index * chunk_size, min((index + 1) * chunk_size, trials)).
+struct JournalChunk {
+  std::size_t index = 0;
+  TrialStats stats;
+};
+
+struct JournalLoadResult {
+  enum class Status {
+    kNoFile,    ///< nothing at the path — fresh sweep
+    kValid,     ///< chunks restored
+    kRejected,  ///< journal exists but failed validation; see reason
+  };
+  Status status = Status::kNoFile;
+  std::string reason;               ///< human-readable, set when kRejected
+  std::vector<JournalChunk> chunks; ///< ascending index, unique (kValid only)
+};
+
+class SweepJournal {
+ public:
+  /// `request_hash` keys the journal to one exact sweep request; `trials`
+  /// and `chunk_size` pin the chunk geometry (a journal with different
+  /// geometry is rejected on load).
+  SweepJournal(std::string path, std::uint64_t request_hash, std::size_t trials,
+               std::size_t chunk_size);
+
+  /// Atomically replaces the journal with a snapshot of `chunks` (any
+  /// order; persisted sorted by index).  Throws std::runtime_error when the
+  /// temp file cannot be written or renamed.
+  void save(const std::vector<JournalChunk>& chunks) const;
+
+  /// Loads and validates the journal.  Never throws on bad content — a
+  /// corrupt or mismatched journal yields kRejected with the reason, and
+  /// the caller restarts the sweep from scratch.
+  [[nodiscard]] JournalLoadResult load() const;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::uint64_t request_hash() const noexcept { return request_hash_; }
+
+ private:
+  std::string path_;
+  std::uint64_t request_hash_ = 0;
+  std::size_t trials_ = 0;
+  std::size_t chunk_size_ = 0;
+};
+
+}  // namespace beepmis::harness

@@ -2,16 +2,22 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "exp/journal.hpp"
 #include "mis/verifier.hpp"
 #include "sim/batch.hpp"
 #include "sim/sharded.hpp"
+#include "support/hash.hpp"
 #include "support/parallel.hpp"
 
 namespace beepmis::harness {
@@ -32,6 +38,15 @@ void TrialStats::merge(const TrialStats& other) {
   disruptions += other.disruptions;
   unrecovered_disruptions += other.unrecovered_disruptions;
   if (scalar_fallback_reason.empty()) scalar_fallback_reason = other.scalar_fallback_reason;
+  requested_trials += other.requested_trials;
+  attempted += other.attempted;
+  quarantined += other.quarantined;
+  retries += other.retries;
+  failed_trials.insert(failed_trials.end(), other.failed_trials.begin(),
+                       other.failed_trials.end());
+  truncated = truncated || other.truncated;
+  resumed_trials += other.resumed_trials;
+  if (resume_discarded_reason.empty()) resume_discarded_reason = other.resume_discarded_reason;
 }
 
 TrialStats::RecoveryQuantiles TrialStats::recovery_quantiles() const {
@@ -45,12 +60,19 @@ TrialStats::RecoveryQuantiles TrialStats::recovery_quantiles() const {
   return q;
 }
 
+TrialStats::Interval TrialStats::ci95(const support::RunningStats& s) {
+  const double half = 1.96 * s.stderr_mean();
+  return {s.mean() - half, s.mean() + half};
+}
+
 namespace {
 
 /// Raw metrics of one trial; collected into trial-indexed slots so the
 /// final aggregation order (and hence floating-point result) is identical
 /// for every thread count.
 struct TrialRecord {
+  enum class Status { kCompleted, kQuarantined };
+
   double rounds = 0;
   double beeps_per_node = 0;
   double max_beeps = 0;
@@ -62,6 +84,10 @@ struct TrialRecord {
   std::size_t uncovered_nodes = 0;
   std::vector<std::uint32_t> recovery_rounds;
   std::size_t unrecovered_disruptions = 0;
+  // Fault-isolation bookkeeping (TrialConfig::isolate_trial_faults).
+  Status status = Status::kCompleted;
+  unsigned attempts = 1;
+  std::string error;  ///< final attempt's exception text when quarantined
 };
 
 /// Metric extraction + MIS verification for one finished trial; shared by
@@ -84,16 +110,47 @@ void fill_record(TrialRecord& rec, const graph::Graph& g, const sim::RunResult& 
   rec.unrecovered_disruptions = result.unrecovered_disruptions;
 }
 
-// run_workers — the shared worker-pool + exception-capture helper — now
-// lives in support/parallel.hpp so the sharded simulator's per-run worker
-// pool funnels through the same policy.
+// run_workers — the shared worker-pool + exception-capture helper — lives
+// in support/parallel.hpp so the sharded simulator's per-run worker pool
+// funnels through the same policy.
 using support::run_workers;
 
-/// Trial-index-ordered aggregation: the floating-point result is identical
-/// for any thread count (and for the scalar vs batched execution paths).
-TrialStats aggregate_records(const std::vector<TrialRecord>& records) {
+/// Per-worker cooperative trial-timeout handle: the worker re-arms it
+/// before every attempt; the worker's simulator checks it at round
+/// boundaries (SimConfig::deadline_ns).  nullptr when no timeout is set.
+using DeadlinePtr = std::shared_ptr<std::atomic<std::int64_t>>;
+
+DeadlinePtr make_trial_deadline(const TrialConfig& config) {
+  if (config.trial_timeout_seconds <= 0.0) return nullptr;
+  return std::make_shared<std::atomic<std::int64_t>>(INT64_MAX);
+}
+
+void arm_deadline(const DeadlinePtr& deadline, double timeout_seconds) {
+  if (deadline == nullptr) return;
+  deadline->store(sim::steady_now_ns() + static_cast<std::int64_t>(timeout_seconds * 1e9),
+                  std::memory_order_relaxed);
+}
+
+/// Chunk-local aggregation of records[first, last) in ascending trial
+/// order.  The sweep-wide result is the in-index-order merge of these
+/// chunk aggregates — on *every* execution path, journaled or not — which
+/// is what makes interrupted-and-resumed sweeps bit-identical to one-shot
+/// runs: a chunk's aggregate depends only on its own trials, and the merge
+/// order is fixed.  A sweep that fits in one chunk degenerates to exactly
+/// the historical single-pass aggregation (merging into an empty
+/// accumulator is a copy).
+TrialStats aggregate_chunk(const std::vector<TrialRecord>& records, std::size_t first,
+                           std::size_t last, std::uint64_t base_seed) {
   TrialStats total;
-  for (const TrialRecord& rec : records) {
+  for (std::size_t t = first; t < last; ++t) {
+    const TrialRecord& rec = records[t];
+    ++total.attempted;
+    total.retries += rec.attempts > 0 ? rec.attempts - 1 : 0;
+    if (rec.status == TrialRecord::Status::kQuarantined) {
+      ++total.quarantined;
+      total.failed_trials.push_back({t, base_seed, rec.attempts, rec.error});
+      continue;
+    }
     total.rounds.push(rec.rounds);
     total.beeps_per_node.push(rec.beeps_per_node);
     total.max_beeps_any_node.push(rec.max_beeps);
@@ -113,16 +170,248 @@ TrialStats aggregate_records(const std::vector<TrialRecord>& records) {
   return total;
 }
 
-/// Shared trial-loop machinery.  `make_runner()` is invoked once per worker
-/// thread and returns a `run_one(graph, run_rng) -> RunResult` callable that
-/// owns that worker's simulator (and protocol) instance; reusing it across
-/// trials amortises all per-node scratch allocations — the simulator's
-/// status/beeped/heard/beep-count buffers are recycled run to run instead of
-/// being reallocated per trial.  Results are unaffected: a run is a pure
-/// function of (graph, protocol, seed).
+/// Shared mutable state of one sweep invocation: the chunk ledger, the
+/// journal, and the stop signals.  Created by run_beep_trials /
+/// run_local_trials and threaded through every execution path.
+struct SweepState {
+  const TrialConfig* config = nullptr;
+  std::size_t chunk_size = 0;
+  std::size_t num_chunks = 0;
+  /// Trial-indexed records of the current invocation (slots of resumed
+  /// chunks stay untouched).
+  std::vector<TrialRecord> records;
+  /// Completed-chunk aggregates, indexed by chunk; null = not done.
+  /// Written/read under checkpoint_mutex during the run; read freely after
+  /// the worker join.
+  std::vector<std::unique_ptr<TrialStats>> chunk_stats;
+  /// Per-chunk count of work units (trials, or batches on the batched
+  /// path) still outstanding; the worker that takes it to zero aggregates
+  /// and checkpoints the chunk.
+  std::unique_ptr<std::atomic<std::size_t>[]> remaining;
+  std::unique_ptr<SweepJournal> journal;
+  std::mutex checkpoint_mutex;
+  std::size_t checkpoints = 0;           ///< chunks completed this invocation
+  std::int64_t budget_deadline_ns = 0;   ///< 0 = no budget
+  std::atomic<bool> stopped{false};      ///< budget/stop_request observed
+  std::size_t resumed_trials = 0;
+  std::string resume_discarded_reason;
+
+  [[nodiscard]] std::size_t chunk_first(std::size_t chunk) const noexcept {
+    return chunk * chunk_size;
+  }
+  [[nodiscard]] std::size_t chunk_last(std::size_t chunk) const noexcept {
+    return std::min(chunk_first(chunk) + chunk_size, config->trials);
+  }
+
+  /// Checked at trial/batch claim boundaries: in-flight work always
+  /// finishes, so a stop truncates the sweep at clean boundaries only.
+  [[nodiscard]] bool should_stop() noexcept {
+    if (stopped.load(std::memory_order_relaxed)) return true;
+    const bool expired =
+        (budget_deadline_ns != 0 && sim::steady_now_ns() > budget_deadline_ns) ||
+        (config->stop_request != nullptr &&
+         config->stop_request->load(std::memory_order_relaxed));
+    if (expired) stopped.store(true, std::memory_order_relaxed);
+    return expired;
+  }
+};
+
+/// Aggregates a freshly completed chunk, snapshots the journal, and fires
+/// the on_checkpoint hook.  Called by exactly one worker per chunk (the one
+/// whose claim took SweepState::remaining[chunk] to zero).
+void finish_chunk(SweepState& sweep, std::size_t chunk) {
+  auto stats = std::make_unique<TrialStats>(aggregate_chunk(
+      sweep.records, sweep.chunk_first(chunk), sweep.chunk_last(chunk),
+      sweep.config->base_seed));
+  const std::lock_guard<std::mutex> lock(sweep.checkpoint_mutex);
+  sweep.chunk_stats[chunk] = std::move(stats);
+  if (sweep.journal != nullptr) {
+    std::vector<JournalChunk> done;
+    for (std::size_t i = 0; i < sweep.num_chunks; ++i) {
+      if (sweep.chunk_stats[i] != nullptr) done.push_back({i, *sweep.chunk_stats[i]});
+    }
+    sweep.journal->save(done);
+  }
+  ++sweep.checkpoints;
+  if (sweep.config->on_checkpoint) sweep.config->on_checkpoint(sweep.checkpoints);
+}
+
+/// Final assembly: completed chunks merged in ascending index order.
+TrialStats assemble(SweepState& sweep) {
+  TrialStats total;
+  std::size_t done = 0;
+  for (std::size_t chunk = 0; chunk < sweep.num_chunks; ++chunk) {
+    if (sweep.chunk_stats[chunk] == nullptr) continue;
+    total.merge(*sweep.chunk_stats[chunk]);
+    ++done;
+  }
+  total.requested_trials = sweep.config->trials;
+  total.truncated = done < sweep.num_chunks;
+  total.resumed_trials = sweep.resumed_trials;
+  total.resume_discarded_reason = sweep.resume_discarded_reason;
+  return total;
+}
+
+/// The journal's request key: every knob of the sweep the harness can see
+/// that affects the numeric result, plus the caller's fingerprint for
+/// everything it cannot (graph family, protocol, scenario parameters).
+/// Thread count is deliberately excluded — results are thread-count
+/// independent, so a sweep may be resumed with different parallelism.
+std::uint64_t compute_request_hash(const TrialConfig& c, bool local, std::size_t chunk_size) {
+  support::StableHash h;
+  h.update(local ? "beepmis-local-sweep-v1" : "beepmis-beep-sweep-v1");
+  h.update_u64(c.request_fingerprint);
+  h.update_u64(c.trials);
+  h.update_u64(c.base_seed);
+  // Execution-path knobs (allow_batched, allow_sharded, shards) are
+  // excluded like the thread count: every path draws in scalar order and
+  // is bit-identical, so a journal written by a scalar run may be finished
+  // by a batched or sharded one.  The one path choice that *does* change
+  // the numbers is the statistical-lanes entropy policy, which engages
+  // exactly when the batched path's preconditions hold — hash that
+  // effective bit, not the raw knobs.
+  const bool statistical = c.rng_mode == sim::BatchRngMode::kStatisticalLanes &&
+                           c.allow_batched && c.shared_graph && !c.sim.record_trace &&
+                           c.shards <= 1;
+  h.update_u64(statistical ? 1 : 0);
+  h.update_u64(c.shared_graph ? 1 : 0);
+  h.update_u64(chunk_size);
+  h.update_u64(c.sim.max_rounds);
+  h.update_double(c.sim.beep_loss_probability);
+  h.update_u64(c.sim.record_trace ? 1 : 0);
+  h.update_u64(c.sim.mis_keepalive ? 1 : 0);
+  h.update_u64(c.sim.run_until_round);
+  h.update_u64(c.sim.track_recovery ? 1 : 0);
+  h.update_u64(c.sim.wake_round.size());
+  for (const std::uint32_t w : c.sim.wake_round) h.update_u64(w);
+  h.update_u64(c.sim.crash_round.size());
+  for (const std::uint32_t r : c.sim.crash_round) h.update_u64(r);
+  h.update_u64(c.scenario ? 1 : 0);
+  h.update_u64(c.local_sim.max_rounds);
+  return h.digest();
+}
+
+void validate_sweep_config(const TrialConfig& config, const char* who) {
+  const auto bad = [&](const std::string& what) {
+    throw std::invalid_argument(std::string(who) + ": " + what);
+  };
+  if (!(config.budget_seconds >= 0.0)) bad("budget_seconds must be >= 0 (and not NaN)");
+  if (!(config.trial_timeout_seconds >= 0.0)) {
+    bad("trial_timeout_seconds must be >= 0 (and not NaN)");
+  }
+  if (config.checkpoint_interval == 0) bad("checkpoint_interval must be >= 1");
+  if (config.resume && config.journal_path.empty()) {
+    bad("resume requires journal_path (nothing to resume from)");
+  }
+}
+
+/// Rounds the checkpoint interval up to a multiple of the batched
+/// simulator's lane count so chunk boundaries coincide with batch
+/// boundaries: the statistical-lanes mode keys each 64-trial batch's RNG
+/// stream by its first trial index, so chunks must contain whole batches
+/// for resumed runs to replay the exact same batches.
+std::size_t effective_chunk_size(const TrialConfig& config) {
+  const std::size_t lanes = sim::kMaxBatchLanes;
+  const std::size_t requested = std::max<std::size_t>(config.checkpoint_interval, 1);
+  return ((requested + lanes - 1) / lanes) * lanes;
+}
+
+void init_sweep(SweepState& sweep, const TrialConfig& config, bool local) {
+  sweep.config = &config;
+  sweep.chunk_size = effective_chunk_size(config);
+  sweep.num_chunks =
+      config.trials == 0 ? 0 : (config.trials + sweep.chunk_size - 1) / sweep.chunk_size;
+  sweep.records.resize(config.trials);
+  sweep.chunk_stats.resize(sweep.num_chunks);
+  sweep.remaining = std::make_unique<std::atomic<std::size_t>[]>(sweep.num_chunks);
+  for (std::size_t i = 0; i < sweep.num_chunks; ++i) {
+    sweep.remaining[i].store(0, std::memory_order_relaxed);
+  }
+  if (!config.journal_path.empty()) {
+    const std::uint64_t request = compute_request_hash(config, local, sweep.chunk_size);
+    sweep.journal = std::make_unique<SweepJournal>(config.journal_path, request, config.trials,
+                                                   sweep.chunk_size);
+    if (config.resume) {
+      JournalLoadResult loaded = sweep.journal->load();
+      switch (loaded.status) {
+        case JournalLoadResult::Status::kNoFile:
+          break;
+        case JournalLoadResult::Status::kValid:
+          for (JournalChunk& chunk : loaded.chunks) {
+            sweep.resumed_trials +=
+                sweep.chunk_last(chunk.index) - sweep.chunk_first(chunk.index);
+            sweep.chunk_stats[chunk.index] =
+                std::make_unique<TrialStats>(std::move(chunk.stats));
+          }
+          break;
+        case JournalLoadResult::Status::kRejected:
+          // Reject whole, restart from scratch; the final stats still
+          // converge to the uninterrupted run's because every chunk is
+          // recomputed from its seeds.
+          sweep.resume_discarded_reason = std::move(loaded.reason);
+          break;
+      }
+    }
+  }
+  if (config.budget_seconds > 0.0) {
+    sweep.budget_deadline_ns =
+        sim::steady_now_ns() + static_cast<std::int64_t>(config.budget_seconds * 1e9);
+  }
+}
+
+/// Runs `attempt` under the sweep's fault-isolation policy: without
+/// isolate_trial_faults the first exception propagates (fail-fast, the
+/// historical behaviour); with it, failed attempts are retried with
+/// bounded exponential backoff and the outcome reports quarantine.
+struct AttemptOutcome {
+  bool completed = true;
+  unsigned attempts = 1;
+  std::string error;
+};
+
+template <typename Attempt>
+AttemptOutcome run_with_isolation(const TrialConfig& config, const DeadlinePtr& deadline,
+                                  Attempt&& attempt) {
+  const unsigned attempts_allowed =
+      config.isolate_trial_faults ? 1 + config.max_retries : 1;
+  unsigned backoff_ms = std::min(config.retry_backoff_ms, config.max_retry_backoff_ms);
+  for (unsigned attempt_no = 1;; ++attempt_no) {
+    try {
+      arm_deadline(deadline, config.trial_timeout_seconds);
+      attempt();
+      return {true, attempt_no, {}};
+    } catch (...) {
+      if (!config.isolate_trial_faults) throw;
+      if (attempt_no >= attempts_allowed) {
+        return {false, attempt_no,
+                support::detail::exception_message(std::current_exception())};
+      }
+      if (backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      }
+      backoff_ms = std::min(backoff_ms == 0 ? 1u : backoff_ms * 2, config.max_retry_backoff_ms);
+    }
+  }
+}
+
+void quarantine_record(TrialRecord& rec, const AttemptOutcome& outcome) {
+  rec = TrialRecord{};  // drop any partial metrics from the failed attempt
+  rec.status = TrialRecord::Status::kQuarantined;
+  rec.attempts = outcome.attempts;
+  rec.error = outcome.error;
+}
+
+/// Shared trial-loop machinery.  `make_runner(deadline)` is invoked once
+/// per worker thread and returns a `run_one(graph, run_rng) -> RunResult`
+/// callable that owns that worker's simulator (and protocol) instance;
+/// reusing it across trials amortises all per-node scratch allocations.
+/// Results are unaffected: a run is a pure function of (graph, protocol,
+/// seed).  Workers claim individual trials (trial-granular load balance)
+/// but aggregate per chunk: the worker that completes a chunk's last
+/// pending trial checkpoints it.
 template <typename MakeRunner>
-TrialStats run_trials_impl(const GraphFactory& graphs, const TrialConfig& config,
-                           MakeRunner&& make_runner) {
+void run_trials_chunked(const GraphFactory& graphs, const TrialConfig& config,
+                        SweepState& sweep, MakeRunner&& make_runner) {
   const support::SeedSequence root(config.base_seed);
 
   // When the graph is shared, build it once up front from trial 0's seed.
@@ -132,51 +421,91 @@ TrialStats run_trials_impl(const GraphFactory& graphs, const TrialConfig& config
     shared = graphs(rng);
   }
 
-  std::vector<TrialRecord> records(config.trials);
-  std::atomic<std::size_t> next_trial{0};
+  // Pending trials: every trial of every not-yet-completed chunk (resumed
+  // chunks are skipped whole).
+  std::vector<std::size_t> pending;
+  pending.reserve(config.trials);
+  for (std::size_t chunk = 0; chunk < sweep.num_chunks; ++chunk) {
+    if (sweep.chunk_stats[chunk] != nullptr) continue;
+    const std::size_t first = sweep.chunk_first(chunk);
+    const std::size_t last = sweep.chunk_last(chunk);
+    sweep.remaining[chunk].store(last - first, std::memory_order_relaxed);
+    for (std::size_t t = first; t < last; ++t) pending.push_back(t);
+  }
+  std::atomic<std::size_t> next{0};
 
   auto worker = [&] {
-    auto run_one = make_runner();
+    const DeadlinePtr deadline = make_trial_deadline(config);
+    auto run_one = make_runner(deadline);
     for (;;) {
-      const std::size_t trial = next_trial.fetch_add(1);
-      if (trial >= config.trials) break;
+      if (sweep.should_stop()) break;
+      const std::size_t i = next.fetch_add(1);
+      if (i >= pending.size()) break;
+      const std::size_t trial = pending[i];
 
       const support::SeedSequence trial_seed = root.child(trial);
+      TrialRecord& rec = sweep.records[trial];
       graph::Graph own;
-      const graph::Graph* g = &shared;
-      if (!config.shared_graph) {
-        auto graph_rng = trial_seed.child(0).generator();
-        own = graphs(graph_rng);
-        g = &own;
+      const AttemptOutcome outcome = run_with_isolation(config, deadline, [&] {
+        const graph::Graph* g = &shared;
+        if (!config.shared_graph) {
+          auto graph_rng = trial_seed.child(0).generator();
+          own = graphs(graph_rng);
+          g = &own;
+        }
+        const sim::RunResult result = run_one(*g, trial_seed.child(1).generator());
+        fill_record(rec, *g, result);
+      });
+      if (outcome.completed) {
+        rec.status = TrialRecord::Status::kCompleted;
+        rec.attempts = outcome.attempts;
+      } else {
+        quarantine_record(rec, outcome);
       }
 
-      const sim::RunResult result = run_one(*g, trial_seed.child(1).generator());
-      fill_record(records[trial], *g, result);
+      const std::size_t chunk = trial / sweep.chunk_size;
+      if (sweep.remaining[chunk].fetch_sub(1) == 1) finish_chunk(sweep, chunk);
     }
   };
-  run_workers(config.threads, config.trials, worker);
-
-  return aggregate_records(records);
+  run_workers(config.threads, pending.size(), worker);
 }
 
 /// Batched fast path: 64 trials share one structure-of-arrays sweep of the
 /// shared graph (see src/sim/batch.hpp).  Per-trial seeds, records and the
-/// aggregation order are identical to the scalar path, and each lane is
-/// bit-identical to its scalar run, so TrialStats match exactly.
-TrialStats run_beep_trials_batched(const graph::Graph& shared,
-                                   const BeepProtocolFactory& protocols,
-                                   const TrialConfig& config) {
+/// chunked aggregation are identical to the scalar path, and in
+/// kScalarOrder each lane is bit-identical to its scalar run, so
+/// TrialStats match exactly.  Chunks contain whole batches
+/// (effective_chunk_size), so fault isolation and resume operate at batch
+/// granularity here: a batch that exhausts its retries quarantines all of
+/// its trials.
+void run_beep_trials_batched(const graph::Graph& shared, const BeepProtocolFactory& protocols,
+                             const TrialConfig& config, SweepState& sweep) {
   const support::SeedSequence root(config.base_seed);
-  const std::size_t batches =
-      (config.trials + sim::kMaxBatchLanes - 1) / sim::kMaxBatchLanes;
 
-  std::vector<TrialRecord> records(config.trials);
-  std::atomic<std::size_t> next_batch{0};
+  struct Batch {
+    std::size_t first = 0, last = 0;
+  };
+  std::vector<Batch> pending;
+  for (std::size_t chunk = 0; chunk < sweep.num_chunks; ++chunk) {
+    if (sweep.chunk_stats[chunk] != nullptr) continue;
+    const std::size_t first = sweep.chunk_first(chunk);
+    const std::size_t last = sweep.chunk_last(chunk);
+    std::size_t batches_in_chunk = 0;
+    for (std::size_t b = first; b < last; b += sim::kMaxBatchLanes) {
+      pending.push_back({b, std::min(b + sim::kMaxBatchLanes, last)});
+      ++batches_in_chunk;
+    }
+    sweep.remaining[chunk].store(batches_in_chunk, std::memory_order_relaxed);
+  }
+  std::atomic<std::size_t> next{0};
 
   auto worker = [&] {
     // One batch simulator and one batched kernel per worker, reused across
     // batches (scratch planes and policy arrays are recycled).
-    sim::BatchSimulator simulator(config.sim, config.rng_mode);
+    const DeadlinePtr deadline = make_trial_deadline(config);
+    sim::SimConfig sim_config = config.sim;
+    sim_config.deadline_ns = deadline;
+    sim::BatchSimulator simulator(sim_config, config.rng_mode);
     const std::unique_ptr<sim::BatchProtocol> protocol =
         protocols()->make_batch_protocol(config.rng_mode);
     if (!protocol) {
@@ -186,45 +515,59 @@ TrialStats run_beep_trials_batched(const graph::Graph& shared,
           "run_beep_trials: protocol factory is inconsistent about make_batch_protocol");
     }
     for (;;) {
-      const std::size_t batch = next_batch.fetch_add(1);
-      if (batch >= batches) break;
-      const std::size_t first = batch * sim::kMaxBatchLanes;
-      const std::size_t last = std::min<std::size_t>(first + sim::kMaxBatchLanes, config.trials);
+      if (sweep.should_stop()) break;
+      const std::size_t i = next.fetch_add(1);
+      if (i >= pending.size()) break;
+      const std::size_t first = pending[i].first;
+      const std::size_t last = pending[i].last;
 
-      std::vector<sim::RunResult> results;
-      if (config.rng_mode == sim::BatchRngMode::kStatisticalLanes) {
-        // One base stream per batch, keyed by the batch's first trial
-        // index: lane streams are jump()-partitioned inside the
-        // simulator, so records stay deterministic for any thread count
-        // (per (base_seed, trials, mode), not per trial seed).
-        results = simulator.run(shared, *protocol,
-                                root.child(first).child(1).generator(),
-                                static_cast<unsigned>(last - first));
-      } else {
-        std::vector<support::Xoshiro256StarStar> rngs;
-        rngs.reserve(last - first);
-        for (std::size_t trial = first; trial < last; ++trial) {
-          rngs.push_back(root.child(trial).child(1).generator());
+      const AttemptOutcome outcome = run_with_isolation(config, deadline, [&] {
+        std::vector<sim::RunResult> results;
+        if (config.rng_mode == sim::BatchRngMode::kStatisticalLanes) {
+          // One base stream per batch, keyed by the batch's first trial
+          // index: lane streams are jump()-partitioned inside the
+          // simulator, so records stay deterministic for any thread count
+          // (per (base_seed, trials, mode), not per trial seed).
+          results = simulator.run(shared, *protocol, root.child(first).child(1).generator(),
+                                  static_cast<unsigned>(last - first));
+        } else {
+          std::vector<support::Xoshiro256StarStar> rngs;
+          rngs.reserve(last - first);
+          for (std::size_t trial = first; trial < last; ++trial) {
+            rngs.push_back(root.child(trial).child(1).generator());
+          }
+          results = simulator.run(shared, *protocol, std::move(rngs));
         }
-        results = simulator.run(shared, *protocol, std::move(rngs));
-      }
+        for (std::size_t trial = first; trial < last; ++trial) {
+          fill_record(sweep.records[trial], shared, results[trial - first]);
+        }
+      });
       for (std::size_t trial = first; trial < last; ++trial) {
-        fill_record(records[trial], shared, results[trial - first]);
+        TrialRecord& rec = sweep.records[trial];
+        if (outcome.completed) {
+          rec.status = TrialRecord::Status::kCompleted;
+          rec.attempts = outcome.attempts;
+        } else {
+          quarantine_record(rec, outcome);
+        }
       }
+
+      const std::size_t chunk = first / sweep.chunk_size;
+      if (sweep.remaining[chunk].fetch_sub(1) == 1) finish_chunk(sweep, chunk);
     }
   };
-  run_workers(config.threads, batches, worker);
-
-  return aggregate_records(records);
+  run_workers(config.threads, pending.size(), worker);
 }
 
-/// Sharded execution paths (see TrialConfig::shards).  Returns true and
-/// fills `out` when a sharded path ran; false = use the scalar/batched
-/// paths.  Both sharded paths draw in scalar order, so TrialStats are
-/// bit-identical to the other execution paths.
-bool run_beep_trials_sharded(const GraphFactory& graphs,
-                             const BeepProtocolFactory& protocols,
-                             const TrialConfig& config, TrialStats& out) {
+/// Sharded execution paths (see TrialConfig::shards).  Returns true when a
+/// sharded path ran (filling the sweep state); false = use the
+/// scalar/batched paths.  Both sharded paths draw in scalar order, so
+/// TrialStats are bit-identical to the other execution paths.  The sharded
+/// simulator ignores SimConfig::deadline_ns (its lanes rendezvous on
+/// barriers), so trial timeouts are not enforced on sharded runs — budget
+/// expiry still truncates at trial boundaries.
+bool run_beep_trials_sharded(const GraphFactory& graphs, const BeepProtocolFactory& protocols,
+                             const TrialConfig& config, SweepState& sweep) {
   if (!config.allow_sharded || config.sim.record_trace || config.trials == 0 ||
       config.shards == 1) {
     return false;
@@ -236,7 +579,7 @@ bool run_beep_trials_sharded(const GraphFactory& graphs,
     // is single-worker because each run already uses `shards` threads.
     TrialConfig outer = config;
     outer.threads = 1;
-    out = run_trials_impl(graphs, outer, [&] {
+    run_trials_chunked(graphs, outer, sweep, [&](const DeadlinePtr&) {
       return [simulator = sim::ShardedSimulator(config.shards, config.sim),
               protocol = protocols()](const graph::Graph& g,
                                       support::Xoshiro256StarStar rng) mutable {
@@ -252,6 +595,10 @@ bool run_beep_trials_sharded(const GraphFactory& graphs,
                                ? config.threads
                                : std::max(1u, std::thread::hardware_concurrency());
   if (config.trials != 1 || threads < 2) return false;
+
+  if (sweep.chunk_stats[0] != nullptr) return true;  // resumed: nothing to run
+  if (sweep.should_stop()) return true;              // budget spent before starting
+
   const support::SeedSequence trial_seed = support::SeedSequence(config.base_seed).child(0);
   // Shared or not, trial 0's graph comes from root.child(0).child(0) —
   // the same seed path either way.
@@ -259,38 +606,46 @@ bool run_beep_trials_sharded(const GraphFactory& graphs,
   const graph::Graph g = graphs(graph_rng);
 
   const std::unique_ptr<sim::BeepProtocol> protocol = protocols();
-  sim::RunResult result;
-  if (g.node_count() >= config.auto_shard_min_nodes) {
-    // Auto mode must never reject a config that worked before sharding
-    // existed, so clamp to the simulator's shard ceiling (explicit
-    // TrialConfig::shards beyond it still throws — that is a request).
-    const unsigned k = std::min(threads, sim::ShardedSimulator::kMaxShards);
-    sim::ShardedSimulator simulator(g, k, config.sim);
-    result = simulator.run(*protocol, trial_seed.child(1).generator());
+  const DeadlinePtr deadline = make_trial_deadline(config);
+  TrialRecord& rec = sweep.records[0];
+  const AttemptOutcome outcome = run_with_isolation(config, deadline, [&] {
+    sim::RunResult result;
+    if (g.node_count() >= config.auto_shard_min_nodes) {
+      // Auto mode must never reject a config that worked before sharding
+      // existed, so clamp to the simulator's shard ceiling (explicit
+      // TrialConfig::shards beyond it still throws — that is a request).
+      const unsigned k = std::min(threads, sim::ShardedSimulator::kMaxShards);
+      sim::ShardedSimulator simulator(g, k, config.sim);
+      result = simulator.run(*protocol, trial_seed.child(1).generator());
+    } else {
+      // Too small for the per-exchange barriers to pay off — but the graph
+      // is already built, so run the lone trial scalar here rather than
+      // rebuilding it from the same seed in the generic trial loop.
+      sim::SimConfig sim_config = config.sim;
+      sim_config.deadline_ns = deadline;
+      sim::BeepSimulator simulator(g, sim_config);
+      result = simulator.run(*protocol, trial_seed.child(1).generator());
+    }
+    fill_record(rec, g, result);
+  });
+  if (outcome.completed) {
+    rec.status = TrialRecord::Status::kCompleted;
+    rec.attempts = outcome.attempts;
   } else {
-    // Too small for the per-exchange barriers to pay off — but the graph
-    // is already built, so run the lone trial scalar here rather than
-    // rebuilding it from the same seed in the generic trial loop.
-    sim::BeepSimulator simulator(g, config.sim);
-    result = simulator.run(*protocol, trial_seed.child(1).generator());
+    quarantine_record(rec, outcome);
   }
-  std::vector<TrialRecord> records(1);
-  fill_record(records[0], g, result);
-  out = aggregate_records(records);
+  finish_chunk(sweep, 0);
   return true;
 }
 
 /// The pre-scenario dispatch pipeline: sharded, then batched, then the
 /// scalar trial loop.  Callers route scenario configs before this point —
 /// only a materialised (or absent) scenario may reach it.
-TrialStats dispatch_beep_trials(const GraphFactory& graphs,
-                                const BeepProtocolFactory& protocols,
-                                const TrialConfig& config) {
+void dispatch_beep_trials(const GraphFactory& graphs, const BeepProtocolFactory& protocols,
+                          const TrialConfig& config, SweepState& sweep) {
   // Sharded path: parallelism *within* one run (TrialConfig::shards).
   // Bit-identical to the scalar path, like the batched path below.
-  if (TrialStats sharded; run_beep_trials_sharded(graphs, protocols, config, sharded)) {
-    return sharded;
-  }
+  if (run_beep_trials_sharded(graphs, protocols, config, sweep)) return;
   // Batched fast path: one graph shared by every trial, a protocol with a
   // batched kernel, and no per-run event trace.  In kScalarOrder it is
   // bit-identical to the scalar path (lane-for-lane), so callers never
@@ -313,13 +668,16 @@ TrialStats dispatch_beep_trials(const GraphFactory& graphs,
       const support::SeedSequence root(config.base_seed);
       auto rng = root.child(0).child(0).generator();
       const graph::Graph shared = graphs(rng);
-      return run_beep_trials_batched(shared, protocols, config);
+      run_beep_trials_batched(shared, protocols, config, sweep);
+      return;
     }
   }
-  return run_trials_impl(graphs, config, [&] {
+  run_trials_chunked(graphs, config, sweep, [&](const DeadlinePtr& deadline) {
     // One simulator and one protocol per worker, reused for every trial the
     // worker claims; the simulator rebinds to each trial's graph.
-    return [simulator = sim::BeepSimulator(config.sim), protocol = protocols()](
+    sim::SimConfig sim_config = config.sim;
+    sim_config.deadline_ns = deadline;
+    return [simulator = sim::BeepSimulator(std::move(sim_config)), protocol = protocols()](
                const graph::Graph& g, support::Xoshiro256StarStar rng) mutable {
       return simulator.run(g, *protocol, rng);
     };
@@ -335,6 +693,12 @@ TrialStats run_beep_trials(const GraphFactory& graphs, const BeepProtocolFactory
         "run_beep_trials: set TrialConfig::scenario (a factory), not "
         "SimConfig::scenario — every worker thread needs its own stateful instance");
   }
+  if (config.sim.deadline_ns != nullptr) {
+    throw std::invalid_argument(
+        "run_beep_trials: set TrialConfig::trial_timeout_seconds, not "
+        "SimConfig::deadline_ns — each worker thread arms its own per-attempt deadline");
+  }
+  validate_sweep_config(config, "run_beep_trials");
   TrialConfig cfg = config;
   const GraphFactory* effective_graphs = &graphs;
   GraphFactory materialized_graphs;  // owns the shared graph when we materialise
@@ -381,21 +745,29 @@ TrialStats run_beep_trials(const GraphFactory& graphs, const BeepProtocolFactory
     fallback = "recovery tracking is scalar-only: batched/sharded fast paths refused";
   }
 
+  // The request hash keys the journal to the routed config.  The scenario
+  // materialisation above is a pure function of the caller's config, so an
+  // interrupted invocation and its resume hash identical knobs (including
+  // the materialised crash_round) and agree on the journal's request key.
+  SweepState sweep;
+  init_sweep(sweep, cfg, /*local=*/false);
+
   if (!cfg.scenario && !cfg.sim.track_recovery) {
-    TrialStats stats = dispatch_beep_trials(*effective_graphs, protocols, cfg);
-    stats.scalar_fallback_reason = std::move(fallback);
-    return stats;
+    dispatch_beep_trials(*effective_graphs, protocols, cfg, sweep);
+  } else {
+    // Forced-scalar path: each worker owns a private scenario instance
+    // (fresh from the factory; BeepSimulator::run resets it every trial).
+    run_trials_chunked(*effective_graphs, cfg, sweep, [&](const DeadlinePtr& deadline) {
+      sim::SimConfig sim_config = cfg.sim;
+      sim_config.deadline_ns = deadline;
+      if (cfg.scenario) sim_config.scenario = cfg.scenario();
+      return [simulator = sim::BeepSimulator(std::move(sim_config)), protocol = protocols()](
+                 const graph::Graph& g, support::Xoshiro256StarStar rng) mutable {
+        return simulator.run(g, *protocol, rng);
+      };
+    });
   }
-  // Forced-scalar path: each worker owns a private scenario instance
-  // (fresh from the factory; BeepSimulator::run resets it every trial).
-  TrialStats stats = run_trials_impl(*effective_graphs, cfg, [&] {
-    sim::SimConfig sim_config = cfg.sim;
-    if (cfg.scenario) sim_config.scenario = cfg.scenario();
-    return [simulator = sim::BeepSimulator(std::move(sim_config)), protocol = protocols()](
-               const graph::Graph& g, support::Xoshiro256StarStar rng) mutable {
-      return simulator.run(g, *protocol, rng);
-    };
-  });
+  TrialStats stats = assemble(sweep);
   stats.scalar_fallback_reason = std::move(fallback);
   return stats;
 }
@@ -406,12 +778,19 @@ TrialStats run_local_trials(const GraphFactory& graphs, const LocalProtocolFacto
     throw std::invalid_argument(
         "run_local_trials: fault scenarios are a beeping-model feature");
   }
-  return run_trials_impl(graphs, config, [&] {
+  validate_sweep_config(config, "run_local_trials");
+  SweepState sweep;
+  init_sweep(sweep, config, /*local=*/true);
+  // The LOCAL-model simulator has no cooperative deadline hook, so
+  // trial_timeout_seconds is not enforced here; budget expiry still
+  // truncates at trial boundaries.
+  run_trials_chunked(graphs, config, sweep, [&](const DeadlinePtr&) {
     return [simulator = sim::LocalSimulator(config.local_sim), protocol = protocols()](
                const graph::Graph& g, support::Xoshiro256StarStar rng) mutable {
       return simulator.run(g, *protocol, rng);
     };
   });
+  return assemble(sweep);
 }
 
 }  // namespace beepmis::harness

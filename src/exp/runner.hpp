@@ -4,10 +4,12 @@
 // trial derives its own seed tree and writes into its own slot.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/beep.hpp"
@@ -86,6 +88,80 @@ struct TrialConfig {
   FaultScenarioFactory scenario;
   sim::SimConfig sim;
   sim::LocalSimConfig local_sim;
+
+  // --- Crash-safe sweep controls (see src/exp/README.md, "Crash-safe
+  // sweeps").  All default to off, preserving the historical fail-fast,
+  // run-to-completion semantics exactly. ---
+
+  /// Durable checkpoint journal (exp/journal.hpp).  Empty = no journaling.
+  /// The sweep snapshots per-chunk aggregates to this path (atomically:
+  /// write-temp-then-rename) every time a chunk of `checkpoint_interval`
+  /// trials completes.
+  std::string journal_path;
+  /// Load `journal_path` before running and skip every chunk it already
+  /// holds.  A journal whose request hash does not match this config (or
+  /// that fails its content checksum) is rejected *whole* — never half
+  /// loaded — and the sweep restarts from scratch, with the reason surfaced
+  /// in TrialStats::resume_discarded_reason.  A resumed sweep's final stats
+  /// are bit-identical to an uninterrupted run's.
+  bool resume = false;
+  /// Caller-supplied identity of everything the harness cannot see: graph
+  /// family + parameters, protocol identity, scenario parameters.  Mixed
+  /// into the journal's request hash so a journal from a different sweep is
+  /// rejected instead of silently merged.  (The harness hashes its own
+  /// visible knobs — trials, base_seed, rng_mode, fault vectors, … — on top
+  /// of this.)
+  std::uint64_t request_fingerprint = 0;
+  /// Trials per checkpoint chunk.  Rounded up to a multiple of the batched
+  /// simulator's 64 lanes so chunk boundaries coincide with batch
+  /// boundaries on every execution path (aggregation is chunked
+  /// identically everywhere — that is what makes resumed, interrupted and
+  /// cross-path runs bit-identical; see src/exp/README.md).
+  std::size_t checkpoint_interval = 64;
+  /// Wall-clock budget for this invocation (0 = unlimited).  When it
+  /// expires, workers stop claiming trials, in-flight trials finish, and
+  /// the sweep returns the chunks completed so far with truncated = true —
+  /// an honest partial answer (fewer samples => wider confidence
+  /// intervals) instead of no answer.  Resume later to finish.
+  double budget_seconds = 0.0;
+  /// Per-trial-attempt wall-clock timeout (0 = unlimited), enforced
+  /// cooperatively by the simulators at round boundaries via
+  /// SimConfig::deadline_ns.  A timed-out attempt throws sim::RunCancelled:
+  /// with isolate_trial_faults it is retried / quarantined like any other
+  /// trial fault; without it, it fails the sweep (fail-fast).
+  double trial_timeout_seconds = 0.0;
+  /// Per-trial fault isolation.  false (default): the first trial exception
+  /// aborts the sweep (historical fail-fast semantics).  true: a throwing
+  /// trial is retried up to `max_retries` times with bounded exponential
+  /// backoff, then quarantined — recorded in TrialStats::failed_trials and
+  /// excluded from the metric aggregates, while the sweep completes.
+  /// Retries rerun the identical (seed-pure) computation, so they help with
+  /// transient faults (timeouts under load, resource exhaustion), not
+  /// deterministic protocol bugs — those quarantine after max_retries.
+  bool isolate_trial_faults = false;
+  /// Extra attempts after the first failure (isolate_trial_faults only).
+  unsigned max_retries = 2;
+  /// First retry backoff; doubles per retry, capped at max_retry_backoff_ms.
+  unsigned retry_backoff_ms = 1;
+  unsigned max_retry_backoff_ms = 100;
+  /// Cooperative external stop (e.g. a signal handler): when set to true,
+  /// workers stop claiming trials at the next trial boundary and the sweep
+  /// returns truncated, exactly like budget expiry.
+  std::shared_ptr<std::atomic<bool>> stop_request;
+  /// Test/observability hook: invoked after every completed chunk (after
+  /// the journal snapshot, when journaling) with the number of chunks
+  /// completed by this invocation so far.  Called under the checkpoint
+  /// lock — keep it cheap and do not call back into the harness.
+  std::function<void(std::size_t chunks_completed)> on_checkpoint;
+};
+
+/// A trial that exhausted its retry budget and was excluded from the
+/// metric aggregates (TrialConfig::isolate_trial_faults).
+struct FailedTrial {
+  std::size_t trial = 0;        ///< trial index within the sweep
+  std::uint64_t base_seed = 0;  ///< sweep base seed (trial seed = child(trial))
+  unsigned attempts = 0;        ///< attempts consumed (1 + retries)
+  std::string error;            ///< what() of the final attempt's exception
 };
 
 /// Aggregated metrics across trials.
@@ -116,11 +192,46 @@ struct TrialStats {
   /// fault scenario or recovery tracking.
   std::string scalar_fallback_reason;
 
+  // --- Crash-safe sweep accounting (see TrialConfig's sweep controls).
+  // `trials` above counts *completed* trials — the ones contributing to
+  // the metric aggregates; the fields below reconcile it against what was
+  // asked for and what went wrong. ---
+
+  /// TrialConfig::trials of the request (== trials unless the sweep was
+  /// truncated or trials were quarantined).
+  std::size_t requested_trials = 0;
+  /// Trials attempted by this result (completed + quarantined).
+  std::size_t attempted = 0;
+  /// Trials that exhausted their retry budget (== failed_trials.size()).
+  std::size_t quarantined = 0;
+  /// Total retry attempts performed across all trials.
+  std::size_t retries = 0;
+  /// Per-quarantined-trial report, ascending trial index.
+  std::vector<FailedTrial> failed_trials;
+  /// The sweep stopped early (budget expiry or stop_request) at a clean
+  /// checkpoint boundary: the aggregates cover only the completed chunks.
+  /// The confidence intervals below widen honestly with the smaller n.
+  bool truncated = false;
+  /// Trials restored from a resumed journal rather than re-run.
+  std::size_t resumed_trials = 0;
+  /// Why a resume journal was rejected and the sweep restarted from
+  /// scratch (empty = no journal was rejected).
+  std::string resume_discarded_reason;
+
   struct RecoveryQuantiles {
     double p50 = 0, p95 = 0, p99 = 0;
   };
   /// p50/p95/p99 of recovery_rounds (zeros when there are no samples).
   [[nodiscard]] RecoveryQuantiles recovery_quantiles() const;
+
+  struct Interval {
+    double lo = 0, hi = 0;
+  };
+  /// 95% normal-approximation confidence interval for a metric's mean
+  /// (mean ± 1.96 · stderr).  Collapses to [mean, mean] below two samples.
+  /// Truncated/quarantined sweeps report honestly through this: fewer
+  /// completed trials => larger stderr => wider interval.
+  [[nodiscard]] static Interval ci95(const support::RunningStats& s);
 
   void merge(const TrialStats& other);
 };

@@ -435,6 +435,11 @@ std::vector<RunResult> BatchSimulator::run_lanes(
   ctx.lane_count_ = lanes;
 
   while (running_ != 0) {
+    if (config_.deadline_ns != nullptr &&
+        steady_now_ns() > config_.deadline_ns->load(std::memory_order_relaxed)) {
+      throw RunCancelled("BatchSimulator::run: deadline expired at round " +
+                         std::to_string(round_));
+    }
     // Per-lane mirror of the scalar while-condition, evaluated before the
     // round body: a lane leaves the loop (and freezes its planes and RNG)
     // exactly when its scalar run would.

@@ -398,6 +398,11 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
   while ((!active_.empty() || fault_cursor_.next_wakeup < faults_.wakeups.size() ||
           round_ < config_.run_until_round) &&
          round_ < config_.max_rounds) {
+    if (config_.deadline_ns != nullptr &&
+        steady_now_ns() > config_.deadline_ns->load(std::memory_order_relaxed)) {
+      throw RunCancelled("BeepSimulator::run: deadline expired at round " +
+                         std::to_string(round_));
+    }
     const detail::FaultOutcome outcome = apply_wakeups_and_crashes();
     bool disruptive = outcome.mis_crashed;
     if (config_.scenario != nullptr) {

@@ -29,9 +29,12 @@
 // simulator instance amortises its allocations over many trials.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -44,6 +47,24 @@
 #include "support/rng.hpp"
 
 namespace beepmis::sim {
+
+/// Thrown when a run is abandoned because its cooperative deadline
+/// (SimConfig::deadline_ns) expired.  The trial harness maps this either
+/// to a per-trial timeout (a failed attempt that is retried / quarantined)
+/// or to sweep-budget expiry (the trial is abandoned and the sweep is
+/// truncated at a clean boundary) depending on which deadline fired — see
+/// exp/runner.hpp.
+class RunCancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Monotonic now in nanoseconds, the unit SimConfig::deadline_ns uses.
+[[nodiscard]] inline std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 struct SimConfig {
   /// Hard cap on rounds; a run that hits it returns terminated = false.
@@ -89,6 +110,19 @@ struct SimConfig {
   /// validity check is O(n + m) but only runs when the state changed since
   /// it last failed.
   bool track_recovery = false;
+  /// Cooperative cancellation deadline: when set, the run loop compares
+  /// steady_now_ns() against the stored value at every round boundary and
+  /// throws RunCancelled once it is exceeded.  The value is an atomic so a
+  /// harness can move the deadline per trial (or per watchdog decision)
+  /// without rebuilding the simulator; nullptr (the default) costs one
+  /// pointer test per round.  Honoured by the scalar BeepSimulator and the
+  /// batched BatchSimulator; the sharded simulator ignores it (its lanes
+  /// rendezvous on barriers every exchange — aborting one mid-round is the
+  /// coordinator's job, and the harness bounds sharded sweeps at trial
+  /// boundaries instead).  A protocol that never returns from emit/react
+  /// cannot be cancelled by anything in-process; that is what the
+  /// process-level kill-and-resume path (exp/journal.hpp) is for.
+  std::shared_ptr<const std::atomic<std::int64_t>> deadline_ns;
 };
 
 class BeepSimulator;

@@ -1,0 +1,69 @@
+#include "support/hash.hpp"
+
+#include <bit>
+
+namespace beepmis::support {
+
+void StableHash::update_bytes(const void* data, std::size_t len) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    state_ ^= bytes[i];
+    state_ *= kPrime;
+  }
+}
+
+void StableHash::update(std::string_view s) noexcept {
+  update_u64(s.size());
+  update_bytes(s.data(), s.size());
+}
+
+void StableHash::update_u64(std::uint64_t v) noexcept {
+  unsigned char bytes[8];
+  for (auto& b : bytes) {
+    b = static_cast<unsigned char>(v & 0xff);
+    v >>= 8;
+  }
+  update_bytes(bytes, sizeof bytes);
+}
+
+void StableHash::update_double(double v) noexcept {
+  update_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t stable_hash_bytes(std::string_view bytes) noexcept {
+  StableHash h;
+  h.update_bytes(bytes.data(), bytes.size());
+  return h.digest();
+}
+
+std::string to_hex_u64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex_u64(std::string_view text, std::uint64_t& out) noexcept {
+  if (text.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    unsigned digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<unsigned>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<unsigned>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | digit;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace beepmis::support

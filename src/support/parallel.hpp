@@ -11,17 +11,55 @@
 #include <cstddef>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <typeinfo>
 #include <utility>
 #include <vector>
 
 namespace beepmis::support {
+
+namespace detail {
+
+/// typeid of the exception behind `error`, or nullptr for a non-std
+/// exception (throw 42;) whose dynamic type cannot be inspected.
+inline const std::type_info* exception_type(const std::exception_ptr& error) noexcept {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return &typeid(e);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+inline std::string exception_message(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace detail
 
 /// Clamps the requested thread count to the work-unit count (0 = hardware
 /// concurrency) and runs `worker` on that many threads; workers claim
 /// units through their own shared atomic (or, for SPMD callers like the
 /// sharded simulator, one worker per unit).  With a single thread the
 /// worker runs inline on the calling thread.
+///
+/// Every worker exception is collected (not just the first).  After the
+/// join: a single captured exception is rethrown unmodified, and when all
+/// captured exceptions share one dynamic type the first (lowest worker id)
+/// is rethrown unmodified too — so a contract violation that several
+/// workers hit at once still surfaces as the same catchable type it would
+/// at one thread.  Only genuinely *mixed* failures are wrapped in a
+/// std::runtime_error whose message reports every failing worker id with
+/// its own message, so no failure is silently shadowed by another.
 ///
 /// std::thread construction can fail partway (resource exhaustion);
 /// unwinding past joinable threads would std::terminate, so the failure
@@ -43,30 +81,56 @@ void run_workers(unsigned threads, std::size_t work_units, Worker&& worker,
     worker();
     return;
   }
+  struct CapturedError {
+    unsigned worker = 0;
+    std::exception_ptr error;
+  };
   std::mutex mutex;
-  std::exception_ptr first_error;
-  const auto guarded = [&] {
+  std::vector<CapturedError> errors;
+  const auto guarded = [&](unsigned id) {
     try {
       worker();
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mutex);
-      if (!first_error) first_error = std::current_exception();
+      errors.push_back({id, std::current_exception()});
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(threads);
   unsigned spawned = 0;
   try {
-    for (; spawned < threads; ++spawned) pool.emplace_back(guarded);
+    for (; spawned < threads; ++spawned) pool.emplace_back(guarded, spawned);
   } catch (...) {
     {
       const std::lock_guard<std::mutex> lock(mutex);
-      if (!first_error) first_error = std::current_exception();
+      errors.push_back({spawned, std::current_exception()});
     }
     on_spawn_failure(threads - spawned);
   }
   for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (errors.empty()) return;
+  // Capture order is racy; report deterministically by worker id.
+  std::sort(errors.begin(), errors.end(),
+            [](const CapturedError& a, const CapturedError& b) { return a.worker < b.worker; });
+  if (errors.size() > 1) {
+    const std::type_info* first_type = detail::exception_type(errors.front().error);
+    bool homogeneous = first_type != nullptr;
+    for (std::size_t i = 1; homogeneous && i < errors.size(); ++i) {
+      const std::type_info* type = detail::exception_type(errors[i].error);
+      homogeneous = type != nullptr && *type == *first_type;
+    }
+    if (!homogeneous) {
+      std::string message =
+          "run_workers: " + std::to_string(errors.size()) + " workers failed:";
+      for (const CapturedError& e : errors) {
+        message += " [worker " + std::to_string(e.worker) + "] " +
+                   detail::exception_message(e.error) + ";";
+      }
+      message.pop_back();
+      throw std::runtime_error(message);
+    }
+  }
+  std::rethrow_exception(errors.front().error);
 }
 
 template <typename Worker>

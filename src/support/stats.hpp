@@ -13,9 +13,33 @@ namespace beepmis::support {
 /// so per-thread accumulators can be combined after a parallel sweep.
 class RunningStats {
  public:
+  /// The accumulator's complete internal state, exposed so it can be
+  /// persisted and restored bit-exactly (the sweep journal checkpoints
+  /// per-chunk aggregates; see exp/journal.hpp).  A from_state(state())
+  /// round trip yields an accumulator whose every future push/merge is
+  /// bit-identical to the original's.
+  struct State {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
   void push(double x) noexcept;
   void merge(const RunningStats& other) noexcept;
   void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] State state() const noexcept { return {count_, mean_, m2_, min_, max_}; }
+  [[nodiscard]] static RunningStats from_state(const State& s) noexcept {
+    RunningStats r;
+    r.count_ = s.count;
+    r.mean_ = s.mean;
+    r.m2_ = s.m2;
+    r.min_ = s.min;
+    r.max_ = s.max;
+    return r;
+  }
 
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
   [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }

@@ -201,5 +201,79 @@ TEST(ScenarioRegistry, SelfHealingSurvivesAdversaryThroughCli) {
   EXPECT_GT(report.crashed, 0u);  // the adversary actually fired
 }
 
+TEST(SweepFlags, SecondsFlagAcceptsPlainNonNegativeNumbers) {
+  EXPECT_DOUBLE_EQ(parse_seconds_flag("--budget", "0"), 0.0);
+  EXPECT_DOUBLE_EQ(parse_seconds_flag("--budget", "2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_seconds_flag("--budget", "1e-3"), 1e-3);
+}
+
+TEST(SweepFlags, SecondsFlagRejectsGarbageNamingTheFlag) {
+  for (const char* bad : {"", "-1", "-0.5", "abc", "1.5s", "nan", "inf", "1..2"}) {
+    try {
+      (void)parse_seconds_flag("--trial-timeout", bad);
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("--trial-timeout"), std::string::npos)
+          << "message must name the flag: " << e.what();
+    }
+  }
+}
+
+TEST(SweepFlags, CountFlagAcceptsPlainDecimals) {
+  EXPECT_EQ(parse_count_flag("--max-retries", "0"), 0u);
+  EXPECT_EQ(parse_count_flag("--max-retries", "17"), 17u);
+}
+
+TEST(SweepFlags, CountFlagRejectsGarbageNamingTheFlag) {
+  for (const char* bad : {"", "-3", "1e3", "7x", "3.0", " 4", "99999999999999999999"}) {
+    try {
+      (void)parse_count_flag("--max-retries", bad);
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("--max-retries"), std::string::npos)
+          << "message must name the flag: " << e.what();
+    }
+  }
+}
+
+TEST(Sweep, FingerprintSeparatesRequests) {
+  SweepSpec a;
+  a.graph.family = "gnp";
+  a.graph.n = 50;
+  SweepSpec b = a;
+  EXPECT_EQ(sweep_fingerprint(a), sweep_fingerprint(b));
+  b.graph.n = 51;
+  EXPECT_NE(sweep_fingerprint(a), sweep_fingerprint(b));
+  b = a;
+  b.algorithm.name = "pure-beep";
+  EXPECT_NE(sweep_fingerprint(a), sweep_fingerprint(b));
+  b = a;
+  b.algorithm.scenario.name = "uniform-crash";
+  EXPECT_NE(sweep_fingerprint(a), sweep_fingerprint(b));
+}
+
+TEST(Sweep, RejectsLocalModelAlgorithms) {
+  SweepSpec spec;
+  spec.graph.n = 20;
+  spec.algorithm.name = "luby";
+  spec.trials = 2;
+  EXPECT_THROW((void)run_sweep(spec), std::invalid_argument);
+}
+
+TEST(Sweep, RunsACompleteSweep) {
+  SweepSpec spec;
+  spec.graph.family = "gnp";
+  spec.graph.n = 30;
+  spec.graph.p = 0.2;
+  spec.algorithm.name = "local-feedback";
+  spec.trials = 8;
+  spec.threads = 2;
+  const harness::TrialStats stats = run_sweep(spec);
+  EXPECT_EQ(stats.trials, 8u);
+  EXPECT_EQ(stats.requested_trials, 8u);
+  EXPECT_EQ(stats.valid, 8u);
+  EXPECT_FALSE(stats.truncated);
+}
+
 }  // namespace
 }  // namespace beepmis::cli

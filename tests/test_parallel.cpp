@@ -1,0 +1,73 @@
+// run_workers exception policy: every parked worker failure is collected;
+// homogeneous failures rethrow the first (by worker id) with its type
+// intact, and only genuinely mixed failures are wrapped in a
+// std::runtime_error that reports every failing worker.
+#include "support/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace beepmis::support {
+namespace {
+
+TEST(RunWorkers, RunsOneWorkerPerThread) {
+  std::atomic<int> calls{0};
+  run_workers(4, 8, [&calls] { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(RunWorkers, ClampsThreadsToWorkUnits) {
+  std::atomic<int> calls{0};
+  run_workers(8, 2, [&calls] { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(RunWorkers, HomogeneousFailuresKeepTheirType) {
+  // Two workers throw the same type: the policy rethrows one of them
+  // unmodified — never wrapped — so callers that dispatch on exception
+  // type (the sharded simulator's tests do) keep working.
+  std::atomic<unsigned> next{0};
+  const auto worker = [&next] {
+    const unsigned id = next.fetch_add(1);
+    if (id < 2) throw std::logic_error("worker says " + std::to_string(id));
+  };
+  try {
+    run_workers(4, 8, worker);
+    FAIL() << "expected a throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("worker says ", 0), 0u) << e.what();
+  }
+}
+
+TEST(RunWorkers, MixedFailuresReportEveryWorker) {
+  std::atomic<unsigned> next{0};
+  const auto worker = [&next] {
+    const unsigned id = next.fetch_add(1);
+    if (id == 0) throw std::logic_error("logic failure");
+    if (id == 1) throw std::runtime_error("runtime failure");
+  };
+  try {
+    run_workers(4, 8, worker);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("2 workers failed"), std::string::npos) << message;
+    EXPECT_NE(message.find("logic failure"), std::string::npos) << message;
+    EXPECT_NE(message.find("runtime failure"), std::string::npos) << message;
+    // Both failing workers are identified — no failure is shadowed.
+    const std::size_t first = message.find("[worker ");
+    ASSERT_NE(first, std::string::npos) << message;
+    EXPECT_NE(message.find("[worker ", first + 1), std::string::npos) << message;
+  }
+}
+
+TEST(RunWorkers, SingleThreadPropagatesDirectly) {
+  EXPECT_THROW(run_workers(1, 4, [] { throw std::out_of_range("solo"); }),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace beepmis::support
