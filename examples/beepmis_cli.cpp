@@ -12,6 +12,11 @@
 //   ./beepmis_cli --graph=gnp --n=400 --trials=512 --journal=sweep.journal
 //   ./beepmis_cli ... --journal=sweep.journal --resume     # after a crash
 //   ./beepmis_cli ... --budget=30                          # honest partial answer
+//
+// Serialized-spec mode (cli/sweep_spec.hpp — the same canonical line the
+// beepmisd service accepts over its socket):
+//   ./beepmis_cli --spec='sweepspec v2 graph=gnp graph.n=400 trials=512'
+//   ./beepmis_cli --graph=gnp --trials=512 --print-spec    # flags -> canonical line
 #include <bit>
 #include <cstdint>
 #include <fstream>
@@ -19,6 +24,7 @@
 #include <stdexcept>
 
 #include "cli/registry.hpp"
+#include "cli/sweep_spec.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "mis/verifier.hpp"
@@ -89,6 +95,12 @@ int main(int argc, char** argv) {
   options.add("max-retries", "2", "extra attempts per failing trial (with --isolate-faults)");
   options.add("checkpoint-interval", "64", "trials per checkpoint chunk (rounded up to x64)");
   options.add("threads", "0", "sweep worker threads (0 = hardware concurrency)");
+  options.add("spec", "",
+              "run a serialized sweep request ('sweepspec v2 ...'); the complete "
+              "request — the individual sweep flags above are ignored");
+  options.add("print-spec", "false",
+              "print the canonical serialized spec and fingerprint for the given "
+              "flags (or --spec) instead of running");
   options.add("dot-out", "", "write DOT with highlighted MIS to this file (trial 0)");
   options.add("edge-list", "", "read the graph from an edge-list file instead");
   options.add("csv", "false", "print one CSV row per trial");
@@ -154,36 +166,49 @@ int main(int argc, char** argv) {
   const std::uint64_t seed0 = options.get_u64("seed");
   const bool csv = options.get_bool("csv");
 
-  // Crash-safe sweep mode: any durability/robustness flag routes the trial
-  // loop through the checkpointing harness instead of the legacy loop.
-  const bool harness_mode = !options.get("journal").empty() || options.get_bool("resume") ||
+  // Crash-safe sweep mode: any durability/robustness flag — or a serialized
+  // spec — routes the trial loop through the checkpointing harness instead
+  // of the legacy loop.
+  const std::string spec_text = options.get("spec");
+  const bool harness_mode = !spec_text.empty() || options.get_bool("print-spec") ||
+                            !options.get("journal").empty() || options.get_bool("resume") ||
                             options.get("budget") != "0" ||
                             options.get("trial-timeout") != "0" ||
                             options.get_bool("isolate-faults");
   if (harness_mode) {
     try {
-      if (!edge_list_path.empty()) {
-        throw std::invalid_argument(
-            "--journal/--budget sweeps need a generated graph spec (the journal's "
-            "request hash covers the graph parameters); --edge-list is unsupported");
-      }
       cli::SweepSpec spec;
-      spec.graph = gspec;
-      spec.algorithm = aspec;
-      spec.trials = trials;
-      spec.base_seed = seed0;
-      spec.threads = static_cast<unsigned>(
-          cli::parse_count_flag("--threads", options.get("threads")));
-      spec.journal_path = options.get("journal");
-      spec.resume = options.get_bool("resume");
-      spec.budget_seconds = cli::parse_seconds_flag("--budget", options.get("budget"));
-      spec.trial_timeout_seconds =
-          cli::parse_seconds_flag("--trial-timeout", options.get("trial-timeout"));
-      spec.isolate_faults = options.get_bool("isolate-faults");
-      spec.max_retries = static_cast<unsigned>(
-          cli::parse_count_flag("--max-retries", options.get("max-retries")));
-      spec.checkpoint_interval =
-          cli::parse_count_flag("--checkpoint-interval", options.get("checkpoint-interval"));
+      if (!spec_text.empty()) {
+        spec = cli::parse_sweep_spec(spec_text);
+      } else {
+        if (!edge_list_path.empty()) {
+          throw std::invalid_argument(
+              "--journal/--budget sweeps need a generated graph spec (the journal's "
+              "request hash covers the graph parameters); --edge-list is unsupported");
+        }
+        spec.graph = gspec;
+        spec.algorithm = aspec;
+        spec.trials = trials;
+        spec.base_seed = seed0;
+        spec.threads = static_cast<unsigned>(
+            cli::parse_count_flag("--threads", options.get("threads")));
+        spec.journal_path = options.get("journal");
+        spec.resume = options.get_bool("resume");
+        spec.budget_seconds = cli::parse_seconds_flag("--budget", options.get("budget"));
+        spec.trial_timeout_seconds =
+            cli::parse_seconds_flag("--trial-timeout", options.get("trial-timeout"));
+        spec.isolate_faults = options.get_bool("isolate-faults");
+        spec.max_retries = static_cast<unsigned>(
+            cli::parse_count_flag("--max-retries", options.get("max-retries")));
+        spec.checkpoint_interval =
+            cli::parse_count_flag("--checkpoint-interval", options.get("checkpoint-interval"));
+      }
+      if (options.get_bool("print-spec")) {
+        std::cout << cli::format_sweep_spec(spec) << '\n'
+                  << "fingerprint " << support::to_hex_u64(cli::sweep_fingerprint(spec))
+                  << '\n';
+        return 0;
+      }
 
       const harness::TrialStats stats = cli::run_sweep(spec);
 

@@ -6,21 +6,23 @@
 //
 //   ./sensor_network [--sensors=120] [--radius=0.18] [--seed=7] [--compare]
 //
-// --budget=SECONDS bounds the beeping election's wall clock: the exact
-// election runs if it finishes inside the budget, otherwise the example
-// falls back to the deterministic greedy-id election — an exact answer
-// when affordable, an honest approximate one when not.
-#include <atomic>
+// Every election here goes through cli::run_algorithm on a declarative
+// cli::AlgorithmSpec — the same registry entrypoint beepmis_cli and the
+// beepmisd sweep service use — so the example exercises the public API
+// rather than private simulator plumbing: sharded elections set
+// spec.shards, the wall-clock budget sets spec.budget_seconds (falling
+// back to the deterministic greedy-id election on expiry), and churn is
+// the registered self-healing algorithm under a uniform-crash scenario.
 #include <iostream>
-#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "cli/registry.hpp"
-#include "mis/local_feedback.hpp"
-#include "mis/mis.hpp"
-#include "mis/self_healing.hpp"
-#include "sim/sharded.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "mis/verifier.hpp"
+#include "sim/beep.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 
@@ -61,7 +63,7 @@ int main(int argc, char** argv) {
               "elect heads across this many CSR shards / worker threads "
               "(bit-identical to the single-threaded election)");
   options.add("churn", "false",
-              "crash 20% of sensors mid-run and re-elect heads via self-healing");
+              "crash ~20% of sensors mid-run and re-elect heads via self-healing");
   options.add("budget", "0",
               "wall-clock budget in seconds for the head election (0 = unlimited); "
               "on expiry fall back to the deterministic greedy election");
@@ -97,33 +99,29 @@ int main(int argc, char** argv) {
   // --shards >= 2 elects through the sharded simulator (one worker thread
   // per CSR shard); the sharded core draws in scalar order, so the elected
   // heads — and everything printed below — are identical either way.
+  cli::AlgorithmSpec election;
+  election.name = "local-feedback";
+  election.seed = seed;
+  election.shards = shards;
+  election.budget_seconds = budget_seconds;
+
   sim::RunResult result;
   bool exact_election = true;
-  if (shards >= 2) {
-    mis::LocalFeedbackMis protocol;
-    sim::ShardedSimulator simulator(g, shards);
-    result = simulator.run(protocol, support::Xoshiro256StarStar(seed));
-    std::cout << "election ran on " << simulator.shard_count() << " CSR shards\n";
-  } else if (budget_seconds > 0.0) {
-    // Budget-bounded election: the simulator checks the deadline at every
-    // round boundary and throws sim::RunCancelled past it; the fallback is
-    // the deterministic greedy election — exact if affordable, honest
-    // approximation otherwise.
-    sim::SimConfig config;
-    config.deadline_ns = std::make_shared<std::atomic<std::int64_t>>(
-        sim::steady_now_ns() + static_cast<std::int64_t>(budget_seconds * 1e9));
-    mis::LocalFeedbackMis protocol;
-    sim::BeepSimulator simulator(g, config);
-    try {
-      result = simulator.run(protocol, support::Xoshiro256StarStar(seed));
-    } catch (const sim::RunCancelled& e) {
-      std::cout << "election budget expired (" << e.what()
-                << "); falling back to the deterministic greedy election\n";
-      result = mis::run_greedy_id(g);
-      exact_election = false;
-    }
-  } else {
-    result = mis::run_local_feedback(g, seed);
+  try {
+    result = cli::run_algorithm(election, g);
+    if (shards >= 2) std::cout << "election ran on " << shards << " CSR shards\n";
+  } catch (const sim::RunCancelled& e) {
+    // Budget-bounded election: run_algorithm arms the simulator's deadline
+    // from spec.budget_seconds and the simulator cancels at the first round
+    // boundary past it; the fallback is the deterministic greedy election —
+    // exact if affordable, honest approximation otherwise.
+    std::cout << "election budget expired (" << e.what()
+              << "); falling back to the deterministic greedy election\n";
+    cli::AlgorithmSpec fallback;
+    fallback.name = "greedy-id";
+    fallback.seed = seed;
+    result = cli::run_algorithm(fallback, g);
+    exact_election = false;
   }
   const mis::VerificationReport report = mis::verify_mis_run(g, result);
   const auto heads = result.mis();
@@ -142,31 +140,33 @@ int main(int argc, char** argv) {
   std::cout << ascii_map(field, heads, 24) << "\n  '#' = cluster head, 'o' = member\n\n";
 
   if (options.get_bool("churn")) {
-    // Battery failures: 20% of sensors (head or not) die at rounds 20-30;
-    // the self-healing variant re-elects heads in orphaned clusters.
-    sim::SimConfig churn_config;
-    churn_config.mis_keepalive = true;
-    churn_config.run_until_round = 100;
-    churn_config.crash_round.assign(g.node_count(), 0xffffffffu);
-    for (graph::NodeId v = 0; v < g.node_count(); v += 5) {
-      churn_config.crash_round[v] = 20 + v % 11;
-    }
-    mis::SelfHealingLocalFeedbackMis healing_protocol;
-    sim::BeepSimulator churn_simulator(g, churn_config);
-    const sim::RunResult after =
-        churn_simulator.run(healing_protocol, support::Xoshiro256StarStar(seed));
+    // Battery failures: the registered uniform-crash adversary kills each
+    // sensor w.p. 0.2 in rounds 20-30 while the self-healing variant
+    // re-elects heads in orphaned clusters.
+    cli::AlgorithmSpec healing;
+    healing.name = "self-healing";
+    healing.seed = seed;
+    healing.sim.run_until_round = 100;
+    healing.scenario.name = "uniform-crash";
+    healing.scenario.rate = 0.2;
+    healing.scenario.round_lo = 20;
+    healing.scenario.round_hi = 30;
+    healing.scenario.seed = seed;
+    const sim::RunResult after = cli::run_algorithm(healing, g);
     const mis::VerificationReport after_report = mis::verify_mis_run(g, after);
 
-    std::cout << "after battery failures (20% of sensors died, self-healing on):\n"
-              << "  re-elections (reactivated sensors): " << healing_protocol.reactivations()
-              << "\n  surviving sensors covered: " << (after_report.valid() ? "yes" : "NO")
+    std::cout << "after battery failures (~20% of sensors died, self-healing on):\n"
+              << "  surviving sensors covered: " << (after_report.valid() ? "yes" : "NO")
               << " (" << after_report.summary() << ")\n\n"
               << ascii_map(field, after.mis(), 24)
               << "\n  '#' = cluster head after churn ('o' includes dead sensors)\n\n";
   }
 
   if (options.get_bool("compare")) {
-    const sim::RunResult luby = mis::run_luby(g, seed);
+    cli::AlgorithmSpec luby_spec;
+    luby_spec.name = "luby";
+    luby_spec.seed = seed;
+    const sim::RunResult luby = cli::run_algorithm(luby_spec, g);
     support::Table table({"algorithm", "rounds", "communication"});
     table.new_row()
         .cell("local-feedback beeps")

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Kill-and-restart differential oracle for the beepmisd experiment server,
+# with a real SIGKILL (the in-process gtest oracle in
+# tests/test_sweep_service.cpp stops cooperatively; this script proves the
+# pending-file + journal state survives an *uncooperative* daemon death).
+#
+#   scripts/kill_resume_server.sh <beepmisd> <beepmis_cli> <beepmis_client> [workdir]
+#
+# Protocol: record the sweep's bit-exact aggregate from a direct one-shot
+# beepmis_cli run (stats_bits / counts_exact lines — raw IEEE-754 bit
+# patterns).  Submit the same serialized SweepSpec to a beepmisd, SIGKILL
+# the daemon once the job's journal holds a completed chunk, restart a
+# daemon on the same state directory, and demand that (a) it recovers the
+# pending request, (b) finishes it by RESUMING the journal rather than
+# starting over, and (c) the served result matches the one-shot bits
+# exactly.
+set -u
+
+DAEMON=${1:?usage: kill_resume_server.sh <beepmisd> <beepmis_cli> <beepmis_client> [workdir]}
+CLI=${2:?usage: kill_resume_server.sh <beepmisd> <beepmis_cli> <beepmis_client> [workdir]}
+CLIENT=${3:?usage: kill_resume_server.sh <beepmisd> <beepmis_cli> <beepmis_client> [workdir]}
+WORKDIR=${4:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+# The ctest workdir persists across invocations; a stale result cache from
+# a previous run would serve the submit instantly and no journal would ever
+# appear, so every run starts from an empty state directory.
+rm -rf "$WORKDIR/state"
+rm -f "$WORKDIR"/oneshot.txt "$WORKDIR"/oneshot.bits \
+      "$WORKDIR"/submit1.txt "$WORKDIR"/served.txt "$WORKDIR"/served.bits \
+      "$WORKDIR"/daemon1.txt "$WORKDIR"/daemon2.txt
+# The socket lives in its own short mktemp dir: sun_path caps at ~107
+# bytes and ctest workdirs can be arbitrarily deep.
+SOCKDIR=$(mktemp -d /tmp/beepmisd_kr_XXXXXX)
+SOCKET="$SOCKDIR/beepmisd.sock"
+STATE="$WORKDIR/state"
+
+# Same shape as kill_resume_sweep.sh: 64-trial chunks slow enough
+# (~150 ms each) that the SIGKILL always lands mid-sweep, fast enough to
+# finish in seconds.
+SPEC='sweepspec v2 graph=gnp graph.n=20000 graph.p=6e-04 trials=320 base_seed=4242 checkpoint_interval=64 threads=2'
+
+cleanup() {
+  [ -n "${daemon_pid:-}" ] && kill -9 "$daemon_pid" 2>/dev/null
+  rm -rf "$SOCKDIR"
+}
+trap cleanup EXIT
+
+fail() { echo "kill_resume_server: FAIL: $*" >&2; exit 1; }
+
+wait_listening() {  # $1 = daemon log file
+  for _ in $(seq 1 600); do  # up to ~30 s
+    grep -q 'listening' "$1" 2>/dev/null && return 0
+    sleep 0.05
+  done
+  return 1
+}
+
+# --- one-shot reference (direct CLI, no server) ---------------------------
+"$CLI" --spec="$SPEC" > "$WORKDIR/oneshot.txt" || fail "one-shot sweep exited nonzero"
+grep -E '^(stats_bits|counts_exact) ' "$WORKDIR/oneshot.txt" > "$WORKDIR/oneshot.bits"
+[ -s "$WORKDIR/oneshot.bits" ] || fail "one-shot run printed no stats_bits lines"
+
+FP=$("$CLI" --print-spec --spec="$SPEC" | sed -n 's/^fingerprint //p')
+[ -n "$FP" ] || fail "could not compute the request fingerprint"
+JOURNAL="$STATE/journal-$FP.journal"
+
+# --- life 1: accept the request, die uncooperatively ----------------------
+"$DAEMON" --socket="$SOCKET" --state-dir="$STATE" > "$WORKDIR/daemon1.txt" 2>&1 &
+daemon_pid=$!
+wait_listening "$WORKDIR/daemon1.txt" || fail "first daemon never came up"
+
+"$CLIENT" --socket="$SOCKET" --spec="$SPEC" > "$WORKDIR/submit1.txt" 2>&1 &
+client_pid=$!
+
+for _ in $(seq 1 2000); do  # up to ~20 s
+  chunks=$(grep -c '^chunk ' "$JOURNAL" 2>/dev/null || true)
+  [ "${chunks:-0}" -ge 1 ] && break
+  kill -0 "$daemon_pid" 2>/dev/null || fail "first daemon died on its own"
+  sleep 0.01
+done
+[ -f "$JOURNAL" ] || fail "no journal appeared before the kill window closed"
+
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null
+daemon_pid=
+wait "$client_pid" 2>/dev/null  # client loses its server; exit code irrelevant
+[ -f "$STATE/pending-$FP.req" ] || fail "pending request file did not survive the kill"
+[ -f "$JOURNAL" ] || fail "journal did not survive the kill"
+
+# --- life 2: recover, resume, serve ---------------------------------------
+"$DAEMON" --socket="$SOCKET" --state-dir="$STATE" > "$WORKDIR/daemon2.txt" 2>&1 &
+daemon_pid=$!
+wait_listening "$WORKDIR/daemon2.txt" || fail "second daemon never came up"
+grep -q 'recovered 1 pending' "$WORKDIR/daemon2.txt" \
+  || fail "second daemon did not recover the pending request"
+
+# The recovered job runs unattended; completion shows up as the durable
+# clean result (which also deletes the pending file and journal).
+for _ in $(seq 1 1200); do  # up to ~60 s
+  [ -f "$STATE/result-$FP.stats" ] && break
+  kill -0 "$daemon_pid" 2>/dev/null || fail "second daemon died before finishing"
+  sleep 0.05
+done
+[ -f "$STATE/result-$FP.stats" ] || fail "recovered sweep never completed"
+
+# A fresh submit of the same request must be served from cache,
+# bit-identical to the uninterrupted one-shot run.
+"$CLIENT" --socket="$SOCKET" --spec="$SPEC" > "$WORKDIR/served.txt" 2>&1 \
+  || fail "resubmit after restart exited nonzero"
+grep -q 'cached=1' "$WORKDIR/served.txt" || fail "restarted server did not serve from cache"
+grep -q '^journal rejected: ' "$WORKDIR/served.txt" \
+  && fail "restarted server rejected the journal instead of resuming it"
+grep -q 'resumed 0,' "$WORKDIR/served.txt" \
+  && fail "restarted server re-ran the sweep from scratch instead of resuming"
+grep -E '^(stats_bits|counts_exact) ' "$WORKDIR/served.txt" > "$WORKDIR/served.bits"
+diff -u "$WORKDIR/oneshot.bits" "$WORKDIR/served.bits" \
+  || fail "served result after kill+restart differs from the one-shot run"
+
+"$CLIENT" --socket="$SOCKET" --drain > /dev/null 2>&1
+wait "$daemon_pid" 2>/dev/null
+daemon_pid=
+
+echo "kill_resume_server: PASS"

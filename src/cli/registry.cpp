@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "cli/sweep_spec.hpp"
 #include "graph/generators.hpp"
 #include "support/hash.hpp"
 #include "mis/exact_feedback.hpp"
@@ -124,6 +125,10 @@ sim::SimConfig beeping_sim_config(const AlgorithmSpec& spec) {
           "--scenario: fault scenarios run on the scalar simulator (drop --shards)");
     }
     config.scenario = std::move(scenario);
+  }
+  if (spec.budget_seconds > 0.0) {
+    config.deadline_ns = std::make_shared<std::atomic<std::int64_t>>(
+        sim::steady_now_ns() + static_cast<std::int64_t>(spec.budget_seconds * 1e9));
   }
   return config;
 }
@@ -278,30 +283,18 @@ std::unique_ptr<sim::BeepProtocol> make_beep_protocol(const AlgorithmSpec& spec,
 }  // namespace
 
 std::uint64_t sweep_fingerprint(const SweepSpec& spec) {
+  // The fingerprint IS the hash of the canonical request text: the serialized
+  // form, the cache key and the journal key can never drift apart.  Golden
+  // values are pinned in tests/test_sweep_spec.cpp — see the stability
+  // contract on the declaration before changing anything here.
   support::StableHash h;
-  h.update("beepmis-cli-sweep-v1");
-  h.update(spec.graph.family);
-  h.update_u64(spec.graph.n);
-  h.update_double(spec.graph.p);
-  h.update_u64(spec.graph.rows);
-  h.update_u64(spec.graph.cols);
-  h.update_u64(spec.graph.k);
-  h.update_u64(spec.graph.seed);
-  h.update(spec.algorithm.name);
-  h.update_double(spec.algorithm.factor);
-  h.update_double(spec.algorithm.initial_p);
-  h.update(spec.algorithm.scenario.name);
-  h.update_double(spec.algorithm.scenario.rate);
-  h.update_u64(spec.algorithm.scenario.round_lo);
-  h.update_u64(spec.algorithm.scenario.round_hi);
-  h.update_u64(spec.algorithm.scenario.budget);
-  h.update_u64(spec.algorithm.scenario.shards);
-  h.update_double(spec.algorithm.scenario.revive_delay_mean);
-  h.update_u64(spec.algorithm.scenario.seed);
+  h.update(format_sweep_request(spec));
   return h.digest();
 }
 
-harness::TrialStats run_sweep(const SweepSpec& spec) {
+harness::TrialStats run_sweep(const SweepSpec& spec) { return run_sweep(spec, SweepHooks{}); }
+
+harness::TrialStats run_sweep(const SweepSpec& spec, const SweepHooks& hooks) {
   // Build the graph once up front: it is shared across trials (the CLI
   // sweep semantics) and parameterises the global-increasing schedule.
   auto g = std::make_shared<const graph::Graph>(make_graph(spec.graph));
@@ -328,6 +321,8 @@ harness::TrialStats run_sweep(const SweepSpec& spec) {
   config.max_retries = spec.max_retries;
   config.checkpoint_interval = spec.checkpoint_interval;
   config.request_fingerprint = sweep_fingerprint(spec);
+  config.on_checkpoint = hooks.on_checkpoint;
+  config.stop_request = hooks.stop_request;
   if (aspec.scenario.name != "none") {
     const ScenarioSpec sspec = aspec.scenario;
     config.scenario = [sspec]() { return make_scenario(sspec)->clone(); };

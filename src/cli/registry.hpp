@@ -3,7 +3,9 @@
 // so the mapping logic is unit-testable.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -76,6 +78,11 @@ struct AlgorithmSpec {
   /// Fault adversary (beeping algorithms only; scalar simulator only —
   /// combining with shards >= 2 throws).
   ScenarioSpec scenario;
+  /// Wall-clock budget for one run (beeping algorithms; 0 = unlimited):
+  /// arms SimConfig::deadline_ns, so the simulator throws sim::RunCancelled
+  /// at the first round boundary past the deadline.  Callers catch it and
+  /// degrade (the sensor_network example falls back to greedy-id).
+  double budget_seconds = 0.0;
 };
 
 /// Runs the named algorithm on `g`.  Throws std::invalid_argument for an
@@ -120,15 +127,41 @@ struct SweepSpec {
   std::size_t checkpoint_interval = 64;
 };
 
-/// Stable identity of everything in `spec` the harness cannot see (graph
-/// family and parameters, algorithm and its knobs, scenario parameters);
-/// becomes TrialConfig::request_fingerprint so a journal written for one
-/// request is rejected by any other.
+/// Stable identity of the sweep *request*: the StableHash of the spec's
+/// canonical request text (cli/sweep_spec.hpp's format_sweep_request), so
+/// equal serialized requests — and only those — share a fingerprint.
+///
+/// This is a documented **stability contract** (pinned by golden-hash
+/// tests in tests/test_sweep_spec.cpp): the value for a given spec must
+/// never change within a schema version, because it keys (a) the sweep
+/// journal's request hash (TrialConfig::request_fingerprint — a journal
+/// written for one request is rejected by any other) and (b) the beepmisd
+/// result cache and in-flight job identity (src/svc/).  Covered: graph
+/// family and parameters, algorithm name and knobs, sim knobs (loss,
+/// keepalive, max_rounds, run_until, track_recovery), scenario
+/// parameters, trials, base_seed and checkpoint_interval (chunk geometry
+/// decides merge order, hence the exact bits).  Deliberately *excluded*,
+/// matching SweepJournal's request-hash rules (src/exp/README.md): thread
+/// count, shard count, journal path, resume, budget, trial timeout and
+/// retry knobs — execution-path and durability choices that never change
+/// the numbers of a cleanly completed sweep.
 [[nodiscard]] std::uint64_t sweep_fingerprint(const SweepSpec& spec);
+
+/// Observability/cancellation hooks a long-lived caller (the beepmisd
+/// service) threads into the sweep; both optional.
+struct SweepHooks {
+  /// Forwarded to TrialConfig::on_checkpoint (chunks completed by this
+  /// invocation so far; called under the checkpoint lock — keep cheap).
+  std::function<void(std::size_t chunks_completed)> on_checkpoint;
+  /// Forwarded to TrialConfig::stop_request: set to true to stop the
+  /// sweep at the next chunk boundary (returns truncated = true).
+  std::shared_ptr<std::atomic<bool>> stop_request;
+};
 
 /// Runs the sweep through harness::run_beep_trials with journaling, fault
 /// isolation and budget controls wired up.  Throws std::invalid_argument
 /// for unknown names, LOCAL-model algorithms, or invalid knobs.
 [[nodiscard]] harness::TrialStats run_sweep(const SweepSpec& spec);
+[[nodiscard]] harness::TrialStats run_sweep(const SweepSpec& spec, const SweepHooks& hooks);
 
 }  // namespace beepmis::cli

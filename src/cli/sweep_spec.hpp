@@ -1,0 +1,66 @@
+// Canonical serialized form of cli::SweepSpec — THE request API.
+//
+// One sweep request is one line of text:
+//
+//   sweepspec v2 graph=gnp graph.n=100 ... trials=64 base_seed=1 ... threads=0 ...
+//
+// and that same line is, by design, three things at once:
+//
+//   * the wire format of the beepmisd experiment service (src/svc/),
+//   * the CLI flag target (`beepmis_cli --spec=...` / `--print-spec`),
+//   * the request-cache and journal key: `sweep_fingerprint` is the
+//     StableHash of the line's *request prefix* (see below), so equal
+//     text <=> equal cache key <=> journals are interchangeable.
+//
+// Grammar: space-separated tokens; the first two are the magic and the
+// schema version ("sweepspec v2"); every other token is `key=value`
+// (split at the first '='; values must not contain whitespace).  Keys
+// may appear in any order; a missing key takes its SweepSpec default;
+// unknown keys, duplicate keys, malformed numbers, unregistered
+// graph/algorithm/scenario names and out-of-range counts are all hard
+// std::invalid_argument errors naming the offending key — a request is
+// either understood exactly or rejected loudly, never half-parsed.
+//
+// Canonical form (what format_sweep_spec emits): every key present, in
+// the fixed order below, doubles rendered via std::to_chars shortest
+// round-trip (parse(format(s)) is value-identical and
+// format(parse(text)) is a pure canonicalisation — idempotent).  The
+// line is ordered so that the *request-identity* keys — everything that
+// changes the sweep's numbers — form a prefix, and the execution keys
+// (threads, shards, journal, resume, budget, trial_timeout,
+// isolate_faults, max_retries), which never change the numbers, form
+// the suffix.  `sweep_fingerprint` hashes only the prefix: resubmitting
+// a sweep with different parallelism or durability knobs hits the same
+// cache entry and may finish the same journal.
+//
+// Versioning: bump "v2" whenever a key is added, removed, renamed, or
+// its fingerprint membership changes; parse rejects every version it
+// was not built for (reject-whole, like the sweep journal).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cli/registry.hpp"
+
+namespace beepmis::cli {
+
+/// Current schema version tag, e.g. "v2".
+[[nodiscard]] const std::string& sweep_spec_version();
+
+/// Canonical one-line rendering of `spec` (request prefix + execution
+/// suffix).  Throws std::invalid_argument when a string field (the
+/// journal path) contains whitespace — such a spec has no line form.
+[[nodiscard]] std::string format_sweep_spec(const SweepSpec& spec);
+
+/// The request-identity prefix of format_sweep_spec: graph, algorithm
+/// and scenario parameters, sim knobs, trials, base_seed and
+/// checkpoint_interval — exactly the fields sweep_fingerprint hashes.
+[[nodiscard]] std::string format_sweep_request(const SweepSpec& spec);
+
+/// Parses a serialized spec (canonical or not).  Strict: throws
+/// std::invalid_argument, naming the key, for anything it does not
+/// understand exactly (see the grammar note above).
+[[nodiscard]] SweepSpec parse_sweep_spec(const std::string& text);
+
+}  // namespace beepmis::cli

@@ -1,8 +1,6 @@
 #include "exp/journal.hpp"
 
 #include <algorithm>
-#include <array>
-#include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -11,119 +9,29 @@
 #include <string_view>
 #include <utility>
 
+#include "exp/stats_io.hpp"
 #include "support/hash.hpp"
 
 namespace beepmis::harness {
 
 namespace {
 
+using statsio::decode_stats_core;
+using statsio::encode_stats_core;
+using statsio::parse_size;
+using statsio::split_tokens;
 using support::parse_hex_u64;
 using support::stable_hash_bytes;
 using support::to_hex_u64;
 
 constexpr std::string_view kMagic = "beepmis-sweep-journal v1";
 
-std::string hex_double(double v) {
-  return to_hex_u64(std::bit_cast<std::uint64_t>(v));
-}
-
-bool parse_hex_double(std::string_view text, double& out) noexcept {
-  std::uint64_t bits = 0;
-  if (!parse_hex_u64(text, bits)) return false;
-  out = std::bit_cast<double>(bits);
-  return true;
-}
-
-/// Strict full-match decimal parse (journal loaders must reject, never
-/// guess; same policy as parse_hex_u64).
-bool parse_size(std::string_view text, std::size_t& out) noexcept {
-  if (text.empty() || text.size() > 20) return false;
-  std::size_t value = 0;
-  for (const char c : text) {
-    if (c < '0' || c > '9') return false;
-    const std::size_t digit = static_cast<std::size_t>(c - '0');
-    if (value > (SIZE_MAX - digit) / 10) return false;
-    value = value * 10 + digit;
-  }
-  out = value;
-  return true;
-}
-
-/// Hex-escapes an arbitrary byte string into one whitespace-free token
-/// ("-" for empty, so every line keeps a fixed token structure).
-std::string escape_text(std::string_view s) {
-  if (s.empty()) return "-";
-  static constexpr char kDigits[] = "0123456789abcdef";
-  std::string out;
-  out.reserve(s.size() * 2);
-  for (const unsigned char c : s) {
-    out.push_back(kDigits[c >> 4]);
-    out.push_back(kDigits[c & 0xF]);
-  }
-  return out;
-}
-
-bool unescape_text(std::string_view token, std::string& out) {
-  out.clear();
-  if (token == "-") return true;
-  if (token.size() % 2 != 0) return false;
-  const auto nibble = [](char c, unsigned& v) {
-    if (c >= '0' && c <= '9') { v = static_cast<unsigned>(c - '0'); return true; }
-    if (c >= 'a' && c <= 'f') { v = static_cast<unsigned>(c - 'a') + 10; return true; }
-    return false;
-  };
-  out.reserve(token.size() / 2);
-  for (std::size_t i = 0; i < token.size(); i += 2) {
-    unsigned hi = 0, lo = 0;
-    if (!nibble(token[i], hi) || !nibble(token[i + 1], lo)) return false;
-    out.push_back(static_cast<char>((hi << 4) | lo));
-  }
-  return true;
-}
-
-std::vector<std::string> split_tokens(std::string_view line) {
-  std::vector<std::string> tokens;
-  std::size_t i = 0;
-  while (i < line.size()) {
-    while (i < line.size() && line[i] == ' ') ++i;
-    const std::size_t start = i;
-    while (i < line.size() && line[i] != ' ') ++i;
-    if (i > start) tokens.emplace_back(line.substr(start, i - start));
-  }
-  return tokens;
-}
-
-constexpr const char* kStatNames[] = {"rounds", "beeps_per_node", "max_beeps_any_node",
-                                      "mis_size", "message_bits"};
-
-std::array<const support::RunningStats*, 5> stat_fields(const TrialStats& s) {
-  return {&s.rounds, &s.beeps_per_node, &s.max_beeps_any_node, &s.mis_size, &s.message_bits};
-}
-
-std::array<support::RunningStats*, 5> stat_fields(TrialStats& s) {
-  return {&s.rounds, &s.beeps_per_node, &s.max_beeps_any_node, &s.mis_size, &s.message_bits};
-}
-
+// The chunk body (stat/counts/recovery/failed lines) is the shared stats
+// core (exp/stats_io.hpp) — byte-identical to the pre-refactor journal
+// format, which is what keeps journals written by older builds loadable.
 void encode_chunk(std::ostringstream& out, const JournalChunk& chunk) {
   out << "chunk " << chunk.index << "\n";
-  const auto stats = stat_fields(chunk.stats);
-  for (std::size_t i = 0; i < stats.size(); ++i) {
-    const support::RunningStats::State st = stats[i]->state();
-    out << "stat " << kStatNames[i] << ' ' << st.count << ' ' << hex_double(st.mean) << ' '
-        << hex_double(st.m2) << ' ' << hex_double(st.min) << ' ' << hex_double(st.max) << "\n";
-  }
-  const TrialStats& s = chunk.stats;
-  out << "counts " << s.trials << ' ' << s.terminated << ' ' << s.valid << ' '
-      << s.independence_violations << ' ' << s.uncovered_nodes << ' ' << s.disruptions << ' '
-      << s.unrecovered_disruptions << ' ' << s.attempted << ' ' << s.quarantined << ' '
-      << s.retries << "\n";
-  out << "recovery " << s.recovery_rounds.size();
-  for (const double r : s.recovery_rounds) out << ' ' << hex_double(r);
-  out << "\n";
-  for (const FailedTrial& f : s.failed_trials) {
-    out << "failed " << f.trial << ' ' << to_hex_u64(f.base_seed) << ' ' << f.attempts << ' '
-        << escape_text(f.error) << "\n";
-  }
+  encode_stats_core(out, chunk.stats);
   out << "end " << chunk.index << "\n";
 }
 
@@ -261,64 +169,9 @@ JournalLoadResult SweepJournal::load() const {
     if (seen[chunk.index]) return reject("duplicate chunk index");
     ++i;
 
-    const auto stats = stat_fields(chunk.stats);
-    for (std::size_t s = 0; s < stats.size(); ++s) {
-      if (i >= stop) return reject("truncated chunk block");
-      tokens = split_tokens(lines[i]);
-      support::RunningStats::State st;
-      if (tokens.size() != 7 || tokens[0] != "stat" || tokens[1] != kStatNames[s] ||
-          !parse_size(tokens[2], st.count) || !parse_hex_double(tokens[3], st.mean) ||
-          !parse_hex_double(tokens[4], st.m2) || !parse_hex_double(tokens[5], st.min) ||
-          !parse_hex_double(tokens[6], st.max)) {
-        return reject("malformed stat line");
-      }
-      *stats[s] = support::RunningStats::from_state(st);
-      ++i;
-    }
-
-    if (i >= stop) return reject("truncated chunk block");
-    tokens = split_tokens(lines[i]);
-    TrialStats& s = chunk.stats;
-    if (tokens.size() != 11 || tokens[0] != "counts" || !parse_size(tokens[1], s.trials) ||
-        !parse_size(tokens[2], s.terminated) || !parse_size(tokens[3], s.valid) ||
-        !parse_size(tokens[4], s.independence_violations) ||
-        !parse_size(tokens[5], s.uncovered_nodes) || !parse_size(tokens[6], s.disruptions) ||
-        !parse_size(tokens[7], s.unrecovered_disruptions) ||
-        !parse_size(tokens[8], s.attempted) || !parse_size(tokens[9], s.quarantined) ||
-        !parse_size(tokens[10], s.retries)) {
-      return reject("malformed counts line");
-    }
-    ++i;
-
-    if (i >= stop) return reject("truncated chunk block");
-    tokens = split_tokens(lines[i]);
-    std::size_t recovery_count = 0;
-    if (tokens.size() < 2 || tokens[0] != "recovery" || !parse_size(tokens[1], recovery_count) ||
-        tokens.size() != recovery_count + 2) {
-      return reject("malformed recovery line");
-    }
-    s.recovery_rounds.reserve(recovery_count);
-    for (std::size_t r = 0; r < recovery_count; ++r) {
-      double value = 0;
-      if (!parse_hex_double(tokens[r + 2], value)) return reject("malformed recovery sample");
-      s.recovery_rounds.push_back(value);
-    }
-    ++i;
-
-    while (i < stop) {
-      tokens = split_tokens(lines[i]);
-      if (tokens.empty()) return reject("blank line inside chunk block");
-      if (tokens[0] != "failed") break;
-      FailedTrial f;
-      std::size_t attempts = 0;
-      if (tokens.size() != 5 || !parse_size(tokens[1], f.trial) ||
-          !parse_hex_u64(tokens[2], f.base_seed) || !parse_size(tokens[3], attempts) ||
-          attempts > UINT32_MAX || !unescape_text(tokens[4], f.error)) {
-        return reject("malformed failed-trial line");
-      }
-      f.attempts = static_cast<unsigned>(attempts);
-      s.failed_trials.push_back(std::move(f));
-      ++i;
+    std::string core_error;
+    if (!decode_stats_core(lines, i, stop, chunk.stats, core_error)) {
+      return reject(std::move(core_error));
     }
 
     if (i >= stop) return reject("truncated chunk block");

@@ -311,9 +311,7 @@ void validate_sweep_config(const TrialConfig& config, const char* who) {
 /// stream by its first trial index, so chunks must contain whole batches
 /// for resumed runs to replay the exact same batches.
 std::size_t effective_chunk_size(const TrialConfig& config) {
-  const std::size_t lanes = sim::kMaxBatchLanes;
-  const std::size_t requested = std::max<std::size_t>(config.checkpoint_interval, 1);
-  return ((requested + lanes - 1) / lanes) * lanes;
+  return effective_checkpoint_interval(config.checkpoint_interval);
 }
 
 void init_sweep(SweepState& sweep, const TrialConfig& config, bool local) {
@@ -685,6 +683,17 @@ void dispatch_beep_trials(const GraphFactory& graphs, const BeepProtocolFactory&
 }
 
 }  // namespace
+
+std::size_t effective_checkpoint_interval(std::size_t checkpoint_interval) {
+  const std::size_t lanes = sim::kMaxBatchLanes;
+  const std::size_t requested = std::max<std::size_t>(checkpoint_interval, 1);
+  return ((requested + lanes - 1) / lanes) * lanes;
+}
+
+std::size_t checkpoint_chunk_count(std::size_t trials, std::size_t checkpoint_interval) {
+  const std::size_t chunk = effective_checkpoint_interval(checkpoint_interval);
+  return trials == 0 ? 0 : (trials + chunk - 1) / chunk;
+}
 
 TrialStats run_beep_trials(const GraphFactory& graphs, const BeepProtocolFactory& protocols,
                            const TrialConfig& config) {

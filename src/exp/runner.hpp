@@ -236,6 +236,16 @@ struct TrialStats {
   void merge(const TrialStats& other);
 };
 
+/// The chunk geometry a sweep will actually use: `checkpoint_interval`
+/// rounded up to a multiple of the batched simulator's lane width (see
+/// TrialConfig::checkpoint_interval), and the resulting number of
+/// checkpoint chunks for `trials`.  Exposed so external observers (the
+/// beepmisd progress stream) can turn on_checkpoint's chunk counts into
+/// an honest "done / total" without re-deriving the rounding rule.
+[[nodiscard]] std::size_t effective_checkpoint_interval(std::size_t checkpoint_interval);
+[[nodiscard]] std::size_t checkpoint_chunk_count(std::size_t trials,
+                                                 std::size_t checkpoint_interval);
+
 /// Runs `config.trials` beeping-model trials.
 [[nodiscard]] TrialStats run_beep_trials(const GraphFactory& graphs,
                                          const BeepProtocolFactory& protocols,

@@ -1,0 +1,287 @@
+#include "exp/stats_io.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+
+#include "support/hash.hpp"
+
+namespace beepmis::harness::statsio {
+
+namespace {
+
+using support::parse_hex_u64;
+using support::to_hex_u64;
+
+constexpr const char* kStatNames[] = {"rounds", "beeps_per_node", "max_beeps_any_node",
+                                      "mis_size", "message_bits"};
+
+std::array<const support::RunningStats*, 5> stat_fields(const TrialStats& s) {
+  return {&s.rounds, &s.beeps_per_node, &s.max_beeps_any_node, &s.mis_size, &s.message_bits};
+}
+
+std::array<support::RunningStats*, 5> stat_fields(TrialStats& s) {
+  return {&s.rounds, &s.beeps_per_node, &s.max_beeps_any_node, &s.mis_size, &s.message_bits};
+}
+
+}  // namespace
+
+std::string hex_double(double v) {
+  return to_hex_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+bool parse_hex_double(std::string_view text, double& out) noexcept {
+  std::uint64_t bits = 0;
+  if (!parse_hex_u64(text, bits)) return false;
+  out = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool parse_size(std::string_view text, std::size_t& out) noexcept {
+  if (text.empty() || text.size() > 20) return false;
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (value > (SIZE_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+std::string escape_text(std::string_view s) {
+  if (s.empty()) return "-";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (const unsigned char c : s) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+  }
+  return out;
+}
+
+bool unescape_text(std::string_view token, std::string& out) {
+  out.clear();
+  if (token == "-") return true;
+  if (token.size() % 2 != 0) return false;
+  const auto nibble = [](char c, unsigned& v) {
+    if (c >= '0' && c <= '9') { v = static_cast<unsigned>(c - '0'); return true; }
+    if (c >= 'a' && c <= 'f') { v = static_cast<unsigned>(c - 'a') + 10; return true; }
+    return false;
+  };
+  out.reserve(token.size() / 2);
+  for (std::size_t i = 0; i < token.size(); i += 2) {
+    unsigned hi = 0, lo = 0;
+    if (!nibble(token[i], hi) || !nibble(token[i + 1], lo)) return false;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+std::vector<std::string> split_tokens(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > start) tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+void encode_stats_core(std::ostream& out, const TrialStats& s) {
+  const auto stats = stat_fields(s);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const support::RunningStats::State st = stats[i]->state();
+    out << "stat " << kStatNames[i] << ' ' << st.count << ' ' << hex_double(st.mean) << ' '
+        << hex_double(st.m2) << ' ' << hex_double(st.min) << ' ' << hex_double(st.max) << "\n";
+  }
+  out << "counts " << s.trials << ' ' << s.terminated << ' ' << s.valid << ' '
+      << s.independence_violations << ' ' << s.uncovered_nodes << ' ' << s.disruptions << ' '
+      << s.unrecovered_disruptions << ' ' << s.attempted << ' ' << s.quarantined << ' '
+      << s.retries << "\n";
+  out << "recovery " << s.recovery_rounds.size();
+  for (const double r : s.recovery_rounds) out << ' ' << hex_double(r);
+  out << "\n";
+  for (const FailedTrial& f : s.failed_trials) {
+    out << "failed " << f.trial << ' ' << to_hex_u64(f.base_seed) << ' ' << f.attempts << ' '
+        << escape_text(f.error) << "\n";
+  }
+}
+
+bool decode_stats_core(const std::vector<std::string_view>& lines, std::size_t& i,
+                       std::size_t stop, TrialStats& out, std::string& error) {
+  const auto reject = [&error](const char* reason) {
+    error = reason;
+    return false;
+  };
+
+  const auto stats = stat_fields(out);
+  for (std::size_t s = 0; s < stats.size(); ++s) {
+    if (i >= stop) return reject("truncated chunk block");
+    const auto tokens = split_tokens(lines[i]);
+    support::RunningStats::State st;
+    if (tokens.size() != 7 || tokens[0] != "stat" || tokens[1] != kStatNames[s] ||
+        !parse_size(tokens[2], st.count) || !parse_hex_double(tokens[3], st.mean) ||
+        !parse_hex_double(tokens[4], st.m2) || !parse_hex_double(tokens[5], st.min) ||
+        !parse_hex_double(tokens[6], st.max)) {
+      return reject("malformed stat line");
+    }
+    *stats[s] = support::RunningStats::from_state(st);
+    ++i;
+  }
+
+  if (i >= stop) return reject("truncated chunk block");
+  {
+    const auto tokens = split_tokens(lines[i]);
+    TrialStats& s = out;
+    if (tokens.size() != 11 || tokens[0] != "counts" || !parse_size(tokens[1], s.trials) ||
+        !parse_size(tokens[2], s.terminated) || !parse_size(tokens[3], s.valid) ||
+        !parse_size(tokens[4], s.independence_violations) ||
+        !parse_size(tokens[5], s.uncovered_nodes) || !parse_size(tokens[6], s.disruptions) ||
+        !parse_size(tokens[7], s.unrecovered_disruptions) ||
+        !parse_size(tokens[8], s.attempted) || !parse_size(tokens[9], s.quarantined) ||
+        !parse_size(tokens[10], s.retries)) {
+      return reject("malformed counts line");
+    }
+  }
+  ++i;
+
+  if (i >= stop) return reject("truncated chunk block");
+  {
+    const auto tokens = split_tokens(lines[i]);
+    std::size_t recovery_count = 0;
+    if (tokens.size() < 2 || tokens[0] != "recovery" || !parse_size(tokens[1], recovery_count) ||
+        tokens.size() != recovery_count + 2) {
+      return reject("malformed recovery line");
+    }
+    out.recovery_rounds.reserve(recovery_count);
+    for (std::size_t r = 0; r < recovery_count; ++r) {
+      double value = 0;
+      if (!parse_hex_double(tokens[r + 2], value)) return reject("malformed recovery sample");
+      out.recovery_rounds.push_back(value);
+    }
+  }
+  ++i;
+
+  while (i < stop) {
+    const auto tokens = split_tokens(lines[i]);
+    if (tokens.empty()) return reject("blank line inside chunk block");
+    if (tokens[0] != "failed") break;
+    FailedTrial f;
+    std::size_t attempts = 0;
+    if (tokens.size() != 5 || !parse_size(tokens[1], f.trial) ||
+        !parse_hex_u64(tokens[2], f.base_seed) || !parse_size(tokens[3], attempts) ||
+        attempts > UINT32_MAX || !unescape_text(tokens[4], f.error)) {
+      return reject("malformed failed-trial line");
+    }
+    f.attempts = static_cast<unsigned>(attempts);
+    out.failed_trials.push_back(std::move(f));
+    ++i;
+  }
+  return true;
+}
+
+}  // namespace beepmis::harness::statsio
+
+namespace beepmis::harness {
+
+namespace {
+
+constexpr std::string_view kStatsMagic = "beepmis-trial-stats v1";
+
+}  // namespace
+
+std::string format_trial_stats(const TrialStats& stats) {
+  using namespace statsio;
+  std::ostringstream out;
+  out << kStatsMagic << "\n";
+  encode_stats_core(out, stats);
+  out << "meta " << stats.requested_trials << ' ' << (stats.truncated ? 1 : 0) << ' '
+      << stats.resumed_trials << "\n";
+  out << "fallback " << escape_text(stats.scalar_fallback_reason) << "\n";
+  out << "discarded " << escape_text(stats.resume_discarded_reason) << "\n";
+  std::string body = out.str();
+  body += "checksum " + support::to_hex_u64(support::stable_hash_bytes(body)) + "\n";
+  return body;
+}
+
+bool parse_trial_stats(const std::string& text, TrialStats& out, std::string& error) {
+  using namespace statsio;
+  const auto reject = [&](std::string reason) {
+    error = std::move(reason);
+    return false;
+  };
+  if (text.empty() || text.back() != '\n') return reject("stats payload truncated");
+  std::vector<std::string_view> lines;
+  {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\n') {
+        lines.emplace_back(text.data() + start, i - start);
+        start = i + 1;
+      }
+    }
+  }
+  if (lines.size() < 5) return reject("stats payload too short");
+
+  const std::string_view last = lines.back();
+  const auto checksum_tokens = split_tokens(last);
+  std::uint64_t stored_checksum = 0;
+  if (checksum_tokens.size() != 2 || checksum_tokens[0] != "checksum" ||
+      !support::parse_hex_u64(checksum_tokens[1], stored_checksum)) {
+    return reject("missing or malformed checksum line");
+  }
+  const std::size_t body_len = text.size() - (last.size() + 1);
+  if (support::stable_hash_bytes(std::string_view(text.data(), body_len)) != stored_checksum) {
+    return reject("stats checksum mismatch");
+  }
+  if (lines[0] != kStatsMagic) return reject("unrecognised stats magic/version");
+
+  TrialStats parsed;
+  std::size_t i = 1;
+  const std::size_t stop = lines.size() - 1;
+  std::string core_error;
+  if (!decode_stats_core(lines, i, stop, parsed, core_error)) return reject(core_error);
+
+  if (i >= stop) return reject("missing meta line");
+  {
+    const auto tokens = split_tokens(lines[i]);
+    std::size_t truncated = 0;
+    if (tokens.size() != 4 || tokens[0] != "meta" ||
+        !parse_size(tokens[1], parsed.requested_trials) || !parse_size(tokens[2], truncated) ||
+        truncated > 1 || !parse_size(tokens[3], parsed.resumed_trials)) {
+      return reject("malformed meta line");
+    }
+    parsed.truncated = truncated == 1;
+  }
+  ++i;
+  if (i >= stop) return reject("missing fallback line");
+  {
+    const auto tokens = split_tokens(lines[i]);
+    if (tokens.size() != 2 || tokens[0] != "fallback" ||
+        !unescape_text(tokens[1], parsed.scalar_fallback_reason)) {
+      return reject("malformed fallback line");
+    }
+  }
+  ++i;
+  if (i >= stop) return reject("missing discarded line");
+  {
+    const auto tokens = split_tokens(lines[i]);
+    if (tokens.size() != 2 || tokens[0] != "discarded" ||
+        !unescape_text(tokens[1], parsed.resume_discarded_reason)) {
+      return reject("malformed discarded line");
+    }
+  }
+  ++i;
+  if (i != stop) return reject("unexpected trailing lines in stats payload");
+  out = std::move(parsed);
+  return true;
+}
+
+}  // namespace beepmis::harness

@@ -1,0 +1,328 @@
+// Canonical SweepSpec serialization (cli/sweep_spec.hpp): round-trip
+// property (format∘parse idempotent, every field preserved bit-exactly),
+// strict rejection of anything not understood exactly, and the
+// sweep_fingerprint stability contract — golden hashes pinning known
+// specs to known values, plus the documented inclusion/exclusion rules
+// (execution knobs never change the fingerprint; request knobs always
+// do).  A golden value changing is an API break: it invalidates every
+// journal and beepmisd cache entry in the field, so it must come with a
+// schema-version bump ("v2" -> "v3"), not a silent edit.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "cli/registry.hpp"
+#include "cli/sweep_spec.hpp"
+#include "support/hash.hpp"
+
+namespace beepmis::cli {
+namespace {
+
+/// The non-default spec the golden test pins (matches a real
+/// self-healing-under-crash configuration).
+SweepSpec variant_spec() {
+  SweepSpec spec;
+  spec.graph.family = "grid";
+  spec.graph.rows = 8;
+  spec.graph.cols = 8;
+  spec.algorithm.name = "self-healing";
+  spec.algorithm.sim.beep_loss_probability = 0.01;
+  spec.algorithm.sim.mis_keepalive = true;
+  spec.algorithm.sim.track_recovery = true;
+  spec.algorithm.scenario.name = "uniform-crash";
+  spec.algorithm.scenario.rate = 0.25;
+  spec.algorithm.scenario.round_lo = 5;
+  spec.algorithm.scenario.round_hi = 9;
+  spec.trials = 128;
+  spec.base_seed = 42;
+  spec.checkpoint_interval = 32;
+  return spec;
+}
+
+/// A spec with every field moved off its default (doubles chosen with
+/// non-trivial mantissas so shortest-round-trip rendering is exercised).
+SweepSpec exhaustive_spec() {
+  SweepSpec spec;
+  spec.graph.family = "ba";
+  spec.graph.n = 12345;
+  spec.graph.p = 0.123456789012345678;
+  spec.graph.rows = 17;
+  spec.graph.cols = 19;
+  spec.graph.k = 7;
+  spec.graph.seed = 0xdeadbeefcafe1234ull;
+  spec.algorithm.name = "local-feedback-exact";
+  spec.algorithm.factor = 1.75;
+  spec.algorithm.initial_p = 0.3333333333333333;
+  spec.algorithm.shards = 3;
+  spec.algorithm.sim.beep_loss_probability = 0.0625;
+  spec.algorithm.sim.mis_keepalive = true;
+  spec.algorithm.sim.max_rounds = 4096;
+  spec.algorithm.sim.run_until_round = 100;
+  spec.algorithm.sim.track_recovery = true;
+  spec.algorithm.scenario.name = "churn";
+  spec.algorithm.scenario.rate = 0.015625;
+  spec.algorithm.scenario.round_lo = 3;
+  spec.algorithm.scenario.round_hi = 0;
+  spec.algorithm.scenario.budget = 99;
+  spec.algorithm.scenario.shards = 4;
+  spec.algorithm.scenario.revive_delay_mean = 6.5;
+  spec.algorithm.scenario.seed = 77;
+  spec.trials = 640;
+  spec.base_seed = 4242;
+  spec.threads = 2;
+  spec.journal_path = "/tmp/x.journal";
+  spec.resume = true;
+  spec.budget_seconds = 12.5;
+  spec.trial_timeout_seconds = 0.25;
+  spec.isolate_faults = true;
+  spec.max_retries = 5;
+  spec.checkpoint_interval = 128;
+  return spec;
+}
+
+void expect_double_bits(double a, double b, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b)) << what;
+}
+
+void expect_specs_equal(const SweepSpec& a, const SweepSpec& b) {
+  EXPECT_EQ(a.graph.family, b.graph.family);
+  EXPECT_EQ(a.graph.n, b.graph.n);
+  expect_double_bits(a.graph.p, b.graph.p, "graph.p");
+  EXPECT_EQ(a.graph.rows, b.graph.rows);
+  EXPECT_EQ(a.graph.cols, b.graph.cols);
+  EXPECT_EQ(a.graph.k, b.graph.k);
+  EXPECT_EQ(a.graph.seed, b.graph.seed);
+  EXPECT_EQ(a.algorithm.name, b.algorithm.name);
+  expect_double_bits(a.algorithm.factor, b.algorithm.factor, "factor");
+  expect_double_bits(a.algorithm.initial_p, b.algorithm.initial_p, "initial_p");
+  EXPECT_EQ(a.algorithm.shards, b.algorithm.shards);
+  expect_double_bits(a.algorithm.sim.beep_loss_probability,
+                     b.algorithm.sim.beep_loss_probability, "sim.loss");
+  EXPECT_EQ(a.algorithm.sim.mis_keepalive, b.algorithm.sim.mis_keepalive);
+  EXPECT_EQ(a.algorithm.sim.max_rounds, b.algorithm.sim.max_rounds);
+  EXPECT_EQ(a.algorithm.sim.run_until_round, b.algorithm.sim.run_until_round);
+  EXPECT_EQ(a.algorithm.sim.track_recovery, b.algorithm.sim.track_recovery);
+  EXPECT_EQ(a.algorithm.scenario.name, b.algorithm.scenario.name);
+  expect_double_bits(a.algorithm.scenario.rate, b.algorithm.scenario.rate, "scenario.rate");
+  EXPECT_EQ(a.algorithm.scenario.round_lo, b.algorithm.scenario.round_lo);
+  EXPECT_EQ(a.algorithm.scenario.round_hi, b.algorithm.scenario.round_hi);
+  EXPECT_EQ(a.algorithm.scenario.budget, b.algorithm.scenario.budget);
+  EXPECT_EQ(a.algorithm.scenario.shards, b.algorithm.scenario.shards);
+  expect_double_bits(a.algorithm.scenario.revive_delay_mean,
+                     b.algorithm.scenario.revive_delay_mean, "scenario.revive_delay");
+  EXPECT_EQ(a.algorithm.scenario.seed, b.algorithm.scenario.seed);
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.base_seed, b.base_seed);
+  EXPECT_EQ(a.threads, b.threads);
+  EXPECT_EQ(a.journal_path, b.journal_path);
+  EXPECT_EQ(a.resume, b.resume);
+  expect_double_bits(a.budget_seconds, b.budget_seconds, "budget");
+  expect_double_bits(a.trial_timeout_seconds, b.trial_timeout_seconds, "trial_timeout");
+  EXPECT_EQ(a.isolate_faults, b.isolate_faults);
+  EXPECT_EQ(a.max_retries, b.max_retries);
+  EXPECT_EQ(a.checkpoint_interval, b.checkpoint_interval);
+}
+
+/// What parse_sweep_spec rejects it must reject with a message naming
+/// the offending key — actionable, not just "bad input".
+void expect_rejects(const std::string& text, const std::string& expected_substring) {
+  try {
+    (void)parse_sweep_spec(text);
+    FAIL() << "accepted: " << text;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(expected_substring), std::string::npos)
+        << "message '" << e.what() << "' does not mention '" << expected_substring << "'";
+  }
+}
+
+// --- round trip -----------------------------------------------------------
+
+TEST(SweepSpecSerial, RoundTripPreservesEveryFieldBitExactly) {
+  const SweepSpec original = exhaustive_spec();
+  const SweepSpec back = parse_sweep_spec(format_sweep_spec(original));
+  expect_specs_equal(original, back);
+}
+
+TEST(SweepSpecSerial, FormatIsIdempotentCanonicalisation) {
+  for (const SweepSpec& spec : {SweepSpec{}, variant_spec(), exhaustive_spec()}) {
+    const std::string once = format_sweep_spec(spec);
+    const std::string twice = format_sweep_spec(parse_sweep_spec(once));
+    EXPECT_EQ(once, twice);
+  }
+  // Non-canonical input (reordered keys, non-shortest double spelling)
+  // canonicalises to the same line as the struct it denotes.
+  const std::string shuffled =
+      "sweepspec v2 trials=128 graph.rows=8 scenario.hi=9 scenario=uniform-crash "
+      "sim.keepalive=1 algorithm=self-healing base_seed=42 graph=grid graph.cols=8 "
+      "sim.loss=0.0100 scenario.rate=0.250 scenario.lo=5 sim.track_recovery=true "
+      "checkpoint_interval=32";
+  EXPECT_EQ(format_sweep_spec(parse_sweep_spec(shuffled)), format_sweep_spec(variant_spec()));
+}
+
+TEST(SweepSpecSerial, MissingKeysTakeDefaults) {
+  const SweepSpec parsed = parse_sweep_spec("sweepspec v2");
+  expect_specs_equal(parsed, SweepSpec{});
+}
+
+TEST(SweepSpecSerial, RequestTextIsPrefixOfFullText) {
+  for (const SweepSpec& spec : {SweepSpec{}, variant_spec()}) {
+    const std::string full = format_sweep_spec(spec);
+    const std::string request = format_sweep_request(spec);
+    ASSERT_LT(request.size(), full.size());
+    EXPECT_EQ(full.compare(0, request.size(), request), 0)
+        << "request text must be a literal prefix of the canonical line";
+    EXPECT_EQ(full[request.size()], ' ');
+  }
+}
+
+TEST(SweepSpecSerial, JournalPathWithWhitespaceHasNoLineForm) {
+  SweepSpec spec;
+  spec.journal_path = "/tmp/with space.journal";
+  EXPECT_THROW((void)format_sweep_spec(spec), std::invalid_argument);
+}
+
+// --- strict rejection -----------------------------------------------------
+
+TEST(SweepSpecSerial, RejectsUnknownAndMalformedInput) {
+  expect_rejects("", "sweepspec");
+  expect_rejects("sweepspec", "sweepspec");
+  expect_rejects("nonsense v2", "sweepspec");
+  expect_rejects("sweepspec v1 trials=4", "v1");       // version it was not built for
+  expect_rejects("sweepspec v3 trials=4", "v3");
+  expect_rejects("sweepspec v2 bogus_key=1", "bogus_key");
+  expect_rejects("sweepspec v2 trials=4 trials=5", "trials");  // duplicate
+  expect_rejects("sweepspec v2 trials", "trials");             // no '='
+  expect_rejects("sweepspec v2 trials=", "trials");
+  expect_rejects("sweepspec v2 trials=4x", "trials");
+  expect_rejects("sweepspec v2 trials=-1", "trials");
+  expect_rejects("sweepspec v2 trials=0", "trials");           // out of range
+  expect_rejects("sweepspec v2 graph.p=1.5", "graph.p");
+  expect_rejects("sweepspec v2 graph.p=nan", "graph.p");
+  expect_rejects("sweepspec v2 algorithm.factor=1", "algorithm.factor");
+  expect_rejects("sweepspec v2 resume=2", "resume");
+  expect_rejects("sweepspec v2 graph=klein-bottle", "klein-bottle");
+  expect_rejects("sweepspec v2 algorithm=quantum", "quantum");
+  expect_rejects("sweepspec v2 scenario=earthquake", "earthquake");
+  expect_rejects("sweepspec v2 shards=100000", "shards");
+  expect_rejects("sweepspec v2 base_seed=18446744073709551616", "base_seed");  // 2^64
+}
+
+// --- the fingerprint stability contract -----------------------------------
+
+TEST(SweepFingerprint, GoldenValuesArePinned) {
+  // These constants are the contract: they key every journal and beepmisd
+  // cache entry ever written for these requests.  If this test fails, you
+  // changed the canonical request text — bump the schema version and
+  // document the migration; do NOT update the constants in place.
+  EXPECT_EQ(sweep_fingerprint(SweepSpec{}), 0x1da8bd67b26637e3ull);
+  EXPECT_EQ(sweep_fingerprint(variant_spec()), 0xd6223eb754f264f3ull);
+}
+
+TEST(SweepFingerprint, IsTheHashOfTheRequestText) {
+  // Not just "equal specs hash equal": the fingerprint is definitionally
+  // the StableHash of format_sweep_request, so serialized-equal requests
+  // share it by construction.
+  const SweepSpec spec = variant_spec();
+  support::StableHash h;
+  h.update(format_sweep_request(spec));
+  EXPECT_EQ(sweep_fingerprint(spec), h.digest());
+}
+
+TEST(SweepFingerprint, ExcludesExecutionAndDurabilityKnobs) {
+  // The documented exclusions (cli/registry.hpp): execution-path and
+  // durability choices never change a cleanly completed sweep's numbers,
+  // so they must not fragment the cache or orphan journals.
+  const std::uint64_t base = sweep_fingerprint(variant_spec());
+
+  SweepSpec s = variant_spec();
+  s.threads = 7;
+  EXPECT_EQ(sweep_fingerprint(s), base) << "threads";
+  s = variant_spec();
+  s.algorithm.shards = 4;
+  EXPECT_EQ(sweep_fingerprint(s), base) << "shards";
+  s = variant_spec();
+  s.journal_path = "/somewhere/else.journal";
+  EXPECT_EQ(sweep_fingerprint(s), base) << "journal_path";
+  s = variant_spec();
+  s.resume = true;
+  EXPECT_EQ(sweep_fingerprint(s), base) << "resume";
+  s = variant_spec();
+  s.budget_seconds = 3.5;
+  EXPECT_EQ(sweep_fingerprint(s), base) << "budget_seconds";
+  s = variant_spec();
+  s.trial_timeout_seconds = 1.0;
+  EXPECT_EQ(sweep_fingerprint(s), base) << "trial_timeout_seconds";
+  s = variant_spec();
+  s.isolate_faults = true;
+  EXPECT_EQ(sweep_fingerprint(s), base) << "isolate_faults";
+  s = variant_spec();
+  s.max_retries = 9;
+  EXPECT_EQ(sweep_fingerprint(s), base) << "max_retries";
+}
+
+TEST(SweepFingerprint, CoversEveryRequestField) {
+  const std::uint64_t base = sweep_fingerprint(variant_spec());
+
+  SweepSpec s = variant_spec();
+  s.graph.family = "gnp";
+  EXPECT_NE(sweep_fingerprint(s), base) << "graph.family";
+  s = variant_spec();
+  s.graph.n = 101;
+  EXPECT_NE(sweep_fingerprint(s), base) << "graph.n";
+  s = variant_spec();
+  s.graph.p = 0.51;
+  EXPECT_NE(sweep_fingerprint(s), base) << "graph.p";
+  s = variant_spec();
+  s.graph.seed = 2;
+  EXPECT_NE(sweep_fingerprint(s), base) << "graph.seed";
+  s = variant_spec();
+  s.algorithm.name = "local-feedback";
+  EXPECT_NE(sweep_fingerprint(s), base) << "algorithm.name";
+  s = variant_spec();
+  s.algorithm.factor = 2.5;
+  EXPECT_NE(sweep_fingerprint(s), base) << "algorithm.factor";
+  s = variant_spec();
+  s.algorithm.initial_p = 0.25;
+  EXPECT_NE(sweep_fingerprint(s), base) << "algorithm.initial_p";
+  s = variant_spec();
+  s.algorithm.sim.beep_loss_probability = 0.02;
+  EXPECT_NE(sweep_fingerprint(s), base) << "sim.loss";
+  s = variant_spec();
+  s.algorithm.sim.mis_keepalive = false;
+  EXPECT_NE(sweep_fingerprint(s), base) << "sim.keepalive";
+  s = variant_spec();
+  s.algorithm.sim.max_rounds = 2048;
+  EXPECT_NE(sweep_fingerprint(s), base) << "sim.max_rounds";
+  s = variant_spec();
+  s.algorithm.sim.run_until_round = 50;
+  EXPECT_NE(sweep_fingerprint(s), base) << "sim.run_until";
+  s = variant_spec();
+  s.algorithm.sim.track_recovery = false;
+  EXPECT_NE(sweep_fingerprint(s), base) << "sim.track_recovery";
+  s = variant_spec();
+  s.algorithm.scenario.name = "churn";
+  EXPECT_NE(sweep_fingerprint(s), base) << "scenario.name";
+  s = variant_spec();
+  s.algorithm.scenario.rate = 0.26;
+  EXPECT_NE(sweep_fingerprint(s), base) << "scenario.rate";
+  s = variant_spec();
+  s.algorithm.scenario.seed = 3;
+  EXPECT_NE(sweep_fingerprint(s), base) << "scenario.seed";
+  s = variant_spec();
+  s.trials = 129;
+  EXPECT_NE(sweep_fingerprint(s), base) << "trials";
+  s = variant_spec();
+  s.base_seed = 43;
+  EXPECT_NE(sweep_fingerprint(s), base) << "base_seed";
+  // Chunk geometry decides merge order, hence the exact aggregate bits —
+  // it is request identity, not an execution knob.
+  s = variant_spec();
+  s.checkpoint_interval = 64;
+  EXPECT_NE(sweep_fingerprint(s), base) << "checkpoint_interval";
+}
+
+}  // namespace
+}  // namespace beepmis::cli
