@@ -78,6 +78,7 @@ struct Measurement {
   double wall_ms = 0.0;
   double trials_per_sec = 0.0;
   double speedup_vs_scalar = 1.0;
+  std::string phase;  ///< pre-rendered ", \"phase_ns\": {...}" or empty
 };
 
 using benchcommon::best_wall_ms;
@@ -105,7 +106,7 @@ benchcommon::JsonReport make_report(const std::vector<Measurement>& results,
         << "\", \"n\": " << m.n
         << ", \"trials\": " << m.trials << ", \"wall_ms\": " << m.wall_ms
         << ", \"trials_per_sec\": " << m.trials_per_sec
-        << ", \"speedup_vs_scalar\": " << m.speedup_vs_scalar << "}";
+        << ", \"speedup_vs_scalar\": " << m.speedup_vs_scalar << m.phase << "}";
     report.rows.push_back(row.str());
   }
   return report;
@@ -150,7 +151,7 @@ int main(int argc, char** argv) {
                         "trials/sec", "speedup"});
   const auto record = [&](const std::string& workload, const std::string& protocol,
                           const char* impl, const char* mode, double ms,
-                          double speedup) {
+                          double speedup, std::string phase = {}) {
     Measurement m;
     m.workload = workload;
     m.protocol = protocol;
@@ -161,6 +162,7 @@ int main(int argc, char** argv) {
     m.wall_ms = ms;
     m.trials_per_sec = static_cast<double>(trials) / (ms / 1000.0);
     m.speedup_vs_scalar = speedup;
+    m.phase = std::move(phase);
     results.push_back(m);
     table.new_row()
         .cell(workload)
@@ -219,11 +221,13 @@ int main(int argc, char** argv) {
       }
     }
 
+    support::reset_phase_timers();
     const double scalar_ms = best_wall_ms(reps, [&] {
       for (std::size_t t = 0; t < trials; ++t) {
         (void)scalar_sim.run(*scalar_protocol, trial_rng(root, t));
       }
     });
+    std::string scalar_phase = benchcommon::phase_ns_fragment();
     const double batch_ms = best_wall_ms(reps, [&] {
       for (std::size_t first = 0; first < trials; first += sim::kMaxBatchLanes) {
         const std::size_t last = std::min(first + sim::kMaxBatchLanes, trials);
@@ -233,9 +237,11 @@ int main(int argc, char** argv) {
         (void)batch_sim.run(g, *batch_protocol, std::move(rngs));
       }
     });
-    record(workload, protocol_name, "scalar", "scalar-order", scalar_ms, 1.0);
+    std::string batch_phase = benchcommon::phase_ns_fragment();
+    record(workload, protocol_name, "scalar", "scalar-order", scalar_ms, 1.0,
+           std::move(scalar_phase));
     record(workload, protocol_name, "batched", "scalar-order", batch_ms,
-           scalar_ms / batch_ms);
+           scalar_ms / batch_ms, std::move(batch_phase));
 
     // Statistical lanes: same trial count, one jump()-partitioned base
     // stream per 64-lane batch (the harness's seed tree), bulk-plane
@@ -272,9 +278,10 @@ int main(int argc, char** argv) {
       }
     };
     stat_batches(/*check=*/true);
+    support::reset_phase_timers();
     const double stat_ms = best_wall_ms(reps, [&] { stat_batches(/*check=*/false); });
     record(workload, protocol_name, "batched", "statistical", stat_ms,
-           scalar_ms / stat_ms);
+           scalar_ms / stat_ms, benchcommon::phase_ns_fragment());
   };
 
   const ProtocolFactory local_feedback = [] {

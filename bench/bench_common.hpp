@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/phase_timer.hpp"
+
 namespace beepmis::benchcommon {
 
 template <typename Run>
@@ -31,6 +33,26 @@ double best_wall_ms(int reps, Run&& run) {
 
 [[nodiscard]] inline std::string json_string(const std::string& s) {
   return "\"" + s + "\"";  // bench values contain no characters needing escapes
+}
+
+/// Snapshot-and-reset of the per-phase timing counters as a row fragment:
+/// `, "phase_ns": {"beep/emit": 1234, ...}`.  Empty in a normal build
+/// (BEEPMIS_PHASE_TIMERS off — the registry never fills), so rows only
+/// carry phase_ns when the timers were compiled in; downstream tooling
+/// treats the field as optional.  Call support::reset_phase_timers()
+/// before a timed section and this right after it, so the fragment covers
+/// exactly that section's reps (warm-up and verification runs excluded).
+[[nodiscard]] inline std::string phase_ns_fragment() {
+  const std::vector<support::PhaseStat> stats = support::snapshot_phase_timers();
+  support::reset_phase_timers();
+  if (stats.empty()) return {};
+  std::ostringstream out;
+  out << ", \"phase_ns\": {";
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"" << stats[i].name << "\": " << stats[i].total_ns;
+  }
+  out << "}";
+  return out.str();
 }
 
 /// Default-ostream formatting (like the row writers), not std::to_string's

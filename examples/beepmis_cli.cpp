@@ -162,7 +162,13 @@ int main(int argc, char** argv) {
   aspec.scenario.budget = static_cast<std::size_t>(options.get_int("scenario-budget"));
   aspec.scenario.seed = options.get_u64("scenario-seed");
 
-  const auto trials = static_cast<std::size_t>(options.get_int("trials"));
+  std::size_t trials = 0;
+  try {
+    trials = cli::parse_count_flag("--trials", options.get("trials"));
+  } catch (const std::exception& e) {
+    std::cerr << "beepmis_cli: " << e.what() << '\n';
+    return 1;
+  }
   const std::uint64_t seed0 = options.get_u64("seed");
   const bool csv = options.get_bool("csv");
 

@@ -131,6 +131,48 @@ class CheckBenchRegressionTest(unittest.TestCase):
         # The healthy scalar-order lane itself is not flagged.
         self.assertNotIn("scalar-order fresh speedup", out)
 
+    def test_shard_section_statistical_lanes_are_distinct(self):
+        # bench_shard now emits sharded-kK-batched statistical rows next to
+        # the scalar-order sharded-kK rows.  They key on (impl, mode), so a
+        # regression in the 64-lane statistical row fires even while the
+        # scalar-order row of the same shard count stays healthy.
+        def batched_row(speedup):
+            r = row("converge", "sharded-k2-batched", 100000, speedup,
+                    mode="statistical")
+            r["lanes"] = 64
+            return r
+        base = report({"shard": [
+            row("converge", "sharded-k2", 100000, 1.8, mode="scalar-order"),
+            batched_row(6.0)]})
+        fresh = report({"shard": [
+            row("converge", "sharded-k2", 100000, 1.8, mode="scalar-order"),
+            batched_row(1.0)]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 1, out)
+        self.assertIn("sharded-k2-batched", out)
+        self.assertIn("possible regression", out)
+        # The healthy scalar-order lane itself is not flagged.
+        self.assertNotIn("sharded-k2/scalar-order", out.split("regression", 1)[1].split("\n")[0])
+
+    def test_phase_ns_field_is_tolerated(self):
+        # BEEPMIS_PHASE_TIMERS builds append a phase_ns object to every
+        # row.  The checker must ignore it: no keying change, no mistaking
+        # the nanosecond totals for speedup ratios, and a timers-on fresh
+        # run still matches a timers-off baseline (and vice versa).
+        plain = row("converge", "batched", 10000, 3.0, mode="statistical")
+        timed = dict(plain)
+        timed["lanes"] = 64
+        timed["phase_ns"] = {"batch/emit": 4587731, "batch/deliver": 1329197,
+                             "batch/react": 1296073}
+        code, out = self.run_checker(report({"batch": [plain]}),
+                                     report({"batch": [timed]}), "--strict")
+        self.assertEqual(code, 0, out)
+        self.assertIn("ok:", out)
+        code, out = self.run_checker(report({"batch": [timed]}),
+                                     report({"batch": [plain]}), "--strict")
+        self.assertEqual(code, 0, out)
+        self.assertIn("ok:", out)
+
     def test_missing_mode_defaults_to_scalar_order(self):
         # Pre-statistical baselines have no "mode" field; their rows must
         # compare against the fresh scalar-order rows, not vanish as lost

@@ -17,6 +17,7 @@
 #include "mis/verifier.hpp"
 #include "sim/batch.hpp"
 #include "sim/sharded.hpp"
+#include "sim/sharded_batch.hpp"
 #include "support/hash.hpp"
 #include "support/parallel.hpp"
 
@@ -257,7 +258,8 @@ TrialStats assemble(SweepState& sweep) {
 /// everything it cannot (graph family, protocol, scenario parameters).
 /// Thread count is deliberately excluded — results are thread-count
 /// independent, so a sweep may be resumed with different parallelism.
-std::uint64_t compute_request_hash(const TrialConfig& c, bool local, std::size_t chunk_size) {
+std::uint64_t compute_request_hash(const TrialConfig& c, bool local, std::size_t chunk_size,
+                                   unsigned sharded_batch_k) {
   support::StableHash h;
   h.update(local ? "beepmis-local-sweep-v1" : "beepmis-beep-sweep-v1");
   h.update_u64(c.request_fingerprint);
@@ -274,6 +276,14 @@ std::uint64_t compute_request_hash(const TrialConfig& c, bool local, std::size_t
                            c.allow_batched && c.shared_graph && !c.sim.record_trace &&
                            c.shards <= 1;
   h.update_u64(statistical ? 1 : 0);
+  // The sharded-batched path partitions the statistical streams per
+  // (shard, lane), so its sample depends on the effective shard count —
+  // hash it (0 = path disengaged).  Auto-selected counts follow the
+  // thread count, so a sharded-batched journal resumed on a different
+  // core count is rejected whole and the sweep restarts: correct, just
+  // not incremental.  Pin TrialConfig::shards explicitly to keep resumes
+  // incremental across machines.
+  h.update_u64(sharded_batch_k);
   h.update_u64(c.shared_graph ? 1 : 0);
   h.update_u64(chunk_size);
   h.update_u64(c.sim.max_rounds);
@@ -314,7 +324,8 @@ std::size_t effective_chunk_size(const TrialConfig& config) {
   return effective_checkpoint_interval(config.checkpoint_interval);
 }
 
-void init_sweep(SweepState& sweep, const TrialConfig& config, bool local) {
+void init_sweep(SweepState& sweep, const TrialConfig& config, bool local,
+                unsigned sharded_batch_k = 0) {
   sweep.config = &config;
   sweep.chunk_size = effective_chunk_size(config);
   sweep.num_chunks =
@@ -326,7 +337,8 @@ void init_sweep(SweepState& sweep, const TrialConfig& config, bool local) {
     sweep.remaining[i].store(0, std::memory_order_relaxed);
   }
   if (!config.journal_path.empty()) {
-    const std::uint64_t request = compute_request_hash(config, local, sweep.chunk_size);
+    const std::uint64_t request =
+        compute_request_hash(config, local, sweep.chunk_size, sharded_batch_k);
     sweep.journal = std::make_unique<SweepJournal>(config.journal_path, request, config.trials,
                                                    sweep.chunk_size);
     if (config.resume) {
@@ -557,6 +569,111 @@ void run_beep_trials_batched(const graph::Graph& shared, const BeepProtocolFacto
   run_workers(config.threads, pending.size(), worker);
 }
 
+/// Sharded-batched fast path (sim/sharded_batch.hpp): every 64-trial batch
+/// of a statistical-lanes sweep runs as 64 lane planes swept by `shards`
+/// worker threads at once.  Batch seeds, records and the chunked
+/// aggregation match the batched statistical path exactly (one base stream
+/// per batch, keyed by its first trial index), so at shard count 1 the
+/// numbers would coincide with run_beep_trials_batched — but the harness
+/// only routes here with shards >= 2, where the per-(shard, lane) stream
+/// partition yields a different (equally distributed) sample.  The outer
+/// batch loop is single-worker because each run already fans out across
+/// `shards` threads.
+void run_beep_trials_sharded_batched(const graph::Graph& shared,
+                                     const BeepProtocolFactory& protocols,
+                                     const TrialConfig& config, SweepState& sweep,
+                                     unsigned shards) {
+  const support::SeedSequence root(config.base_seed);
+
+  struct Batch {
+    std::size_t first = 0, last = 0;
+  };
+  std::vector<Batch> pending;
+  for (std::size_t chunk = 0; chunk < sweep.num_chunks; ++chunk) {
+    if (sweep.chunk_stats[chunk] != nullptr) continue;
+    const std::size_t first = sweep.chunk_first(chunk);
+    const std::size_t last = sweep.chunk_last(chunk);
+    std::size_t batches_in_chunk = 0;
+    for (std::size_t b = first; b < last; b += sim::kMaxBatchLanes) {
+      pending.push_back({b, std::min(b + sim::kMaxBatchLanes, last)});
+      ++batches_in_chunk;
+    }
+    sweep.remaining[chunk].store(batches_in_chunk, std::memory_order_relaxed);
+  }
+
+  const DeadlinePtr deadline = make_trial_deadline(config);
+  sim::SimConfig sim_config = config.sim;
+  sim_config.deadline_ns = deadline;
+  sim::ShardedBatchSimulator simulator(shared, shards, std::move(sim_config), config.rng_mode);
+  const std::unique_ptr<sim::BatchProtocol> protocol =
+      protocols()->make_batch_protocol(config.rng_mode);
+  if (!protocol) {
+    throw std::logic_error(
+        "run_beep_trials: protocol factory is inconsistent about make_batch_protocol");
+  }
+  for (const Batch& batch : pending) {
+    if (sweep.should_stop()) break;
+    const AttemptOutcome outcome = run_with_isolation(config, deadline, [&] {
+      const std::vector<sim::RunResult> results =
+          simulator.run(*protocol, root.child(batch.first).child(1).generator(),
+                        static_cast<unsigned>(batch.last - batch.first));
+      for (std::size_t trial = batch.first; trial < batch.last; ++trial) {
+        fill_record(sweep.records[trial], shared, results[trial - batch.first]);
+      }
+    });
+    for (std::size_t trial = batch.first; trial < batch.last; ++trial) {
+      TrialRecord& rec = sweep.records[trial];
+      if (outcome.completed) {
+        rec.status = TrialRecord::Status::kCompleted;
+        rec.attempts = outcome.attempts;
+      } else {
+        quarantine_record(rec, outcome);
+      }
+    }
+    const std::size_t chunk = batch.first / sweep.chunk_size;
+    if (sweep.remaining[chunk].fetch_sub(1) == 1) finish_chunk(sweep, chunk);
+  }
+}
+
+/// Decides whether the sweep routes to the sharded-batched path and
+/// returns its shard count (0 = disengaged).  Engages only for
+/// statistical-lanes sweeps whose batch size amortises the per-exchange
+/// barriers: a shared graph, a shard-supporting protocol with a batched
+/// kernel, more than one batch of trials, and either an explicit
+/// TrialConfig::shards >= 2 or — in auto mode — at least two threads and
+/// a graph of auto_shard_min_nodes or more.  The auto branch needs the
+/// graph's node count, so it materialises the shared graph once and
+/// repoints `graphs` at the prebuilt copy (the same idiom the scenario
+/// materialisation uses); every downstream path builds trial 0's graph
+/// from the identical seed, so the substitution is invisible.
+unsigned resolve_sharded_batch_shards(const GraphFactory*& graphs, GraphFactory& prebuilt,
+                                      const BeepProtocolFactory& protocols,
+                                      const TrialConfig& c) {
+  if (c.rng_mode != sim::BatchRngMode::kStatisticalLanes) return 0;
+  if (!c.allow_batched || !c.allow_sharded || !c.shared_graph) return 0;
+  if (c.sim.record_trace) return 0;
+  if (c.trials <= sim::kMaxBatchLanes) return 0;
+  if (c.shards == 1) return 0;
+  const unsigned threads = c.threads != 0
+                               ? c.threads
+                               : std::max(1u, std::thread::hardware_concurrency());
+  if (c.shards == 0 && threads < 2) return 0;
+  const std::unique_ptr<sim::BeepProtocol> probe = protocols();
+  if (!probe->shard_support().supported) return 0;
+  if (probe->make_batch_protocol(c.rng_mode) == nullptr) return 0;
+  // Explicit shard counts are requests: values beyond the simulator's
+  // ceiling throw at construction, exactly like the scalar-order sharded
+  // path.
+  if (c.shards >= 2) return c.shards;
+  auto rng = support::SeedSequence(c.base_seed).child(0).child(0).generator();
+  auto shared = std::make_shared<graph::Graph>((*graphs)(rng));
+  const std::size_t nodes = shared->node_count();
+  prebuilt = [shared = std::move(shared)](support::Xoshiro256StarStar&) { return *shared; };
+  graphs = &prebuilt;
+  if (nodes < c.auto_shard_min_nodes) return 0;
+  return std::min(threads, sim::ShardedBatchSimulator::kMaxShards);
+}
+
 /// Sharded execution paths (see TrialConfig::shards).  Returns true when a
 /// sharded path ran (filling the sweep state); false = use the
 /// scalar/batched paths.  Both sharded paths draw in scalar order, so
@@ -640,7 +757,20 @@ bool run_beep_trials_sharded(const GraphFactory& graphs, const BeepProtocolFacto
 /// scalar trial loop.  Callers route scenario configs before this point —
 /// only a materialised (or absent) scenario may reach it.
 void dispatch_beep_trials(const GraphFactory& graphs, const BeepProtocolFactory& protocols,
-                          const TrialConfig& config, SweepState& sweep) {
+                          const TrialConfig& config, SweepState& sweep,
+                          unsigned sharded_batch_k) {
+  // Sharded-batched path: every core and every lane at once.  Routed
+  // before the scalar-order sharded path because statistical mode is an
+  // explicit opt-in to a different sample (resolve_sharded_batch_shards
+  // gates on it), and its k is already folded into the journal's request
+  // hash.
+  if (sharded_batch_k > 0) {
+    const support::SeedSequence root(config.base_seed);
+    auto rng = root.child(0).child(0).generator();
+    const graph::Graph shared = graphs(rng);
+    run_beep_trials_sharded_batched(shared, protocols, config, sweep, sharded_batch_k);
+    return;
+  }
   // Sharded path: parallelism *within* one run (TrialConfig::shards).
   // Bit-identical to the scalar path, like the batched path below.
   if (run_beep_trials_sharded(graphs, protocols, config, sweep)) return;
@@ -754,15 +884,25 @@ TrialStats run_beep_trials(const GraphFactory& graphs, const BeepProtocolFactory
     fallback = "recovery tracking is scalar-only: batched/sharded fast paths refused";
   }
 
+  // The sharded-batched routing decision is part of the journal's request
+  // key (its shard count changes the statistical sample), so resolve it
+  // before the sweep state is initialised.
+  GraphFactory prebuilt_graphs;  // owns the auto-probe's shared graph
+  unsigned sharded_batch_k = 0;
+  if (!cfg.scenario && !cfg.sim.track_recovery) {
+    sharded_batch_k =
+        resolve_sharded_batch_shards(effective_graphs, prebuilt_graphs, protocols, cfg);
+  }
+
   // The request hash keys the journal to the routed config.  The scenario
   // materialisation above is a pure function of the caller's config, so an
   // interrupted invocation and its resume hash identical knobs (including
   // the materialised crash_round) and agree on the journal's request key.
   SweepState sweep;
-  init_sweep(sweep, cfg, /*local=*/false);
+  init_sweep(sweep, cfg, /*local=*/false, sharded_batch_k);
 
   if (!cfg.scenario && !cfg.sim.track_recovery) {
-    dispatch_beep_trials(*effective_graphs, protocols, cfg, sweep);
+    dispatch_beep_trials(*effective_graphs, protocols, cfg, sweep, sharded_batch_k);
   } else {
     // Forced-scalar path: each worker owns a private scenario instance
     // (fresh from the factory; BeepSimulator::run resets it every trial).

@@ -57,23 +57,32 @@ struct TrialConfig {
   /// batching ceiling and makes lossy tail-dominated sweeps batchable
   /// again.  TrialStats stay deterministic per (base_seed, trials, mode)
   /// and thread count, but are not comparable seed-for-seed with
-  /// kScalarOrder runs.  Only consulted on the batched path; scalar and
-  /// sharded execution always draw in scalar order.
+  /// kScalarOrder runs.  It also unlocks the sharded-batched path (see
+  /// `shards`); scalar and single-run sharded execution always draw in
+  /// scalar order.
   sim::BatchRngMode rng_mode = sim::BatchRngMode::kScalarOrder;
-  /// Shard-parallel execution of large single runs (sim/sharded.hpp).
-  /// 0 = auto: when exactly one trial is requested, the protocol declares
-  /// shard support (BeepProtocol::shard_support), no trace is recorded and
-  /// the trial's graph has at least `auto_shard_min_nodes` nodes, the run
-  /// executes across `threads` (default: hardware) shards.  1 = never.
-  /// >= 2 = force that shard count for every trial; the trial loop then
-  /// runs single-worker, since each trial already uses `shards` threads.
-  /// The sharded path draws in scalar order, so results are bit-identical
-  /// to the scalar path either way — callers never observe the switch.
+  /// Shard-parallel execution (sim/sharded.hpp, sim/sharded_batch.hpp).
+  /// 0 = auto: a lone trial on a graph of at least `auto_shard_min_nodes`
+  /// nodes runs on the scalar-order sharded simulator across `threads`
+  /// (default: hardware) shards, bit-identical to the scalar path; a
+  /// kStatisticalLanes sweep of more than one 64-trial batch on such a
+  /// graph runs sharded-batched — every batch swept by `threads` shards
+  /// at once.  1 = never.  >= 2 = force that shard count: scalar-order
+  /// sweeps run every trial on the sharded simulator (bit-identical to
+  /// scalar), and eligible kStatisticalLanes sweeps run sharded-batched.
+  /// Either way the outer trial loop goes single-worker, since each run
+  /// already uses `shards` threads.  Scalar-order shard routing never
+  /// changes the numbers; the sharded-batched path partitions the
+  /// statistical streams per (shard, lane), so its results are
+  /// deterministic per (base_seed, trials, shard count) but a different
+  /// sample than the unsharded statistical path — the same trade
+  /// kStatisticalLanes already made, one axis further.
   unsigned shards = 0;
-  /// Opt-out mirror of allow_batched for the sharded path.
+  /// Opt-out mirror of allow_batched for the sharded paths (both the
+  /// single-run scalar-order one and the sharded-batched one).
   bool allow_sharded = true;
-  /// Auto-sharding size threshold: below this a single run is too small
-  /// for the per-exchange barriers to pay off.  Exposed for tests.
+  /// Auto-sharding size threshold: below this a run is too small for the
+  /// per-exchange barriers to pay off.  Exposed for tests.
   std::size_t auto_shard_min_nodes = std::size_t{1} << 18;
   /// Fault scenario for every trial (see sim/scenario.hpp).  Set this —
   /// not SimConfig::scenario, which run_beep_trials rejects — so the

@@ -13,6 +13,14 @@ std::unique_ptr<sim::BatchProtocol> SelfHealingLocalFeedbackMis::make_batch_prot
   return std::make_unique<BatchSelfHealingMis>(config_, mode);
 }
 
+sim::ShardSupport SelfHealingLocalFeedbackMis::shard_support() const {
+  // Same draw contract as the base local-feedback protocol (one intent
+  // draw per active entry, none in the announcement exchange); the healing
+  // pass draws nothing and touches only per-node state inside the
+  // context's shard range.  The class is final, so no typeid guard needed.
+  return skeleton_shard_support();
+}
+
 SelfHealingLocalFeedbackMis::SelfHealingLocalFeedbackMis(SelfHealingConfig config)
     : LocalFeedbackMis(config.base), config_(config) {
   if (config_.silence_threshold == 0) {
@@ -24,15 +32,17 @@ void SelfHealingLocalFeedbackMis::on_reset(const graph::Graph& g,
                                            support::Xoshiro256StarStar& rng) {
   LocalFeedbackMis::on_reset(g, rng);
   silence_.assign(g.node_count(), 0);
-  reactivations_ = 0;
 }
 
 void SelfHealingLocalFeedbackMis::on_round_complete(sim::BeepContext& ctx) {
   // heard() reflects the announcement exchange, which includes the MIS
   // keep-alive beeps — a dominated node with a live dominator always
   // hears, so its silence counter stays at zero.
-  const graph::NodeId n = ctx.graph().node_count();
-  for (graph::NodeId v = 0; v < n; ++v) {
+  // Scan only this context's node range: the whole graph on the scalar
+  // path, one shard's slice on the sharded path (each shard heals its own
+  // nodes; a global scan would visit every node K times).
+  const graph::NodeId end = ctx.node_end();
+  for (graph::NodeId v = ctx.node_begin(); v < end; ++v) {
     if (ctx.status(v) != sim::NodeStatus::kDominated) continue;
     if (ctx.heard(v)) {
       silence_[v] = 0;
@@ -40,7 +50,6 @@ void SelfHealingLocalFeedbackMis::on_round_complete(sim::BeepContext& ctx) {
       silence_[v] = 0;
       set_probability(v, config_.base.initial_p_low);
       ctx.reactivate(v);
-      ++reactivations_;
     }
   }
 }

@@ -31,8 +31,6 @@ class SelfHealingLocalFeedbackMis final : public LocalFeedbackMis {
   explicit SelfHealingLocalFeedbackMis(SelfHealingConfig config = {});
 
   [[nodiscard]] std::string_view name() const override { return "local-feedback-healing"; }
-  /// Total reactivations over the run (observability for tests/benches).
-  [[nodiscard]] std::size_t reactivations() const noexcept { return reactivations_; }
 
   /// Batched 64-lane kernel (BatchSelfHealingMis).  Overrides the nullptr
   /// that LocalFeedbackMis's typeid guard hands to subclasses: the healing
@@ -43,6 +41,15 @@ class SelfHealingLocalFeedbackMis final : public LocalFeedbackMis {
   // The override hides the base's zero-arg convenience overload; re-expose.
   using sim::BeepProtocol::make_batch_protocol;
 
+  /// Sharded execution is supported: the healing pass is draw-free and
+  /// strictly per-node (silence counters, probability resets, reactivate
+  /// calls), and on_round_complete restricts its scan to the context's
+  /// [node_begin, node_end) range so each shard heals only its own slice.
+  /// Reactivation counts live in the simulator's mutation sink
+  /// (RunResult::reactivations), not protocol state, so no counter is
+  /// shared across shards.  Overrides the base's typeid refusal.
+  [[nodiscard]] sim::ShardSupport shard_support() const override;
+
  protected:
   void on_reset(const graph::Graph& g, support::Xoshiro256StarStar& rng) override;
   void on_round_complete(sim::BeepContext& ctx) override;
@@ -50,7 +57,6 @@ class SelfHealingLocalFeedbackMis final : public LocalFeedbackMis {
  private:
   SelfHealingConfig config_;
   std::vector<std::uint32_t> silence_;
-  std::size_t reactivations_ = 0;
 };
 
 }  // namespace beepmis::mis

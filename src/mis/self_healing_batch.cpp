@@ -20,7 +20,6 @@ void BatchSelfHealingMis::reset(const graph::Graph& g,
   BatchLocalFeedbackMis::reset(g, rngs);
   silence_.assign(static_cast<std::size_t>(g.node_count()) * lane_count(), 0);
   nonzero_.assign(g.node_count(), 0);
-  reactivations_.assign(lane_count(), 0);
 }
 
 void BatchSelfHealingMis::react(sim::BatchContext& ctx) {
@@ -37,10 +36,13 @@ void BatchSelfHealingMis::heal(sim::BatchContext& ctx) {
   // keep-alive beeps — a dominated node with a live dominator always
   // hears, so its silence counter stays at zero.  Lanes outside
   // running_mask are frozen: their scalar runs have already returned.
-  const graph::NodeId n = ctx.graph().node_count();
+  // Scan only this context's node range — the whole graph in the batched
+  // core, one shard's slice in the sharded-batched core (each shard heals
+  // its own nodes; reactivation counts accumulate in the context's sink).
   const LaneMask running = ctx.running_mask();
   const unsigned lanes = lane_count();
-  for (graph::NodeId v = 0; v < n; ++v) {
+  const graph::NodeId end = ctx.node_end();
+  for (graph::NodeId v = ctx.node_begin(); v < end; ++v) {
     const LaneMask dom = ctx.dominated_mask(v) & running;
     if (!dom) continue;
     const LaneMask heard = ctx.heard_mask(v);
@@ -65,7 +67,6 @@ void BatchSelfHealingMis::heal(sim::BatchContext& ctx) {
         pending &= ~bit;
         reset_lane_probability(v, l);
         renewed |= bit;
-        ++reactivations_[l];
       } else {
         pending |= bit;
       }

@@ -10,7 +10,8 @@
 // running_mask(): a lane that has left the round loop (its scalar run
 // returned) must freeze its counters and planes.  No RNG draws are
 // involved, so lane parity is pure state bookkeeping — pinned, including a
-// per-lane reactivation-count identity, by tests/test_batch_sim.cpp.
+// per-lane reactivation-count identity (RunResult::reactivations, counted
+// by the context's sink), by tests/test_batch_sim.cpp.
 #pragma once
 
 #include <cstdint>
@@ -30,12 +31,6 @@ class BatchSelfHealingMis final : public BatchLocalFeedbackMis {
     return "local-feedback-healing/batch";
   }
 
-  /// Lane l's total reactivations so far (scalar
-  /// SelfHealingLocalFeedbackMis::reactivations(), per lane).
-  [[nodiscard]] std::size_t reactivations(unsigned lane) const {
-    return reactivations_.at(lane);
-  }
-
   void reset(const graph::Graph& g,
              std::span<support::Xoshiro256StarStar> rngs) override;
   void react(sim::BatchContext& ctx) override;
@@ -52,7 +47,6 @@ class BatchSelfHealingMis final : public BatchLocalFeedbackMis {
   /// went silent or must reset a nonzero counter — one plane compare per
   /// node instead of a 64-iteration inner loop.
   std::vector<sim::LaneMask> nonzero_;
-  std::vector<std::size_t> reactivations_;  ///< per lane
 };
 
 }  // namespace beepmis::mis

@@ -4,86 +4,84 @@
 #include <bit>
 #include <stdexcept>
 
+#include "sim/exchange_core.hpp"
+#include "sim/flag_buffer.hpp"
+#include "support/phase_timer.hpp"
+
 namespace beepmis::sim {
 
-namespace {
-
-/// Dirty-list clearing for bitplanes, mirroring detail::clear_flags: when a
-/// large fraction of the plane is dirty a straight fill beats the scatter
-/// loop.
-void clear_planes(std::vector<LaneMask>& planes, std::vector<graph::NodeId>& dirty) {
-  if (dirty.size() >= planes.size() / 8) {
-    std::fill(planes.begin(), planes.end(), LaneMask{0});
-  } else {
-    for (const graph::NodeId v : dirty) planes[v] = 0;
-  }
-  dirty.clear();
-}
-
-}  // namespace
+// Plane clearing goes through the shared dirty-list policy in
+// sim/flag_buffer.hpp (templated over the flag value), and the wake/crash
+// loop, lane retirement, plane delivery, and result extraction live in
+// sim/exchange_core.hpp — this file is only the batched *front-end*:
+// context wiring, the per-exchange choreography, and the kScalarOrder
+// draw-order paths no other front-end shares.
 
 void BatchContext::join_mis(graph::NodeId v, LaneMask lanes) {
   if (phase_ != Phase::kReact) {
     throw std::logic_error("BatchContext::join_mis called outside the react phase");
   }
-  BatchSimulator& sim = *simulator_;
-  if (v >= sim.live_.size() || lanes == 0 || (lanes & ~sim.live_[v]) != 0) {
-    throw std::logic_error("BatchContext::join_mis outside the node's live lanes");
+  if (v < lo_ || v >= hi_ || lanes == 0 || (lanes & ~(*live_)[v]) != 0) {
+    throw std::logic_error(
+        "BatchContext::join_mis outside the node's live lanes or this shard's range");
   }
-  sim.live_[v] &= ~lanes;
-  sim.inmis_[v] |= lanes;
+  (*live_)[v] &= ~lanes;
+  (*inmis_)[v] |= lanes;
   for (LaneMask b = lanes; b != 0; b &= b - 1) {
     const unsigned l = static_cast<unsigned>(std::countr_zero(b));
-    --sim.active_count_[l];
-    sim.mis_lists_[l].push_back(v);  // per-lane join order, like the scalar core
+    --active_count_[l];
+    // Per-lane join order, like the scalar core (consumed by kScalarOrder
+    // lossy keep-alive; absent in the statistical-only sharded core).
+    if (mis_lists_ != nullptr) (*mis_lists_)[l].push_back(v);
   }
-  if (!sim.in_mis_union_[v]) {
-    sim.in_mis_union_[v] = 1;
-    sim.mis_union_.push_back(v);
+  if (in_mis_union_ == nullptr) {
+    // Per-shard new-joins list: the coordinator merges and dedups into the
+    // global union at the round boundary.
+    mis_joins_->push_back(v);
+  } else if (!(*in_mis_union_)[v]) {
+    (*in_mis_union_)[v] = 1;
+    mis_joins_->push_back(v);
   }
-  sim.mis_hear_valid_ = false;
+  *mis_hear_valid_ = false;
 }
 
 void BatchContext::deactivate(graph::NodeId v, LaneMask lanes) {
   if (phase_ != Phase::kReact) {
     throw std::logic_error("BatchContext::deactivate called outside the react phase");
   }
-  BatchSimulator& sim = *simulator_;
-  if (v >= sim.live_.size() || lanes == 0 || (lanes & ~sim.live_[v]) != 0) {
-    throw std::logic_error("BatchContext::deactivate outside the node's live lanes");
+  if (v < lo_ || v >= hi_ || lanes == 0 || (lanes & ~(*live_)[v]) != 0) {
+    throw std::logic_error(
+        "BatchContext::deactivate outside the node's live lanes or this shard's range");
   }
-  sim.live_[v] &= ~lanes;
-  sim.dominated_[v] |= lanes;
+  (*live_)[v] &= ~lanes;
+  (*dominated_)[v] |= lanes;
   for (LaneMask b = lanes; b != 0; b &= b - 1) {
-    --sim.active_count_[std::countr_zero(b)];
+    --active_count_[std::countr_zero(b)];
   }
 }
-
-LaneMask BatchContext::dominated_mask(graph::NodeId v) const {
-  return simulator_->dominated_[v];
-}
-
-LaneMask BatchContext::running_mask() const noexcept { return simulator_->running_; }
 
 void BatchContext::reactivate(graph::NodeId v, LaneMask lanes) {
   if (phase_ != Phase::kReact) {
     throw std::logic_error("BatchContext::reactivate called outside the react phase");
   }
-  BatchSimulator& sim = *simulator_;
-  if (v >= sim.dominated_.size() || lanes == 0 || (lanes & ~sim.dominated_[v]) != 0) {
-    throw std::logic_error("BatchContext::reactivate outside the node's dominated lanes");
+  if (v < lo_ || v >= hi_ || lanes == 0 || (lanes & ~(*dominated_)[v]) != 0) {
+    throw std::logic_error(
+        "BatchContext::reactivate outside the node's dominated lanes or this shard's "
+        "range");
   }
   // A lane that left the round loop has frozen planes; reactivating into it
   // would corrupt the lane's already-final RunResult.
-  if ((lanes & ~sim.running_) != 0) {
+  if ((lanes & ~*running_) != 0) {
     throw std::logic_error("BatchContext::reactivate on a terminated lane");
   }
-  sim.dominated_[v] &= ~lanes;
-  sim.live_[v] |= lanes;
+  (*dominated_)[v] &= ~lanes;
+  (*live_)[v] |= lanes;
   for (LaneMask b = lanes; b != 0; b &= b - 1) {
-    ++sim.active_count_[std::countr_zero(b)];
+    const unsigned l = static_cast<unsigned>(std::countr_zero(b));
+    ++active_count_[l];
+    ++reactivation_counts_[l];
   }
-  sim.reactivated_.push_back(v);
+  reactivated_->push_back(v);
 }
 
 BatchSimulator::BatchSimulator(SimConfig config, BatchRngMode rng_mode)
@@ -121,71 +119,14 @@ void BatchSimulator::bind_graph(const graph::Graph& g) {
     throw std::invalid_argument("SimConfig: crash_round size must match the graph");
   }
   graph_ = &g;
-
-  initial_active_.clear();
-  pending_wakeups_.clear();
-  for (graph::NodeId v = 0; v < n; ++v) {
-    if (config_.wake_round.empty() || config_.wake_round[v] == 0) {
-      initial_active_.push_back(v);
-    } else {
-      pending_wakeups_.emplace_back(config_.wake_round[v], v);
-    }
-  }
-  std::sort(pending_wakeups_.begin(), pending_wakeups_.end());
-
-  pending_crashes_.clear();
-  if (!config_.crash_round.empty()) {
-    for (graph::NodeId v = 0; v < n; ++v) {
-      pending_crashes_.emplace_back(config_.crash_round[v], v);
-    }
-    std::sort(pending_crashes_.begin(), pending_crashes_.end());
-  }
+  faults_ = detail::build_fault_schedule(config_.wake_round, config_.crash_round, 0, n);
   bound_node_count_ = n;
 }
 
 void BatchSimulator::apply_wakeups_and_crashes() {
-  bool active_dirty = false;
-  while (next_wakeup_ < pending_wakeups_.size() &&
-         pending_wakeups_[next_wakeup_].first <= round_) {
-    const graph::NodeId v = pending_wakeups_[next_wakeup_].second;
-    ++next_wakeup_;
-    // A sleeper can only be kActive or kCrashed; scalar drops the crashed.
-    const LaneMask add = running_ & ~crashed_[v];
-    if (!add) continue;
-    live_[v] |= add;
-    for (LaneMask b = add; b != 0; b &= b - 1) {
-      ++active_count_[std::countr_zero(b)];
-    }
-    if (!in_active_[v]) {
-      in_active_[v] = 1;
-      active_.push_back(v);
-      active_dirty = true;
-    }
-  }
-  if (active_dirty) std::sort(active_.begin(), active_.end());
-
-  LaneMask mis_crashed = 0;
-  while (next_crash_ < pending_crashes_.size() &&
-         pending_crashes_[next_crash_].first <= round_) {
-    const graph::NodeId v = pending_crashes_[next_crash_].second;
-    ++next_crash_;
-    const LaneMask hit = running_ & ~crashed_[v];
-    if (!hit) continue;
-    crashed_[v] |= hit;
-    const LaneMask hit_live = hit & live_[v];
-    if (hit_live) {
-      live_[v] &= ~hit_live;
-      for (LaneMask b = hit_live; b != 0; b &= b - 1) {
-        --active_count_[std::countr_zero(b)];
-      }
-    }
-    const LaneMask hit_mis = hit & inmis_[v];
-    if (hit_mis) {
-      inmis_[v] &= ~hit_mis;
-      mis_crashed |= hit_mis;
-    }
-    dominated_[v] &= ~hit;
-  }
+  const LaneMask mis_crashed = detail::apply_plane_fault_events(
+      faults_, fault_cursor_, round_, running_, live_, inmis_, dominated_, crashed_,
+      active_, in_active_, active_count_.data());
   if (mis_crashed) {
     // A crashed member falls out of its lane's keep-alive frontier the
     // round it fails, exactly like the scalar mis_nodes_ compaction.
@@ -205,7 +146,7 @@ void BatchSimulator::apply_wakeups_and_crashes() {
 }
 
 void BatchSimulator::deliver_beeps() {
-  clear_planes(heard_, heard_dirty_);
+  detail::clear_flags(heard_, heard_dirty_);
 
   const bool lossy = config_.beep_loss_probability > 0.0;
   const double keep = 1.0 - config_.beep_loss_probability;
@@ -214,38 +155,21 @@ void BatchSimulator::deliver_beeps() {
   if (!std::is_sorted(beepers_.begin(), beepers_.end())) {
     std::sort(beepers_.begin(), beepers_.end());
   }
+  const auto full_adjacency = [this](graph::NodeId v) { return graph_->neighbors(v); };
   if (!lossy) {
     // The batched payoff: one CSR pass serves every lane via OR-accumulation.
-    for (const graph::NodeId v : beepers_) {
-      const LaneMask m = beeped_[v];
-      for (const graph::NodeId w : graph_->neighbors(v)) {
-        const LaneMask old = heard_[w];
-        if (!old) heard_dirty_.push_back(w);
-        heard_[w] = old | m;
-      }
-    }
+    detail::deliver_planes(beepers_, beeped_, full_adjacency, heard_, heard_dirty_);
     if (config_.mis_keepalive) {
       // Join order is irrelevant on a reliable channel (no draws), so one
       // cached (listener, lane-mask) list — re-derived only when some
       // lane's MIS changed — serves every lane per exchange.
       if (!mis_hear_valid_) {
-        for (const graph::NodeId w : mis_hear_) mis_hear_mask_[w] = 0;
-        mis_hear_.clear();
-        for (const graph::NodeId v : mis_union_) {
-          const LaneMask m = inmis_[v];
-          if (!m) continue;
-          for (const graph::NodeId w : graph_->neighbors(v)) {
-            if (!mis_hear_mask_[w]) mis_hear_.push_back(w);
-            mis_hear_mask_[w] |= m;
-          }
-        }
+        detail::rebuild_mis_hear_planes(
+            mis_union_, [this](graph::NodeId v) { return inmis_[v]; }, full_adjacency,
+            mis_hear_mask_, mis_hear_);
         mis_hear_valid_ = true;
       }
-      for (const graph::NodeId w : mis_hear_) {
-        const LaneMask old = heard_[w];
-        if (!old) heard_dirty_.push_back(w);
-        heard_[w] = old | mis_hear_mask_[w];
-      }
+      detail::apply_mis_hear_planes(mis_hear_, mis_hear_mask_, heard_, heard_dirty_);
     }
     return;
   }
@@ -257,33 +181,14 @@ void BatchSimulator::deliver_beeps() {
     // back above 1x (BENCH_core.json).  Keep-alive needs no join-order
     // iteration either: the union MIS in ascending order has the same
     // per-lane marginals.
-    const LaneMask running = running_;
-    for (const graph::NodeId v : beepers_) {
-      const LaneMask m = beeped_[v];
-      for (const graph::NodeId w : graph_->neighbors(v)) {
-        const LaneMask avail = m & ~heard_[w];
-        if (!avail) continue;
-        const LaneMask got = bernoulli_plane(keep, avail);
-        if (got) {
-          if (!heard_[w]) heard_dirty_.push_back(w);
-          heard_[w] |= got;
-        }
-      }
-    }
+    detail::deliver_planes_lossy(
+        beepers_, [this](graph::NodeId v) { return beeped_[v]; }, full_adjacency, keep,
+        bulk_rng_, heard_, heard_dirty_);
     if (config_.mis_keepalive) {
-      for (const graph::NodeId v : mis_union_) {
-        const LaneMask m = inmis_[v] & running;
-        if (!m) continue;
-        for (const graph::NodeId w : graph_->neighbors(v)) {
-          const LaneMask avail = m & ~heard_[w];
-          if (!avail) continue;
-          const LaneMask got = bernoulli_plane(keep, avail);
-          if (got) {
-            if (!heard_[w]) heard_dirty_.push_back(w);
-            heard_[w] |= got;
-          }
-        }
-      }
+      const LaneMask running = running_;
+      detail::deliver_planes_lossy(
+          mis_union_, [this, running](graph::NodeId v) { return inmis_[v] & running; },
+          full_adjacency, keep, bulk_rng_, heard_, heard_dirty_);
     }
     return;
   }
@@ -291,7 +196,9 @@ void BatchSimulator::deliver_beeps() {
   // Lossy channel, scalar order: every potential (beeper -> not-yet-hearing
   // listener) delivery consumes exactly one Bernoulli draw from that
   // lane's RNG, in the scalar iteration order (ascending beepers, CSR
-  // neighbour order).
+  // neighbour order).  This path is the one piece of delivery no other
+  // front-end shares — the draw interleaving across lanes has no scalar
+  // analogue.
   for (const graph::NodeId v : beepers_) {
     const LaneMask m = beeped_[v];
     for (const graph::NodeId w : graph_->neighbors(v)) {
@@ -329,11 +236,7 @@ void BatchSimulator::deliver_beeps() {
 }
 
 void BatchSimulator::compact_active() {
-  std::erase_if(active_, [this](graph::NodeId v) {
-    if (live_[v] != 0) return false;
-    in_active_[v] = 0;
-    return true;
-  });
+  detail::compact_plane_active(active_, in_active_, live_);
 }
 
 std::vector<RunResult> BatchSimulator::run(const graph::Graph& g, BatchProtocol& protocol,
@@ -375,6 +278,10 @@ std::vector<RunResult> BatchSimulator::run(const graph::Graph& g, BatchProtocol&
 std::vector<RunResult> BatchSimulator::run_lanes(
     const graph::Graph& g, BatchProtocol& protocol,
     std::vector<support::Xoshiro256StarStar> rngs) {
+  BEEPMIS_STM_DECLARE(faults, "batch/faults");
+  BEEPMIS_STM_DECLARE(emit, "batch/emit");
+  BEEPMIS_STM_DECLARE(deliver, "batch/deliver");
+  BEEPMIS_STM_DECLARE(react, "batch/react");
   const unsigned lanes = static_cast<unsigned>(rngs.size());
   if (lanes == 0 || lanes > kMaxBatchLanes) {
     throw std::invalid_argument("BatchSimulator::run: need 1..64 lane RNGs");
@@ -404,17 +311,17 @@ std::vector<RunResult> BatchSimulator::run_lanes(
   mis_hear_valid_ = false;
   reactivated_.clear();
   beep_counts_.assign(static_cast<std::size_t>(n) * lanes, 0);
+  reactivation_counts_.assign(lanes, 0);
   mis_lists_.resize(lanes);
   for (auto& list : mis_lists_) list.clear();
-  active_count_.assign(lanes, static_cast<std::uint32_t>(initial_active_.size()));
+  active_count_.assign(lanes, static_cast<std::uint32_t>(faults_.initial_active.size()));
   lane_rounds_.assign(lanes, 0);
   running_ = all_lanes;
   terminated_ = 0;
-  next_wakeup_ = 0;
-  next_crash_ = 0;
+  fault_cursor_ = {};
   round_ = 0;
 
-  active_ = initial_active_;
+  active_ = faults_.initial_active;
   for (const graph::NodeId v : active_) {
     in_active_[v] = 1;
     live_[v] = all_lanes;
@@ -428,10 +335,26 @@ std::vector<RunResult> BatchSimulator::run_lanes(
   ctx.graph_ = graph_;
   ctx.active_ = &active_;
   ctx.live_ = &live_;
+  ctx.inmis_ = &inmis_;
+  ctx.dominated_ = &dominated_;
   ctx.beeped_ = &beeped_;
+  ctx.prev_beeped_ = &prev_beeped_;
   ctx.heard_ = &heard_;
+  ctx.beepers_ = &beepers_;
+  ctx.beep_counts_ = beep_counts_.data();
+  ctx.active_count_ = active_count_.data();
+  ctx.mis_lists_ = &mis_lists_;
+  ctx.mis_joins_ = &mis_union_;
+  ctx.in_mis_union_ = &in_mis_union_;
+  ctx.mis_hear_valid_ = &mis_hear_valid_;
+  ctx.reactivated_ = &reactivated_;
+  ctx.reactivation_counts_ = reactivation_counts_.data();
+  ctx.running_ = &running_;
+  ctx.bulk_rng_ = &bulk_rng_;
   ctx.rngs_ = &rngs_;
-  ctx.simulator_ = this;
+  ctx.rng_mode_ = rng_mode_;
+  ctx.lo_ = 0;
+  ctx.hi_ = n;
   ctx.lane_count_ = lanes;
 
   while (running_ != 0) {
@@ -440,52 +363,42 @@ std::vector<RunResult> BatchSimulator::run_lanes(
       throw RunCancelled("BatchSimulator::run: deadline expired at round " +
                          std::to_string(round_));
     }
-    // Per-lane mirror of the scalar while-condition, evaluated before the
-    // round body: a lane leaves the loop (and freezes its planes and RNG)
-    // exactly when its scalar run would.
-    const bool wakeups_pending = next_wakeup_ < pending_wakeups_.size();
-    if (!wakeups_pending && round_ >= config_.run_until_round) {
-      LaneMask done = 0;
-      for (LaneMask b = running_; b != 0; b &= b - 1) {
-        const unsigned l = static_cast<unsigned>(std::countr_zero(b));
-        if (active_count_[l] == 0) {
-          done |= LaneMask{1} << l;
-          lane_rounds_[l] = round_;
-        }
-      }
-      terminated_ |= done;
-      running_ &= ~done;
-    }
-    if (round_ >= config_.max_rounds) {
-      for (LaneMask b = running_; b != 0; b &= b - 1) {
-        const unsigned l = static_cast<unsigned>(std::countr_zero(b));
-        lane_rounds_[l] = round_;
-        if (active_count_[l] == 0 && !wakeups_pending) terminated_ |= LaneMask{1} << l;
-      }
-      running_ = 0;
-    }
+    const bool wakeups_pending = fault_cursor_.next_wakeup < faults_.wakeups.size();
+    detail::retire_finished_lanes(round_, config_.run_until_round, config_.max_rounds,
+                                  wakeups_pending, active_count_.data(),
+                                  lane_rounds_.data(), running_, terminated_);
     if (running_ == 0) break;
 
-    apply_wakeups_and_crashes();
+    {
+      BEEPMIS_STM_START(faults);
+      apply_wakeups_and_crashes();
+      BEEPMIS_STM_STOP(faults);
+    }
 
     for (exchange_ = 0; exchange_ < exchanges; ++exchange_) {
       if (exchange_ == 0) {
-        clear_planes(prev_beeped_, prev_beepers_);
+        detail::clear_flags(prev_beeped_, prev_beepers_);
       } else {
         beeped_.swap(prev_beeped_);
         beepers_.swap(prev_beepers_);
       }
-      clear_planes(beeped_, beepers_);
+      detail::clear_flags(beeped_, beepers_);
       ctx.round_ = round_;
       ctx.exchange_ = exchange_;
 
       ctx.phase_ = BatchContext::Phase::kEmit;
+      BEEPMIS_STM_START(emit);
       protocol.emit(ctx);
+      BEEPMIS_STM_STOP(emit);
 
+      BEEPMIS_STM_START(deliver);
       deliver_beeps();
+      BEEPMIS_STM_STOP(deliver);
 
       ctx.phase_ = BatchContext::Phase::kReact;
+      BEEPMIS_STM_START(react);
       protocol.react(ctx);
+      BEEPMIS_STM_STOP(react);
     }
     compact_active();
     if (!reactivated_.empty()) {
@@ -503,42 +416,9 @@ std::vector<RunResult> BatchSimulator::run_lanes(
     ++round_;
   }
 
-  std::vector<RunResult> results(lanes);
-  for (unsigned l = 0; l < lanes; ++l) {
-    const LaneMask bit = LaneMask{1} << l;
-    RunResult& r = results[l];
-    r.terminated = (terminated_ & bit) != 0;
-    r.rounds = lane_rounds_[l];
-    r.status.resize(n);
-    r.beep_counts.resize(n);
-  }
-  // Node-major extraction: the node-major beep_counts_ and the planes are
-  // each read once sequentially; lane-major order would stride through the
-  // count array 64 times.
-  for (graph::NodeId v = 0; v < n; ++v) {
-    const LaneMask cr = crashed_[v];
-    const LaneMask im = inmis_[v];
-    const LaneMask dm = dominated_[v];
-    const std::uint32_t* counts = &beep_counts_[static_cast<std::size_t>(v) * lanes];
-    for (unsigned l = 0; l < lanes; ++l) {
-      const LaneMask bit = LaneMask{1} << l;
-      NodeStatus s = NodeStatus::kActive;
-      if (cr & bit) {
-        s = NodeStatus::kCrashed;
-      } else if (im & bit) {
-        s = NodeStatus::kInMis;
-      } else if (dm & bit) {
-        s = NodeStatus::kDominated;
-      }
-      results[l].status[v] = s;
-      results[l].beep_counts[v] = counts[l];
-      // Per-lane episode totals are the per-node counts summed, so they
-      // are derived here instead of a second scatter increment per
-      // episode in BatchContext::beep.
-      results[l].total_beeps += counts[l];
-    }
-  }
-  return results;
+  return detail::extract_lane_results(n, lanes, crashed_, inmis_, dominated_,
+                                      beep_counts_.data(), terminated_,
+                                      lane_rounds_.data(), reactivation_counts_.data());
 }
 
 }  // namespace beepmis::sim

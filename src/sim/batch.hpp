@@ -47,21 +47,24 @@
 
 #include "graph/graph.hpp"
 #include "sim/beep.hpp"
+#include "sim/exchange_core.hpp"
 #include "sim/result.hpp"
 #include "support/rng.hpp"
 
 namespace beepmis::sim {
 
-/// Width of the bitplanes: one bit per concurrent trial.
-inline constexpr unsigned kMaxBatchLanes = 64;
-
-/// One bit per lane; bit l belongs to trial lane l.
-using LaneMask = std::uint64_t;
+// kMaxBatchLanes and LaneMask live in sim/exchange_core.hpp (included
+// above) alongside the plane half of the exchange engine.
 
 class BatchSimulator;
+class ShardedBatchSimulator;
 
 /// Per-exchange view handed to batched protocols.  Mirrors BeepContext but
-/// every query answers for all lanes at once via a LaneMask.
+/// every query answers for all lanes at once via a LaneMask.  Like the
+/// scalar context it is wired at a *sink*: the batched front-end wires one
+/// context covering [0, n); the sharded-batched front-end wires one per
+/// Partition slice, which is what lets K shards run one kernel's
+/// emit/react concurrently over disjoint node ranges.
 class BatchContext {
  public:
   [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
@@ -76,6 +79,14 @@ class BatchContext {
     return *active_;
   }
 
+  /// The id range [node_begin, node_end) this context may mutate: the whole
+  /// graph in the batched core, one shard's slice in the sharded-batched
+  /// core.  Kernels whose react scans *all* nodes (not just active ones —
+  /// e.g. self-healing silence counters) must restrict that scan to this
+  /// range or the sharded-batched core would visit each node K times.
+  [[nodiscard]] graph::NodeId node_begin() const noexcept { return lo_; }
+  [[nodiscard]] graph::NodeId node_end() const noexcept { return hi_; }
+
   /// Lanes in which v is active and awake (i.e. on lane l's active list).
   [[nodiscard]] LaneMask live_mask(graph::NodeId v) const { return (*live_)[v]; }
   /// Lanes in which v beeped this exchange (valid during react).
@@ -85,13 +96,13 @@ class BatchContext {
   [[nodiscard]] LaneMask heard_mask(graph::NodeId v) const { return (*heard_)[v]; }
   /// Lanes in which v is dominated (maintenance protocols inspect these
   /// between the usual frontier sweeps; crashed lanes are never dominated).
-  [[nodiscard]] LaneMask dominated_mask(graph::NodeId v) const;
+  [[nodiscard]] LaneMask dominated_mask(graph::NodeId v) const { return (*dominated_)[v]; }
   /// Lanes still executing their round loop.  A lane that left the loop
   /// (scalar termination point) has frozen planes; maintenance protocols
   /// must mask any state they keep per round — silence counters,
   /// reactivations — with this, or they would keep mutating lanes whose
   /// scalar run has already returned.
-  [[nodiscard]] LaneMask running_mask() const noexcept;
+  [[nodiscard]] LaneMask running_mask() const noexcept { return *running_; }
 
   /// Emit-phase only: v beeps in `lanes` (must be a subset of live_mask(v)).
   /// Beep-episode accounting matches the scalar core: a lane's beep
@@ -118,7 +129,7 @@ class BatchContext {
 
   /// The simulator's draw-entropy mode; kernels that vectorise draws must
   /// branch on this (the bulk-plane APIs below throw in kScalarOrder).
-  [[nodiscard]] BatchRngMode rng_mode() const noexcept;
+  [[nodiscard]] BatchRngMode rng_mode() const noexcept { return rng_mode_; }
 
   // --- Bulk-plane draws (kStatisticalLanes only) -----------------------
   // One shared stream serves all lanes: every call consumes whole 64-bit
@@ -145,15 +156,46 @@ class BatchContext {
 
  private:
   friend class BatchSimulator;
+  friend class ShardedBatchSimulator;
   enum class Phase { kEmit, kReact };
 
+  // The context is a bundle of direct pointers into its front-end's
+  // bookkeeping (no simulator backpointer): the batched core wires one
+  // context at its global arrays; the sharded-batched core wires one per
+  // shard, pointing the mutable lists (beepers, joins, reactivations,
+  // active counts) at per-shard storage while the planes stay global
+  // (each shard writes only its own [lo, hi) rows).
   const graph::Graph* graph_ = nullptr;
   const std::vector<graph::NodeId>* active_ = nullptr;
-  const std::vector<LaneMask>* live_ = nullptr;
-  const std::vector<LaneMask>* beeped_ = nullptr;
+  std::vector<LaneMask>* live_ = nullptr;
+  std::vector<LaneMask>* inmis_ = nullptr;
+  std::vector<LaneMask>* dominated_ = nullptr;
+  std::vector<LaneMask>* beeped_ = nullptr;
+  const std::vector<LaneMask>* prev_beeped_ = nullptr;
   const std::vector<LaneMask>* heard_ = nullptr;
+  std::vector<graph::NodeId>* beepers_ = nullptr;
+  std::uint32_t* beep_counts_ = nullptr;  ///< node-major, lane_count_ stride
+  std::uint32_t* active_count_ = nullptr;  ///< per-lane, this context's slice
+  /// Per-lane live-MIS join-order lists; nullptr when the front-end does
+  /// not maintain them (the sharded-batched core is statistical-only, so
+  /// nothing consumes join order).
+  std::vector<std::vector<graph::NodeId>>* mis_lists_ = nullptr;
+  /// Where join_mis records new members: the global union list (batched
+  /// core, deduplicated through in_mis_union_) or a per-shard new-joins
+  /// list merged at the round boundary (sharded-batched core, dedup at the
+  /// coordinator; in_mis_union_ is nullptr there).
+  std::vector<graph::NodeId>* mis_joins_ = nullptr;
+  std::vector<std::uint8_t>* in_mis_union_ = nullptr;
+  bool* mis_hear_valid_ = nullptr;
+  std::vector<graph::NodeId>* reactivated_ = nullptr;
+  std::uint64_t* reactivation_counts_ = nullptr;  ///< per-lane
+  const LaneMask* running_ = nullptr;
+  /// Bulk-plane stream (kStatisticalLanes): the batched core's base
+  /// stream, or this shard's own bulk stream in the sharded-batched core.
+  support::Xoshiro256StarStar* bulk_rng_ = nullptr;
   std::vector<support::Xoshiro256StarStar>* rngs_ = nullptr;
-  BatchSimulator* simulator_ = nullptr;
+  BatchRngMode rng_mode_ = BatchRngMode::kScalarOrder;
+  graph::NodeId lo_ = 0, hi_ = 0;
   std::size_t round_ = 0;
   unsigned exchange_ = 0;
   unsigned lane_count_ = 0;
@@ -226,11 +268,6 @@ class BatchSimulator {
       const graph::Graph& g, BatchProtocol& protocol,
       std::vector<support::Xoshiro256StarStar> rngs);
 
-  // Bulk-plane draws from bulk_rng_ (kStatisticalLanes; see BatchContext).
-  [[nodiscard]] LaneMask random_plane() noexcept { return bulk_rng_(); }
-  [[nodiscard]] LaneMask bernoulli_plane_pow2(unsigned k, LaneMask lanes) noexcept;
-  [[nodiscard]] LaneMask bernoulli_plane(double p, LaneMask lanes) noexcept;
-
   const graph::Graph* graph_ = nullptr;
   SimConfig config_;
   BatchRngMode rng_mode_ = BatchRngMode::kScalarOrder;
@@ -240,12 +277,12 @@ class BatchSimulator {
   support::Xoshiro256StarStar bulk_rng_{0};
   unsigned lane_count_ = 0;
 
-  // Fault schedules, presorted by (round, node) once per graph binding;
-  // identical in shape to the scalar simulator's (the schedule is part of
-  // SimConfig and therefore shared by every lane).
-  std::vector<std::pair<std::uint32_t, graph::NodeId>> pending_wakeups_;
-  std::vector<std::pair<std::uint32_t, graph::NodeId>> pending_crashes_;
-  std::vector<graph::NodeId> initial_active_;
+  /// Fault schedule (presorted events + round-0 frontier), built once per
+  /// graph binding — the same detail::FaultSchedule the scalar and sharded
+  /// cores walk; the schedule is part of SimConfig and therefore shared by
+  /// every lane.
+  detail::FaultSchedule faults_;
+  detail::FaultCursor fault_cursor_;
   graph::NodeId bound_node_count_ = 0;
 
   // Per-node bitplanes (bit l = lane l's flag).
@@ -284,11 +321,10 @@ class BatchSimulator {
   std::vector<std::size_t> lane_rounds_;
   /// Per-(node, lane) beep episodes, node-major: beep_counts_[v * lanes + l].
   std::vector<std::uint32_t> beep_counts_;
+  std::vector<std::uint64_t> reactivation_counts_;  ///< per lane (self-healing)
   LaneMask running_ = 0;     ///< lanes still executing their round loop
   LaneMask terminated_ = 0;  ///< lanes that finished with an empty active set
 
-  std::size_t next_wakeup_ = 0;
-  std::size_t next_crash_ = 0;
   std::size_t round_ = 0;
   unsigned exchange_ = 0;
 };
@@ -296,94 +332,50 @@ class BatchSimulator {
 // --- Inline hot paths -------------------------------------------------------
 // BatchContext::beep and the bulk-plane draws run once per (node, exchange)
 // or per exponent chunk in the kernel sweeps; defining them here lets the
-// kernel translation units inline them (they need the complete
-// BatchSimulator, so they live below both classes).
-
-inline BatchRngMode BatchContext::rng_mode() const noexcept {
-  return simulator_->rng_mode_;
-}
-
-inline LaneMask BatchSimulator::bernoulli_plane_pow2(unsigned k, LaneMask lanes) noexcept {
-  // AND of k uniform planes: a lane's bit survives all k only with
-  // probability 2^-k.  Early exit at the empty plane is distribution-exact
-  // (further ANDs cannot resurrect a bit) and bounds the expected work at
-  // ~log2(lanes) draws.  k >= 1075 mirrors bernoulli_pow2's underflow
-  // endpoint: the draw can never fire (and, unlike the scalar contract,
-  // nothing obliges us to consume outputs for it).
-  if (k >= 1075) return 0;
-  LaneMask plane = lanes;
-  for (unsigned i = 0; i < k && plane != 0; ++i) plane &= bulk_rng_();
-  return plane;
-}
-
-inline LaneMask BatchSimulator::bernoulli_plane(double p, LaneMask lanes) noexcept {
-  if (p <= 0.0) return 0;
-  if (p >= 1.0) return lanes;
-  // Arithmetic-decoding Bernoulli: walk the binary expansion of p msb
-  // first; each plane supplies one uniform bit per undecided lane, and the
-  // first position where a lane's bit differs from p's bit decides it
-  // (lane bit 0 under p bit 1 => its uniform lies below p).  Exact for
-  // every double p, and all 64 lanes resolve in ~log2(lanes) + 2 expected
-  // planes.  Once p's remaining bits are all zero, an undecided lane's
-  // uniform prefix equals p, so the uniform is >= p: failure.
-  LaneMask undecided = lanes;
-  LaneMask result = 0;
-  while (undecided != 0) {
-    p += p;
-    const bool bit = p >= 1.0;
-    if (bit) p -= 1.0;
-    const LaneMask r = bulk_rng_();
-    if (bit) {
-      result |= undecided & ~r;
-      undecided &= r;
-    } else {
-      undecided &= ~r;
-    }
-    if (p == 0.0) break;
-  }
-  return result;
-}
+// kernel translation units inline them.  The plane arithmetic itself lives
+// in sim/exchange_core.hpp (detail::plane_bernoulli*), shared with the
+// sharded-batched front-end; these wrappers add only the mode check.
 
 inline LaneMask BatchContext::random_plane() {
-  if (simulator_->rng_mode_ != BatchRngMode::kStatisticalLanes) {
+  if (rng_mode_ != BatchRngMode::kStatisticalLanes) {
     throw std::logic_error("BatchContext::random_plane requires kStatisticalLanes");
   }
-  return simulator_->random_plane();
+  return (*bulk_rng_)();
 }
 
 inline LaneMask BatchContext::bernoulli_plane_pow2(unsigned k, LaneMask lanes) {
-  if (simulator_->rng_mode_ != BatchRngMode::kStatisticalLanes) {
+  if (rng_mode_ != BatchRngMode::kStatisticalLanes) {
     throw std::logic_error("BatchContext::bernoulli_plane_pow2 requires kStatisticalLanes");
   }
-  return simulator_->bernoulli_plane_pow2(k, lanes);
+  return detail::plane_bernoulli_pow2(*bulk_rng_, k, lanes);
 }
 
 inline LaneMask BatchContext::bernoulli_plane(double p, LaneMask lanes) {
-  if (simulator_->rng_mode_ != BatchRngMode::kStatisticalLanes) {
+  if (rng_mode_ != BatchRngMode::kStatisticalLanes) {
     throw std::logic_error("BatchContext::bernoulli_plane requires kStatisticalLanes");
   }
-  return simulator_->bernoulli_plane(p, lanes);
+  return detail::plane_bernoulli(*bulk_rng_, p, lanes);
 }
 
 inline void BatchContext::beep(graph::NodeId v, LaneMask lanes) {
   if (phase_ != Phase::kEmit) {
     throw std::logic_error("BatchContext::beep called outside the emit phase");
   }
-  BatchSimulator& sim = *simulator_;
-  if (v >= sim.live_.size() || (lanes & ~sim.live_[v]) != 0) {
-    throw std::logic_error("BatchContext::beep outside the node's live lanes");
+  if (v < lo_ || v >= hi_ || (lanes & ~(*live_)[v]) != 0) {
+    throw std::logic_error(
+        "BatchContext::beep outside the node's live lanes or this shard's range");
   }
-  LaneMask& plane = sim.beeped_[v];
+  LaneMask& plane = (*beeped_)[v];
   const LaneMask fresh = lanes & ~plane;
   if (!fresh) return;
-  if (!plane) sim.beepers_.push_back(v);
+  if (!plane) beepers_->push_back(v);
   plane |= fresh;
   // Scalar episode rule: a beep continuing from the previous exchange of
   // the same round is one signal episode, not two.  Per-lane episode
   // *totals* are derived from these counts at extraction time, so each
   // episode costs exactly one scatter increment here.
-  std::uint32_t* counts = &sim.beep_counts_[static_cast<std::size_t>(v) * sim.lane_count_];
-  for (LaneMask b = fresh & ~sim.prev_beeped_[v]; b != 0; b &= b - 1) {
+  std::uint32_t* counts = &beep_counts_[static_cast<std::size_t>(v) * lane_count_];
+  for (LaneMask b = fresh & ~(*prev_beeped_)[v]; b != 0; b &= b - 1) {
     ++counts[std::countr_zero(b)];
   }
 }

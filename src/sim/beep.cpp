@@ -7,6 +7,7 @@
 #include "sim/batch.hpp"
 #include "sim/exchange_core.hpp"
 #include "sim/flag_buffer.hpp"
+#include "support/phase_timer.hpp"
 
 namespace beepmis::sim {
 
@@ -94,6 +95,7 @@ void BeepContext::reactivate(graph::NodeId v) {
   }
   (*status_)[v] = NodeStatus::kActive;
   sink_->reactivated->push_back(v);
+  ++sink_->reactivations;
   if (sink_->trace != nullptr) {
     sink_->trace->record({static_cast<std::uint32_t>(round_),
                           static_cast<std::uint8_t>(exchange_), EventKind::kReactivate, v});
@@ -395,6 +397,11 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
   ctx.rng_ = &rng;
   ctx.sink_ = &sink;
 
+  BEEPMIS_STM_DECLARE(faults, "beep/faults");
+  BEEPMIS_STM_DECLARE(emit, "beep/emit");
+  BEEPMIS_STM_DECLARE(deliver, "beep/deliver");
+  BEEPMIS_STM_DECLARE(react, "beep/react");
+
   while ((!active_.empty() || fault_cursor_.next_wakeup < faults_.wakeups.size() ||
           round_ < config_.run_until_round) &&
          round_ < config_.max_rounds) {
@@ -403,11 +410,13 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
       throw RunCancelled("BeepSimulator::run: deadline expired at round " +
                          std::to_string(round_));
     }
+    BEEPMIS_STM_START(faults);
     const detail::FaultOutcome outcome = apply_wakeups_and_crashes();
     bool disruptive = outcome.mis_crashed;
     if (config_.scenario != nullptr) {
       disruptive = apply_scenario_events() || disruptive;
     }
+    BEEPMIS_STM_STOP(faults);
     if (config_.track_recovery && disruptive) {
       open_disruptions_.push_back(static_cast<std::uint32_t>(round_));
     }
@@ -428,12 +437,18 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
       ctx.exchange_ = exchange_;
 
       ctx.phase_ = BeepContext::Phase::kEmit;
+      BEEPMIS_STM_START(emit);
       protocol.emit(ctx);
+      BEEPMIS_STM_STOP(emit);
 
+      BEEPMIS_STM_START(deliver);
       deliver_beeps(rng);
+      BEEPMIS_STM_STOP(deliver);
 
       ctx.phase_ = BeepContext::Phase::kReact;
+      BEEPMIS_STM_START(react);
       protocol.react(ctx);
+      BEEPMIS_STM_STOP(react);
     }
     compact_active();
     detail::merge_reactivated(active_, in_active_, reactivated_);
@@ -454,6 +469,7 @@ RunResult BeepSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarStar
   result.total_beeps = total_beeps_;
   result.recovery_rounds = std::move(recovery_rounds_);
   result.unrecovered_disruptions = open_disruptions_.size();
+  result.reactivations = sink.reactivations;
   return result;
 }
 

@@ -146,6 +146,9 @@ struct MutationSink {
   /// Cleared on join so the reliable-channel keep-alive cache re-derives.
   bool* mis_hear_valid = nullptr;
   std::vector<graph::NodeId>* reactivated = nullptr;
+  /// Reactivate calls through this sink (per-lane in the sharded core;
+  /// lanes are summed into RunResult::reactivations at run end).
+  std::uint64_t reactivations = 0;
   Trace* trace = nullptr;  ///< nullptr = not recording
   graph::NodeId lo = 0, hi = 0;
 };
@@ -166,6 +169,14 @@ class BeepContext {
   [[nodiscard]] const std::vector<graph::NodeId>& active_nodes() const noexcept {
     return *active_;
   }
+
+  /// The id range [node_begin, node_end) this context may mutate: the whole
+  /// graph on the scalar path, one shard's slice on the sharded path.
+  /// Protocols whose react scans *all* nodes (not just active ones — e.g.
+  /// self-healing silence counters) must restrict that scan to this range
+  /// or the sharded core would visit each node K times.
+  [[nodiscard]] graph::NodeId node_begin() const noexcept { return sink_->lo; }
+  [[nodiscard]] graph::NodeId node_end() const noexcept { return sink_->hi; }
 
   [[nodiscard]] bool is_active(graph::NodeId v) const { return status_->at(v) == NodeStatus::kActive; }
   [[nodiscard]] NodeStatus status(graph::NodeId v) const { return status_->at(v); }

@@ -175,6 +175,7 @@ RunResult DenseReferenceSimulator::run_dense(BeepProtocol& protocol,
   result.status = std::move(status_);
   result.beep_counts = std::move(beep_counts_);
   result.total_beeps = total_beeps_;
+  result.reactivations = sink.reactivations;
   return result;
 }
 

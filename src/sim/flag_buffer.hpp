@@ -15,11 +15,14 @@ namespace beepmis::sim::detail {
 /// pay for the sparse-path machinery; the crossover fraction is
 /// conservative.  The ranged form is the single home of that policy: the
 /// scalar core clears whole arrays through the wrapper below, the sharded
-/// core clears its shard's range directly.
-inline void clear_flag_range(std::uint8_t* flags, graph::NodeId lo, graph::NodeId hi,
+/// core clears its shard's range directly.  Templated over the flag value
+/// so the scalar/sharded uint8_t flags and the batched cores' 64-lane
+/// bitplanes share the one policy.
+template <typename Flag>
+inline void clear_flag_range(Flag* flags, graph::NodeId lo, graph::NodeId hi,
                              std::vector<graph::NodeId>& dirty) {
   if (dirty.size() >= static_cast<std::size_t>(hi - lo) / 8) {
-    std::fill(flags + lo, flags + hi, std::uint8_t{0});
+    std::fill(flags + lo, flags + hi, Flag{0});
   } else {
     for (const graph::NodeId v : dirty) flags[v] = 0;
   }
@@ -27,8 +30,8 @@ inline void clear_flag_range(std::uint8_t* flags, graph::NodeId lo, graph::NodeI
 }
 
 /// Whole-array form of clear_flag_range.
-inline void clear_flags(std::vector<std::uint8_t>& flags,
-                        std::vector<graph::NodeId>& dirty) {
+template <typename Flag>
+inline void clear_flags(std::vector<Flag>& flags, std::vector<graph::NodeId>& dirty) {
   clear_flag_range(flags.data(), 0, static_cast<graph::NodeId>(flags.size()), dirty);
 }
 

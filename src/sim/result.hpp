@@ -39,6 +39,11 @@ struct RunResult {
   std::vector<std::uint32_t> recovery_rounds;
   /// Disruptions still open when the run ended (never recovered).
   std::size_t unrecovered_disruptions = 0;
+  /// Total BeepContext::reactivate calls across the run (self-healing
+  /// protocols; 0 otherwise).  Counted by the simulator's mutation sink so
+  /// every front-end — scalar, sharded, batched — reports it without the
+  /// protocol keeping a shared counter (which would break sharding).
+  std::uint64_t reactivations = 0;
 
   /// Nodes with status kInMis, ascending.
   [[nodiscard]] std::vector<graph::NodeId> mis() const;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "support/parallel.hpp"
+#include "support/phase_timer.hpp"
 
 namespace beepmis::sim {
 
@@ -34,11 +35,6 @@ ShardedSimulator::ShardedSimulator(unsigned shards, SimConfig config, RngMode rn
   if (config_.track_recovery) {
     throw std::invalid_argument(
         "ShardedSimulator: recovery tracking is scalar-only (use BeepSimulator)");
-  }
-  if (rng_mode_ == RngMode::kPartitionedStreams && config_.beep_loss_probability > 0.0) {
-    throw std::invalid_argument(
-        "ShardedSimulator: lossy delivery draws have no shard-local order; "
-        "kPartitionedStreams requires a reliable channel");
   }
   lossy_ = config_.beep_loss_probability > 0.0;
   keep_ = 1.0 - config_.beep_loss_probability;
@@ -175,7 +171,10 @@ RunResult ShardedSimulator::run(BeepProtocol& protocol, support::Xoshiro256StarS
   result.status = std::move(status_);
   result.beep_counts = std::move(beep_counts_);
   result.total_beeps = 0;
-  for (const Lane& lane : lanes_) result.total_beeps += lane.total_beeps;
+  for (const Lane& lane : lanes_) {
+    result.total_beeps += lane.total_beeps;
+    result.reactivations += lane.sink.reactivations;
+  }
   return result;
 }
 
@@ -289,6 +288,39 @@ void ShardedSimulator::deliver_reliable(Lane& lane, unsigned s) {
   }
 }
 
+void ShardedSimulator::deliver_lossy_partitioned(Lane& lane, unsigned s) {
+  // Lossy delivery under kPartitionedStreams: listener-partitioned like the
+  // reliable path, but every potential delivery into this shard's heard
+  // range consumes one Bernoulli from *this shard's* stream.  The scalar
+  // core's global draw order is unreproducible in parallel, yet the
+  // per-listener marginal — P(hear) = 1 - loss^|beeping neighbours|, with
+  // the already-heard short-circuit — does not depend on the order the
+  // beeping neighbours are tried, so the heard distribution matches the
+  // scalar core's; only the sample differs, which is the mode's contract.
+  // This replaces the serial coordinator bottleneck kScalarOrder pays.
+  detail::clear_flag_range(heard_.data(), lane.lo, lane.hi, lane.heard_dirty);
+  const auto slice = [this, s](graph::NodeId v) { return partition_.neighbors_in(v, s); };
+  const auto mark_heard = [this, &lane](graph::NodeId w) {
+    heard_[w] = 1;
+    lane.heard_dirty.push_back(w);
+  };
+  detail::deliver_from_beepers(lane.beepers, in_active_, slice, heard_.data(),
+                               /*lossy=*/true, keep_, &lane.rng, mark_heard);
+  for (unsigned r = 0; r < lanes_.size(); ++r) {
+    if (r == s) continue;
+    detail::deliver_from_beepers(lanes_[r].boundary_beepers, in_active_, slice,
+                                 heard_.data(), /*lossy=*/true, keep_, &lane.rng,
+                                 mark_heard);
+  }
+  if (config_.mis_keepalive) {
+    // Keep-alive beeps draw per potential delivery too; the global MIS list
+    // is read-only during exchanges, and slice adjacency confines the
+    // writes (and the draws) to this shard.
+    detail::deliver_keepalive_lossy(mis_nodes_, slice, heard_.data(), keep_, lane.rng,
+                                    mark_heard);
+  }
+}
+
 void ShardedSimulator::deliver_lossy_serial() {
   // The scalar draw order interleaves shards (global ascending beeper
   // order, global already-heard short-circuit, keep-alive in global join
@@ -333,6 +365,10 @@ void ShardedSimulator::shard_worker(unsigned s) {
       failed_.store(true);
     }
   };
+  BEEPMIS_STM_DECLARE(faults, "sharded/faults");
+  BEEPMIS_STM_DECLARE(emit, "sharded/emit");
+  BEEPMIS_STM_DECLARE(deliver, "sharded/deliver");
+  BEEPMIS_STM_DECLARE(react, "sharded/react");
   {
     lane.error = nullptr;
     BeepContext ctx;
@@ -395,12 +431,14 @@ void ShardedSimulator::shard_worker(unsigned s) {
       if (!running_) break;
 
       guarded([&] {
+        BEEPMIS_STM_START(faults);
         lane.fault_outcome = detail::apply_fault_events(
             lane.faults, lane.cursor, round_, status_, lane.active, in_active_, noop,
             noop);
         if (lane.fault_outcome.active_crashed) {
           detail::compact_active(lane.active, in_active_, status_);
         }
+        BEEPMIS_STM_STOP(faults);
       });
       sync_->arrive_and_wait();  // fault outcomes visible to the coordinator
 
@@ -430,6 +468,7 @@ void ShardedSimulator::shard_worker(unsigned s) {
         sync_->arrive_and_wait();  // swap + streams visible
 
         guarded([&] {
+          BEEPMIS_STM_START(emit);
           if (e == 0) {
             detail::clear_flag_range(prev_beeped_.data(), lane.lo, lane.hi,
                                      lane.prev_beepers);
@@ -448,28 +487,50 @@ void ShardedSimulator::shard_worker(unsigned s) {
           if (!std::is_sorted(lane.beepers.begin(), lane.beepers.end())) {
             std::sort(lane.beepers.begin(), lane.beepers.end());
           }
-          if (!lossy_ && lanes_.size() > 1) {
+          if (lanes_.size() > 1 &&
+              (!lossy_ || rng_mode_ == RngMode::kPartitionedStreams)) {
             // Publish only the beeps that can cross a shard line: the
             // cross-shard merge then scans O(boundary beepers) remote
-            // entries instead of every remote frontier entry.
+            // entries instead of every remote frontier entry.  Needed by
+            // both parallel delivery paths (reliable, and lossy under
+            // partitioned streams); serial lossy walks full frontiers.
             lane.boundary_beepers.clear();
             for (const graph::NodeId v : lane.beepers) {
               if (partition_.is_boundary(v)) lane.boundary_beepers.push_back(v);
             }
           }
+          BEEPMIS_STM_STOP(emit);
         });
         sync_->arrive_and_wait();  // all beeper frontiers final
 
-        if (lossy_) {
-          if (s == 0) guarded([&] { deliver_lossy_serial(); });
+        if (lossy_ && rng_mode_ == RngMode::kScalarOrder) {
+          if (s == 0) {
+            guarded([&] {
+              BEEPMIS_STM_START(deliver);
+              deliver_lossy_serial();
+              BEEPMIS_STM_STOP(deliver);
+            });
+          }
           sync_->arrive_and_wait();  // heard flags final
+        } else if (lossy_) {
+          guarded([&] {
+            BEEPMIS_STM_START(deliver);
+            deliver_lossy_partitioned(lane, s);
+            BEEPMIS_STM_STOP(deliver);
+          });
         } else {
-          guarded([&] { deliver_reliable(lane, s); });
+          guarded([&] {
+            BEEPMIS_STM_START(deliver);
+            deliver_reliable(lane, s);
+            BEEPMIS_STM_STOP(deliver);
+          });
         }
 
         guarded([&] {
           ctx.phase_ = BeepContext::Phase::kReact;
+          BEEPMIS_STM_START(react);
           protocol_->react(ctx);
+          BEEPMIS_STM_STOP(react);
         });
         sync_->arrive_and_wait();  // reacts done; flags may be recycled
       }

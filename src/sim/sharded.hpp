@@ -39,10 +39,13 @@
 // kPartitionedStreams (opt-in): shard s draws from the base stream
 // advanced by s Xoshiro256StarStar::jump() calls — fully parallel (no
 // serial carving), still deterministic for a fixed (seed, shard count),
-// but *not* bit-identical to the scalar run (except K = 1) and not
-// invariant across shard counts.  Reliable channel only; lossy +
-// partitioned throws, because lossy delivery draws have no shard-local
-// order.  This is the "statistical lanes" trade from the ROADMAP: same
+// but *not* bit-identical to the scalar run (except K = 1, where the lone
+// shard's stream and iteration order coincide with the scalar run's) and
+// not invariant across shard counts.  Lossy delivery stays parallel here:
+// each shard draws its own listeners' loss bits from its own stream
+// (P(hear) = 1 - loss^|beeping neighbours| per listener is order-free, so
+// the distribution matches the scalar core even though the draw sequence
+// cannot).  This is the "statistical lanes" trade from the ROADMAP: same
 // distribution, different sample.
 //
 // Event traces and round observers are scalar-only by design (they would
@@ -119,9 +122,10 @@ class ShardedSimulator {
     detail::FaultOutcome fault_outcome;
     std::vector<graph::NodeId> active;
     std::vector<graph::NodeId> beepers;
-    /// beepers filtered to boundary nodes, rebuilt each reliable exchange
-    /// so the cross-shard merge scans only beeps that can cross a shard
-    /// line instead of every remote frontier entry.
+    /// beepers filtered to boundary nodes, rebuilt each parallel-delivery
+    /// exchange (reliable, or lossy under kPartitionedStreams) so the
+    /// cross-shard merge scans only beeps that can cross a shard line
+    /// instead of every remote frontier entry.
     std::vector<graph::NodeId> boundary_beepers;
     std::vector<graph::NodeId> prev_beepers;
     std::vector<graph::NodeId> heard_dirty;
@@ -151,6 +155,7 @@ class ShardedSimulator {
   void carve_streams(unsigned exchange);
   void deliver_reliable(Lane& lane, unsigned s);
   void deliver_lossy_serial();
+  void deliver_lossy_partitioned(Lane& lane, unsigned s);
 
   const graph::Graph* graph_ = nullptr;
   unsigned requested_shards_ = 1;

@@ -1,0 +1,141 @@
+// Compile-time-optional per-phase timing counters (pasched's STM_DECLARE /
+// STM_START / STM_STOP time-stat idiom, adapted to a thread-safe registry).
+//
+// The simulator front-ends bracket their hot phases (emit, deliver, react,
+// faults) with BEEPMIS_STM_START/STOP pairs.  In a normal build the macros
+// expand to nothing — zero instructions, zero data — so the round loops pay
+// no cost for the instrumentation.  A bench build configured with
+// -DBEEPMIS_PHASE_TIMERS=ON compiles them into two steady_clock reads and
+// two relaxed atomic adds per bracket, accumulated into a process-global
+// registry the bench drivers snapshot into optional `phase_ns` JSON fields.
+//
+// The snapshot/reset API below is declared unconditionally so callers need
+// no #ifdef of their own: with timers compiled out the registry is simply
+// always empty, and drivers that emit phase_ns "only when non-empty" do the
+// right thing in both builds.
+//
+// Accuracy contract: counters are process-global totals.  Concurrent timed
+// sections (K sharded workers all inside "shard/deliver") each add their own
+// wall time, so a phase's total can exceed wall clock — it is CPU-seconds of
+// phase work, which is the quantity the bench rows want.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace beepmis::support {
+
+/// One snapshot row: total nanoseconds and bracket count for a named phase.
+struct PhaseStat {
+  std::string name;
+  std::uint64_t total_ns = 0;
+  std::uint64_t count = 0;
+};
+
+class PhaseTimer;
+
+namespace detail {
+/// Registry of every PhaseTimer ever constructed (they are function-local
+/// statics, so the set is small and never shrinks).
+struct PhaseTimerRegistry {
+  std::mutex mu;
+  std::vector<PhaseTimer*> timers;
+};
+inline PhaseTimerRegistry& phase_timer_registry() {
+  static PhaseTimerRegistry registry;
+  return registry;
+}
+}  // namespace detail
+
+[[nodiscard]] inline std::uint64_t phase_clock_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// A named accumulator.  Construction registers it for the lifetime of the
+/// process; add() is safe from any thread (relaxed — totals are only read
+/// via snapshot between runs, never for synchronisation).
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(const char* name) : name_(name) {
+    auto& registry = detail::phase_timer_registry();
+    const std::lock_guard<std::mutex> lock(registry.mu);
+    registry.timers.push_back(this);
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  void add(std::uint64_t ns) noexcept {
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] PhaseStat stat() const {
+    return {name_, total_ns_.load(std::memory_order_relaxed),
+            count_.load(std::memory_order_relaxed)};
+  }
+  void reset() noexcept {
+    total_ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// All registered timers with a non-zero bracket count, in registration
+/// order.  Empty when BEEPMIS_PHASE_TIMERS is off (nothing ever registers)
+/// or when no timed section has run since the last reset.
+[[nodiscard]] inline std::vector<PhaseStat> snapshot_phase_timers() {
+  auto& registry = detail::phase_timer_registry();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<PhaseStat> out;
+  out.reserve(registry.timers.size());
+  for (const PhaseTimer* t : registry.timers) {
+    PhaseStat s = t->stat();
+    if (s.count != 0) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Zero every counter (bench drivers call this between timed sections so
+/// each row's phase_ns covers exactly that row's reps).
+inline void reset_phase_timers() {
+  auto& registry = detail::phase_timer_registry();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  for (PhaseTimer* t : registry.timers) t->reset();
+}
+
+}  // namespace beepmis::support
+
+// The macros.  DECLARE introduces a function-local static timer (magic
+// statics make the registration race-free) plus a local start tick; START
+// and STOP bracket the timed section.  Block scope only — like any
+// multi-declaration macro they do not nest directly under an unbraced if.
+#if defined(BEEPMIS_PHASE_TIMERS)
+#define BEEPMIS_STM_DECLARE(var, name_str)                        \
+  static ::beepmis::support::PhaseTimer beepmis_stm_##var{name_str}; \
+  std::uint64_t beepmis_stm_start_##var = 0
+#define BEEPMIS_STM_START(var) \
+  beepmis_stm_start_##var = ::beepmis::support::phase_clock_ns()
+#define BEEPMIS_STM_STOP(var) \
+  beepmis_stm_##var.add(::beepmis::support::phase_clock_ns() - beepmis_stm_start_##var)
+#else
+#define BEEPMIS_STM_DECLARE(var, name_str) \
+  do {                                     \
+  } while (false)
+#define BEEPMIS_STM_START(var) \
+  do {                         \
+  } while (false)
+#define BEEPMIS_STM_STOP(var) \
+  do {                        \
+  } while (false)
+#endif

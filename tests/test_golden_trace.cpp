@@ -101,7 +101,7 @@ HealingScenarioOutcome run_healing_scenario(double loss) {
   std::ostringstream trace_csv;
   simulator.trace().write_csv(trace_csv);
   outcome.trace_csv = trace_csv.str();
-  outcome.reactivations = protocol.reactivations();
+  outcome.reactivations = static_cast<std::size_t>(outcome.result.reactivations);
   return outcome;
 }
 

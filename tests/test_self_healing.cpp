@@ -27,7 +27,7 @@ HealingRun run_healing(const graph::Graph& g, std::uint64_t seed, sim::SimConfig
   sim::BeepSimulator simulator(g, config);
   HealingRun out;
   out.result = simulator.run(protocol, support::Xoshiro256StarStar(seed));
-  out.reactivations = protocol.reactivations();
+  out.reactivations = static_cast<std::size_t>(out.result.reactivations);
   return out;
 }
 
