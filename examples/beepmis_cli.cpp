@@ -15,7 +15,7 @@
 //
 // Serialized-spec mode (cli/sweep_spec.hpp — the same canonical line the
 // beepmisd service accepts over its socket):
-//   ./beepmis_cli --spec='sweepspec v2 graph=gnp graph.n=400 trials=512'
+//   ./beepmis_cli --spec='sweepspec v3 graph=gnp graph.n=400 trials=512'
 //   ./beepmis_cli --graph=gnp --trials=512 --print-spec    # flags -> canonical line
 #include <bit>
 #include <cstdint>
@@ -62,6 +62,12 @@ int main(int argc, char** argv) {
   options.add("rows", "10", "rows for lattice families");
   options.add("cols", "10", "cols for lattice families");
   options.add("k", "3", "clique-family parameter / BA attach edges");
+  options.add("graph-file", "",
+              "load the graph from this file (implies --graph=file; BMCSR "
+              "memory-mapped CSR or edge-list text, sniffed by content)");
+  options.add("save-graph", "",
+              "write the requested graph as an on-disk BMCSR file to this path and "
+              "exit (streaming, bounded memory, for streamable families)");
   options.add("graph-seed", "1", "graph generation seed");
   options.add("seed", "1", "algorithm seed (first trial; trial t uses seed + t)");
   options.add("trials", "1", "number of runs (same graph, different seeds)");
@@ -69,6 +75,9 @@ int main(int argc, char** argv) {
   options.add("shards", "1",
               "run each trial across this many CSR shards / worker threads "
               "(shard-capable beeping algorithms; results are bit-identical)");
+  options.add("shard-local", "false",
+              "with --shards: each shard reads a reordered local adjacency copy "
+              "(locality for mmap-backed graphs; results are bit-identical)");
   options.add("keepalive", "false", "MIS nodes keep beeping (wake-up support)");
   options.add("max-rounds", "1048576", "round cap");
   options.add("factor", "2.0", "local-feedback feedback factor");
@@ -96,7 +105,7 @@ int main(int argc, char** argv) {
   options.add("checkpoint-interval", "64", "trials per checkpoint chunk (rounded up to x64)");
   options.add("threads", "0", "sweep worker threads (0 = hardware concurrency)");
   options.add("spec", "",
-              "run a serialized sweep request ('sweepspec v2 ...'); the complete "
+              "run a serialized sweep request ('sweepspec v3 ...'); the complete "
               "request — the individual sweep flags above are ignored");
   options.add("print-spec", "false",
               "print the canonical serialized spec and fingerprint for the given "
@@ -131,6 +140,35 @@ int main(int argc, char** argv) {
   gspec.cols = static_cast<graph::NodeId>(options.get_int("cols"));
   gspec.k = static_cast<graph::NodeId>(options.get_int("k"));
   gspec.seed = options.get_u64("graph-seed");
+  if (const std::string graph_file = options.get("graph-file"); !graph_file.empty()) {
+    gspec.family = "file";
+    gspec.path = graph_file;
+  }
+
+  // Save-graph mode: materialise the workload as an on-disk BMCSR file and
+  // exit.  Streamable families (and edge-list text inputs) go through the
+  // bounded-memory streaming writer; the rest build in RAM first.
+  if (const std::string save_path = options.get("save-graph"); !save_path.empty()) {
+    try {
+      try {
+        const cli::GraphStream gs = cli::make_graph_stream(gspec);
+        const graph::StreamCsrStats stats =
+            graph::write_csr_file_streaming(gs.node_count, gs.stream, save_path);
+        std::cout << "saved " << save_path << ": n=" << gs.node_count
+                  << " adjacency=" << stats.adjacency_count << " (streamed, "
+                  << stats.stream_passes << " passes)\n";
+      } catch (const std::invalid_argument&) {
+        const graph::Graph built = cli::make_graph(gspec);
+        graph::write_csr_file(built, save_path);
+        std::cout << "saved " << save_path << ": " << built.describe() << " (in-RAM build)\n";
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "beepmis_cli: --save-graph: " << e.what() << '\n';
+      return 1;
+    }
+  }
+
   const std::string edge_list_path = options.get("edge-list");
   graph::Graph g;
   if (!edge_list_path.empty()) {
@@ -141,7 +179,12 @@ int main(int argc, char** argv) {
     }
     g = graph::read_edge_list(in);
   } else {
-    g = cli::make_graph(gspec);
+    try {
+      g = cli::make_graph(gspec);
+    } catch (const std::exception& e) {
+      std::cerr << "beepmis_cli: " << e.what() << '\n';
+      return 1;
+    }
   }
 
   cli::AlgorithmSpec aspec;
@@ -153,6 +196,7 @@ int main(int argc, char** argv) {
   aspec.factor = options.get_double("factor");
   aspec.initial_p = options.get_double("initial-p");
   aspec.shards = static_cast<unsigned>(options.get_int("shards"));
+  aspec.sim.shard_local_adjacency = options.get_bool("shard-local");
   aspec.sim.run_until_round = static_cast<std::size_t>(options.get_int("run-until"));
   aspec.sim.track_recovery = options.get_bool("track-recovery");
   aspec.scenario.name = options.get("scenario");

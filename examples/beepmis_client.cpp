@@ -7,7 +7,7 @@
 // (0 complete, 2 quarantined, 3 truncated, 1 failed/degraded).
 //
 //   ./beepmis_client --socket=/tmp/beepmis.sock
-//       --spec='sweepspec v2 graph=gnp graph.n=2000 ... trials=128'
+//       --spec='sweepspec v3 graph=gnp graph.n=2000 ... trials=128'
 //   ./beepmis_client --socket=... --ping     # liveness probe
 //   ./beepmis_client --socket=... --drain    # graceful shutdown
 //   ./beepmis_client --socket=... --stop     # fast durable shutdown
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
 
   support::Options options;
   options.add("socket", "", "beepmisd unix socket path (required)");
-  options.add("spec", "", "serialized sweep request ('sweepspec v2 ...')");
+  options.add("spec", "", "serialized sweep request ('sweepspec v3 ...')");
   options.add("client", "beepmis_client", "fair-share client id (one token)");
   options.add("priority", "0", "job priority 0-9 (higher runs first)");
   options.add("ping", "false", "probe the server and exit");

@@ -5,25 +5,29 @@
 #
 #   scripts/bench_core.sh [--smoke] [common bench args...]
 #
-# Four benches contribute:
+# Five benches contribute:
 #   bench_frontier   seed-path (dense) core vs frontier core, single runs
 #   bench_batch      per-trial scalar sweep vs 64-lane batched sweep
 #   bench_shard      scalar single run vs sharded single run (ShardedSimulator)
 #   bench_scenarios  recovery SLAs under fault adversaries (scalar fallback)
+#   bench_graph_tier in-RAM CSR vs mmap BMCSR vs shard-local reordered
+#                    copies, plus the streamed bounded-memory build row
 # bench_frontier and bench_batch run at n in BENCH_SIZES (default
 # "1000 10000 100000"); bench_shard runs at n in SHARD_SIZES (default
 # "100000 1000000" — sharding targets large single runs); bench_scenarios
 # runs at n in FAULT_SIZES (default "1000 10000" — scenario rows run on the
-# scalar simulator, so huge n would dominate the wall clock).  Positional
-# args are forwarded to *all* drivers, so use them only for flags all accept
-# (--avg-degree, --tail-rounds, --reps, --seed); driver-specific flags go
-# in FRONTIER_ARGS / BATCH_ARGS / SHARD_ARGS / FAULT_ARGS (e.g.
-# BATCH_ARGS="--trials=128", SHARD_ARGS="--shards=1,2,4,8").  The
+# scalar simulator, so huge n would dominate the wall clock);
+# bench_graph_tier runs at n in GRAPH_TIER_SIZES (default "100000 1000000"
+# — tier costs only show at sizes where the adjacency outgrows cache).
+# Positional args are forwarded to *all* drivers, so use them only for
+# flags all accept (--avg-degree, --reps, --seed); driver-specific flags go
+# in FRONTIER_ARGS / BATCH_ARGS / SHARD_ARGS / FAULT_ARGS / GRAPH_TIER_ARGS
+# (e.g. BATCH_ARGS="--trials=128", SHARD_ARGS="--shards=1,2,4,8").  The
 # script-owned --n/--git-rev/--out are appended last, so they win over
 # anything forwarded.  The merged JSON is { header, frontier: [...],
-# batch: [...], shard: [...], faults: [...] } (one per-n report each);
-# every per-n report records the git revision and compiler it was built
-# with.
+# batch: [...], shard: [...], faults: [...], graph_tier: [...] } (one
+# per-n report each); every per-n report records the git revision and
+# compiler it was built with.
 #
 # --smoke (must be the first argument) is the CI mode: one tiny size
 # (n=256), one rep, short tails, and the merged JSON goes to
@@ -52,14 +56,20 @@ if (( smoke )); then
   # against the committed 100k/1M rows pure noise.
   shard_sizes="${SHARD_SIZES:-20000}"
   fault_sizes="${FAULT_SIZES:-256}"
+  graph_tier_sizes="${GRAPH_TIER_SIZES:-20000}"
   merged_default="${build_dir}/BENCH_core_smoke.json"
   smoke_args=(--reps=1 --tail-rounds=32)
+  # bench_graph_tier has no tail workload, so no --tail-rounds; a tiny
+  # streaming budget forces the multi-chunk fill path even at smoke n.
+  graph_tier_smoke_args=(--reps=1 --budget-mb=1)
 else
   sizes="${BENCH_SIZES:-1000 10000 100000}"
   shard_sizes="${SHARD_SIZES:-100000 1000000}"
   fault_sizes="${FAULT_SIZES:-1000 10000}"
+  graph_tier_sizes="${GRAPH_TIER_SIZES:-100000 1000000}"
   merged_default="${repo_root}/BENCH_core.json"
   smoke_args=()
+  graph_tier_smoke_args=()
 fi
 merged="${BENCH_OUT:-${merged_default}}"
 
@@ -67,7 +77,7 @@ if [[ ! -d "${build_dir}" ]]; then
   cmake -B "${build_dir}" -S "${repo_root}"
 fi
 cmake --build "${build_dir}" --target bench_frontier bench_batch bench_shard \
-  bench_scenarios -j
+  bench_scenarios bench_graph_tier -j
 
 git_rev="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 out_dir="${build_dir}/bench_reports"
@@ -82,6 +92,8 @@ sizes_json="$(IFS=,; echo "${size_list[*]}")"
 shard_size_list=(${shard_sizes})
 # shellcheck disable=SC2206
 fault_size_list=(${fault_sizes})
+# shellcheck disable=SC2206
+graph_tier_size_list=(${graph_tier_sizes})
 
 # Intentionally word-split driver-specific extras.
 # shellcheck disable=SC2206
@@ -92,6 +104,8 @@ batch_extra=(${BATCH_ARGS:-})
 shard_extra=(${SHARD_ARGS:-})
 # shellcheck disable=SC2206
 fault_extra=(${FAULT_ARGS:-})
+# shellcheck disable=SC2206
+graph_tier_extra=(${GRAPH_TIER_ARGS:-})
 
 frontier_reports=()
 batch_reports=()
@@ -123,6 +137,17 @@ for n in "${fault_size_list[@]}"; do
       --n="${n}" --git-rev="${git_rev}" --out="${fault_out}"
   fault_reports+=("${fault_out}")
 done
+# bench_graph_tier takes no --tail-rounds, so it gets its own smoke args
+# and none of the forwarded positionals that could carry tail flags.
+graph_tier_reports=()
+for n in "${graph_tier_size_list[@]}"; do
+  graph_tier_out="${out_dir}/graph_tier_n${n}.json"
+  "${build_dir}/bench/bench_graph_tier" \
+      ${graph_tier_smoke_args[@]+"${graph_tier_smoke_args[@]}"} \
+      ${graph_tier_extra[@]+"${graph_tier_extra[@]}"} \
+      --n="${n}" --git-rev="${git_rev}" --out="${graph_tier_out}"
+  graph_tier_reports+=("${graph_tier_out}")
+done
 
 emit_section() {  # $1 = section name, rest = report files
   local name="$1"; shift
@@ -145,6 +170,8 @@ emit_section() {  # $1 = section name, rest = report files
   emit_section shard "${shard_reports[@]}"
   printf ',\n'
   emit_section faults "${fault_reports[@]}"
+  printf ',\n'
+  emit_section graph_tier "${graph_tier_reports[@]}"
   printf '\n}\n'
 } > "${merged}"
 echo "perf record written to ${merged}"

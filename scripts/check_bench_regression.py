@@ -16,16 +16,29 @@ watch; this script makes "watched" mean something mechanical:
                 against the baseline's smallest n, the closest regimes.
                 A fresh ratio below --threshold times the baseline one is
                 flagged.
+  * phases    — for rows that carry a "phase_ns" object (BEEPMIS_PHASE_TIMERS
+                builds), the deliver/emit CPU-time ratio is compared the
+                same way: a shift beyond --phase-tolerance in either
+                direction is flagged even when the row's total speedup
+                stays inside --threshold.  This is what catches a delivery
+                sweep quietly losing locality (e.g. a storage-tier change
+                paging the adjacency) behind a still-healthy wall clock.
 
 By default the script only *warns* (exit 0): a tiny-n smoke sweep on a
 noisy shared runner is a liveness check for the drivers and the merge
 script, not a publishable measurement.  Pass --strict to turn warnings
 into a nonzero exit for a dedicated perf runner.
 
+--min-hardware-threads N is a runner assertion, not a warning: when the
+fresh report's sections record hardware_threads below N (or record none at
+all), the script exits nonzero regardless of --strict — parallel-speedup
+numbers measured on an undersized box are wrong, not noisy.
+
 Usage:
   scripts/check_bench_regression.py \
       [--baseline BENCH_core.json] [--fresh build/BENCH_core_smoke.json] \
-      [--threshold 0.3] [--strict]
+      [--threshold 0.3] [--phase-tolerance 4.0] \
+      [--min-hardware-threads N] [--strict]
 """
 
 from __future__ import annotations
@@ -36,7 +49,7 @@ import os
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SECTIONS = ("frontier", "batch", "shard", "faults")
+SECTIONS = ("frontier", "batch", "shard", "faults", "graph_tier")
 
 
 def load_report(path):
@@ -50,6 +63,38 @@ def speedup_of(row):
         if key.startswith("speedup_vs_"):
             return float(value)
     return None
+
+
+def phase_ratio_of(row):
+    """deliver/emit CPU-ns ratio from the row's optional phase_ns object.
+
+    Phase keys are namespaced per engine ("scalar/deliver",
+    "batch/deliver", ...); same-named phases are summed so a row whose
+    reps crossed engines still yields one ratio.  Returns None when the
+    row has no phase timers, either phase is missing or zero, or a value
+    is unparseable — a ratio that cannot be computed is simply not
+    compared, never guessed.
+    """
+    phases = row.get("phase_ns")
+    if not isinstance(phases, dict):
+        return None
+    deliver = 0.0
+    emit = 0.0
+    for key, value in phases.items():
+        name = str(key).rsplit("/", 1)[-1]
+        if name not in ("deliver", "emit"):
+            continue
+        try:
+            parsed = float(value)
+        except (TypeError, ValueError):
+            return None
+        if name == "deliver":
+            deliver += parsed
+        else:
+            emit += parsed
+    if deliver <= 0.0 or emit <= 0.0:
+        return None
+    return deliver / emit
 
 
 def row_is_degraded(row):
@@ -97,14 +142,16 @@ def row_key(row):
 
 
 def index_rows(report):
-    """{(section, workload, protocol, impl, mode): [(n, speedup, degraded), ...]}"""
+    """{(section, workload, protocol, impl, mode):
+        [(n, speedup, degraded, phase_ratio), ...]}"""
     indexed = {}
     for section in SECTIONS:
         for per_n in report.get(section, []):
             for row in per_n.get("results", []):
                 key = (section,) + row_key(row)
                 indexed.setdefault(key, []).append(
-                    (int(row.get("n", 0)), speedup_of(row), row_is_degraded(row))
+                    (int(row.get("n", 0)), speedup_of(row), row_is_degraded(row),
+                     phase_ratio_of(row))
                 )
     return indexed
 
@@ -146,6 +193,21 @@ def main():
         "(default 0.3: generous, smoke n is far below baseline n)",
     )
     parser.add_argument(
+        "--phase-tolerance",
+        type=float,
+        default=4.0,
+        help="flag a deliver/emit phase_ns ratio drifting beyond this "
+        "multiple of the baseline ratio, in either direction (default 4.0)",
+    )
+    parser.add_argument(
+        "--min-hardware-threads",
+        type=int,
+        default=0,
+        help="hard-fail (regardless of --strict) when the fresh report "
+        "records hardware_threads below this, or records none at all "
+        "(0 = no check; perf runners pass 2+)",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="exit nonzero on warnings (for a dedicated perf runner)",
@@ -167,6 +229,21 @@ def main():
 
     baseline_threads = hardware_threads_of(baseline_report)
     fresh_threads = hardware_threads_of(fresh_report)
+
+    if args.min_hardware_threads > 0:
+        recorded = sorted({t for ts in fresh_threads.values() for t in ts})
+        if not recorded:
+            print(f"error: --min-hardware-threads {args.min_hardware_threads}: "
+                  f"the fresh report records no hardware_threads at all")
+            return 1
+        undersized = [t for t in recorded if t < args.min_hardware_threads]
+        if undersized:
+            print(f"error: fresh run recorded hardware_threads {undersized} below "
+                  f"the required minimum {args.min_hardware_threads} — parallel "
+                  f"speedups measured on this box are invalid, not noisy")
+            return 1
+        print(f"ok: fresh hardware_threads {recorded} >= "
+              f"{args.min_hardware_threads}")
 
     # Sections whose speedup ratios depend on the core count are only
     # comparable between runs on matching hardware: a baseline recorded on
@@ -195,33 +272,54 @@ def main():
             continue
         if section in incomparable:
             continue  # hardware mismatch: coverage checked above, ratios not
-        degraded_n = sorted({n for n, _, d in baseline[key] + fresh[key] if d})
+        degraded_n = sorted({n for n, _, d, _ in baseline[key] + fresh[key] if d})
         if degraded_n:
             print(f"note: {label}: ignoring truncated/quarantined row(s) at "
                   f"n={degraded_n} for the speedup comparison")
-        base_rows = {n: s for n, s, d in baseline[key] if s is not None and not d}
-        fresh_rows = {n: s for n, s, d in fresh[key] if s is not None and not d}
-        if not base_rows or not fresh_rows:
-            continue  # reference impl rows (speedup == 1) still count for coverage
-        common = sorted(set(base_rows) & set(fresh_rows))
-        if common:
-            # Full-sweep rerun: every size stands on its own, so a large-n
-            # regression cannot hide behind a healthy small-n row.
-            pairs = [(n, base_rows[n], fresh_rows[n], f"n={n}") for n in common]
-        else:
-            # Disjoint sizes (tiny-n smoke vs committed sweep): compare the
-            # two smallest n, the closest regimes.
+
+        def comparison_pairs(base_rows, fresh_rows):
+            """Per-size pairs when sweeps overlap, smallest-vs-smallest
+            otherwise (the closest regimes: tiny-n smoke vs committed)."""
+            common = sorted(set(base_rows) & set(fresh_rows))
+            if common:
+                # Full-sweep rerun: every size stands on its own, so a
+                # large-n regression cannot hide behind a small-n row.
+                return [(base_rows[n], fresh_rows[n], f"n={n}") for n in common]
             base_n = min(base_rows)
             fresh_n = min(fresh_rows)
-            pairs = [(base_n, base_rows[base_n], fresh_rows[fresh_n],
-                      f"baseline n={base_n} vs fresh n={fresh_n}")]
-        for _, base_speedup, fresh_speedup, where in pairs:
-            if base_speedup > 1.0 and fresh_speedup < args.threshold * base_speedup:
-                warnings.append(
-                    f"possible regression: {label} fresh speedup "
-                    f"{fresh_speedup:.2f}x < {args.threshold:.2f} * baseline "
-                    f"{base_speedup:.2f}x ({where})"
-                )
+            return [(base_rows[base_n], fresh_rows[fresh_n],
+                     f"baseline n={base_n} vs fresh n={fresh_n}")]
+
+        base_rows = {n: s for n, s, d, _ in baseline[key] if s is not None and not d}
+        fresh_rows = {n: s for n, s, d, _ in fresh[key] if s is not None and not d}
+        if base_rows and fresh_rows:
+            # Reference impl rows (speedup == 1) still count for coverage.
+            for base_speedup, fresh_speedup, where in comparison_pairs(
+                    base_rows, fresh_rows):
+                if (base_speedup > 1.0
+                        and fresh_speedup < args.threshold * base_speedup):
+                    warnings.append(
+                        f"possible regression: {label} fresh speedup "
+                        f"{fresh_speedup:.2f}x < {args.threshold:.2f} * baseline "
+                        f"{base_speedup:.2f}x ({where})"
+                    )
+
+        # Phase drift: deliver/emit CPU-ratio shifts flag even when the
+        # total wall time (speedup) stays inside --threshold.
+        base_phases = {n: r for n, _, d, r in baseline[key] if r is not None and not d}
+        fresh_phases = {n: r for n, _, d, r in fresh[key] if r is not None and not d}
+        if base_phases and fresh_phases:
+            for base_ratio, fresh_ratio, where in comparison_pairs(
+                    base_phases, fresh_phases):
+                drift = fresh_ratio / base_ratio
+                if drift > args.phase_tolerance or drift < 1.0 / args.phase_tolerance:
+                    warnings.append(
+                        f"phase drift: {label} deliver/emit phase_ns ratio "
+                        f"moved {drift:.2f}x (baseline {base_ratio:.3f}, fresh "
+                        f"{fresh_ratio:.3f}, tolerance {args.phase_tolerance:.1f}x, "
+                        f"{where}) — delivery cost shifted even if wall time "
+                        f"looks healthy"
+                    )
 
     for key in sorted(set(fresh) - set(baseline)):
         print(f"note: new lane not in baseline yet: {'/'.join(key)}")

@@ -37,7 +37,7 @@ STATE="$WORKDIR/state"
 # Same shape as kill_resume_sweep.sh: 64-trial chunks slow enough
 # (~150 ms each) that the SIGKILL always lands mid-sweep, fast enough to
 # finish in seconds.
-SPEC='sweepspec v2 graph=gnp graph.n=20000 graph.p=6e-04 trials=320 base_seed=4242 checkpoint_interval=64 threads=2'
+SPEC='sweepspec v3 graph=gnp graph.n=20000 graph.p=6e-04 trials=320 base_seed=4242 checkpoint_interval=64 threads=2'
 
 cleanup() {
   [ -n "${daemon_pid:-}" ] && kill -9 "$daemon_pid" 2>/dev/null

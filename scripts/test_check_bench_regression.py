@@ -305,6 +305,95 @@ class CheckBenchRegressionTest(unittest.TestCase):
         self.assertIn("n=10000", out)
         self.assertNotIn("n=1000 ", out.replace("n=10000", ""))
 
+    def test_graph_tier_section_coverage_is_gated(self):
+        # The storage-tier lanes (bench_graph_tier) are part of the coverage
+        # contract like every other section.
+        base = report({"graph_tier": [
+            row("converge", "scalar-mmap", 100000, 1.0),
+            row("converge", "sharded-mmap-local", 100000, 1.1)]})
+        fresh = report({"graph_tier": [
+            row("converge", "scalar-mmap", 100000, 1.0)]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 1, out)
+        self.assertIn("coverage lost", out)
+        self.assertIn("sharded-mmap-local", out)
+
+    @staticmethod
+    def phased_row(deliver, emit, speedup=2.0, n=10000):
+        r = row("converge", "scalar-mmap", n, speedup)
+        r["phase_ns"] = {"scalar/emit": emit, "scalar/deliver": deliver,
+                         "scalar/react": 100}
+        return r
+
+    def test_phase_drift_fires_even_when_speedup_is_healthy(self):
+        # deliver/emit moves 1.0 -> 8.0 (an 8x shift, beyond the default
+        # 4x tolerance) while the speedup column stays identical: the drift
+        # must be flagged on its own.
+        base = report({"graph_tier": [self.phased_row(1000, 1000)]})
+        fresh = report({"graph_tier": [self.phased_row(8000, 1000)]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 1, out)
+        self.assertIn("phase drift", out)
+        self.assertNotIn("possible regression", out)
+
+    def test_phase_drift_is_symmetric(self):
+        # A collapse of the ratio (deliver suddenly near-free) is as
+        # suspicious as a blow-up: the timer may have been disconnected.
+        base = report({"graph_tier": [self.phased_row(8000, 1000)]})
+        fresh = report({"graph_tier": [self.phased_row(1000, 1000)]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 1, out)
+        self.assertIn("phase drift", out)
+
+    def test_phase_drift_within_tolerance_passes(self):
+        base = report({"graph_tier": [self.phased_row(2000, 1000)]})
+        fresh = report({"graph_tier": [self.phased_row(3000, 1000)]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 0, out)
+        self.assertIn("ok:", out)
+
+    def test_phase_drift_tolerance_is_configurable(self):
+        base = report({"graph_tier": [self.phased_row(2000, 1000)]})
+        fresh = report({"graph_tier": [self.phased_row(3000, 1000)]})
+        code, out = self.run_checker(base, fresh, "--strict",
+                                     "--phase-tolerance", "1.2")
+        self.assertEqual(code, 1, out)
+        self.assertIn("phase drift", out)
+
+    def test_phase_drift_skipped_when_either_side_lacks_timers(self):
+        # A timers-off baseline (no phase_ns) against a timers-on fresh run
+        # compares speedups only — no drift check, no crash.
+        base = report({"graph_tier": [row("converge", "scalar-mmap", 10000, 2.0)]})
+        fresh = report({"graph_tier": [self.phased_row(8000, 1000)]})
+        code, out = self.run_checker(base, fresh, "--strict")
+        self.assertEqual(code, 0, out)
+        self.assertIn("ok:", out)
+
+    def test_min_hardware_threads_gate_passes(self):
+        base = {"bench": "bench_core",
+                "shard": [{"hardware_threads": 4,
+                           "results": [row("converge", "sharded-k4", 1000, 2.0)]}]}
+        code, out = self.run_checker(base, base, "--min-hardware-threads", "2")
+        self.assertEqual(code, 0, out)
+        self.assertIn("hardware_threads", out)
+
+    def test_min_hardware_threads_gate_fails_hard_without_strict(self):
+        # The gate is a runner assertion: it fails even in warn-only mode.
+        base = {"bench": "bench_core",
+                "shard": [{"hardware_threads": 1,
+                           "results": [row("converge", "sharded-k4", 1000, 2.0)]}]}
+        code, out = self.run_checker(base, base, "--min-hardware-threads", "2")
+        self.assertEqual(code, 1, out)
+        self.assertIn("below the required minimum", out)
+
+    def test_min_hardware_threads_requires_a_stamp(self):
+        # A report that never records hardware_threads cannot satisfy the
+        # assertion — silence is failure, not a pass.
+        base = report({"batch": [row("converge", "batched", 1000, 3.0)]})
+        code, out = self.run_checker(base, base, "--min-hardware-threads", "2")
+        self.assertEqual(code, 1, out)
+        self.assertIn("records no hardware_threads", out)
+
     def test_unreadable_baseline_is_an_error(self):
         fresh = report({"batch": [row("converge", "batched", 1000, 3.0)]})
         with tempfile.TemporaryDirectory() as tmp:

@@ -9,6 +9,7 @@
 
 #include "cli/sweep_spec.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
 #include "support/hash.hpp"
 #include "mis/exact_feedback.hpp"
 #include "mis/global_schedule.hpp"
@@ -43,13 +44,78 @@ graph::Graph make_graph(const GraphSpec& spec) {
   if (spec.family == "bipartite") {
     return graph::random_bipartite(spec.n / 2, spec.n - spec.n / 2, spec.p, rng);
   }
+  if (spec.family == "file") {
+    if (spec.path.empty()) {
+      throw std::invalid_argument("graph family 'file' needs a path (--graph-file)");
+    }
+    return graph::load_graph_file(spec.path);
+  }
   throw std::invalid_argument("unknown graph family: " + spec.family);
 }
 
 std::vector<std::string> graph_families() {
-  return {"ba",        "bipartite", "caterpillar", "clique-family", "complete",
-          "empty",     "geometric", "gnp",         "grid",          "hex",
-          "hypercube", "path",      "ring",        "star",          "tree"};
+  return {"ba",   "bipartite", "caterpillar", "clique-family", "complete", "empty",
+          "file", "geometric", "gnp",         "grid",          "hex",      "hypercube",
+          "path", "ring",      "star",        "tree"};
+}
+
+GraphStream make_graph_stream(const GraphSpec& spec) {
+  const auto hypercube_dim = [](graph::NodeId n) {
+    return static_cast<unsigned>(
+        std::round(std::log2(std::max<double>(2.0, static_cast<double>(n)))));
+  };
+  if (spec.family == "gnp") return {spec.n, graph::gnp_edge_stream(spec.n, spec.p, spec.seed)};
+  if (spec.family == "complete") return {spec.n, graph::complete_edge_stream(spec.n)};
+  if (spec.family == "empty") return {spec.n, graph::empty_edge_stream()};
+  if (spec.family == "ring") return {spec.n, graph::ring_edge_stream(spec.n)};
+  if (spec.family == "path") return {spec.n, graph::path_edge_stream(spec.n)};
+  if (spec.family == "star") return {spec.n, graph::star_edge_stream(spec.n)};
+  if (spec.family == "grid") {
+    auto stream = graph::grid2d_edge_stream(spec.rows, spec.cols);  // validates size
+    return {static_cast<graph::NodeId>(static_cast<std::uint64_t>(spec.rows) * spec.cols),
+            std::move(stream)};
+  }
+  if (spec.family == "hex") {
+    auto stream = graph::hex_grid_edge_stream(spec.rows, spec.cols);  // validates size
+    return {static_cast<graph::NodeId>(static_cast<std::uint64_t>(spec.rows) * spec.cols),
+            std::move(stream)};
+  }
+  if (spec.family == "hypercube") {
+    const unsigned d = hypercube_dim(spec.n);
+    return {static_cast<graph::NodeId>(1) << d, graph::hypercube_edge_stream(d)};
+  }
+  if (spec.family == "clique-family") {
+    return {graph::clique_family_node_count(spec.k, spec.k),
+            graph::clique_family_edge_stream(spec.k, spec.k)};
+  }
+  if (spec.family == "caterpillar") {
+    auto stream = graph::caterpillar_edge_stream(spec.rows, spec.cols);  // validates size
+    return {static_cast<graph::NodeId>(static_cast<std::uint64_t>(spec.rows) *
+                                       (1 + static_cast<std::uint64_t>(spec.cols))),
+            std::move(stream)};
+  }
+  if (spec.family == "bipartite") {
+    return {spec.n, graph::random_bipartite_edge_stream(spec.n / 2, spec.n - spec.n / 2,
+                                                        spec.p, spec.seed)};
+  }
+  if (spec.family == "file") {
+    if (spec.path.empty()) {
+      throw std::invalid_argument("graph family 'file' needs a path (--graph-file)");
+    }
+    if (graph::is_csr_file(spec.path)) {
+      throw std::invalid_argument(
+          "make_graph_stream: " + spec.path + " is already a BMCSR container");
+    }
+    return {graph::read_edge_list_node_count(spec.path),
+            graph::edge_list_file_stream(spec.path)};
+  }
+  if (spec.family == "tree" || spec.family == "ba" || spec.family == "geometric") {
+    throw std::invalid_argument(
+        "graph family '" + spec.family +
+        "' has no bounded-memory edge stream (its enumeration needs O(n) state); "
+        "build it in RAM and write_csr_file instead");
+  }
+  throw std::invalid_argument("unknown graph family: " + spec.family);
 }
 
 std::string graph_help() {
@@ -63,7 +129,9 @@ std::string graph_help() {
          "  grid/hex       lattice                      (--rows, --cols)\n"
          "  caterpillar    spine rows, cols legs each   (--rows, --cols)\n"
          "  hypercube      dimension round(log2 n)      (--n)\n"
-         "  clique-family  Theorem 1 family, param k    (--k)\n";
+         "  clique-family  Theorem 1 family, param k    (--k)\n"
+         "  file           load a graph file            (--graph-file; BMCSR\n"
+         "                 memory-mapped CSR or edge-list text, content-sniffed)\n";
 }
 
 std::shared_ptr<sim::FaultScenario> make_scenario(const ScenarioSpec& spec) {

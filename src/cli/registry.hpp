@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "exp/runner.hpp"
+#include "graph/csr_file.hpp"
 #include "graph/graph.hpp"
 #include "sim/beep.hpp"
 #include "sim/local.hpp"
@@ -28,6 +29,9 @@ struct GraphSpec {
   graph::NodeId cols = 10;
   graph::NodeId k = 3;     ///< clique-family parameter / BA attach edges
   std::uint64_t seed = 1;
+  /// family="file" only: path of a graph file — BMCSR (memory-mapped CSR,
+  /// graph/csr_file.hpp) or edge-list text, sniffed by content.
+  std::string path;
 };
 
 /// Builds the requested graph.  Throws std::invalid_argument for an
@@ -38,6 +42,22 @@ struct GraphSpec {
 [[nodiscard]] std::vector<std::string> graph_families();
 /// One-line description per family.
 [[nodiscard]] std::string graph_help();
+
+/// A replayable edge enumeration plus the node count it covers: what the
+/// streaming on-disk CSR writer (graph/csr_file.hpp) needs to build a
+/// graph file in bounded memory, without materializing the graph.
+struct GraphStream {
+  graph::NodeId node_count = 0;
+  graph::EdgeStream stream;
+};
+
+/// The streaming counterpart of make_graph: enumerates exactly the edges
+/// make_graph(spec) would build (same parameters, same seed discipline),
+/// so a streamed on-disk build is byte-identical to write_csr_file of the
+/// in-RAM graph.  Throws std::invalid_argument for families with no
+/// bounded-memory enumeration (tree, ba, geometric) and for a
+/// family="file" path that is already a BMCSR container.
+[[nodiscard]] GraphStream make_graph_stream(const GraphSpec& spec);
 
 /// Fault-scenario selection (see sim/scenario.hpp); each scenario reads
 /// the parameter subset documented in scenario_help().
@@ -137,14 +157,16 @@ struct SweepSpec {
 /// journal's request hash (TrialConfig::request_fingerprint — a journal
 /// written for one request is rejected by any other) and (b) the beepmisd
 /// result cache and in-flight job identity (src/svc/).  Covered: graph
-/// family and parameters, algorithm name and knobs, sim knobs (loss,
-/// keepalive, max_rounds, run_until, track_recovery), scenario
+/// family and parameters (including the family="file" path — a different
+/// file is a different workload), algorithm name and knobs, sim knobs
+/// (loss, keepalive, max_rounds, run_until, track_recovery), scenario
 /// parameters, trials, base_seed and checkpoint_interval (chunk geometry
 /// decides merge order, hence the exact bits).  Deliberately *excluded*,
 /// matching SweepJournal's request-hash rules (src/exp/README.md): thread
-/// count, shard count, journal path, resume, budget, trial timeout and
-/// retry knobs — execution-path and durability choices that never change
-/// the numbers of a cleanly completed sweep.
+/// count, shard count, shard-local adjacency (bit-identical by contract),
+/// journal path, resume, budget, trial timeout and retry knobs —
+/// execution-path and durability choices that never change the numbers of
+/// a cleanly completed sweep.
 [[nodiscard]] std::uint64_t sweep_fingerprint(const SweepSpec& spec);
 
 /// Observability/cancellation hooks a long-lived caller (the beepmisd

@@ -18,7 +18,9 @@ namespace beepmis::cli {
 namespace {
 
 constexpr std::string_view kMagic = "sweepspec";
-constexpr std::string_view kVersion = "v2";
+// v3: added graph.file to the request prefix (family="file" workloads are
+// part of a sweep's identity) and shard_local to the execution suffix.
+constexpr std::string_view kVersion = "v3";
 
 [[noreturn]] void fail(const std::string& message) {
   throw std::invalid_argument("sweepspec: " + message);
@@ -100,7 +102,11 @@ void emit(std::ostringstream& out, std::string_view key, const std::string& valu
 }
 
 void emit_request_fields(std::ostringstream& out, const SweepSpec& s) {
+  if (s.graph.path.find_first_of(" \t\r\n") != std::string::npos) {
+    fail("graph.file: path contains whitespace and has no line form: '" + s.graph.path + "'");
+  }
   emit(out, "graph", s.graph.family);
+  emit(out, "graph.file", s.graph.path);
   emit(out, "graph.n", std::to_string(s.graph.n));
   emit(out, "graph.p", render_double(s.graph.p));
   emit(out, "graph.rows", std::to_string(s.graph.rows));
@@ -134,6 +140,7 @@ void emit_execution_fields(std::ostringstream& out, const SweepSpec& s) {
   }
   emit(out, "threads", std::to_string(s.threads));
   emit(out, "shards", std::to_string(s.algorithm.shards));
+  emit(out, "shard_local", s.algorithm.sim.shard_local_adjacency ? "1" : "0");
   emit(out, "journal", s.journal_path);
   emit(out, "resume", s.resume ? "1" : "0");
   emit(out, "budget", render_double(s.budget_seconds));
@@ -204,6 +211,8 @@ SweepSpec parse_sweep_spec(const std::string& text) {
     // --- request-identity keys (the fingerprint prefix) ---
     if (key == "graph") {
       spec.graph.family = parse_name_value(key, value, graph_families(), "graph family");
+    } else if (key == "graph.file") {
+      spec.graph.path = std::string(value);
     } else if (key == "graph.n") {
       spec.graph.n = static_cast<graph::NodeId>(parse_u64_value(key, value, 1, kU32Max));
     } else if (key == "graph.p") {
@@ -266,6 +275,8 @@ SweepSpec parse_sweep_spec(const std::string& text) {
     } else if (key == "shards") {
       spec.algorithm.shards = static_cast<unsigned>(
           parse_u64_value(key, value, 1, sim::ShardedSimulator::kMaxShards));
+    } else if (key == "shard_local") {
+      spec.algorithm.sim.shard_local_adjacency = parse_bool_value(key, value);
     } else if (key == "journal") {
       spec.journal_path = std::string(value);
     } else if (key == "resume") {

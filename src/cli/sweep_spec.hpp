@@ -2,7 +2,7 @@
 //
 // One sweep request is one line of text:
 //
-//   sweepspec v2 graph=gnp graph.n=100 ... trials=64 base_seed=1 ... threads=0 ...
+//   sweepspec v3 graph=gnp graph.n=100 ... trials=64 base_seed=1 ... threads=0 ...
 //
 // and that same line is, by design, three things at once:
 //
@@ -13,7 +13,7 @@
 //     text <=> equal cache key <=> journals are interchangeable.
 //
 // Grammar: space-separated tokens; the first two are the magic and the
-// schema version ("sweepspec v2"); every other token is `key=value`
+// schema version ("sweepspec v3"); every other token is `key=value`
 // (split at the first '='; values must not contain whitespace).  Keys
 // may appear in any order; a missing key takes its SweepSpec default;
 // unknown keys, duplicate keys, malformed numbers, unregistered
@@ -27,13 +27,13 @@
 // format(parse(text)) is a pure canonicalisation — idempotent).  The
 // line is ordered so that the *request-identity* keys — everything that
 // changes the sweep's numbers — form a prefix, and the execution keys
-// (threads, shards, journal, resume, budget, trial_timeout,
+// (threads, shards, shard_local, journal, resume, budget, trial_timeout,
 // isolate_faults, max_retries), which never change the numbers, form
 // the suffix.  `sweep_fingerprint` hashes only the prefix: resubmitting
 // a sweep with different parallelism or durability knobs hits the same
 // cache entry and may finish the same journal.
 //
-// Versioning: bump "v2" whenever a key is added, removed, renamed, or
+// Versioning: bump "v3" whenever a key is added, removed, renamed, or
 // its fingerprint membership changes; parse rejects every version it
 // was not built for (reject-whole, like the sweep journal).
 #pragma once
@@ -45,12 +45,13 @@
 
 namespace beepmis::cli {
 
-/// Current schema version tag, e.g. "v2".
+/// Current schema version tag, e.g. "v3".
 [[nodiscard]] const std::string& sweep_spec_version();
 
 /// Canonical one-line rendering of `spec` (request prefix + execution
 /// suffix).  Throws std::invalid_argument when a string field (the
-/// journal path) contains whitespace — such a spec has no line form.
+/// journal or graph-file path) contains whitespace — such a spec has no
+/// line form.
 [[nodiscard]] std::string format_sweep_spec(const SweepSpec& spec);
 
 /// The request-identity prefix of format_sweep_spec: graph, algorithm

@@ -8,13 +8,26 @@
 
 namespace beepmis::graph {
 
+// Deterministic and seed-replayable families share one sink-templated edge
+// enumeration each: the Graph generator feeds a GraphBuilder, the edge
+// stream feeds the streaming CSR writer, and both walk the identical
+// sequence — the bit-identity contract between the RAM and disk tiers
+// hangs on this sharing, so add edges only inside the emit_* functions.
 namespace {
+
+template <typename Sink>
+void emit_complete_edges(NodeId n, Sink&& sink) {
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) sink(u, v);
+  }
+}
 
 /// Skip-based G(n,p) edge enumeration (Batagelj & Brandes 2005): walks the
 /// implicit list of all C(n,2) edges, jumping Geometric(p) positions at a
 /// time, so the cost is proportional to the number of generated edges.
-void add_gnp_edges_sparse(GraphBuilder& builder, NodeId n, double p,
-                          support::Xoshiro256StarStar& rng) {
+template <typename Sink>
+void emit_gnp_edges_sparse(NodeId n, double p, support::Xoshiro256StarStar& rng,
+                           Sink&& sink) {
   const double log_1p = std::log(1.0 - p);
   std::int64_t v = 1;
   std::int64_t w = -1;
@@ -28,59 +41,153 @@ void add_gnp_edges_sparse(GraphBuilder& builder, NodeId n, double p,
       ++v;
     }
     if (v < nn) {
-      builder.add_edge(static_cast<NodeId>(w), static_cast<NodeId>(v));
+      sink(static_cast<NodeId>(w), static_cast<NodeId>(v));
     }
+  }
+}
+
+template <typename Sink>
+void emit_gnp_edges(NodeId n, double p, support::Xoshiro256StarStar& rng, Sink&& sink) {
+  if (n < 2 || p == 0.0) return;
+  if (p == 1.0) {
+    emit_complete_edges(n, sink);
+    return;
+  }
+  if (p <= 0.25) {
+    emit_gnp_edges_sparse(n, p, rng, sink);
+  } else {
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (rng.bernoulli(p)) sink(u, v);
+      }
+    }
+  }
+}
+
+template <typename Sink>
+void emit_ring_edges(NodeId n, Sink&& sink) {
+  for (NodeId v = 0; v < n; ++v) sink(v, (v + 1) % n);
+}
+
+template <typename Sink>
+void emit_path_edges(NodeId n, Sink&& sink) {
+  for (NodeId v = 0; v + 1 < n; ++v) sink(v, v + 1);
+}
+
+template <typename Sink>
+void emit_star_edges(NodeId n, Sink&& sink) {
+  for (NodeId v = 1; v < n; ++v) sink(0, v);
+}
+
+template <typename Sink>
+void emit_grid2d_edges(NodeId rows, NodeId cols, Sink&& sink) {
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) sink(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) sink(id(r, c), id(r + 1, c));
+    }
+  }
+}
+
+template <typename Sink>
+void emit_hex_grid_edges(NodeId rows, NodeId cols, Sink&& sink) {
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) sink(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) sink(id(r, c), id(r + 1, c));
+      // One diagonal per cell turns the square grid into a triangular
+      // lattice, whose dual is the hexagonal cell packing.
+      if (r + 1 < rows && c + 1 < cols) sink(id(r, c + 1), id(r + 1, c));
+    }
+  }
+}
+
+template <typename Sink>
+void emit_hypercube_edges(unsigned dimension, Sink&& sink) {
+  const NodeId n = static_cast<NodeId>(1) << dimension;
+  for (NodeId v = 0; v < n; ++v) {
+    for (unsigned b = 0; b < dimension; ++b) {
+      const NodeId w = v ^ (static_cast<NodeId>(1) << b);
+      if (v < w) sink(v, w);
+    }
+  }
+}
+
+template <typename Sink>
+void emit_clique_family_edges(NodeId max_clique, NodeId copies, Sink&& sink) {
+  NodeId next = 0;
+  for (NodeId d = 1; d <= max_clique; ++d) {
+    for (NodeId c = 0; c < copies; ++c) {
+      const NodeId base = next;
+      for (NodeId i = 0; i < d; ++i) {
+        for (NodeId j = i + 1; j < d; ++j) sink(base + i, base + j);
+      }
+      next += d;
+    }
+  }
+}
+
+template <typename Sink>
+void emit_caterpillar_edges(NodeId spine, NodeId legs_per_node, Sink&& sink) {
+  for (NodeId s = 0; s + 1 < spine; ++s) sink(s, s + 1);
+  NodeId next = spine;
+  for (NodeId s = 0; s < spine; ++s) {
+    for (NodeId l = 0; l < legs_per_node; ++l) sink(s, next++);
+  }
+}
+
+template <typename Sink>
+void emit_random_bipartite_edges(NodeId left, NodeId right, double p,
+                                 support::Xoshiro256StarStar& rng, Sink&& sink) {
+  for (NodeId u = 0; u < left; ++u) {
+    for (NodeId v = 0; v < right; ++v) {
+      if (rng.bernoulli(p)) sink(u, left + v);
+    }
+  }
+}
+
+/// Builds a Graph by piping a sink-templated enumeration into GraphBuilder.
+template <typename Emit>
+Graph build_from_emitter(NodeId n, Emit&& emit) {
+  GraphBuilder builder(n);
+  emit([&builder](NodeId u, NodeId v) { builder.add_edge(u, v); });
+  return builder.build();
+}
+
+void check_probability(const char* who, double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string(who) + ": p must be in [0, 1]");
   }
 }
 
 }  // namespace
 
 Graph gnp(NodeId n, double p, support::Xoshiro256StarStar& rng) {
-  if (p < 0.0 || p > 1.0) throw std::invalid_argument("gnp: p must be in [0, 1]");
-  GraphBuilder builder(n);
-  if (n < 2 || p == 0.0) return builder.build();
-  if (p == 1.0) return complete(n);
-  if (p <= 0.25) {
-    add_gnp_edges_sparse(builder, n, p, rng);
-  } else {
-    for (NodeId u = 0; u < n; ++u) {
-      for (NodeId v = u + 1; v < n; ++v) {
-        if (rng.bernoulli(p)) builder.add_edge(u, v);
-      }
-    }
-  }
-  return builder.build();
+  check_probability("gnp", p);
+  return build_from_emitter(n, [&](auto&& sink) { emit_gnp_edges(n, p, rng, sink); });
 }
 
 Graph complete(NodeId n) {
-  GraphBuilder builder(n);
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v = u + 1; v < n; ++v) builder.add_edge(u, v);
-  }
-  return builder.build();
+  return build_from_emitter(n, [&](auto&& sink) { emit_complete_edges(n, sink); });
 }
 
 Graph empty_graph(NodeId n) { return GraphBuilder(n).build(); }
 
-Graph clique_family(NodeId max_clique, NodeId copies) {
+NodeId clique_family_node_count(NodeId max_clique, NodeId copies) {
   // Total nodes: copies * (1 + 2 + ... + max_clique).
   const std::uint64_t per_copy_set =
       static_cast<std::uint64_t>(max_clique) * (static_cast<std::uint64_t>(max_clique) + 1) / 2;
   const std::uint64_t total = per_copy_set * copies;
   if (total > 0xffffffffULL) throw std::invalid_argument("clique_family: too many nodes");
+  return static_cast<NodeId>(total);
+}
 
-  GraphBuilder builder(static_cast<NodeId>(total));
-  NodeId next = 0;
-  for (NodeId d = 1; d <= max_clique; ++d) {
-    for (NodeId c = 0; c < copies; ++c) {
-      const NodeId base = next;
-      for (NodeId i = 0; i < d; ++i) {
-        for (NodeId j = i + 1; j < d; ++j) builder.add_edge(base + i, base + j);
-      }
-      next += d;
-    }
-  }
-  return builder.build();
+Graph clique_family(NodeId max_clique, NodeId copies) {
+  const NodeId total = clique_family_node_count(max_clique, copies);
+  return build_from_emitter(
+      total, [&](auto&& sink) { emit_clique_family_edges(max_clique, copies, sink); });
 }
 
 Graph clique_family_for_n(NodeId n) {
@@ -91,51 +198,28 @@ Graph clique_family_for_n(NodeId n) {
 Graph grid2d(NodeId rows, NodeId cols) {
   const std::uint64_t total = static_cast<std::uint64_t>(rows) * cols;
   if (total > 0xffffffffULL) throw std::invalid_argument("grid2d: too many nodes");
-  GraphBuilder builder(static_cast<NodeId>(total));
-  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
-  for (NodeId r = 0; r < rows; ++r) {
-    for (NodeId c = 0; c < cols; ++c) {
-      if (c + 1 < cols) builder.add_edge(id(r, c), id(r, c + 1));
-      if (r + 1 < rows) builder.add_edge(id(r, c), id(r + 1, c));
-    }
-  }
-  return builder.build();
+  return build_from_emitter(static_cast<NodeId>(total),
+                            [&](auto&& sink) { emit_grid2d_edges(rows, cols, sink); });
 }
 
 Graph hex_grid(NodeId rows, NodeId cols) {
   const std::uint64_t total = static_cast<std::uint64_t>(rows) * cols;
   if (total > 0xffffffffULL) throw std::invalid_argument("hex_grid: too many nodes");
-  GraphBuilder builder(static_cast<NodeId>(total));
-  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
-  for (NodeId r = 0; r < rows; ++r) {
-    for (NodeId c = 0; c < cols; ++c) {
-      if (c + 1 < cols) builder.add_edge(id(r, c), id(r, c + 1));
-      if (r + 1 < rows) builder.add_edge(id(r, c), id(r + 1, c));
-      // One diagonal per cell turns the square grid into a triangular
-      // lattice, whose dual is the hexagonal cell packing.
-      if (r + 1 < rows && c + 1 < cols) builder.add_edge(id(r, c + 1), id(r + 1, c));
-    }
-  }
-  return builder.build();
+  return build_from_emitter(static_cast<NodeId>(total),
+                            [&](auto&& sink) { emit_hex_grid_edges(rows, cols, sink); });
 }
 
 Graph ring(NodeId n) {
   if (n < 3) throw std::invalid_argument("ring: need n >= 3");
-  GraphBuilder builder(n);
-  for (NodeId v = 0; v < n; ++v) builder.add_edge(v, (v + 1) % n);
-  return builder.build();
+  return build_from_emitter(n, [&](auto&& sink) { emit_ring_edges(n, sink); });
 }
 
 Graph path(NodeId n) {
-  GraphBuilder builder(n);
-  for (NodeId v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1);
-  return builder.build();
+  return build_from_emitter(n, [&](auto&& sink) { emit_path_edges(n, sink); });
 }
 
 Graph star(NodeId n) {
-  GraphBuilder builder(n);
-  for (NodeId v = 1; v < n; ++v) builder.add_edge(0, v);
-  return builder.build();
+  return build_from_emitter(n, [&](auto&& sink) { emit_star_edges(n, sink); });
 }
 
 Graph random_tree(NodeId n, support::Xoshiro256StarStar& rng) {
@@ -169,14 +253,7 @@ Graph random_tree(NodeId n, support::Xoshiro256StarStar& rng) {
 Graph hypercube(unsigned dimension) {
   if (dimension > 20) throw std::invalid_argument("hypercube: dimension too large");
   const NodeId n = static_cast<NodeId>(1) << dimension;
-  GraphBuilder builder(n);
-  for (NodeId v = 0; v < n; ++v) {
-    for (unsigned b = 0; b < dimension; ++b) {
-      const NodeId w = v ^ (static_cast<NodeId>(1) << b);
-      if (v < w) builder.add_edge(v, w);
-    }
-  }
-  return builder.build();
+  return build_from_emitter(n, [&](auto&& sink) { emit_hypercube_edges(dimension, sink); });
 }
 
 GeometricGraph random_geometric(NodeId n, double radius,
@@ -235,27 +312,95 @@ Graph barabasi_albert(NodeId n, NodeId attach_edges, support::Xoshiro256StarStar
 
 Graph random_bipartite(NodeId left, NodeId right, double p,
                        support::Xoshiro256StarStar& rng) {
-  if (p < 0.0 || p > 1.0) throw std::invalid_argument("random_bipartite: bad p");
-  GraphBuilder builder(left + right);
-  for (NodeId u = 0; u < left; ++u) {
-    for (NodeId v = 0; v < right; ++v) {
-      if (rng.bernoulli(p)) builder.add_edge(u, left + v);
-    }
-  }
-  return builder.build();
+  check_probability("random_bipartite", p);
+  return build_from_emitter(left + right, [&](auto&& sink) {
+    emit_random_bipartite_edges(left, right, p, rng, sink);
+  });
 }
 
 Graph caterpillar(NodeId spine, NodeId legs_per_node) {
   const std::uint64_t total =
       static_cast<std::uint64_t>(spine) * (1 + static_cast<std::uint64_t>(legs_per_node));
   if (total > 0xffffffffULL) throw std::invalid_argument("caterpillar: too many nodes");
-  GraphBuilder builder(static_cast<NodeId>(total));
-  for (NodeId s = 0; s + 1 < spine; ++s) builder.add_edge(s, s + 1);
-  NodeId next = spine;
-  for (NodeId s = 0; s < spine; ++s) {
-    for (NodeId l = 0; l < legs_per_node; ++l) builder.add_edge(s, next++);
+  return build_from_emitter(static_cast<NodeId>(total), [&](auto&& sink) {
+    emit_caterpillar_edges(spine, legs_per_node, sink);
+  });
+}
+
+// --- replayable edge streams ---------------------------------------------
+
+EdgeStream gnp_edge_stream(NodeId n, double p, std::uint64_t seed) {
+  check_probability("gnp_edge_stream", p);
+  return [n, p, seed](const EdgeEmitter& emit) {
+    auto rng = support::Xoshiro256StarStar(seed);  // fresh per replay
+    emit_gnp_edges(n, p, rng, emit);
+  };
+}
+
+EdgeStream complete_edge_stream(NodeId n) {
+  return [n](const EdgeEmitter& emit) { emit_complete_edges(n, emit); };
+}
+
+EdgeStream empty_edge_stream() {
+  return [](const EdgeEmitter&) {};
+}
+
+EdgeStream ring_edge_stream(NodeId n) {
+  if (n < 3) throw std::invalid_argument("ring: need n >= 3");
+  return [n](const EdgeEmitter& emit) { emit_ring_edges(n, emit); };
+}
+
+EdgeStream path_edge_stream(NodeId n) {
+  return [n](const EdgeEmitter& emit) { emit_path_edges(n, emit); };
+}
+
+EdgeStream star_edge_stream(NodeId n) {
+  return [n](const EdgeEmitter& emit) { emit_star_edges(n, emit); };
+}
+
+EdgeStream grid2d_edge_stream(NodeId rows, NodeId cols) {
+  if (static_cast<std::uint64_t>(rows) * cols > 0xffffffffULL) {
+    throw std::invalid_argument("grid2d: too many nodes");
   }
-  return builder.build();
+  return [rows, cols](const EdgeEmitter& emit) { emit_grid2d_edges(rows, cols, emit); };
+}
+
+EdgeStream hex_grid_edge_stream(NodeId rows, NodeId cols) {
+  if (static_cast<std::uint64_t>(rows) * cols > 0xffffffffULL) {
+    throw std::invalid_argument("hex_grid: too many nodes");
+  }
+  return [rows, cols](const EdgeEmitter& emit) { emit_hex_grid_edges(rows, cols, emit); };
+}
+
+EdgeStream hypercube_edge_stream(unsigned dimension) {
+  if (dimension > 20) throw std::invalid_argument("hypercube: dimension too large");
+  return [dimension](const EdgeEmitter& emit) { emit_hypercube_edges(dimension, emit); };
+}
+
+EdgeStream clique_family_edge_stream(NodeId max_clique, NodeId copies) {
+  (void)clique_family_node_count(max_clique, copies);  // overflow check up front
+  return [max_clique, copies](const EdgeEmitter& emit) {
+    emit_clique_family_edges(max_clique, copies, emit);
+  };
+}
+
+EdgeStream caterpillar_edge_stream(NodeId spine, NodeId legs_per_node) {
+  if (static_cast<std::uint64_t>(spine) * (1 + static_cast<std::uint64_t>(legs_per_node)) >
+      0xffffffffULL) {
+    throw std::invalid_argument("caterpillar: too many nodes");
+  }
+  return [spine, legs_per_node](const EdgeEmitter& emit) {
+    emit_caterpillar_edges(spine, legs_per_node, emit);
+  };
+}
+
+EdgeStream random_bipartite_edge_stream(NodeId left, NodeId right, double p,
+                                        std::uint64_t seed) {
+  check_probability("random_bipartite", p);
+  return [left, right, p, seed](const EdgeEmitter& emit) {
+    auto rng = support::Xoshiro256StarStar(seed);  // fresh per replay
+    emit_random_bipartite_edges(left, right, p, rng, emit);
+  };
 }
 
 }  // namespace beepmis::graph

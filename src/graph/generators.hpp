@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "graph/csr_file.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
 
@@ -80,5 +81,37 @@ struct GeometricGraph {
 /// Caterpillar: a path of `spine` nodes with `legs_per_node` pendant leaves
 /// on each spine node.  High-degree low-diameter tree used in tests.
 [[nodiscard]] Graph caterpillar(NodeId spine, NodeId legs_per_node);
+
+/// Node count of clique_family(max_clique, copies); throws (like the
+/// generator) when it would overflow NodeId.  Lets streaming callers size
+/// the CSR without building the graph.
+[[nodiscard]] NodeId clique_family_node_count(NodeId max_clique, NodeId copies);
+
+// --- replayable edge streams ---------------------------------------------
+//
+// Each factory returns a csr_file.hpp EdgeStream that enumerates exactly
+// the edges the same-parameter Graph generator builds, in the same order.
+// Random families take an explicit seed and construct a fresh rng per
+// replay, so every invocation is identical — the replayability contract
+// write_csr_file_streaming requires — and a streamed on-disk build is
+// byte-identical to GraphBuilder + write_csr_file.  Parameter validation
+// happens at factory-call time (same exceptions as the generators).
+// Stateful families (random_tree, barabasi_albert, random_geometric) have
+// no stream form: their enumeration needs O(n) state the streaming builder
+// exists to avoid.
+
+[[nodiscard]] EdgeStream gnp_edge_stream(NodeId n, double p, std::uint64_t seed);
+[[nodiscard]] EdgeStream complete_edge_stream(NodeId n);
+[[nodiscard]] EdgeStream empty_edge_stream();
+[[nodiscard]] EdgeStream ring_edge_stream(NodeId n);
+[[nodiscard]] EdgeStream path_edge_stream(NodeId n);
+[[nodiscard]] EdgeStream star_edge_stream(NodeId n);
+[[nodiscard]] EdgeStream grid2d_edge_stream(NodeId rows, NodeId cols);
+[[nodiscard]] EdgeStream hex_grid_edge_stream(NodeId rows, NodeId cols);
+[[nodiscard]] EdgeStream hypercube_edge_stream(unsigned dimension);
+[[nodiscard]] EdgeStream clique_family_edge_stream(NodeId max_clique, NodeId copies);
+[[nodiscard]] EdgeStream caterpillar_edge_stream(NodeId spine, NodeId legs_per_node);
+[[nodiscard]] EdgeStream random_bipartite_edge_stream(NodeId left, NodeId right, double p,
+                                                      std::uint64_t seed);
 
 }  // namespace beepmis::graph

@@ -7,6 +7,31 @@
 
 namespace beepmis::graph {
 
+AdjacencyView Graph::view() const noexcept {
+  AdjacencyView v;
+  v.node_count = node_count_;
+  if (mapping_ == nullptr) {
+    if (wide_offsets_.empty()) {
+      v.offsets32 = offsets_.data();
+    } else {
+      // The wide in-RAM offsets are std::size_t; the view (like the file
+      // format) speaks uint64.  Identical representation on every platform
+      // this library's mmap tier supports.
+      static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+                    "the memory-tiered CSR layer requires a 64-bit size_t");
+      v.offsets64 = reinterpret_cast<const std::uint64_t*>(wide_offsets_.data());
+    }
+    v.adjacency = adjacency_.data();
+    v.adjacency_count = adjacency_.size();
+  } else {
+    v.offsets32 = map_offsets32_;
+    v.offsets64 = map_offsets64_;
+    v.adjacency = map_adjacency_;
+    v.adjacency_count = map_adjacency_count_;
+  }
+  return v;
+}
+
 std::size_t Graph::max_degree() const noexcept {
   std::size_t best = 0;
   for (NodeId v = 0; v < node_count(); ++v) best = std::max(best, degree(v));
@@ -15,7 +40,7 @@ std::size_t Graph::max_degree() const noexcept {
 
 double Graph::mean_degree() const noexcept {
   if (node_count() == 0) return 0.0;
-  return static_cast<double>(adjacency_.size()) / static_cast<double>(node_count());
+  return static_cast<double>(adjacency_size()) / static_cast<double>(node_count());
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const noexcept {

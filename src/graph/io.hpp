@@ -7,6 +7,7 @@
 #include <span>
 #include <string>
 
+#include "graph/csr_file.hpp"
 #include "graph/graph.hpp"
 
 namespace beepmis::graph {
@@ -14,10 +15,31 @@ namespace beepmis::graph {
 /// Writes "n <count>" followed by one "u v" line per edge.
 void write_edge_list(std::ostream& out, const Graph& g);
 
-/// Reads the format produced by write_edge_list.  Lines starting with '#'
-/// and blank lines are ignored.  Throws std::runtime_error on malformed
-/// input (missing header, bad endpoints, self-loops).
+/// Reads the format produced by write_edge_list.  `#` starts a comment
+/// (rest of line); blank lines are ignored.  Strict: every surviving line
+/// must be exactly the 'n <count>' header (first) or two decimal endpoints
+/// — trailing tokens, non-numeric endpoints, out-of-range ids, self-loops
+/// and duplicate headers all throw std::runtime_error naming the 1-based
+/// line number.  Duplicate edges are merged (GraphBuilder semantics).
 [[nodiscard]] Graph read_edge_list(std::istream& in);
+
+/// Parses just the 'n <count>' header of an edge-list file — the node
+/// count a streaming CSR build needs without reading the edges.  Throws
+/// std::runtime_error naming the path / line on failure.
+[[nodiscard]] NodeId read_edge_list_node_count(const std::string& path);
+
+/// Replayable edge stream over an edge-list file: each replay re-reads the
+/// file (constant memory), with the same strict line-numbered validation
+/// as read_edge_list.  Unlike read_edge_list, duplicate edges are NOT
+/// merged — the streaming CSR writer rejects them, so a file destined for
+/// the disk tier must be duplicate-free.  The header is validated at
+/// factory-call time.
+[[nodiscard]] EdgeStream edge_list_file_stream(const std::string& path);
+
+/// Loads a graph file of either supported format, sniffing the content:
+/// BMCSR magic -> memory-mapped CSR (csr_file.hpp), anything else ->
+/// edge-list text.  The family="file" workload loader.
+[[nodiscard]] Graph load_graph_file(const std::string& path);
 
 /// Round-trip helpers on strings.
 [[nodiscard]] std::string to_edge_list_string(const Graph& g);

@@ -1,6 +1,7 @@
 #include "graph/partition.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace beepmis::graph {
 
@@ -63,6 +64,33 @@ Partition Partition::build(const Graph& g, std::uint32_t shards) {
     if (p.boundary_[u]) p.boundary_nodes_[owner].push_back(u);
   }
   return p;
+}
+
+void Partition::materialize_local_adjacency() {
+  const NodeId n = graph_->node_count();
+  const std::uint32_t k = shard_count();
+  local_off_.assign(k, {});
+  local_adj_.assign(k, {});
+  for (std::uint32_t s = 0; s < k; ++s) {
+    std::uint64_t total = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      const std::size_t base = static_cast<std::size_t>(u) * (k + 1) + s;
+      total += slice_rel_[base + 1] - slice_rel_[base];
+    }
+    if (total > std::numeric_limits<std::uint32_t>::max()) continue;  // shared fallback
+    local_off_[s].resize(n);
+    local_adj_[s].resize(static_cast<std::size_t>(total));
+    std::uint32_t cursor = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      const std::size_t base = static_cast<std::size_t>(u) * (k + 1) + s;
+      const std::uint32_t lo = slice_rel_[base];
+      const std::uint32_t len = slice_rel_[base + 1] - lo;
+      local_off_[s][u] = cursor;
+      const std::span<const NodeId> nbrs = graph_->neighbors(u);
+      std::copy_n(nbrs.data() + lo, len, local_adj_[s].data() + cursor);
+      cursor += len;
+    }
+  }
 }
 
 std::uint32_t Partition::shard_of(NodeId v) const {

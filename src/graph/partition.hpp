@@ -52,13 +52,34 @@ class Partition {
   [[nodiscard]] std::uint32_t shard_of(NodeId v) const;
 
   /// The neighbours of `u` that live in shard `s` — a subspan of the
-  /// graph's sorted adjacency list, so iteration order matches a full
-  /// neighbour walk filtered to [begin(s), end(s)).
+  /// graph's sorted adjacency list (or of shard s's reordered local copy
+  /// after materialize_local_adjacency()), so iteration order always
+  /// matches a full neighbour walk filtered to [begin(s), end(s)).
   [[nodiscard]] std::span<const NodeId> neighbors_in(NodeId u, std::uint32_t s) const {
     const std::uint32_t k = shard_count();
     const std::uint32_t lo = slice_rel_[static_cast<std::size_t>(u) * (k + 1) + s];
     const std::uint32_t hi = slice_rel_[static_cast<std::size_t>(u) * (k + 1) + s + 1];
-    return graph_->neighbors(u).subspan(lo, hi - lo);
+    if (local_off_.empty() || local_off_[s].empty()) {
+      return graph_->neighbors(u).subspan(lo, hi - lo);
+    }
+    return {local_adj_[s].data() + local_off_[s][u], hi - lo};
+  }
+
+  /// Builds per-shard *reordered* CSR copies: for each shard s, the slices
+  /// neighbors_in(u, s) for u = 0..n-1 concatenated contiguously, so a
+  /// shard's delivery sweep reads one sequential array instead of strided
+  /// subspans of the shared adjacency — the locality rationale for running
+  /// sharded lanes against a memory-mapped shared CSR.  Identical elements
+  /// in identical order, so simulation results are bit-identical either
+  /// way.  Costs one extra copy of the adjacency (split across shards)
+  /// plus n uint32 per shard; a shard whose local copy would exceed the
+  /// 32-bit index range silently keeps the shared-subspan path.
+  void materialize_local_adjacency();
+
+  /// Whether shard s reads its reordered local copy (false before
+  /// materialize_local_adjacency(), or for an over-large shard).
+  [[nodiscard]] bool local_adjacency_materialized(std::uint32_t s) const {
+    return !local_off_.empty() && !local_off_[s].empty();
   }
 
   /// Whether `u` has at least one neighbour outside its own shard.
@@ -90,6 +111,12 @@ class Partition {
   std::vector<std::vector<NodeId>> boundary_nodes_;
   std::vector<std::size_t> internal_edges_;
   std::size_t cut_edges_ = 0;
+  /// Reordered per-shard CSR copies (materialize_local_adjacency):
+  /// local_off_[s][u] is the start of u's shard-s slice in local_adj_[s];
+  /// the slice length still comes from slice_rel_.  Empty per shard until
+  /// materialized (or when the copy would overflow 32-bit indexing).
+  std::vector<std::vector<std::uint32_t>> local_off_;
+  std::vector<std::vector<NodeId>> local_adj_;
 };
 
 }  // namespace beepmis::graph

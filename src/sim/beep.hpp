@@ -123,6 +123,15 @@ struct SimConfig {
   /// cannot be cancelled by anything in-process; that is what the
   /// process-level kill-and-resume path (exp/journal.hpp) is for.
   std::shared_ptr<const std::atomic<std::int64_t>> deadline_ns;
+  /// Sharded simulators only: materialize per-shard reordered CSR copies
+  /// (graph::Partition::materialize_local_adjacency) at graph-bind time, so
+  /// each lane's delivery sweep reads a contiguous shard-local array
+  /// instead of strided slices of the shared adjacency.  Pays one extra
+  /// copy of the adjacency in RAM for locality — the intended pairing with
+  /// a memory-mapped shared CSR (graph/csr_file.hpp), where the shared
+  /// array may be cold disk pages.  Results are bit-identical either way.
+  /// Ignored by the scalar and (unsharded) batched simulators.
+  bool shard_local_adjacency = false;
 };
 
 class BeepSimulator;

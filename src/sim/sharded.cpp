@@ -63,6 +63,7 @@ void ShardedSimulator::bind_graph(const graph::Graph& g) {
   }
   graph_ = &g;
   partition_ = graph::Partition::build(g, requested_shards_);
+  if (config_.shard_local_adjacency) partition_.materialize_local_adjacency();
   const unsigned k = partition_.shard_count();
   lanes_.resize(k);
   for (unsigned s = 0; s < k; ++s) {

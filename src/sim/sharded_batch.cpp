@@ -80,6 +80,7 @@ void ShardedBatchSimulator::bind_graph(const graph::Graph& g) {
   }
   graph_ = &g;
   partition_ = graph::Partition::build(g, requested_shards_);
+  if (config_.shard_local_adjacency) partition_.materialize_local_adjacency();
   const unsigned k = partition_.shard_count();
   shards_.resize(k);
   for (unsigned s = 0; s < k; ++s) {

@@ -2,18 +2,30 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "graph/csr_file.hpp"
+#include "graph/generators.hpp"
 #include "mis/verifier.hpp"
 
 namespace beepmis::cli {
 namespace {
 
 TEST(GraphRegistry, EveryListedFamilyBuilds) {
+  // The "file" family is the one entry that cannot build from parameters
+  // alone: it mmaps an on-disk BMCSR, so hand it one.
+  const std::string bmcsr_path = ::testing::TempDir() + "registry_family_" +
+                                 std::to_string(::getpid()) + ".bmcsr";
+  graph::write_csr_file(graph::ring(32), bmcsr_path);
+
   for (const std::string& family : graph_families()) {
     GraphSpec spec;
     spec.family = family;
@@ -22,9 +34,11 @@ TEST(GraphRegistry, EveryListedFamilyBuilds) {
     spec.rows = 5;
     spec.cols = 6;
     spec.k = 3;
+    if (family == "file") spec.path = bmcsr_path;
     const graph::Graph g = make_graph(spec);
     EXPECT_GT(g.node_count(), 0u) << family;
   }
+  std::remove(bmcsr_path.c_str());
 }
 
 TEST(GraphRegistry, UnknownFamilyThrows) {

@@ -38,13 +38,45 @@ TEST(EdgeList, IsolatedNodesPreserved) {
   EXPECT_EQ(g.degree(4), 0u);
 }
 
+/// Strict ingest contract: every malformed line is rejected with an error
+/// that names its (1-based) line number and the problem — never a silent
+/// skip, never a best-effort parse.
+void expect_ingest_rejects(const std::string& text, const std::string& needle) {
+  try {
+    (void)from_edge_list_string(text);
+    FAIL() << "expected rejection of: " << text << " (" << needle << ")";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message: " << e.what() << "\nexpected to mention: " << needle;
+  }
+}
+
 TEST(EdgeList, MalformedInputsThrow) {
-  EXPECT_THROW(from_edge_list_string(""), std::runtime_error);
-  EXPECT_THROW(from_edge_list_string("0 1\n"), std::runtime_error);       // missing header
-  EXPECT_THROW(from_edge_list_string("n -3\n"), std::runtime_error);      // bad count
-  EXPECT_THROW(from_edge_list_string("n 3\n0\n"), std::runtime_error);    // bad edge
-  EXPECT_THROW(from_edge_list_string("n 3\n0 9\n"), std::invalid_argument);  // range
-  EXPECT_THROW(from_edge_list_string("n 3\n1 1\n"), std::invalid_argument);  // loop
+  expect_ingest_rejects("", "missing 'n <count>' header");
+  expect_ingest_rejects("0 1\n", "line 1");  // edge before the header
+  expect_ingest_rejects("n -3\n", "line 1");
+  expect_ingest_rejects("n 3\n0\n", "line 2");       // one endpoint
+  expect_ingest_rejects("n 3\n0 1 2\n", "line 2");   // three endpoints
+  expect_ingest_rejects("n 3\n0 9\n", "line 2");     // out of range
+  expect_ingest_rejects("n 3\n1 1\n", "line 2");     // self-loop
+  expect_ingest_rejects("n 3\nn 3\n", "line 2");     // duplicate header
+  expect_ingest_rejects("n 3\n0 x\n", "line 2");     // non-numeric endpoint
+  expect_ingest_rejects("n 3\n0 -1\n", "line 2");    // sign is not a digit
+  expect_ingest_rejects("n 3\n0 1\n\n# c\n1 99\n", "line 5");  // counts blanks/comments
+}
+
+TEST(EdgeList, ErrorsNameTheProblemNotJustTheLine) {
+  expect_ingest_rejects("n 3\n0 9\n", "endpoint 9");  // names the offender and ...
+  expect_ingest_rejects("n 3\n0 9\n", "3");           // ... the declared node count
+  expect_ingest_rejects("n 3\n1 1\n", "self-loop");
+  expect_ingest_rejects("n 3\n0 1 2\n", "two endpoints");
+  expect_ingest_rejects("n 3\n0 x\n", "'x'");
+}
+
+TEST(EdgeList, RejectsOverlongAndOverflowingTokens) {
+  expect_ingest_rejects("n 3\n0 4294967296\n", "line 2");   // 2^32
+  expect_ingest_rejects("n 3\n0 99999999999\n", "line 2");  // 11 digits
+  expect_ingest_rejects("n 3\n0 1e2\n", "line 2");
 }
 
 TEST(Dot, ContainsNodesEdgesAndHighlights) {

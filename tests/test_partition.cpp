@@ -137,5 +137,65 @@ TEST(Partition, EmptyGraph) {
   EXPECT_EQ(p.cut_edges(), 0u);
 }
 
+TEST(Partition, LocalAdjacencyCopiesAreElementIdentical) {
+  // materialize_local_adjacency is a pure layout change: every slice must
+  // return the same elements in the same order as the shared-subspan path.
+  const graph::Graph g = test_graph(150, 7.0, 9);
+  for (const std::uint32_t k : {1u, 2u, 4u, 9u}) {
+    const graph::Partition shared = graph::Partition::build(g, k);
+    graph::Partition local = graph::Partition::build(g, k);
+    local.materialize_local_adjacency();
+    for (std::uint32_t s = 0; s < shared.shard_count(); ++s) {
+      EXPECT_TRUE(local.local_adjacency_materialized(s)) << "shard " << s;
+      EXPECT_FALSE(shared.local_adjacency_materialized(s)) << "shard " << s;
+      for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+        const auto a = shared.neighbors_in(u, s);
+        const auto b = local.neighbors_in(u, s);
+        ASSERT_EQ(a.size(), b.size()) << "node " << u << " shard " << s;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          ASSERT_EQ(a[i], b[i]) << "node " << u << " shard " << s << " slot " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Partition, LocalAdjacencyIsContiguousPerShard) {
+  // The locality contract: within a shard, walking nodes in order reads
+  // its local array sequentially with no gaps or overlaps.
+  const graph::Graph g = test_graph(90, 6.0, 12);
+  graph::Partition p = graph::Partition::build(g, 3);
+  p.materialize_local_adjacency();
+  for (std::uint32_t s = 0; s < p.shard_count(); ++s) {
+    ASSERT_TRUE(p.local_adjacency_materialized(s));
+    std::size_t cursor = 0;
+    for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+      const auto slice = p.neighbors_in(u, s);
+      if (slice.empty()) continue;
+      // Each non-empty slice starts exactly where the previous one ended.
+      std::size_t total = 0;
+      for (graph::NodeId w = 0; w < u; ++w) total += p.neighbors_in(w, s).size();
+      EXPECT_EQ(total, cursor) << "node " << u << " shard " << s;
+      cursor += slice.size();
+    }
+  }
+}
+
+TEST(Partition, LocalAdjacencyOnEdgelessAndEmptyGraphs) {
+  const graph::Graph edgeless = graph::empty_graph(10);
+  graph::Partition p = graph::Partition::build(edgeless, 3);
+  p.materialize_local_adjacency();
+  for (std::uint32_t s = 0; s < p.shard_count(); ++s) {
+    for (graph::NodeId u = 0; u < edgeless.node_count(); ++u) {
+      EXPECT_TRUE(p.neighbors_in(u, s).empty());
+    }
+  }
+
+  const graph::Graph none;
+  graph::Partition q = graph::Partition::build(none, 2);
+  q.materialize_local_adjacency();  // must not crash on n = 0
+  EXPECT_EQ(q.shard_count(), 1u);
+}
+
 }  // namespace
 }  // namespace beepmis

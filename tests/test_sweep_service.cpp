@@ -451,7 +451,7 @@ TEST_F(SweepServiceTest, RejectsMalformedRequestsLoudly) {
   service.start();
 
   SweepClient client = SweepClient::connect(config().socket_path);
-  Event e = client.submit("sweepspec v2 bogus_key=1");
+  Event e = client.submit("sweepspec v3 bogus_key=1");
   ASSERT_EQ(e.kind, Event::Kind::kError);
   EXPECT_NE(e.message.find("bogus_key"), std::string::npos);
 

@@ -6,7 +6,7 @@
 // (execution knobs never change the fingerprint; request knobs always
 // do).  A golden value changing is an API break: it invalidates every
 // journal and beepmisd cache entry in the field, so it must come with a
-// schema-version bump ("v2" -> "v3"), not a silent edit.
+// schema-version bump ("v3" -> "v4"), not a silent edit.
 #include <gtest/gtest.h>
 
 #include <bit>
@@ -53,6 +53,7 @@ SweepSpec exhaustive_spec() {
   spec.graph.cols = 19;
   spec.graph.k = 7;
   spec.graph.seed = 0xdeadbeefcafe1234ull;
+  spec.graph.path = "/tmp/workload.bmcsr";
   spec.algorithm.name = "local-feedback-exact";
   spec.algorithm.factor = 1.75;
   spec.algorithm.initial_p = 0.3333333333333333;
@@ -62,6 +63,7 @@ SweepSpec exhaustive_spec() {
   spec.algorithm.sim.max_rounds = 4096;
   spec.algorithm.sim.run_until_round = 100;
   spec.algorithm.sim.track_recovery = true;
+  spec.algorithm.sim.shard_local_adjacency = true;
   spec.algorithm.scenario.name = "churn";
   spec.algorithm.scenario.rate = 0.015625;
   spec.algorithm.scenario.round_lo = 3;
@@ -95,6 +97,7 @@ void expect_specs_equal(const SweepSpec& a, const SweepSpec& b) {
   EXPECT_EQ(a.graph.cols, b.graph.cols);
   EXPECT_EQ(a.graph.k, b.graph.k);
   EXPECT_EQ(a.graph.seed, b.graph.seed);
+  EXPECT_EQ(a.graph.path, b.graph.path);
   EXPECT_EQ(a.algorithm.name, b.algorithm.name);
   expect_double_bits(a.algorithm.factor, b.algorithm.factor, "factor");
   expect_double_bits(a.algorithm.initial_p, b.algorithm.initial_p, "initial_p");
@@ -105,6 +108,7 @@ void expect_specs_equal(const SweepSpec& a, const SweepSpec& b) {
   EXPECT_EQ(a.algorithm.sim.max_rounds, b.algorithm.sim.max_rounds);
   EXPECT_EQ(a.algorithm.sim.run_until_round, b.algorithm.sim.run_until_round);
   EXPECT_EQ(a.algorithm.sim.track_recovery, b.algorithm.sim.track_recovery);
+  EXPECT_EQ(a.algorithm.sim.shard_local_adjacency, b.algorithm.sim.shard_local_adjacency);
   EXPECT_EQ(a.algorithm.scenario.name, b.algorithm.scenario.name);
   expect_double_bits(a.algorithm.scenario.rate, b.algorithm.scenario.rate, "scenario.rate");
   EXPECT_EQ(a.algorithm.scenario.round_lo, b.algorithm.scenario.round_lo);
@@ -155,7 +159,7 @@ TEST(SweepSpecSerial, FormatIsIdempotentCanonicalisation) {
   // Non-canonical input (reordered keys, non-shortest double spelling)
   // canonicalises to the same line as the struct it denotes.
   const std::string shuffled =
-      "sweepspec v2 trials=128 graph.rows=8 scenario.hi=9 scenario=uniform-crash "
+      "sweepspec v3 trials=128 graph.rows=8 scenario.hi=9 scenario=uniform-crash "
       "sim.keepalive=1 algorithm=self-healing base_seed=42 graph=grid graph.cols=8 "
       "sim.loss=0.0100 scenario.rate=0.250 scenario.lo=5 sim.track_recovery=true "
       "checkpoint_interval=32";
@@ -163,7 +167,7 @@ TEST(SweepSpecSerial, FormatIsIdempotentCanonicalisation) {
 }
 
 TEST(SweepSpecSerial, MissingKeysTakeDefaults) {
-  const SweepSpec parsed = parse_sweep_spec("sweepspec v2");
+  const SweepSpec parsed = parse_sweep_spec("sweepspec v3");
   expect_specs_equal(parsed, SweepSpec{});
 }
 
@@ -184,30 +188,40 @@ TEST(SweepSpecSerial, JournalPathWithWhitespaceHasNoLineForm) {
   EXPECT_THROW((void)format_sweep_spec(spec), std::invalid_argument);
 }
 
+TEST(SweepSpecSerial, GraphFilePathWithWhitespaceHasNoLineForm) {
+  SweepSpec spec;
+  spec.graph.family = "file";
+  spec.graph.path = "/tmp/with space.bmcsr";
+  // The graph path is request identity, so it poisons both renderings.
+  EXPECT_THROW((void)format_sweep_spec(spec), std::invalid_argument);
+  EXPECT_THROW((void)format_sweep_request(spec), std::invalid_argument);
+}
+
 // --- strict rejection -----------------------------------------------------
 
 TEST(SweepSpecSerial, RejectsUnknownAndMalformedInput) {
   expect_rejects("", "sweepspec");
   expect_rejects("sweepspec", "sweepspec");
   expect_rejects("nonsense v2", "sweepspec");
-  expect_rejects("sweepspec v1 trials=4", "v1");       // version it was not built for
-  expect_rejects("sweepspec v3 trials=4", "v3");
-  expect_rejects("sweepspec v2 bogus_key=1", "bogus_key");
-  expect_rejects("sweepspec v2 trials=4 trials=5", "trials");  // duplicate
-  expect_rejects("sweepspec v2 trials", "trials");             // no '='
-  expect_rejects("sweepspec v2 trials=", "trials");
-  expect_rejects("sweepspec v2 trials=4x", "trials");
-  expect_rejects("sweepspec v2 trials=-1", "trials");
-  expect_rejects("sweepspec v2 trials=0", "trials");           // out of range
-  expect_rejects("sweepspec v2 graph.p=1.5", "graph.p");
-  expect_rejects("sweepspec v2 graph.p=nan", "graph.p");
-  expect_rejects("sweepspec v2 algorithm.factor=1", "algorithm.factor");
-  expect_rejects("sweepspec v2 resume=2", "resume");
-  expect_rejects("sweepspec v2 graph=klein-bottle", "klein-bottle");
-  expect_rejects("sweepspec v2 algorithm=quantum", "quantum");
-  expect_rejects("sweepspec v2 scenario=earthquake", "earthquake");
-  expect_rejects("sweepspec v2 shards=100000", "shards");
-  expect_rejects("sweepspec v2 base_seed=18446744073709551616", "base_seed");  // 2^64
+  expect_rejects("sweepspec v1 trials=4", "v1");       // versions it was not built for
+  expect_rejects("sweepspec v2 trials=4", "v2");
+  expect_rejects("sweepspec v4 trials=4", "v4");
+  expect_rejects("sweepspec v3 bogus_key=1", "bogus_key");
+  expect_rejects("sweepspec v3 trials=4 trials=5", "trials");  // duplicate
+  expect_rejects("sweepspec v3 trials", "trials");             // no '='
+  expect_rejects("sweepspec v3 trials=", "trials");
+  expect_rejects("sweepspec v3 trials=4x", "trials");
+  expect_rejects("sweepspec v3 trials=-1", "trials");
+  expect_rejects("sweepspec v3 trials=0", "trials");           // out of range
+  expect_rejects("sweepspec v3 graph.p=1.5", "graph.p");
+  expect_rejects("sweepspec v3 graph.p=nan", "graph.p");
+  expect_rejects("sweepspec v3 algorithm.factor=1", "algorithm.factor");
+  expect_rejects("sweepspec v3 resume=2", "resume");
+  expect_rejects("sweepspec v3 graph=klein-bottle", "klein-bottle");
+  expect_rejects("sweepspec v3 algorithm=quantum", "quantum");
+  expect_rejects("sweepspec v3 scenario=earthquake", "earthquake");
+  expect_rejects("sweepspec v3 shards=100000", "shards");
+  expect_rejects("sweepspec v3 base_seed=18446744073709551616", "base_seed");  // 2^64
 }
 
 // --- the fingerprint stability contract -----------------------------------
@@ -217,8 +231,8 @@ TEST(SweepFingerprint, GoldenValuesArePinned) {
   // cache entry ever written for these requests.  If this test fails, you
   // changed the canonical request text — bump the schema version and
   // document the migration; do NOT update the constants in place.
-  EXPECT_EQ(sweep_fingerprint(SweepSpec{}), 0x1da8bd67b26637e3ull);
-  EXPECT_EQ(sweep_fingerprint(variant_spec()), 0xd6223eb754f264f3ull);
+  EXPECT_EQ(sweep_fingerprint(SweepSpec{}), 0xa5c115e41cc8449full);
+  EXPECT_EQ(sweep_fingerprint(variant_spec()), 0x0cfde61648761b11ull);
 }
 
 TEST(SweepFingerprint, IsTheHashOfTheRequestText) {
@@ -243,6 +257,9 @@ TEST(SweepFingerprint, ExcludesExecutionAndDurabilityKnobs) {
   s = variant_spec();
   s.algorithm.shards = 4;
   EXPECT_EQ(sweep_fingerprint(s), base) << "shards";
+  s = variant_spec();
+  s.algorithm.sim.shard_local_adjacency = true;
+  EXPECT_EQ(sweep_fingerprint(s), base) << "shard_local";
   s = variant_spec();
   s.journal_path = "/somewhere/else.journal";
   EXPECT_EQ(sweep_fingerprint(s), base) << "journal_path";
@@ -278,6 +295,9 @@ TEST(SweepFingerprint, CoversEveryRequestField) {
   s = variant_spec();
   s.graph.seed = 2;
   EXPECT_NE(sweep_fingerprint(s), base) << "graph.seed";
+  s = variant_spec();
+  s.graph.path = "/data/other.bmcsr";
+  EXPECT_NE(sweep_fingerprint(s), base) << "graph.file";
   s = variant_spec();
   s.algorithm.name = "local-feedback";
   EXPECT_NE(sweep_fingerprint(s), base) << "algorithm.name";
